@@ -1,0 +1,29 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one of the paper's tables/figures at the
+quick ``BENCH_BUDGET`` (small world, one seed) so the whole suite
+finishes in minutes on a CPU; run the harnesses via
+``python -m repro.experiments <id>`` for the paper-scale budget.
+
+Each bench prints the regenerated artifact so ``pytest benchmarks/
+--benchmark-only -s`` doubles as a report generator.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Benchmark a training-scale function exactly once.
+
+    pytest-benchmark's default calibration would re-run multi-second
+    training loops dozens of times; one round is both representative
+    and affordable.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once(benchmark):
+    return lambda fn: run_once(benchmark, fn)

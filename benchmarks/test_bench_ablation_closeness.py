@@ -1,0 +1,42 @@
+"""Extension ablation: closeness functions f(i,j) for the social mask.
+
+Eq. (5) permits any closeness score; the paper uses the direct-edge
+indicator in its experiments and names PageRank/closeness/betweenness
+as alternatives.  This bench trains GroupSA under four masks and
+reports the group-task metrics.
+"""
+
+from repro.baselines import GroupSARecommender
+from repro.core import GroupSAConfig
+from repro.experiments.reporting import format_metric_table
+from repro.experiments.runner import BENCH_BUDGET, average_over_seeds
+
+CLOSENESS_VARIANTS = ("direct", "common-neighbours", "pagerank", "full")
+
+
+def run_closeness_ablation(dataset="yelp", budget=BENCH_BUDGET):
+    factories = {
+        name: (
+            lambda seed, name=name: GroupSARecommender(
+                GroupSAConfig(closeness=name, seed=2020 + seed), budget.training
+            )
+        )
+        for name in CLOSENESS_VARIANTS
+    }
+    rows = average_over_seeds(factories, dataset, budget)
+    return {name: rows[name]["group"] for name in CLOSENESS_VARIANTS}
+
+
+def test_bench_ablation_closeness(once):
+    rows = once(run_closeness_ablation)
+    print()
+    print(
+        format_metric_table(
+            rows,
+            title="Ablation — closeness function f(i,j) (yelp, group task)",
+            key_header="f(i,j)",
+        )
+    )
+    assert set(rows) == set(CLOSENESS_VARIANTS)
+    for metrics in rows.values():
+        assert 0.0 <= metrics["HR@10"] <= 1.0

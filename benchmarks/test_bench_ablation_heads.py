@@ -1,0 +1,41 @@
+"""Extension ablation: multi-head social self-attention.
+
+The paper's voting network is single-head; this bench measures whether
+splitting the voting attention into multiple heads changes the group
+ranking quality at equal parameter count.
+"""
+
+from repro.baselines import GroupSARecommender
+from repro.core import GroupSAConfig
+from repro.experiments.reporting import format_metric_table
+from repro.experiments.runner import BENCH_BUDGET, average_over_seeds
+
+HEAD_COUNTS = (1, 2, 4)
+
+
+def run_heads_ablation(dataset="yelp", budget=BENCH_BUDGET):
+    factories = {
+        str(heads): (
+            lambda seed, heads=heads: GroupSARecommender(
+                GroupSAConfig(num_heads=heads, seed=2020 + seed), budget.training
+            )
+        )
+        for heads in HEAD_COUNTS
+    }
+    rows = average_over_seeds(factories, dataset, budget)
+    return {str(heads): rows[str(heads)]["group"] for heads in HEAD_COUNTS}
+
+
+def test_bench_ablation_heads(once):
+    rows = once(run_heads_ablation)
+    print()
+    print(
+        format_metric_table(
+            rows,
+            title="Ablation — voting attention heads (yelp, group task)",
+            key_header="heads",
+        )
+    )
+    assert set(rows) == {"1", "2", "4"}
+    for metrics in rows.values():
+        assert 0.0 <= metrics["HR@10"] <= 1.0

@@ -1,0 +1,47 @@
+"""Extension ablation: TF-IDF vs random Top-H neighbour selection.
+
+Section II-D ranks the aggregated items/friends by TF-IDF; this bench
+checks what that ranking buys over a random Top-H pick.
+"""
+
+import numpy as np
+
+from repro.evaluation import evaluate
+from repro.experiments.reporting import format_metric_table
+from repro.experiments.runner import BENCH_BUDGET, prepare_run
+from repro.graphs import random_top_neighbours, tfidf_top_neighbours
+from repro.training.two_stage import build_model, fit_groupsa
+from repro.core import GroupSAConfig
+
+
+def run_tfidf_ablation(budget=BENCH_BUDGET):
+    run = prepare_run("yelp", budget, seed=0)
+    results = {}
+    for name, builder in (
+        ("tfidf", tfidf_top_neighbours),
+        ("random", lambda ds, h: random_top_neighbours(ds, h, seed=0)),
+    ):
+        config = GroupSAConfig()
+        model, batcher = build_model(run.split, config)
+        model.set_top_neighbours(builder(run.split.train, config.top_h))
+        fit_groupsa(model, run.split, batcher, budget.training)
+        results[name] = evaluate(
+            lambda groups, items: model.score_group_items(batcher.batch(groups), items),
+            run.group_task,
+        ).metrics
+    return results
+
+
+def test_bench_ablation_tfidf(once):
+    rows = once(run_tfidf_ablation)
+    print()
+    print(
+        format_metric_table(
+            rows,
+            title="Ablation — Top-H selection (yelp, group task)",
+            key_header="ranking",
+        )
+    )
+    assert set(rows) == {"tfidf", "random"}
+    for metrics in rows.values():
+        assert np.isfinite(list(metrics.values())).all()

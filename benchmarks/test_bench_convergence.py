@@ -1,0 +1,28 @@
+"""Extension bench: training dynamics of the two-stage schedule."""
+
+from repro.experiments.convergence import trace_convergence
+from repro.experiments.runner import BENCH_BUDGET, prepare_run
+
+
+def test_bench_convergence(once):
+    def run():
+        prepared = prepare_run("yelp", BENCH_BUDGET, seed=0)
+        return trace_convergence(
+            prepared.split,
+            training=BENCH_BUDGET.training,
+            check_every=10,
+            num_candidates=50,
+        )
+
+    curve = once(run)
+    print()
+    print(curve.to_csv())
+
+    user_losses = curve.losses("user")
+    group_losses = curve.losses("group")
+    # Stage 1 makes progress and ends below the ln(2) random baseline.
+    assert user_losses[-1] < user_losses[0]
+    assert user_losses[-1] < 0.693
+    # Stage 2 fine-tuning converges well below random ranking.
+    assert group_losses[-1] < group_losses[0]
+    assert group_losses[-1] < 0.5

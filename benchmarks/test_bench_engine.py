@@ -1,0 +1,69 @@
+"""Substrate micro-benchmarks: autograd step latency.
+
+Not a paper artifact — these guard the training substrate against
+performance regressions (a GroupSA epoch is thousands of these steps).
+"""
+
+import numpy as np
+
+from repro.autograd import Tensor
+from repro.core import GroupSA, GroupSAConfig
+from repro.data import GroupBatcher
+from repro.graphs import tfidf_top_neighbours
+from repro.training import bpr_loss
+
+
+def test_bench_autograd_mlp_step(benchmark, rng=np.random.default_rng(0)):
+    from repro.nn import MLP
+    from repro.optim import Adam
+
+    mlp = MLP(64, [64, 32], 1, rng=0)
+    optimizer = Adam(mlp.parameters(), lr=1e-3)
+    x = Tensor(rng.normal(size=(256, 64)))
+
+    def step():
+        optimizer.zero_grad()
+        out = mlp(x)
+        (out * out).mean().backward()
+        optimizer.step()
+
+    benchmark(step)
+
+
+def test_bench_groupsa_forward_backward(benchmark, tiny_pipeline=None):
+    from repro.data import yelp_like, split_interactions
+
+    world = yelp_like(scale=0.005)
+    split = split_interactions(world.dataset, rng=0)
+    train = split.train
+    config = GroupSAConfig()
+    model = GroupSA(train.num_users, train.num_items, config)
+    model.set_top_neighbours(tfidf_top_neighbours(train, config.top_h))
+    batcher = GroupBatcher(train)
+    groups = np.arange(min(64, train.num_groups))
+    items = np.arange(len(groups))
+    batch = batcher.batch(groups)
+
+    def step():
+        model.zero_grad()
+        positive = model.group_scores(batch, items)
+        negative = model.group_scores(batch, items[::-1].copy())
+        bpr_loss(positive, negative).backward()
+
+    benchmark(step)
+
+
+def test_bench_user_scoring_throughput(benchmark):
+    from repro.data import yelp_like, split_interactions
+
+    world = yelp_like(scale=0.005)
+    split = split_interactions(world.dataset, rng=0)
+    train = split.train
+    config = GroupSAConfig()
+    model = GroupSA(train.num_users, train.num_items, config)
+    model.set_top_neighbours(tfidf_top_neighbours(train, config.top_h))
+    rng = np.random.default_rng(0)
+    users = rng.integers(0, train.num_users, size=2048)
+    items = rng.integers(0, train.num_items, size=2048)
+
+    benchmark(lambda: model.score_user_items(users, items))

@@ -1,0 +1,18 @@
+"""Extension bench: the extended overall comparison (classic CF +
+generative models + GroupSA under one protocol)."""
+
+from repro.experiments.overall_extended import MODEL_ORDER, run_overall_extended
+from repro.experiments.reporting import format_overall_table
+from repro.experiments.runner import BENCH_BUDGET
+
+
+def test_bench_extended_overall(once):
+    rows = once(lambda: run_overall_extended("yelp", BENCH_BUDGET))
+    print()
+    print(format_overall_table(rows, "yelp, extended"))
+    assert set(rows) == set(MODEL_ORDER)
+    # The neural group model must dominate classic CF and the
+    # generative models on the group task.
+    group_sa = rows["GroupSA"]["group"]["NDCG@10"]
+    for baseline in ("Pop", "ItemKNN", "BPR-MF", "PIT", "COM"):
+        assert group_sa >= rows[baseline]["group"]["NDCG@10"] - 0.02

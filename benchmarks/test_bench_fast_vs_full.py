@@ -1,0 +1,51 @@
+"""Extension bench: fast group recommendation (Section II-F) vs the
+full voting forward pass — ranking quality and scoring latency."""
+
+import time
+
+import numpy as np
+
+from repro.core import FastGroupRecommender, GroupSAConfig
+from repro.evaluation import evaluate
+from repro.experiments.runner import BENCH_BUDGET, prepare_run
+from repro.training.two_stage import build_model, fit_groupsa
+
+
+def run_fast_vs_full(budget=BENCH_BUDGET):
+    run = prepare_run("yelp", budget, seed=0)
+    config = GroupSAConfig(num_attention_layers=2)
+    model, batcher = build_model(run.split, config)
+    fit_groupsa(model, run.split, batcher, budget.training)
+
+    results = {}
+
+    def timed(name, scorer):
+        start = time.perf_counter()
+        metrics = evaluate(scorer, run.group_task).metrics
+        metrics["seconds"] = time.perf_counter() - start
+        results[name] = metrics
+
+    timed(
+        "full",
+        lambda groups, items: model.score_group_items(batcher.batch(groups), items),
+    )
+    fast = FastGroupRecommender(model, "avg")
+    timed(
+        "fast-avg",
+        lambda groups, items: fast.score_group_items(batcher.batch(groups), items),
+    )
+    return results
+
+
+def test_bench_fast_vs_full(once):
+    rows = once(run_fast_vs_full)
+    print()
+    for name, metrics in rows.items():
+        print(
+            f"{name:10s} HR@10={metrics['HR@10']:.4f} "
+            f"NDCG@10={metrics['NDCG@10']:.4f} ({metrics['seconds']:.2f}s)"
+        )
+    # Section II-F: the fast path trades a little accuracy for the
+    # removal of the voting forward pass; it must stay comparable.
+    assert rows["fast-avg"]["HR@10"] >= 0.4 * rows["full"]["HR@10"]
+    assert np.isfinite(rows["fast-avg"]["seconds"])

@@ -1,0 +1,33 @@
+"""Figure 3: importance of social self-attention and user modeling."""
+
+from repro.experiments.ablations import ABLATION_ORDER, format_ablations, run_ablations
+from repro.experiments.runner import BENCH_BUDGET
+
+
+def test_bench_fig3_ablations_yelp(once):
+    rows = once(lambda: run_ablations("yelp", BENCH_BUDGET))
+    print()
+    print(format_ablations(rows, "yelp"))
+    assert set(rows) == set(ABLATION_ORDER)
+    for metrics in rows.values():
+        assert 0.0 <= metrics["HR@10"] <= 1.0
+    # Robust shape check (one seed, ~50 test edges => each edge moves
+    # HR by ~2pt): the full model must not be dominated — within noise
+    # of the weakest ablation on every metric and strictly better than
+    # some ablation on HR@10.
+    full = rows["GroupSA"]
+    ablations = [rows[name] for name in ABLATION_ORDER if name != "GroupSA"]
+    for metric in ("HR@5", "HR@10", "NDCG@5", "NDCG@10"):
+        assert full[metric] >= min(a[metric] for a in ablations) - 0.05
+    assert any(full["HR@10"] > a["HR@10"] for a in ablations)
+
+
+def test_bench_fig3_ablations_douban(once):
+    rows = once(lambda: run_ablations("douban", BENCH_BUDGET))
+    print()
+    print(format_ablations(rows, "douban"))
+    assert set(rows) == set(ABLATION_ORDER)
+    full = rows["GroupSA"]
+    ablations = [rows[name] for name in ABLATION_ORDER if name != "GroupSA"]
+    for metric in ("HR@10", "NDCG@10"):
+        assert full[metric] >= min(a[metric] for a in ablations)

@@ -1,0 +1,39 @@
+"""Table I: dataset statistics of both generated worlds."""
+
+from repro.experiments.dataset_stats import (
+    PAPER_TABLE1,
+    format_dataset_stats,
+    run_dataset_stats,
+)
+from repro.experiments.runner import BENCH_BUDGET
+
+
+def test_bench_table1_stats(once):
+    stats = once(lambda: run_dataset_stats(BENCH_BUDGET))
+    print()
+    print(format_dataset_stats(stats))
+
+    # The per-entity averages must track the published Table I even at
+    # reduced scale (entity counts scale down, densities must not).
+    for dataset in ("yelp", "douban"):
+        ours = stats[dataset]
+        paper = PAPER_TABLE1[dataset]
+        assert abs(ours["Avg. group size"] - paper["Avg. group size"]) < 0.6
+        assert (
+            abs(ours["Avg. # friends per user"] - paper["Avg. # friends per user"])
+            < 2.0
+        )
+        assert (
+            abs(
+                ours["Avg. # interactions per user"]
+                - paper["Avg. # interactions per user"]
+            )
+            < 2.5
+        )
+        assert (
+            abs(
+                ours["Avg. # interactions per group"]
+                - paper["Avg. # interactions per group"]
+            )
+            < 0.4
+        )

@@ -1,0 +1,30 @@
+"""Table II: overall Top-K comparison on the Yelp-like world."""
+
+from repro.experiments.overall import format_overall, run_overall
+from repro.experiments.runner import BENCH_BUDGET
+
+
+def test_bench_table2_yelp(once):
+    rows = once(lambda: run_overall("yelp", BENCH_BUDGET))
+    print()
+    print(format_overall(rows, "yelp"))
+
+    # Structural checks: all eight rows present, metrics in range.
+    assert set(rows) == {
+        "NCF", "Pop", "AGREE", "SIGR", "Group+avg", "Group+lm", "Group+ms", "GroupSA",
+    }
+    for model, tasks in rows.items():
+        for metrics in tasks.values():
+            for value in metrics.values():
+                assert 0.0 <= value <= 1.0
+
+    # Shape checks that are robust at the bench budget: the learned
+    # group recommender must clearly beat non-personalized popularity
+    # on the group task, and GroupSA must be competitive on top.
+    group_sa = rows["GroupSA"]["group"]
+    assert group_sa["HR@10"] > rows["Pop"]["group"]["HR@10"]
+    assert group_sa["NDCG@10"] >= max(
+        rows[m]["group"]["NDCG@10"] for m in ("Pop", "NCF", "Group+ms")
+    )
+    # Score aggregation rows exist only for the group task.
+    assert "user" not in rows["Group+avg"]

@@ -1,0 +1,19 @@
+"""Table III: overall Top-K comparison on the Douban-Event-like world."""
+
+from repro.experiments.overall import format_overall, run_overall
+from repro.experiments.runner import BENCH_BUDGET
+
+
+def test_bench_table3_douban(once):
+    rows = once(lambda: run_overall("douban", BENCH_BUDGET))
+    print()
+    print(format_overall(rows, "douban"))
+
+    assert set(rows) == {
+        "NCF", "Pop", "AGREE", "SIGR", "Group+avg", "Group+lm", "Group+ms", "GroupSA",
+    }
+    group_sa = rows["GroupSA"]["group"]
+    assert group_sa["HR@10"] > rows["Pop"]["group"]["HR@10"]
+    # GroupSA leads the user task as well (Table III shows the largest
+    # user-task margins on Douban).
+    assert rows["GroupSA"]["user"]["HR@10"] >= rows["Pop"]["user"]["HR@10"]

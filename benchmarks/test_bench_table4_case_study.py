@@ -1,0 +1,33 @@
+"""Table IV: case study of member attention weights (GroupSA vs Group-S)."""
+
+import numpy as np
+
+from repro.experiments.case_study import run_case_study
+from repro.experiments.runner import BENCH_BUDGET
+
+
+def test_bench_table4_case_study(once):
+    study = once(lambda: run_case_study("yelp", BENCH_BUDGET))
+    print()
+    print(study.format())
+
+    models = {row.model for row in study.rows}
+    assert models == {"GroupSA", "Group-S"}
+
+    # Weights are a valid distribution over the real members.
+    for row in study.rows:
+        np.testing.assert_allclose(row.member_weights.sum(), 1.0, atol=1e-6)
+        assert (row.member_weights >= 0).all()
+        assert 0.0 <= row.score <= 1.0
+
+    # Like Table IV, GroupSA and Group-S distribute attention
+    # differently for at least one target item.
+    by_item = {}
+    for row in study.rows:
+        by_item.setdefault(row.item, {})[row.model] = row.member_weights
+    differs = any(
+        not np.allclose(weights["GroupSA"], weights["Group-S"], atol=1e-3)
+        for weights in by_item.values()
+        if len(weights) == 2
+    )
+    assert differs

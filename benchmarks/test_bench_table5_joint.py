@@ -1,0 +1,22 @@
+"""Table V: importance of the user-item interaction data (joint training)."""
+
+from repro.experiments.joint_training import format_joint_training, run_joint_training
+from repro.experiments.runner import BENCH_BUDGET
+
+
+def test_bench_table5_joint_yelp(once):
+    rows = once(lambda: run_joint_training("yelp", BENCH_BUDGET))
+    print()
+    print(format_joint_training(rows, "yelp"))
+    assert set(rows) == {"NCF", "Group-G", "GroupSA"}
+    # Table V's headline: joint training with user-item data beats the
+    # group-item-only variant, which in turn beats virtual-user NCF.
+    assert rows["GroupSA"]["HR@10"] > rows["Group-G"]["HR@10"]
+    assert rows["GroupSA"]["NDCG@10"] > rows["Group-G"]["NDCG@10"]
+
+
+def test_bench_table5_joint_douban(once):
+    rows = once(lambda: run_joint_training("douban", BENCH_BUDGET))
+    print()
+    print(format_joint_training(rows, "douban"))
+    assert rows["GroupSA"]["HR@10"] > rows["Group-G"]["HR@10"]

@@ -1,0 +1,19 @@
+"""Table VI: impact of the self-attention depth N_X."""
+
+from repro.experiments.hyperparams import format_sweep, sweep_attention_layers
+from repro.experiments.runner import BENCH_BUDGET
+
+
+def test_bench_table6_nx(once):
+    rows = once(
+        lambda: sweep_attention_layers("yelp", BENCH_BUDGET, values=(1, 2, 3))
+    )
+    print()
+    print(format_sweep(rows, "N_X", "yelp"))
+    assert set(rows) == {"1", "2", "3"}
+    values = [rows[key]["HR@10"] for key in ("1", "2", "3")]
+    # Table VI's shape: no monotone gain from stacking more voting
+    # rounds — shallow depths stay within a modest band of the best.
+    assert max(values) - min(values) < 0.35
+    for value in values:
+        assert 0.0 < value <= 1.0

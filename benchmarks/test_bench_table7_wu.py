@@ -1,0 +1,15 @@
+"""Table VII: impact of the blend weight w^u."""
+
+from repro.experiments.hyperparams import format_sweep, sweep_blend_weight
+from repro.experiments.runner import BENCH_BUDGET
+
+
+def test_bench_table7_wu(once):
+    values = (0.1, 0.5, 0.9)
+    rows = once(lambda: sweep_blend_weight("yelp", BENCH_BUDGET, values=values))
+    print()
+    print(format_sweep(rows, "w^u", "yelp"))
+    assert set(rows) == {"0.1", "0.5", "0.9"}
+    for metrics in rows.values():
+        assert 0.0 <= metrics["HR@10"] <= 1.0
+        assert metrics["NDCG@10"] <= metrics["HR@10"] + 1e-9

@@ -1,0 +1,15 @@
+"""Table VIII: impact of the number of negatives per positive N."""
+
+from repro.experiments.hyperparams import format_sweep, sweep_negatives
+from repro.experiments.runner import BENCH_BUDGET
+
+
+def test_bench_table8_negatives(once):
+    rows = once(lambda: sweep_negatives("yelp", BENCH_BUDGET, values=(1, 3)))
+    print()
+    print(format_sweep(rows, "N", "yelp"))
+    assert set(rows) == {"1", "3"}
+    # Table VIII's message: a small N already works; more negatives do
+    # not collapse performance.
+    for metrics in rows.values():
+        assert metrics["HR@10"] > 0.1

@@ -1,0 +1,17 @@
+"""Table IX: performance across group-size bins."""
+
+from repro.experiments.group_size import format_group_size, run_group_size
+from repro.experiments.runner import BENCH_BUDGET
+
+
+def test_bench_table9_group_size(once):
+    rows = once(lambda: run_group_size("yelp", BENCH_BUDGET))
+    print()
+    print(format_group_size(rows, "yelp"))
+    assert rows, "at least one size bin must be populated"
+    for metrics in rows.values():
+        assert 0.0 <= metrics["HR@10"] <= 1.0
+    # Table IX's shape: medium/large groups are not harder than tiny
+    # ones — more members mean more evidence for the voting network.
+    if "l < 3" in rows and "3 <= l <= 7" in rows:
+        assert rows["3 <= l <= 7"]["HR@10"] >= rows["l < 3"]["HR@10"] - 0.25

@@ -1,0 +1,48 @@
+"""Extension bench: random vs chronological split protocol.
+
+The paper uses a random 80/20 split; a deployment-faithful protocol
+trains on the past and tests on the future.  This bench quantifies the
+gap for GroupSA — temporal evaluation is typically harder because
+future items may be cold.
+"""
+
+from repro.core import GroupSAConfig
+from repro.data.splits import split_interactions
+from repro.data.synthetic import generate
+from repro.data.temporal import attach_timestamps, temporal_split
+from repro.evaluation import evaluate, prepare_task
+from repro.experiments.runner import BENCH_BUDGET, dataset_config
+from repro.training.two_stage import train_groupsa
+
+
+def run_protocol_comparison(budget=BENCH_BUDGET):
+    world = generate(dataset_config("yelp", budget.scale, 0))
+    timestamps = attach_timestamps(world.dataset, rng=0)
+    splits = {
+        "random": split_interactions(world.dataset, rng=1000),
+        "temporal": temporal_split(world.dataset, timestamps),
+    }
+    results = {}
+    for name, split in splits.items():
+        model, batcher, __ = train_groupsa(split, GroupSAConfig(), budget.training)
+        full = split.full
+        task = prepare_task(
+            split.test.group_item, full.group_items(), full.num_items, rng=2000
+        )
+        results[name] = evaluate(
+            lambda groups, items: model.score_group_items(batcher.batch(groups), items),
+            task,
+        ).metrics
+    return results
+
+
+def test_bench_temporal_protocol(once):
+    rows = once(run_protocol_comparison)
+    print()
+    for name, metrics in rows.items():
+        print(
+            f"{name:10s} HR@10={metrics['HR@10']:.4f} NDCG@10={metrics['NDCG@10']:.4f}"
+        )
+    assert set(rows) == {"random", "temporal"}
+    for metrics in rows.values():
+        assert 0.0 <= metrics["HR@10"] <= 1.0

@@ -1,0 +1,47 @@
+"""Walk through the paper's ablation variants on one dataset.
+
+Trains GroupSA and its four ablations (Group-A/S/I/F) plus Group-G at a
+small budget and prints a Figure-3-shaped comparison.
+
+    python examples/ablation_walkthrough.py
+"""
+
+from __future__ import annotations
+
+from repro.core import GroupSAConfig, VARIANTS
+from repro.experiments.ablations import format_ablations, run_ablations
+from repro.experiments.runner import ExperimentBudget
+from repro.training import TrainingConfig
+
+
+def main() -> None:
+    print("paper variants:")
+    for name, fn in VARIANTS.items():
+        config = fn(GroupSAConfig())
+        parts = []
+        if not config.use_self_attention:
+            parts.append("no self-attention")
+        if not config.use_item_aggregation:
+            parts.append("no item aggregation")
+        if not config.use_social_aggregation:
+            parts.append("no social aggregation")
+        if not config.use_user_task:
+            parts.append("no user-item task")
+        print(f"  {name:10s} {', '.join(parts) or 'full model'}")
+
+    budget = ExperimentBudget(
+        scale=0.01,
+        seeds=(0,),
+        training=TrainingConfig(user_epochs=12, group_epochs=25),
+    )
+    rows = run_ablations(
+        "yelp",
+        budget,
+        variants=("Group-A", "Group-S", "Group-I", "Group-F", "GroupSA"),
+    )
+    print()
+    print(format_ablations(rows, "yelp"))
+
+
+if __name__ == "__main__":
+    main()

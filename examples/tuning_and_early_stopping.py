@@ -1,0 +1,74 @@
+"""Model selection the paper's way: validation grid search + early stop.
+
+Section III-E tunes every hyper-parameter on a 10% validation carve-out
+of the training data.  This example runs a small grid over the
+self-attention depth and the Top-H width, picks the winner on
+validation HR@10, then fine-tunes it with early stopping and reports
+the final test metrics.
+
+    python examples/tuning_and_early_stopping.py
+"""
+
+from __future__ import annotations
+
+from repro.core import GroupSAConfig
+from repro.data import split_interactions, yelp_like
+from repro.evaluation import evaluate, prepare_task
+from repro.training import TrainingConfig
+from repro.training.early_stopping import fit_with_early_stopping
+from repro.training.two_stage import build_model
+from repro.tuning import grid_search
+
+
+def main() -> None:
+    world = yelp_like(scale=0.01)
+    split = split_interactions(world.dataset, rng=0)
+    base = GroupSAConfig()
+    search_training = TrainingConfig(user_epochs=8, group_epochs=12)
+
+    # 1. Grid search on the validation split (never touches the test set).
+    result = grid_search(
+        split,
+        grid={"num_attention_layers": [1, 2], "top_h": [3, 5]},
+        base=base,
+        training=search_training,
+        num_candidates=50,
+    )
+    print(result.format())
+    best = result.best_config(base)
+    print(
+        f"\nselected: N_X={best.num_attention_layers}, top_h={best.top_h}"
+    )
+
+    # 2. Retrain the winner with validation-monitored early stopping.
+    model, batcher = build_model(split, best)
+    training = TrainingConfig(user_epochs=15, group_epochs=10)
+    history, monitor = fit_with_early_stopping(
+        model,
+        split,
+        batcher,
+        training,
+        patience=2,
+        check_every=5,
+        max_group_epochs=60,
+        num_candidates=50,
+    )
+    print(
+        f"\nearly stopping: {len(monitor.history)} validation checks, "
+        f"best validation HR@10 = {monitor.best_value:.4f}"
+    )
+
+    # 3. Final held-out test evaluation.
+    full = split.full
+    task = prepare_task(
+        split.test.group_item, full.group_items(), full.num_items, rng=1
+    )
+    metrics = evaluate(
+        lambda groups, items: model.score_group_items(batcher.batch(groups), items),
+        task,
+    ).metrics
+    print("test metrics:", {k: round(v, 4) for k, v in metrics.items()})
+
+
+if __name__ == "__main__":
+    main()

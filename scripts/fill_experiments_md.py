@@ -1,0 +1,90 @@
+"""Fill EXPERIMENTS.md's MEASURED_* placeholders from results/.
+
+Run after ``scripts/run_all_experiments.py``:
+
+    python scripts/fill_experiments_md.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+RESULTS = ROOT / "results"
+TARGET = ROOT / "EXPERIMENTS.md"
+
+BLOCKS = {
+    "MEASURED_TABLE2": "table2.txt",
+    "MEASURED_TABLE3": "table3.txt",
+    "MEASURED_FIGURE3": "figure3.txt",
+    "MEASURED_TABLE4": "table4.txt",
+    "MEASURED_TABLE5": "table5.txt",
+    "MEASURED_TABLE6": "table6.txt",
+    "MEASURED_TABLE7": "table7.txt",
+    "MEASURED_TABLE8": "table8.txt",
+    "MEASURED_TABLE9": "table9.txt",
+    "MEASURED_SIGNIFICANCE": "significance.txt",
+}
+
+TABLE1_CELLS = {
+    "MEASURED_T1_YG": ("yelp", "Avg. group size"),
+    "MEASURED_T1_YU": ("yelp", "Avg. # interactions per user"),
+    "MEASURED_T1_YF": ("yelp", "Avg. # friends per user"),
+    "MEASURED_T1_YI": ("yelp", "Avg. # interactions per group"),
+    "MEASURED_T1_DG": ("douban", "Avg. group size"),
+    "MEASURED_T1_DU": ("douban", "Avg. # interactions per user"),
+    "MEASURED_T1_DF": ("douban", "Avg. # friends per user"),
+    "MEASURED_T1_DI": ("douban", "Avg. # interactions per group"),
+}
+
+
+def parse_table1(path: Path) -> dict[tuple[str, str], float]:
+    lines = path.read_text().splitlines()
+    header = lines[0].split()
+    datasets = header[1:]  # after 'Statistics'
+    values: dict[tuple[str, str], float] = {}
+    for line in lines[2:]:
+        match = re.match(r"^(.*?)\s{2,}([\d,.]+)\s+([\d,.]+)\s*$", line)
+        if not match:
+            continue
+        label = match.group(1).strip()
+        for dataset, cell in zip(datasets, match.groups()[1:]):
+            values[(dataset, label)] = float(cell.replace(",", ""))
+    return values
+
+
+def main() -> int:
+    text = TARGET.read_text()
+    missing = []
+
+    for placeholder, filename in BLOCKS.items():
+        path = RESULTS / filename
+        if not path.exists():
+            missing.append(filename)
+            continue
+        block = "```\n" + path.read_text().rstrip() + "\n```"
+        text = text.replace(placeholder, block)
+
+    table1 = RESULTS / "table1.txt"
+    if table1.exists():
+        cells = parse_table1(table1)
+        for placeholder, key in TABLE1_CELLS.items():
+            if key in cells:
+                text = text.replace(placeholder, f"{cells[key]:.2f}")
+    else:
+        missing.append("table1.txt")
+
+    TARGET.write_text(text)
+    leftover = re.findall(r"MEASURED_\w+", text)
+    if leftover:
+        print(f"warning: unfilled placeholders remain: {sorted(set(leftover))}")
+    if missing:
+        print(f"warning: missing result files: {missing}")
+    print(f"updated {TARGET}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

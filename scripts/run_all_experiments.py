@@ -1,0 +1,90 @@
+"""Regenerate every table/figure and write the report files.
+
+Writes one text file per artifact under ``results/`` plus a combined
+``results/ALL.txt``.  Budget profiles:
+
+    python scripts/run_all_experiments.py --profile report   # default
+    python scripts/run_all_experiments.py --profile bench    # quick
+    python scripts/run_all_experiments.py --profile paper    # slow, 3 seeds
+
+The ``report`` profile is the one used to fill EXPERIMENTS.md: paper
+scale for the main comparisons, single seed for the hyper-parameter
+sweeps (matching how noisy the paper's own sweep tables are).
+"""
+
+from __future__ import annotations
+
+import argparse
+import io
+import time
+from contextlib import redirect_stdout
+from dataclasses import replace
+from pathlib import Path
+
+from repro.experiments.registry import EXPERIMENTS
+from repro.experiments.runner import (
+    BENCH_BUDGET,
+    ExperimentBudget,
+    PAPER_BUDGET,
+)
+from repro.training import TrainingConfig
+
+REPORT_MAIN = ExperimentBudget(
+    scale=0.02,
+    seeds=(0, 1),
+    training=TrainingConfig(user_epochs=25, group_epochs=60),
+)
+REPORT_SWEEP = replace(REPORT_MAIN, seeds=(0,))
+
+PROFILES = {
+    "bench": {identifier: BENCH_BUDGET for identifier in EXPERIMENTS},
+    "paper": {identifier: PAPER_BUDGET for identifier in EXPERIMENTS},
+    "report": {
+        "table1": REPORT_MAIN,
+        "table2": REPORT_MAIN,
+        "table3": REPORT_MAIN,
+        "figure3": REPORT_SWEEP,
+        "table4": REPORT_SWEEP,
+        "table5": REPORT_SWEEP,
+        "table6": REPORT_SWEEP,
+        "table7": REPORT_SWEEP,
+        "table8": REPORT_SWEEP,
+        "table9": REPORT_SWEEP,
+        "significance": REPORT_SWEEP,
+    },
+}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--profile", choices=sorted(PROFILES), default="report")
+    parser.add_argument("--only", nargs="*", default=None, help="subset of artifact ids")
+    parser.add_argument("--out", default="results", help="output directory")
+    arguments = parser.parse_args()
+
+    budgets = PROFILES[arguments.profile]
+    out_dir = Path(arguments.out)
+    out_dir.mkdir(exist_ok=True)
+    combined: list[str] = []
+
+    targets = arguments.only or sorted(EXPERIMENTS)
+    for identifier in targets:
+        experiment = EXPERIMENTS[identifier]
+        print(f"[{identifier}] {experiment.description} ...", flush=True)
+        start = time.time()
+        buffer = io.StringIO()
+        with redirect_stdout(buffer):
+            experiment.run(budgets[identifier])
+        elapsed = time.time() - start
+        text = buffer.getvalue().rstrip()
+        header = f"=== {identifier}: {experiment.description} ({elapsed:.0f}s) ==="
+        (out_dir / f"{identifier}.txt").write_text(text + "\n")
+        combined.append(f"{header}\n{text}\n")
+        print(f"[{identifier}] done in {elapsed:.0f}s", flush=True)
+
+    (out_dir / "ALL.txt").write_text("\n".join(combined))
+    print(f"wrote {out_dir}/ALL.txt")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Trimmed continuation of the report run (single seed, prioritized).
+
+Used when the full ``--profile report`` schedule does not fit the
+available wall-clock: main tables at paper scale with one seed, sweeps
+at reduced scale.  Writes the same ``results/<id>.txt`` files.
+"""
+
+from __future__ import annotations
+
+import io
+import sys
+import time
+from contextlib import redirect_stdout
+from dataclasses import replace
+from pathlib import Path
+
+from repro.experiments.registry import EXPERIMENTS
+from repro.experiments.runner import ExperimentBudget
+from repro.training import TrainingConfig
+
+MAIN = ExperimentBudget(
+    scale=0.02,
+    seeds=(0,),
+    training=TrainingConfig(user_epochs=25, group_epochs=60),
+)
+SWEEP = ExperimentBudget(
+    scale=0.015,
+    seeds=(0,),
+    training=TrainingConfig(user_epochs=18, group_epochs=40),
+)
+
+ORDER = [
+    ("table1", MAIN),
+    ("table2", MAIN),
+    ("table3", MAIN),
+    ("table5", MAIN),
+    ("table9", MAIN),
+    ("table4", SWEEP),
+    ("significance", SWEEP),
+    ("table6", SWEEP),
+    ("table7", SWEEP),
+    ("table8", SWEEP),
+]
+
+
+def main() -> None:
+    out_dir = Path("results")
+    out_dir.mkdir(exist_ok=True)
+    only = set(sys.argv[1:])
+    for identifier, budget in ORDER:
+        if only and identifier not in only:
+            continue
+        target = out_dir / f"{identifier}.txt"
+        if target.exists():
+            print(f"[{identifier}] already present, skipping", flush=True)
+            continue
+        print(f"[{identifier}] running ...", flush=True)
+        start = time.time()
+        buffer = io.StringIO()
+        with redirect_stdout(buffer):
+            EXPERIMENTS[identifier].run(budget)
+        target.write_text(buffer.getvalue().rstrip() + "\n")
+        print(f"[{identifier}] done in {time.time() - start:.0f}s", flush=True)
+
+
+if __name__ == "__main__":
+    main()

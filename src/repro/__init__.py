@@ -1,0 +1,61 @@
+"""repro — a from-scratch reproduction of "Group Recommendation with
+Latent Voting Mechanism" (GroupSA, ICDE 2020).
+
+The package is organised bottom-up:
+
+- :mod:`repro.autograd` / :mod:`repro.nn` / :mod:`repro.optim` — the
+  neural substrate (numpy reverse-mode autodiff, layers, optimizers);
+- :mod:`repro.data` / :mod:`repro.graphs` — datasets, the synthetic
+  Yelp/Douban-like world generator, graph utilities;
+- :mod:`repro.core` — the GroupSA model family (voting network, user
+  modeling, prediction towers, fast recommendation);
+- :mod:`repro.baselines` — NCF, Pop, AGREE, SIGR and score-aggregation
+  strategies;
+- :mod:`repro.training` / :mod:`repro.evaluation` — BPR two-stage
+  training and the paper's HR/NDCG protocol;
+- :mod:`repro.experiments` — harnesses regenerating every table/figure.
+
+Quickstart::
+
+    from repro.data import yelp_like, split_interactions
+    from repro.core import GroupSAConfig
+    from repro.training import train_groupsa, TrainingConfig
+    from repro.evaluation import prepare_task, evaluate
+
+    world = yelp_like(scale=0.01)
+    split = split_interactions(world.dataset, rng=0)
+    model, batcher, history = train_groupsa(split, GroupSAConfig(), TrainingConfig())
+    task = prepare_task(split.test.group_item, split.full.group_items(),
+                        split.full.num_items, rng=0)
+    result = evaluate(lambda g, i: model.score_group_items(batcher.batch(g), i), task)
+    print(result.metrics)
+"""
+
+from repro.core import FastGroupRecommender, GroupSA, GroupSAConfig
+from repro.data import (
+    GroupRecommendationDataset,
+    SyntheticConfig,
+    douban_like,
+    split_interactions,
+    yelp_like,
+)
+from repro.evaluation import evaluate, prepare_task
+from repro.training import TrainingConfig, train_groupsa
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GroupSA",
+    "GroupSAConfig",
+    "FastGroupRecommender",
+    "GroupRecommendationDataset",
+    "SyntheticConfig",
+    "yelp_like",
+    "douban_like",
+    "split_interactions",
+    "TrainingConfig",
+    "train_groupsa",
+    "prepare_task",
+    "evaluate",
+    "__version__",
+]

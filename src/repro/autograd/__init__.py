@@ -1,0 +1,29 @@
+"""Reverse-mode automatic differentiation on numpy arrays.
+
+This subpackage is the substrate that replaces PyTorch in this
+reproduction: a small but complete tensor library with broadcasting-aware
+gradients, batched matrix multiplication, stable softmax/log-sigmoid
+primitives and the masking operations the GroupSA attention stack needs.
+
+The public surface mirrors the familiar torch idioms::
+
+    from repro.autograd import Tensor, no_grad
+
+    x = Tensor([[1.0, 2.0]], requires_grad=True)
+    y = (x @ x.transpose(-1, -2)).sum()
+    y.backward()
+    x.grad  # numpy array with d(y)/d(x)
+"""
+
+from repro.autograd.context import is_grad_enabled, no_grad
+from repro.autograd.grad_check import gradcheck, numerical_gradient
+from repro.autograd.tensor import Tensor, as_tensor
+
+__all__ = [
+    "Tensor",
+    "as_tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "gradcheck",
+    "numerical_gradient",
+]

@@ -1,0 +1,42 @@
+"""Global gradient-recording switch.
+
+Mirrors ``torch.no_grad``: inside a ``no_grad()`` block no computation
+graph is recorded, which makes evaluation loops cheap and guards against
+accidentally training through the metric code.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator
+
+_GRAD_ENABLED = True
+
+
+def is_grad_enabled() -> bool:
+    """Return whether operations currently record a backward graph."""
+    return _GRAD_ENABLED
+
+
+@contextlib.contextmanager
+def no_grad() -> Iterator[None]:
+    """Context manager that disables graph recording within its scope."""
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
+
+
+@contextlib.contextmanager
+def enable_grad() -> Iterator[None]:
+    """Context manager that re-enables graph recording within its scope."""
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = True
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous

@@ -1,0 +1,140 @@
+"""Functional aliases for :class:`~repro.autograd.tensor.Tensor` methods.
+
+Some call sites (loss functions, tests, benchmarks) read more naturally
+with free functions; everything here simply delegates to the method
+implementations so there is a single source of truth for gradients.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor, as_tensor, concatenate, stack, where
+
+__all__ = [
+    "add",
+    "sub",
+    "mul",
+    "div",
+    "matmul",
+    "exp",
+    "log",
+    "sqrt",
+    "sigmoid",
+    "tanh",
+    "relu",
+    "softplus",
+    "log_sigmoid",
+    "softmax",
+    "log_softmax",
+    "reduce_sum",
+    "reduce_mean",
+    "reduce_max",
+    "reshape",
+    "transpose",
+    "concatenate",
+    "stack",
+    "where",
+    "embedding_lookup",
+]
+
+
+def add(a: Tensor, b: Tensor) -> Tensor:
+    return as_tensor(a) + b
+
+
+def sub(a: Tensor, b: Tensor) -> Tensor:
+    return as_tensor(a) - b
+
+
+def mul(a: Tensor, b: Tensor) -> Tensor:
+    return as_tensor(a) * b
+
+
+def div(a: Tensor, b: Tensor) -> Tensor:
+    return as_tensor(a) / b
+
+
+def matmul(a: Tensor, b: Tensor) -> Tensor:
+    return as_tensor(a) @ b
+
+
+def exp(a: Tensor) -> Tensor:
+    return as_tensor(a).exp()
+
+
+def log(a: Tensor) -> Tensor:
+    return as_tensor(a).log()
+
+
+def sqrt(a: Tensor) -> Tensor:
+    return as_tensor(a).sqrt()
+
+
+def sigmoid(a: Tensor) -> Tensor:
+    return as_tensor(a).sigmoid()
+
+
+def tanh(a: Tensor) -> Tensor:
+    return as_tensor(a).tanh()
+
+
+def relu(a: Tensor) -> Tensor:
+    return as_tensor(a).relu()
+
+
+def softplus(a: Tensor) -> Tensor:
+    return as_tensor(a).softplus()
+
+
+def log_sigmoid(a: Tensor) -> Tensor:
+    return as_tensor(a).log_sigmoid()
+
+
+def softmax(a: Tensor, axis: int = -1) -> Tensor:
+    return as_tensor(a).softmax(axis=axis)
+
+
+def log_softmax(a: Tensor, axis: int = -1) -> Tensor:
+    return as_tensor(a).log_softmax(axis=axis)
+
+
+def reduce_sum(
+    a: Tensor,
+    axis: Optional[Union[int, Tuple[int, ...]]] = None,
+    keepdims: bool = False,
+) -> Tensor:
+    return as_tensor(a).sum(axis=axis, keepdims=keepdims)
+
+
+def reduce_mean(
+    a: Tensor,
+    axis: Optional[Union[int, Tuple[int, ...]]] = None,
+    keepdims: bool = False,
+) -> Tensor:
+    return as_tensor(a).mean(axis=axis, keepdims=keepdims)
+
+
+def reduce_max(a: Tensor, axis: int, keepdims: bool = False) -> Tensor:
+    return as_tensor(a).max(axis=axis, keepdims=keepdims)
+
+
+def reshape(a: Tensor, *shape: int) -> Tensor:
+    return as_tensor(a).reshape(*shape)
+
+
+def transpose(a: Tensor, axis1: int = -2, axis2: int = -1) -> Tensor:
+    return as_tensor(a).transpose(axis1, axis2)
+
+
+def embedding_lookup(table: Tensor, indices: np.ndarray) -> Tensor:
+    """Gather rows of ``table`` for an integer index array.
+
+    ``indices`` may have any shape; the result has shape
+    ``indices.shape + table.shape[1:]`` and gradients scatter-add back
+    into the table (so repeated ids within a batch accumulate).
+    """
+    indices = np.asarray(indices, dtype=np.int64)
+    return table[indices]

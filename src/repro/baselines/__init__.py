@@ -1,0 +1,36 @@
+"""Baseline recommenders compared against GroupSA (Section III-D)."""
+
+from repro.baselines.agree import AGREE, AGREENetwork
+from repro.baselines.base import Recommender
+from repro.baselines.bprmf import BPRMF, MFNetwork
+from repro.baselines.com import COM
+from repro.baselines.itemknn import ItemKNN
+from repro.baselines.groupsa_adapter import (
+    GroupSARecommender,
+    ScoreAggregationRecommender,
+)
+from repro.baselines.ncf import NCF, NCFNetwork
+from repro.baselines.pit import PIT
+from repro.baselines.pop import Popularity
+from repro.baselines.sigr import SIGR, SIGRNetwork
+from repro.baselines.topic_model import PLSATopicModel, TopicModelConfig
+
+__all__ = [
+    "Recommender",
+    "Popularity",
+    "NCF",
+    "NCFNetwork",
+    "AGREE",
+    "AGREENetwork",
+    "SIGR",
+    "SIGRNetwork",
+    "PIT",
+    "COM",
+    "ItemKNN",
+    "BPRMF",
+    "MFNetwork",
+    "PLSATopicModel",
+    "TopicModelConfig",
+    "GroupSARecommender",
+    "ScoreAggregationRecommender",
+]

@@ -1,0 +1,170 @@
+"""AGREE [9]: attentive group recommendation.
+
+AGREE represents a group as the attention-weighted sum of its member
+embeddings (attention conditioned on the target item) *plus* a learned
+group preference embedding, then scores (group representation, item)
+pairs under the NCF framework.  User and group tasks are trained
+jointly on shared user/item embeddings.
+
+Differences from GroupSA that this baseline deliberately keeps:
+no member-member interaction modeling (no self-attention), no social
+information, no user modeling from auxiliary graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.autograd import no_grad
+from repro.autograd.tensor import Tensor
+from repro.baselines.base import Recommender
+from repro.core.prediction import PredictionTower
+from repro.data.loaders import GroupBatcher
+from repro.data.sampling import NegativeSampler, bpr_triple_batches
+from repro.data.splits import DataSplit
+from repro.nn import Embedding, Module, PairwiseAttention
+from repro.optim import Adam
+from repro.training.bpr import bpr_loss
+from repro.utils import RngLike, ensure_rng
+
+
+class AGREENetwork(Module):
+    """The AGREE scoring network."""
+
+    def __init__(
+        self,
+        num_users: int,
+        num_items: int,
+        num_groups: int,
+        embedding_dim: int = 32,
+        attention_hidden: int = 32,
+        rng: RngLike = None,
+    ) -> None:
+        super().__init__()
+        generator = ensure_rng(rng)
+        self.user_embedding = Embedding(num_users, embedding_dim, rng=generator)
+        self.item_embedding = Embedding(num_items, embedding_dim, rng=generator)
+        #: The "group preference embedding" capturing group-level taste
+        #: beyond its members.
+        self.group_embedding = Embedding(num_groups, embedding_dim, rng=generator)
+        self.member_attention = PairwiseAttention(
+            query_features=embedding_dim,
+            candidate_features=embedding_dim,
+            hidden_features=attention_hidden,
+            rng=generator,
+        )
+        self.tower = PredictionTower(embedding_dim, (32,), rng=generator)
+
+    def group_scores(
+        self,
+        group_ids: np.ndarray,
+        members: np.ndarray,
+        mask: np.ndarray,
+        item_ids: np.ndarray,
+    ) -> Tensor:
+        item_emb = self.item_embedding(item_ids)
+        member_emb = self.user_embedding(members)
+        aggregated, __ = self.member_attention(
+            query=item_emb, candidates=member_emb, mask=mask
+        )
+        group_repr = aggregated + self.group_embedding(group_ids)
+        return self.tower(group_repr, item_emb)
+
+    def user_scores(self, user_ids: np.ndarray, item_ids: np.ndarray) -> Tensor:
+        return self.tower(self.user_embedding(user_ids), self.item_embedding(item_ids))
+
+
+class AGREE(Recommender):
+    """AGREE trained jointly on both tasks with BPR."""
+
+    name = "AGREE"
+
+    def __init__(
+        self,
+        embedding_dim: int = 32,
+        epochs: int = 30,
+        batch_size: int = 256,
+        learning_rate: float = 0.01,
+        weight_decay: float = 1e-5,
+        seed: int = 0,
+    ) -> None:
+        self.embedding_dim = embedding_dim
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.learning_rate = learning_rate
+        self.weight_decay = weight_decay
+        self.seed = seed
+        self._network: Optional[AGREENetwork] = None
+        self._batcher: Optional[GroupBatcher] = None
+
+    def fit(self, split: DataSplit) -> "AGREE":
+        rng = ensure_rng(self.seed)
+        train = split.train
+        network = AGREENetwork(
+            train.num_users,
+            train.num_items,
+            train.num_groups,
+            self.embedding_dim,
+            rng=rng,
+        )
+        batcher = GroupBatcher(train)
+        optimizer = Adam(
+            network.parameters(), lr=self.learning_rate, weight_decay=self.weight_decay
+        )
+        user_sampler = NegativeSampler(train.user_items(), train.num_items, rng=rng)
+        group_sampler = NegativeSampler(train.group_items(), train.num_items, rng=rng)
+        # AGREE alternates user and group batches each epoch.
+        for __ in range(self.epochs):
+            for users, positives, negatives in bpr_triple_batches(
+                train.user_item, user_sampler, self.batch_size, rng=rng
+            ):
+                optimizer.zero_grad()
+                loss = bpr_loss(
+                    network.user_scores(users, positives),
+                    network.user_scores(users, negatives),
+                )
+                loss.backward()
+                optimizer.step()
+            for groups, positives, negatives in bpr_triple_batches(
+                train.group_item, group_sampler, self.batch_size, rng=rng
+            ):
+                optimizer.zero_grad()
+                batch = batcher.batch(groups)
+                positive_scores = network.group_scores(
+                    batch.group_ids, batch.members, batch.mask, positives
+                )
+                negative_scores = network.group_scores(
+                    batch.group_ids, batch.members, batch.mask, negatives
+                )
+                loss = bpr_loss(positive_scores, negative_scores)
+                loss.backward()
+                optimizer.step()
+        self._network = network
+        self._batcher = batcher
+        return self
+
+    def _require(self) -> tuple[AGREENetwork, GroupBatcher]:
+        if self._network is None or self._batcher is None:
+            raise RuntimeError("AGREE.fit() must be called before scoring")
+        return self._network, self._batcher
+
+    def score_user_items(self, users: np.ndarray, items: np.ndarray) -> np.ndarray:
+        network, __ = self._require()
+        network.eval()
+        with no_grad():
+            scores = network.user_scores(users, items).data
+        network.train()
+        return scores
+
+    def score_group_items(self, groups: np.ndarray, items: np.ndarray) -> np.ndarray:
+        network, batcher = self._require()
+        batch = batcher.batch(groups)
+        network.eval()
+        with no_grad():
+            scores = network.group_scores(
+                batch.group_ids, batch.members, batch.mask, items
+            ).data
+        network.train()
+        return scores

@@ -1,0 +1,47 @@
+"""Common interface for all compared recommenders (Section III-D).
+
+Every model — GroupSA included, via an adapter — exposes two scoring
+surfaces after :meth:`fit`:
+
+- ``score_user_items(users, items)`` for the user-item task,
+- ``score_group_items(groups, items)`` for the group-item task,
+
+both over aligned id arrays, returning plain numpy scores.  The
+evaluation protocol only ever touches this interface, so models and
+experiments stay decoupled.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.data.splits import DataSplit
+
+
+class Recommender(abc.ABC):
+    """Abstract recommender for the OGR benchmark suite."""
+
+    #: Display name used in result tables.
+    name: str = "recommender"
+
+    @abc.abstractmethod
+    def fit(self, split: DataSplit) -> "Recommender":
+        """Train on ``split.train``; returns self for chaining."""
+
+    def score_user_items(self, users: np.ndarray, items: np.ndarray) -> np.ndarray:
+        """Score aligned (user, item) pairs; higher = more relevant."""
+        raise NotImplementedError(f"{self.name} does not support the user-item task")
+
+    def score_group_items(self, groups: np.ndarray, items: np.ndarray) -> np.ndarray:
+        """Score aligned (group, item) pairs; higher = more relevant."""
+        raise NotImplementedError(f"{self.name} does not support the group-item task")
+
+    @property
+    def supports_user_task(self) -> bool:
+        return type(self).score_user_items is not Recommender.score_user_items
+
+    @property
+    def supports_group_task(self) -> bool:
+        return type(self).score_group_items is not Recommender.score_group_items

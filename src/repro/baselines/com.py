@@ -1,0 +1,136 @@
+"""COM [13]: a generative COnsensus Model for group recommendation.
+
+COM generates a group's choice at the *topic* level: the group forms a
+consensus topic mixture by blending its members' topic preferences with
+member-specific influence weights, then draws the item from the topic's
+item distribution:
+
+    p(z | g) ~ (1 - kappa) * sum_{u in g} lambda(u) * theta_u(z)
+               + kappa * p(z | groups)
+    p(i | g) = sum_z p(z | g) * phi_z(i)
+
+Two ingredients distinguish COM from PIT (which mixes member *item*
+preferences directly): consensus forms at the topic level, and members
+partially conform to what groups in general do — the global group-topic
+prior ``p(z | groups)`` estimated from all observed group choices,
+mixed in with weight ``kappa`` (COM's observation that users behave
+differently in groups than alone).  Influence weights are estimated by
+EM on the group-item interactions, like PIT's impacts.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.baselines.base import Recommender
+from repro.baselines.topic_model import PLSATopicModel, TopicModelConfig
+from repro.data.splits import DataSplit
+
+
+class COM(Recommender):
+    """Consensus generative model baseline."""
+
+    name = "COM"
+
+    def __init__(
+        self,
+        num_topics: int = 16,
+        topic_iterations: int = 30,
+        influence_iterations: int = 15,
+        influence_smoothing: float = 0.5,
+        conformity: float = 0.3,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 <= conformity <= 1.0:
+            raise ValueError("conformity (kappa) must be in [0, 1]")
+        self.topic_config = TopicModelConfig(
+            num_topics=num_topics, iterations=topic_iterations, seed=seed
+        )
+        self.influence_iterations = influence_iterations
+        self.influence_smoothing = influence_smoothing
+        self.conformity = conformity
+        self.topic_model = PLSATopicModel(self.topic_config)
+        self.influence: Optional[np.ndarray] = None
+        self.group_topic_prior: Optional[np.ndarray] = None
+        self._members: Optional[List[np.ndarray]] = None
+
+    # ------------------------------------------------------------------
+
+    def fit(self, split: DataSplit) -> "COM":
+        train = split.train
+        self.topic_model.fit_dataset(train)
+        self._members = train.group_members
+        self.influence = self._fit_influence(train.group_item)
+        self.group_topic_prior = self._fit_group_topic_prior(train.group_item)
+        return self
+
+    def _fit_group_topic_prior(self, group_edges: np.ndarray) -> np.ndarray:
+        """Global p(z | groups): topic posterior mass of observed group
+        choices (what kinds of activities groups in general pick)."""
+        phi = self.topic_model.phi
+        assert phi is not None
+        topics = phi.shape[0]
+        prior = np.full(topics, 1e-3)
+        for __, item in group_edges:
+            posterior = phi[:, item]
+            total = posterior.sum()
+            if total > 0:
+                prior += posterior / total
+        return prior / prior.sum()
+
+    def _group_topic_mixture(self, members: np.ndarray) -> np.ndarray:
+        """Consensus topic distribution p(z | g) for one member set."""
+        assert self.influence is not None and self.group_topic_prior is not None
+        theta = self.topic_model.user_topics(members)
+        weights = self.influence[members]
+        weights = weights / max(weights.sum(), 1e-300)
+        mixture = weights @ theta
+        mixture = mixture / max(mixture.sum(), 1e-300)
+        blended = (1.0 - self.conformity) * mixture + self.conformity * self.group_topic_prior
+        return blended / max(blended.sum(), 1e-300)
+
+    def _fit_influence(self, group_edges: np.ndarray) -> np.ndarray:
+        """EM over which member's topic taste drove each group choice."""
+        assert self._members is not None
+        theta, phi = self.topic_model.theta, self.topic_model.phi
+        assert theta is not None and phi is not None
+        num_users = theta.shape[0]
+        influence = np.ones(num_users)
+        if len(group_edges) == 0:
+            return influence / influence.sum()
+        for __ in range(self.influence_iterations):
+            counts = np.full(num_users, self.influence_smoothing)
+            for group, item in group_edges:
+                members = self._members[group]
+                # Likelihood of the item under each member's topics.
+                member_likelihood = theta[members] @ phi[:, item]
+                weights = influence[members] * np.maximum(member_likelihood, 1e-300)
+                total = weights.sum()
+                if total <= 0:
+                    continue
+                counts[members] += weights / total
+            influence = counts / counts.sum()
+        return influence
+
+    # ------------------------------------------------------------------
+
+    def score_user_items(self, users: np.ndarray, items: np.ndarray) -> np.ndarray:
+        return self.topic_model.score(users, items)
+
+    def score_group_items(self, groups: np.ndarray, items: np.ndarray) -> np.ndarray:
+        if self.influence is None or self._members is None:
+            raise RuntimeError("COM.fit() must be called before scoring")
+        phi = self.topic_model.phi
+        assert phi is not None
+        groups = np.asarray(groups, dtype=np.int64)
+        items = np.asarray(items, dtype=np.int64)
+        scores = np.empty(len(groups))
+        mixture_cache: dict[int, np.ndarray] = {}
+        for position, (group, item) in enumerate(zip(groups, items)):
+            group = int(group)
+            if group not in mixture_cache:
+                mixture_cache[group] = self._group_topic_mixture(self._members[group])
+            scores[position] = float(mixture_cache[group] @ phi[:, item])
+        return scores

@@ -1,0 +1,92 @@
+"""Adapters exposing GroupSA (and its variants) as :class:`Recommender`.
+
+The evaluation harness treats every model uniformly through the
+``Recommender`` interface; these adapters wrap model construction, the
+two-stage training schedule and the group batcher.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.baselines.base import Recommender
+from repro.core.config import GroupSAConfig
+from repro.core.fast import FastGroupRecommender
+from repro.core.groupsa import GroupSA
+from repro.core.variants import variant_config
+from repro.data.loaders import GroupBatcher
+from repro.data.splits import DataSplit
+from repro.training.trainer import TrainingConfig
+from repro.training.two_stage import build_model, fit_groupsa
+
+
+class GroupSARecommender(Recommender):
+    """GroupSA (or a named ablation variant) behind the benchmark API."""
+
+    def __init__(
+        self,
+        config: GroupSAConfig = GroupSAConfig(),
+        training: TrainingConfig = TrainingConfig(),
+        variant: str = "GroupSA",
+    ) -> None:
+        self.config = variant_config(variant, config)
+        self.training = training
+        self.name = variant
+        self.model: Optional[GroupSA] = None
+        self.batcher: Optional[GroupBatcher] = None
+
+    def fit(self, split: DataSplit) -> "GroupSARecommender":
+        """Train once; subsequent calls are no-ops.
+
+        Idempotence lets one trained instance be shared between the
+        main row and the score-aggregation rows of the overall
+        comparison without retraining.  Construct a fresh instance to
+        retrain (e.g. for a different split or seed).
+        """
+        if self.model is not None:
+            return self
+        model, batcher = build_model(split, self.config)
+        fit_groupsa(model, split, batcher, self.training)
+        self.model = model
+        self.batcher = batcher
+        return self
+
+    def _require(self) -> tuple[GroupSA, GroupBatcher]:
+        if self.model is None or self.batcher is None:
+            raise RuntimeError(f"{self.name}.fit() must be called before scoring")
+        return self.model, self.batcher
+
+    def score_user_items(self, users: np.ndarray, items: np.ndarray) -> np.ndarray:
+        model, __ = self._require()
+        return model.score_user_items(users, items)
+
+    def score_group_items(self, groups: np.ndarray, items: np.ndarray) -> np.ndarray:
+        model, batcher = self._require()
+        return model.score_group_items(batcher.batch(groups), items)
+
+
+class ScoreAggregationRecommender(Recommender):
+    """Group+avg / Group+lm / Group+ms (Section III-D).
+
+    Per the paper: "we first run GroupSA to predict each member's
+    personal preferences, and then apply static aggregation strategies"
+    — so this wraps a (possibly shared, already fitted) GroupSA and
+    only replaces the group scorer.
+    """
+
+    def __init__(self, base: GroupSARecommender, strategy: str) -> None:
+        self.base = base
+        self.strategy = strategy
+        self.name = f"Group+{strategy}"
+
+    def fit(self, split: DataSplit) -> "ScoreAggregationRecommender":
+        if self.base.model is None:
+            self.base.fit(split)
+        return self
+
+    def score_group_items(self, groups: np.ndarray, items: np.ndarray) -> np.ndarray:
+        model, batcher = self.base._require()
+        fast = FastGroupRecommender(model, self.strategy)
+        return fast.score_group_items(batcher.batch(groups), items)

@@ -1,0 +1,139 @@
+"""Neural Collaborative Filtering [32] baseline.
+
+Full NCF = GMF (element-wise product pathway) fused with an MLP over
+the concatenated embeddings, a final linear scorer on both pathways.
+For the group task a group is treated as a *virtual user* with its own
+embedding and the member information is ignored — the paper uses NCF
+exactly this way to show why individual CF cannot solve OGR (occasional
+groups have almost no training interactions to learn embeddings from).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.autograd import no_grad
+from repro.autograd.tensor import Tensor, concatenate
+from repro.baselines.base import Recommender
+from repro.data.sampling import NegativeSampler, bpr_triple_batches
+from repro.data.splits import DataSplit
+from repro.nn import Embedding, Linear, Module, ModuleList
+from repro.optim import Adam
+from repro.training.bpr import bpr_loss
+from repro.utils import RngLike, ensure_rng
+
+
+class NCFNetwork(Module):
+    """One NCF tower over (entity, item) pairs."""
+
+    def __init__(
+        self,
+        num_entities: int,
+        num_items: int,
+        embedding_dim: int = 32,
+        mlp_hidden: tuple[int, ...] = (32, 16),
+        rng: RngLike = None,
+    ) -> None:
+        super().__init__()
+        generator = ensure_rng(rng)
+        # Separate embedding tables for the GMF and MLP pathways, as in
+        # the published architecture.
+        self.gmf_entity = Embedding(num_entities, embedding_dim, rng=generator)
+        self.gmf_item = Embedding(num_items, embedding_dim, rng=generator)
+        self.mlp_entity = Embedding(num_entities, embedding_dim, rng=generator)
+        self.mlp_item = Embedding(num_items, embedding_dim, rng=generator)
+        dims = [2 * embedding_dim, *mlp_hidden]
+        self.mlp_layers = ModuleList(
+            Linear(dims[i], dims[i + 1], rng=generator) for i in range(len(dims) - 1)
+        )
+        self.scorer = Linear(embedding_dim + dims[-1], 1, bias=False, rng=generator)
+
+    def forward(self, entities: np.ndarray, items: np.ndarray) -> Tensor:
+        entities = np.asarray(entities, dtype=np.int64)
+        items = np.asarray(items, dtype=np.int64)
+        gmf = self.gmf_entity(entities) * self.gmf_item(items)
+        mlp = concatenate([self.mlp_entity(entities), self.mlp_item(items)], axis=-1)
+        for layer in self.mlp_layers:
+            mlp = layer(mlp).relu()
+        return self.scorer(concatenate([gmf, mlp], axis=-1)).reshape(-1)
+
+
+class NCF(Recommender):
+    """NCF with groups as virtual users, per the paper's setup.
+
+    One tower over an entity space of ``num_users + num_groups``:
+    group ids are offset past the user ids and both edge types train
+    the same network ("we treat a group as a virtual user, and ignore
+    the member information of the group").  Occasional groups have
+    almost no training interactions, so their virtual-user embeddings
+    stay uninformative — which is exactly the failure mode Table II
+    demonstrates.
+    """
+
+    name = "NCF"
+
+    def __init__(
+        self,
+        embedding_dim: int = 32,
+        epochs: int = 30,
+        batch_size: int = 256,
+        learning_rate: float = 0.01,
+        weight_decay: float = 1e-5,
+        seed: int = 0,
+    ) -> None:
+        self.embedding_dim = embedding_dim
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.learning_rate = learning_rate
+        self.weight_decay = weight_decay
+        self.seed = seed
+        self._tower: Optional[NCFNetwork] = None
+        self._group_offset = 0
+
+    def fit(self, split: DataSplit) -> "NCF":
+        rng = ensure_rng(self.seed)
+        train = split.train
+        self._group_offset = train.num_users
+        num_entities = train.num_users + train.num_groups
+
+        # Merge both edge types into one virtual-user edge list.
+        group_edges = train.group_item.copy()
+        if len(group_edges):
+            group_edges[:, 0] += self._group_offset
+        edges = np.concatenate([train.user_item, group_edges])
+        interacted = list(train.user_items()) + list(train.group_items())
+
+        tower = NCFNetwork(num_entities, train.num_items, self.embedding_dim, rng=rng)
+        optimizer = Adam(
+            tower.parameters(), lr=self.learning_rate, weight_decay=self.weight_decay
+        )
+        sampler = NegativeSampler(interacted, train.num_items, rng=rng)
+        for __ in range(self.epochs):
+            for entities, positives, negatives in bpr_triple_batches(
+                edges, sampler, self.batch_size, rng=rng
+            ):
+                optimizer.zero_grad()
+                loss = bpr_loss(tower(entities, positives), tower(entities, negatives))
+                loss.backward()
+                optimizer.step()
+        self._tower = tower
+        return self
+
+    def _score(self, entities, items) -> np.ndarray:
+        if self._tower is None:
+            raise RuntimeError("NCF.fit() must be called before scoring")
+        self._tower.eval()
+        with no_grad():
+            scores = self._tower(entities, items).data
+        self._tower.train()
+        return scores
+
+    def score_user_items(self, users: np.ndarray, items: np.ndarray) -> np.ndarray:
+        return self._score(np.asarray(users, dtype=np.int64), items)
+
+    def score_group_items(self, groups: np.ndarray, items: np.ndarray) -> np.ndarray:
+        return self._score(
+            np.asarray(groups, dtype=np.int64) + self._group_offset, items
+        )

@@ -1,0 +1,166 @@
+"""Command-line interface: generate data, train, evaluate, recommend.
+
+Examples::
+
+    python -m repro.cli generate --preset yelp --scale 0.01 --out world.npz
+    python -m repro.cli train --data world.npz --out model.npz --group-epochs 30
+    python -m repro.cli evaluate --data world.npz --model model.npz --task group
+    python -m repro.cli recommend --data world.npz --model model.npz --group 3 -k 5
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.config import GroupSAConfig
+from repro.data.io import load_dataset, save_dataset
+from repro.data.loaders import GroupBatcher
+from repro.data.presets import douban_like, yelp_like
+from repro.data.splits import split_interactions
+from repro.data.stats import table1_statistics
+from repro.evaluation.protocol import evaluate, prepare_task
+from repro.evaluation.ranking import top_k_items
+from repro.persistence import load_model, save_model
+from repro.training.trainer import TrainingConfig
+from repro.training.two_stage import train_groupsa
+
+
+def _command_generate(args: argparse.Namespace) -> int:
+    presets = {"yelp": yelp_like, "douban": douban_like}
+    world = presets[args.preset](scale=args.scale, seed=args.seed)
+    save_dataset(world.dataset, args.out)
+    print(f"wrote {args.out}")
+    for key, value in table1_statistics(world.dataset).items():
+        print(f"  {key:35s} {value:10.2f}")
+    return 0
+
+
+def _command_train(args: argparse.Namespace) -> int:
+    dataset = load_dataset(args.data)
+    split = split_interactions(dataset, rng=args.seed)
+    config = GroupSAConfig(
+        embedding_dim=args.dim,
+        num_attention_layers=args.layers,
+        blend_weight=args.blend_weight,
+        top_h=args.top_h,
+    )
+    training = TrainingConfig(
+        user_epochs=args.user_epochs,
+        group_epochs=args.group_epochs,
+        learning_rate=args.lr,
+        seed=args.seed,
+    )
+    model, __, history = train_groupsa(split, config, training)
+    save_model(model, args.out)
+    print(
+        f"wrote {args.out} "
+        f"(final user loss {history.final_loss('user'):.4f}, "
+        f"group loss {history.final_loss('group'):.4f})"
+    )
+    return 0
+
+
+def _command_evaluate(args: argparse.Namespace) -> int:
+    dataset = load_dataset(args.data)
+    split = split_interactions(dataset, rng=args.seed)
+    model = load_model(args.model)
+    full = split.full
+    if args.task == "group":
+        batcher = GroupBatcher(split.train)
+        task = prepare_task(
+            split.test.group_item, full.group_items(), full.num_items,
+            num_candidates=args.candidates, rng=args.seed,
+        )
+        result = evaluate(
+            lambda groups, items: model.score_group_items(batcher.batch(groups), items),
+            task,
+        )
+    else:
+        task = prepare_task(
+            split.test.user_item, full.user_items(), full.num_items,
+            num_candidates=args.candidates, rng=args.seed,
+        )
+        result = evaluate(model.score_user_items, task)
+    for metric, value in result.metrics.items():
+        print(f"{metric:10s} {value:.4f}")
+    return 0
+
+
+def _command_recommend(args: argparse.Namespace) -> int:
+    dataset = load_dataset(args.data)
+    model = load_model(args.model)
+    batcher = GroupBatcher(dataset)
+    if args.group >= dataset.num_groups or args.group < 0:
+        print(f"error: group {args.group} out of range", file=sys.stderr)
+        return 2
+    top = top_k_items(
+        lambda groups, items: model.score_group_items(batcher.batch(groups), items),
+        entity=args.group,
+        num_items=dataset.num_items,
+        k=args.k,
+        exclude=dataset.group_items()[args.group],
+    )
+    members = dataset.group_members[args.group]
+    print(f"group #{args.group} (members {members.tolist()})")
+    print(f"top-{args.k}: {top.tolist()}")
+    gamma = model.member_attention(batcher.batch([args.group]), np.array([int(top[0])]))
+    print("voting weights for the top item:")
+    for member, weight in zip(members, gamma[0][: members.size]):
+        print(f"  user #{member}: {weight:.3f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser("generate", help="generate a synthetic world")
+    generate.add_argument("--preset", choices=("yelp", "douban"), default="yelp")
+    generate.add_argument("--scale", type=float, default=0.01)
+    generate.add_argument("--seed", type=int, default=7)
+    generate.add_argument("--out", required=True)
+    generate.set_defaults(handler=_command_generate)
+
+    train = commands.add_parser("train", help="train GroupSA on a saved dataset")
+    train.add_argument("--data", required=True)
+    train.add_argument("--out", required=True)
+    train.add_argument("--dim", type=int, default=32)
+    train.add_argument("--layers", type=int, default=1)
+    train.add_argument("--blend-weight", type=float, default=0.9)
+    train.add_argument("--top-h", type=int, default=4)
+    train.add_argument("--user-epochs", type=int, default=25)
+    train.add_argument("--group-epochs", type=int, default=30)
+    train.add_argument("--lr", type=float, default=0.01)
+    train.add_argument("--seed", type=int, default=0)
+    train.set_defaults(handler=_command_train)
+
+    evaluate_cmd = commands.add_parser("evaluate", help="evaluate a checkpoint")
+    evaluate_cmd.add_argument("--data", required=True)
+    evaluate_cmd.add_argument("--model", required=True)
+    evaluate_cmd.add_argument("--task", choices=("user", "group"), default="group")
+    evaluate_cmd.add_argument("--candidates", type=int, default=100)
+    evaluate_cmd.add_argument("--seed", type=int, default=0)
+    evaluate_cmd.set_defaults(handler=_command_evaluate)
+
+    recommend = commands.add_parser("recommend", help="top-K items for a group")
+    recommend.add_argument("--data", required=True)
+    recommend.add_argument("--model", required=True)
+    recommend.add_argument("--group", type=int, required=True)
+    recommend.add_argument("-k", type=int, default=10)
+    recommend.set_defaults(handler=_command_recommend)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,35 @@
+"""The paper's primary contribution: the GroupSA model family."""
+
+from repro.core.adhoc import AdhocGroupRecommender, build_adhoc_batch
+from repro.core.config import GroupSAConfig
+from repro.core.fast import (
+    STRATEGIES,
+    FastGroupRecommender,
+    average_strategy,
+    least_misery_strategy,
+    maximum_satisfaction_strategy,
+)
+from repro.core.groupsa import GroupSA
+from repro.core.prediction import PredictionTower
+from repro.core.user_modeling import UserModeling
+from repro.core.variants import VARIANTS, variant_config
+from repro.core.voting import GroupAggregation, VotingLayer, VotingNetwork
+
+__all__ = [
+    "GroupSA",
+    "AdhocGroupRecommender",
+    "build_adhoc_batch",
+    "GroupSAConfig",
+    "VotingNetwork",
+    "VotingLayer",
+    "GroupAggregation",
+    "UserModeling",
+    "PredictionTower",
+    "FastGroupRecommender",
+    "STRATEGIES",
+    "average_strategy",
+    "least_misery_strategy",
+    "maximum_satisfaction_strategy",
+    "VARIANTS",
+    "variant_config",
+]

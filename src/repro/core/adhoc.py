@@ -1,0 +1,113 @@
+"""Serving-time recommendation for ad-hoc member lists.
+
+Occasional groups form at serving time — a set of user ids that never
+appears in the training data.  This module builds the padded batch
+structures (members, mask, social adjacency) for such a member list on
+the fly, so a trained :class:`~repro.core.groupsa.GroupSA` can score it
+exactly like a dataset group.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Set
+
+import numpy as np
+
+from repro.core.groupsa import GroupSA
+from repro.data.dataset import GroupRecommendationDataset
+from repro.data.loaders import GroupBatch
+
+
+def build_adhoc_batch(
+    member_lists: Sequence[Sequence[int]],
+    friend_sets: List[Set[int]],
+) -> GroupBatch:
+    """Assemble a :class:`GroupBatch` for ad-hoc member lists.
+
+    ``friend_sets`` is the social network view (one set of neighbour
+    ids per user, e.g. ``dataset.friend_set()``); the adjacency block
+    is derived from it just like the training batcher does.
+    """
+    if not member_lists:
+        raise ValueError("need at least one member list")
+    rows = [np.unique(np.asarray(m, dtype=np.int64)) for m in member_lists]
+    for row in rows:
+        if row.size == 0:
+            raise ValueError("ad-hoc groups must have at least one member")
+    length = max(row.size for row in rows)
+    count = len(rows)
+    members = np.zeros((count, length), dtype=np.int64)
+    mask = np.zeros((count, length), dtype=bool)
+    adjacency = np.zeros((count, length, length), dtype=bool)
+    for index, row in enumerate(rows):
+        size = row.size
+        members[index, :size] = row
+        mask[index, :size] = True
+        for a in range(size):
+            friends = friend_sets[int(row[a])]
+            for b in range(a + 1, size):
+                if int(row[b]) in friends:
+                    adjacency[index, a, b] = True
+                    adjacency[index, b, a] = True
+    return GroupBatch(
+        group_ids=np.full(count, -1, dtype=np.int64),
+        members=members,
+        mask=mask,
+        adjacency=adjacency,
+    )
+
+
+class AdhocGroupRecommender:
+    """Score and rank items for serving-time groups.
+
+    Wraps a trained model plus the social view of the world it was
+    trained on.  Typical use::
+
+        recommender = AdhocGroupRecommender(model, dataset)
+        top = recommender.recommend([12, 57, 301], k=5)
+    """
+
+    def __init__(self, model: GroupSA, dataset: GroupRecommendationDataset) -> None:
+        self.model = model
+        self.dataset = dataset
+        self._friend_sets = dataset.friend_set()
+        self._user_items = dataset.user_items()
+
+    def score(self, members: Sequence[int], item_ids: np.ndarray) -> np.ndarray:
+        """r^G scores of one ad-hoc group for the given items."""
+        item_ids = np.asarray(item_ids, dtype=np.int64)
+        single = build_adhoc_batch([members], self._friend_sets)
+        batch = GroupBatch(
+            group_ids=np.full(len(item_ids), -1, dtype=np.int64),
+            members=np.repeat(single.members, len(item_ids), axis=0),
+            mask=np.repeat(single.mask, len(item_ids), axis=0),
+            adjacency=np.repeat(single.adjacency, len(item_ids), axis=0),
+        )
+        return self.model.score_group_items(batch, item_ids)
+
+    def recommend(
+        self,
+        members: Sequence[int],
+        k: int = 10,
+        exclude_member_history: bool = True,
+    ) -> np.ndarray:
+        """Top-K item ids for an ad-hoc group, best first."""
+        exclude: Set[int] = set()
+        if exclude_member_history:
+            for member in members:
+                exclude |= self._user_items[int(member)]
+        candidates = np.array(
+            [item for item in range(self.dataset.num_items) if item not in exclude],
+            dtype=np.int64,
+        )
+        if candidates.size == 0:
+            return candidates
+        scores = self.score(members, candidates)
+        order = np.argsort(-scores, kind="stable")
+        return candidates[order[:k]]
+
+    def voting_weights(self, members: Sequence[int], item_id: int) -> np.ndarray:
+        """Member gamma weights (Eq. 10) for one target item."""
+        batch = build_adhoc_batch([members], self._friend_sets)
+        gamma = self.model.member_attention(batch, np.array([item_id]))
+        return gamma[0][: len(np.unique(members))]

@@ -1,0 +1,76 @@
+"""Configuration for the GroupSA model and its ablation variants."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class GroupSAConfig:
+    """Hyper-parameters of GroupSA (defaults follow Section III-E).
+
+    The four ``use_*`` switches carve out the paper's ablation variants
+    (Section V-A/V-B):
+
+    - ``Group-A``: ``use_self_attention=False`` and both aggregations off
+      (vanilla attention aggregation only);
+    - ``Group-S``: ``use_self_attention=False``;
+    - ``Group-I``: ``use_item_aggregation=False``;
+    - ``Group-F``: ``use_social_aggregation=False``;
+    - ``Group-G``: ``use_user_task=False`` (no joint training).
+    """
+
+    #: Embedding size for users, items and groups (paper: 32).
+    embedding_dim: int = 32
+    #: Dimensions of queries/keys and values in self-attention (paper: 32).
+    key_dim: int = 32
+    value_dim: int = 32
+    #: Hidden width of the position-wise FFN (paper: d_model = 32).
+    ffn_hidden: int = 32
+    #: Attention heads in the social self-attention.  The paper uses a
+    #: single head; values > 1 are an extension (see the heads bench).
+    num_heads: int = 1
+    #: Number of stacked self-attention layers N_X (paper: 1 for Yelp,
+    #: 2 for Douban-Event; Table VI sweeps 1..5).
+    num_attention_layers: int = 1
+    #: Hidden width of the two-layer vanilla attention nets (Eqs. 9/13/17).
+    attention_hidden: int = 32
+    #: Top-H items/friends kept by TF-IDF ranking (paper searches 2..6).
+    top_h: int = 4
+    #: Blend weight w^u between embedding score and latent-factor score
+    #: (Eq. 23; paper's best: 0.9).
+    blend_weight: float = 0.9
+    #: Hidden sizes of the prediction towers (Eqs. 20/22).
+    prediction_hidden: Tuple[int, ...] = (32,)
+    #: Hidden sizes of the user-factor fusion MLP (Eq. 19).
+    fusion_hidden: Tuple[int, ...] = (32,)
+    #: Dropout ratio (paper: 0.1).
+    dropout: float = 0.1
+    #: Component switches (see class docstring).
+    use_self_attention: bool = True
+    use_item_aggregation: bool = True
+    use_social_aggregation: bool = True
+    use_user_task: bool = True
+    #: Name of the closeness function for the social mask
+    #: ('direct' | 'common-neighbours' | 'pagerank' | 'full').
+    closeness: str = "direct"
+    seed: int = 2020
+
+    def __post_init__(self) -> None:
+        if self.embedding_dim <= 0:
+            raise ValueError("embedding_dim must be positive")
+        if self.num_attention_layers < 0:
+            raise ValueError("num_attention_layers must be >= 0")
+        if not 0.0 <= self.blend_weight <= 1.0:
+            raise ValueError("blend_weight (w^u) must be in [0, 1]")
+        if self.top_h <= 0:
+            raise ValueError("top_h must be positive")
+
+    @property
+    def uses_user_modeling(self) -> bool:
+        return self.use_item_aggregation or self.use_social_aggregation
+
+    def variant(self, **changes) -> "GroupSAConfig":
+        """Return a modified copy (convenience for ablations/sweeps)."""
+        return replace(self, **changes)

@@ -1,0 +1,84 @@
+"""Fast group recommendation (Section II-F).
+
+For large groups the multi-layer voting forward pass can be avoided:
+each member is scored individually with the user-item predictor
+(Eq. 23) and a static strategy combines the member scores.  Because the
+user representations were trained jointly with the voting network, they
+already carry group-aware signal, which is why the paper reports these
+fast scores as competitive.
+
+The same machinery doubles as the Group+avg / Group+lm / Group+ms
+baselines of Section III-D (strategies of [12], [17]).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.core.groupsa import GroupSA
+from repro.data.loaders import GroupBatch
+
+AggregationFn = Callable[[np.ndarray, np.ndarray], np.ndarray]
+# Maps (member_scores (B, L), mask (B, L)) -> group scores (B,).
+
+
+def average_strategy(scores: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    """Average satisfaction: every member contributes equally [12]."""
+    weights = mask.astype(scores.dtype)
+    return (scores * weights).sum(axis=1) / np.maximum(weights.sum(axis=1), 1.0)
+
+
+def least_misery_strategy(scores: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    """Least misery: the least satisfied member decides [17]."""
+    masked = np.where(mask, scores, np.inf)
+    return masked.min(axis=1)
+
+
+def maximum_satisfaction_strategy(scores: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    """Maximum satisfaction: follow the happiest member [12]."""
+    masked = np.where(mask, scores, -np.inf)
+    return masked.max(axis=1)
+
+
+STRATEGIES: Dict[str, AggregationFn] = {
+    "avg": average_strategy,
+    "lm": least_misery_strategy,
+    "ms": maximum_satisfaction_strategy,
+}
+
+
+class FastGroupRecommender:
+    """Score groups from member-level predictions only.
+
+    Parameters
+    ----------
+    model:
+        A trained :class:`GroupSA` (only its user-item predictor runs).
+    strategy:
+        One of ``'avg'``, ``'lm'``, ``'ms'`` or a custom callable.
+    """
+
+    def __init__(self, model: GroupSA, strategy: str | AggregationFn = "avg") -> None:
+        self.model = model
+        if callable(strategy):
+            self.strategy: AggregationFn = strategy
+            self.strategy_name = getattr(strategy, "__name__", "custom")
+        else:
+            if strategy not in STRATEGIES:
+                raise ValueError(
+                    f"unknown strategy '{strategy}'; choose from {sorted(STRATEGIES)}"
+                )
+            self.strategy = STRATEGIES[strategy]
+            self.strategy_name = strategy
+
+    def score_group_items(self, batch: GroupBatch, item_ids: np.ndarray) -> np.ndarray:
+        """Score each (group, item) pair via member score aggregation."""
+        item_ids = np.asarray(item_ids, dtype=np.int64)
+        batch_size, length = batch.members.shape
+        flat_users = batch.members.reshape(-1)
+        flat_items = np.repeat(item_ids, length)
+        member_scores = self.model.score_user_items(flat_users, flat_items)
+        member_scores = member_scores.reshape(batch_size, length)
+        return self.strategy(member_scores, batch.mask)

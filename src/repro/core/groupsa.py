@@ -1,0 +1,211 @@
+"""GroupSA: the paper's full model (Fig. 1).
+
+Three components around shared user/item embeddings:
+
+- :class:`~repro.core.voting.VotingNetwork` + group aggregation — the
+  latent voting mechanism over group members (Section II-C);
+- :class:`~repro.core.user_modeling.UserModeling` — item/social
+  aggregation enhancing user representations (Section II-D);
+- two :class:`~repro.core.prediction.PredictionTower` scorers for the
+  group-item and user-item ranking tasks (Section II-E).
+
+The embeddings ``emb^U``/``emb^V`` are shared between the two tasks;
+that is the bridge the joint two-stage training exploits.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.autograd import no_grad
+from repro.autograd.tensor import Tensor
+from repro.core.config import GroupSAConfig
+from repro.core.prediction import PredictionTower
+from repro.core.user_modeling import UserModeling
+from repro.core.voting import GroupAggregation, VotingNetwork
+from repro.data.loaders import GroupBatch, TopNeighbours
+from repro.nn import Embedding, Module
+from repro.utils import RngLike, ensure_rng
+
+
+class GroupSA(Module):
+    """Group Self-Attention recommender.
+
+    Parameters
+    ----------
+    num_users, num_items:
+        Entity counts of the dataset.
+    config:
+        Hyper-parameters and component switches.
+    top_neighbours:
+        Top-H TF-IDF tables from the *training* split; required when
+        user modeling is enabled (set later via
+        :meth:`set_top_neighbours` if more convenient).
+    """
+
+    def __init__(
+        self,
+        num_users: int,
+        num_items: int,
+        config: GroupSAConfig,
+        top_neighbours: Optional[TopNeighbours] = None,
+        rng: RngLike = None,
+    ) -> None:
+        super().__init__()
+        generator = ensure_rng(config.seed if rng is None else rng)
+        self.config = config
+        self.num_users = num_users
+        self.num_items = num_items
+
+        # Shared embeddings bridging the user-item and group-item spaces.
+        self.user_embedding = Embedding(num_users, config.embedding_dim, rng=generator)
+        self.item_embedding = Embedding(num_items, config.embedding_dim, rng=generator)
+
+        self.voting = VotingNetwork(config, rng=generator)
+        self.aggregation = GroupAggregation(config, rng=generator)
+        self.group_tower = PredictionTower(
+            config.embedding_dim,
+            config.prediction_hidden,
+            dropout=config.dropout,
+            rng=generator,
+        )
+        self.user_tower = PredictionTower(
+            config.embedding_dim,
+            config.prediction_hidden,
+            dropout=config.dropout,
+            rng=generator,
+        )
+
+        self.user_modeling: Optional[UserModeling] = None
+        if config.uses_user_modeling:
+            self.user_modeling = UserModeling(num_users, num_items, config, rng=generator)
+        self._top_neighbours = top_neighbours
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+
+    @property
+    def top_neighbours(self) -> Optional[TopNeighbours]:
+        return self._top_neighbours
+
+    def set_top_neighbours(self, tables: TopNeighbours) -> None:
+        """Attach the Top-H tables derived from the training split."""
+        object.__setattr__(self, "_top_neighbours", tables)
+
+    def _require_tables(self) -> TopNeighbours:
+        if self._top_neighbours is None:
+            raise RuntimeError(
+                "user modeling is enabled but no TopNeighbours tables were set; "
+                "call set_top_neighbours(tfidf_top_neighbours(train, top_h))"
+            )
+        return self._top_neighbours
+
+    # ------------------------------------------------------------------
+    # Differentiable forward passes
+    # ------------------------------------------------------------------
+
+    def user_scores(self, user_ids: np.ndarray, item_ids: np.ndarray) -> Tensor:
+        """Blended user-item ranking score r^R of Eq. (23), shape (B,)."""
+        blended, __ = self.user_score_components(user_ids, item_ids)
+        return blended
+
+    def user_score_components(
+        self, user_ids: np.ndarray, item_ids: np.ndarray
+    ) -> Tuple[Tensor, Optional[Tensor]]:
+        """Return (blended score r^R, embedding-path score r^{R_1}).
+
+        The second element is None when the model has no user-modeling
+        component (the blend then *is* the embedding score).  Training
+        uses it as an auxiliary target: with the paper's w^u = 0.9 the
+        embedding path would otherwise receive only 10% of the ranking
+        gradient, starving the shared embeddings the voting network
+        feeds on.
+        """
+        user_ids = np.asarray(user_ids, dtype=np.int64)
+        item_ids = np.asarray(item_ids, dtype=np.int64)
+        emb_user = self.user_embedding(user_ids)
+        emb_item = self.item_embedding(item_ids)
+        embedding_score = self.user_tower(emb_user, emb_item)
+        weight = self.config.blend_weight
+        if self.user_modeling is None or weight == 0.0:
+            return embedding_score, None
+        tables = self._require_tables()
+        latent_user = self.user_modeling(emb_user, user_ids, tables)
+        latent_item = self.user_modeling.item_factor(item_ids)
+        latent_score = self.user_tower(latent_user, latent_item)
+        if weight == 1.0:
+            return latent_score, embedding_score
+        blended = embedding_score * (1.0 - weight) + latent_score * weight
+        return blended, embedding_score
+
+    def group_scores(
+        self, batch: GroupBatch, item_ids: np.ndarray
+    ) -> Tensor:
+        """Group-item ranking score r^G of Eq. (20), shape (B,)."""
+        scores, __ = self.group_forward(batch, item_ids)
+        return scores
+
+    def group_forward(
+        self, batch: GroupBatch, item_ids: np.ndarray
+    ) -> Tuple[Tensor, Tensor]:
+        """Return (scores (B,), member attention weights gamma (B, L))."""
+        item_ids = np.asarray(item_ids, dtype=np.int64)
+        member_embeddings = self.user_embedding(batch.members)
+        voted, __ = self.voting(member_embeddings, batch.adjacency, batch.mask)
+        item_embeddings = self.item_embedding(item_ids)
+        group_representation, gamma = self.aggregation(
+            voted, item_embeddings, batch.mask
+        )
+        scores = self.group_tower(group_representation, item_embeddings)
+        return scores, gamma
+
+    # ------------------------------------------------------------------
+    # Numpy conveniences (evaluation, no_grad, chunked)
+    # ------------------------------------------------------------------
+
+    def score_user_items(
+        self, user_ids: np.ndarray, item_ids: np.ndarray, chunk: int = 4096
+    ) -> np.ndarray:
+        """Evaluate r^R for aligned (user, item) arrays without autograd."""
+        self.eval()
+        outputs = []
+        with no_grad():
+            for start in range(0, len(user_ids), chunk):
+                stop = start + chunk
+                outputs.append(
+                    self.user_scores(user_ids[start:stop], item_ids[start:stop]).data
+                )
+        self.train()
+        return np.concatenate(outputs) if outputs else np.empty(0)
+
+    def score_group_items(
+        self, batch: GroupBatch, item_ids: np.ndarray, chunk: int = 1024
+    ) -> np.ndarray:
+        """Evaluate r^G for an aligned batch of groups and items."""
+        self.eval()
+        outputs = []
+        with no_grad():
+            for start in range(0, len(item_ids), chunk):
+                stop = start + chunk
+                sub = GroupBatch(
+                    group_ids=batch.group_ids[start:stop],
+                    members=batch.members[start:stop],
+                    mask=batch.mask[start:stop],
+                    adjacency=batch.adjacency[start:stop],
+                )
+                outputs.append(self.group_scores(sub, item_ids[start:stop]).data)
+        self.train()
+        return np.concatenate(outputs) if outputs else np.empty(0)
+
+    def member_attention(
+        self, batch: GroupBatch, item_ids: np.ndarray
+    ) -> np.ndarray:
+        """The gamma weights of Eq. (10) — the case study's Table IV."""
+        self.eval()
+        with no_grad():
+            __, gamma = self.group_forward(batch, item_ids)
+        self.train()
+        return gamma.data

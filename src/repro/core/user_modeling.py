@@ -1,0 +1,121 @@
+"""User modeling (Section II-D): item + social aggregation.
+
+Users appear in two graphs — the user-item graph and the social graph.
+This module learns item-space latent factors ``x^V`` and social-space
+latent factors ``x^S``, attends over each user's Top-H TF-IDF-ranked
+items (Eqs. 11-14) and friends (Eqs. 15-18) with the user-item
+embedding ``emb^U`` as the attention signal, and fuses the two
+aggregated views into the final user latent factor ``h_j`` via an MLP
+(Eq. 19).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor, concatenate
+from repro.core.config import GroupSAConfig
+from repro.data.loaders import TopNeighbours
+from repro.nn import Embedding, Linear, MLP, Module, PairwiseAttention
+from repro.utils import RngLike, ensure_rng
+
+
+class UserModeling(Module):
+    """Latent-factor learner for users from item- and social-space."""
+
+    def __init__(
+        self,
+        num_users: int,
+        num_items: int,
+        config: GroupSAConfig,
+        rng: RngLike = None,
+    ) -> None:
+        super().__init__()
+        if not config.uses_user_modeling:
+            raise ValueError(
+                "UserModeling instantiated although both aggregations are disabled"
+            )
+        generator = ensure_rng(rng)
+        dim = config.embedding_dim
+        self.config = config
+
+        #: x^V — item latent factors in item-space (distinct from emb^V).
+        self.item_latent = Embedding(num_items, dim, rng=generator)
+        #: x^S — user latent factors in social-space (distinct from emb^U).
+        self.social_latent = Embedding(num_users, dim, rng=generator)
+
+        if config.use_item_aggregation:
+            self.item_attention = PairwiseAttention(
+                query_features=dim,
+                candidate_features=dim,
+                hidden_features=config.attention_hidden,
+                rng=generator,
+            )
+            self.item_transform = Linear(dim, dim, rng=generator)
+        if config.use_social_aggregation:
+            self.social_attention = PairwiseAttention(
+                query_features=dim,
+                candidate_features=dim,
+                hidden_features=config.attention_hidden,
+                rng=generator,
+            )
+            self.social_transform = Linear(dim, dim, rng=generator)
+
+        fusion_inputs = dim * (
+            int(config.use_item_aggregation) + int(config.use_social_aggregation)
+        )
+        self.fusion = MLP(
+            in_features=fusion_inputs,
+            hidden_features=list(config.fusion_hidden),
+            out_features=dim,
+            output_activation="relu",
+            dropout=config.dropout,
+            rng=generator,
+        )
+
+    # ------------------------------------------------------------------
+
+    def item_space_factor(
+        self, user_embeddings: Tensor, user_ids: np.ndarray, tables: TopNeighbours
+    ) -> Tensor:
+        """h^V — attention-aggregate the user's Top-H items (Eq. 11)."""
+        items = tables.items[user_ids]
+        mask = tables.item_mask[user_ids]
+        candidates = self.item_latent(items)
+        aggregated, __ = self.item_attention(
+            query=user_embeddings, candidates=candidates, mask=mask
+        )
+        return self.item_transform(aggregated).relu()
+
+    def social_space_factor(
+        self, user_embeddings: Tensor, user_ids: np.ndarray, tables: TopNeighbours
+    ) -> Tensor:
+        """h^S — attention-aggregate the user's Top-H friends (Eq. 15)."""
+        friends = tables.friends[user_ids]
+        mask = tables.friend_mask[user_ids]
+        candidates = self.social_latent(friends)
+        aggregated, __ = self.social_attention(
+            query=user_embeddings, candidates=candidates, mask=mask
+        )
+        return self.social_transform(aggregated).relu()
+
+    def forward(
+        self,
+        user_embeddings: Tensor,
+        user_ids: np.ndarray,
+        tables: TopNeighbours,
+    ) -> Tensor:
+        """Final user latent factor ``h_j`` of shape (B, d) (Eq. 19)."""
+        parts = []
+        if self.config.use_item_aggregation:
+            parts.append(self.item_space_factor(user_embeddings, user_ids, tables))
+        if self.config.use_social_aggregation:
+            parts.append(self.social_space_factor(user_embeddings, user_ids, tables))
+        joint = parts[0] if len(parts) == 1 else concatenate(parts, axis=-1)
+        return self.fusion(joint)
+
+    def item_factor(self, item_ids: np.ndarray) -> Tensor:
+        """Item-space latent factor ``x^V`` for the r^R2 score (Eq. 23)."""
+        return self.item_latent(item_ids)

@@ -1,0 +1,75 @@
+"""Named ablation variants of GroupSA (Sections V-A and V-B).
+
+========  =======================================================
+Variant   What is removed
+========  =======================================================
+Group-A   voting scheme *and* user modeling (vanilla attention only)
+Group-S   the social self-attention network
+Group-I   the item aggregation component of user modeling
+Group-F   the social aggregation component of user modeling
+Group-G   the user-item recommendation task (no joint training)
+========  =======================================================
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.core.config import GroupSAConfig
+
+VariantFn = Callable[[GroupSAConfig], GroupSAConfig]
+
+
+def group_sa(config: GroupSAConfig) -> GroupSAConfig:
+    """The full model, unchanged."""
+    return config
+
+
+def group_a(config: GroupSAConfig) -> GroupSAConfig:
+    """Vanilla attention aggregation only (no voting, no user modeling)."""
+    return config.variant(
+        use_self_attention=False,
+        use_item_aggregation=False,
+        use_social_aggregation=False,
+    )
+
+
+def group_s(config: GroupSAConfig) -> GroupSAConfig:
+    """Remove the social self-attention network."""
+    return config.variant(use_self_attention=False)
+
+
+def group_i(config: GroupSAConfig) -> GroupSAConfig:
+    """Remove item aggregation (social aggregation only)."""
+    return config.variant(use_item_aggregation=False)
+
+
+def group_f(config: GroupSAConfig) -> GroupSAConfig:
+    """Remove social aggregation (item aggregation only)."""
+    return config.variant(use_social_aggregation=False)
+
+
+def group_g(config: GroupSAConfig) -> GroupSAConfig:
+    """Group-item data only: drop the user-item task entirely."""
+    return config.variant(
+        use_user_task=False,
+        use_item_aggregation=False,
+        use_social_aggregation=False,
+    )
+
+
+VARIANTS: Dict[str, VariantFn] = {
+    "GroupSA": group_sa,
+    "Group-A": group_a,
+    "Group-S": group_s,
+    "Group-I": group_i,
+    "Group-F": group_f,
+    "Group-G": group_g,
+}
+
+
+def variant_config(name: str, base: GroupSAConfig) -> GroupSAConfig:
+    """Look up a variant by its paper name and derive its config."""
+    if name not in VARIANTS:
+        raise KeyError(f"unknown variant '{name}'; choose from {sorted(VARIANTS)}")
+    return VARIANTS[name](base)

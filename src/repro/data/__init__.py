@@ -1,0 +1,59 @@
+"""Datasets: containers, synthetic worlds, splits, sampling, batching."""
+
+from repro.data.dataset import GroupRecommendationDataset
+from repro.data.io import load_dataset, save_dataset
+from repro.data.loaders import (
+    GroupBatch,
+    GroupBatcher,
+    TopNeighbours,
+    build_top_neighbours,
+)
+from repro.data.real import FormatError, load_agree_format
+from repro.data.presets import (
+    douban_like,
+    douban_like_config,
+    yelp_like,
+    yelp_like_config,
+)
+from repro.data.sampling import (
+    NegativeSampler,
+    bpr_triple_batches,
+    sample_evaluation_candidates,
+)
+from repro.data.splits import DataSplit, split_interactions
+from repro.data.stats import format_table1, table1_statistics
+from repro.data.synthetic import SyntheticConfig, SyntheticWorld, generate
+from repro.data.temporal import (
+    InteractionTimestamps,
+    attach_timestamps,
+    temporal_split,
+)
+
+__all__ = [
+    "GroupRecommendationDataset",
+    "SyntheticConfig",
+    "SyntheticWorld",
+    "generate",
+    "yelp_like",
+    "douban_like",
+    "yelp_like_config",
+    "douban_like_config",
+    "DataSplit",
+    "split_interactions",
+    "NegativeSampler",
+    "bpr_triple_batches",
+    "sample_evaluation_candidates",
+    "GroupBatch",
+    "GroupBatcher",
+    "TopNeighbours",
+    "build_top_neighbours",
+    "table1_statistics",
+    "format_table1",
+    "save_dataset",
+    "load_dataset",
+    "load_agree_format",
+    "FormatError",
+    "InteractionTimestamps",
+    "attach_timestamps",
+    "temporal_split",
+]

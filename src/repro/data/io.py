@@ -1,0 +1,59 @@
+"""Dataset (de)serialization to a single ``.npz`` archive.
+
+Group member lists are ragged; they are stored as a flat concatenation
+plus offsets, the standard CSR trick.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.data.dataset import GroupRecommendationDataset
+
+PathLike = Union[str, Path]
+
+
+def save_dataset(dataset: GroupRecommendationDataset, path: PathLike) -> None:
+    """Write ``dataset`` to ``path`` (``.npz``)."""
+    sizes = dataset.group_sizes()
+    offsets = np.concatenate([[0], np.cumsum(sizes)])
+    flat_members = (
+        np.concatenate(dataset.group_members)
+        if dataset.group_members
+        else np.empty(0, dtype=np.int64)
+    )
+    np.savez_compressed(
+        Path(path),
+        num_users=dataset.num_users,
+        num_items=dataset.num_items,
+        num_groups=dataset.num_groups,
+        user_item=dataset.user_item,
+        group_item=dataset.group_item,
+        social=dataset.social,
+        member_offsets=offsets,
+        member_flat=flat_members,
+        name=np.array(dataset.name),
+    )
+
+
+def load_dataset(path: PathLike) -> GroupRecommendationDataset:
+    """Read a dataset previously written by :func:`save_dataset`."""
+    with np.load(Path(path), allow_pickle=False) as archive:
+        offsets = archive["member_offsets"]
+        flat = archive["member_flat"]
+        members = [
+            flat[start:stop] for start, stop in zip(offsets[:-1], offsets[1:])
+        ]
+        return GroupRecommendationDataset(
+            num_users=int(archive["num_users"]),
+            num_items=int(archive["num_items"]),
+            num_groups=int(archive["num_groups"]),
+            user_item=archive["user_item"],
+            group_item=archive["group_item"],
+            social=archive["social"],
+            group_members=members,
+            name=str(archive["name"]),
+        )

@@ -1,0 +1,158 @@
+"""Batch assembly for group forward passes.
+
+Groups have ragged member lists; the voting network wants rectangular
+(B, L) member matrices plus boolean masks and per-group social
+adjacency blocks.  :class:`GroupBatcher` precomputes the padded
+structures once per dataset so batching is a fancy-index away.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Set
+
+import numpy as np
+
+from repro.data.dataset import GroupRecommendationDataset
+
+
+@dataclass(frozen=True)
+class GroupBatch:
+    """Padded view of a batch of groups.
+
+    Attributes
+    ----------
+    group_ids: (B,) group identifiers.
+    members: (B, L) member user ids, padded with 0 (mask disambiguates).
+    mask: (B, L) boolean; True where a real member sits.
+    adjacency: (B, L, L) boolean; True where two *real* members are
+        directly socially connected (the f(i,j)=1 case of Eq. (5)).
+    """
+
+    group_ids: np.ndarray
+    members: np.ndarray
+    mask: np.ndarray
+    adjacency: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.group_ids)
+
+
+class GroupBatcher:
+    """Precomputed padded member/adjacency arrays for every group.
+
+    ``closeness`` customizes which member pairs may attend to each
+    other (the f(i,j) of Eq. (5)); the default is the paper's direct
+    social connection.  Pass a callable mapping a member id array (l,)
+    to a boolean (l, l) matrix to use another closeness measure.
+    """
+
+    def __init__(
+        self,
+        dataset: GroupRecommendationDataset,
+        max_members: int | None = None,
+        closeness: "Callable[[np.ndarray], np.ndarray] | None" = None,
+    ) -> None:
+        sizes = dataset.group_sizes()
+        natural_max = int(sizes.max()) if sizes.size else 1
+        self.max_members = min(natural_max, max_members) if max_members else natural_max
+        count = dataset.num_groups
+        length = self.max_members
+        self._members = np.zeros((count, length), dtype=np.int64)
+        self._mask = np.zeros((count, length), dtype=bool)
+        self._adjacency = np.zeros((count, length, length), dtype=bool)
+
+        friend_sets = dataset.friend_set()
+        for group_id, members in enumerate(dataset.group_members):
+            kept = members[:length]
+            size = kept.size
+            self._members[group_id, :size] = kept
+            self._mask[group_id, :size] = True
+            if closeness is None:
+                local = _local_adjacency(kept, friend_sets)
+            else:
+                local = np.asarray(closeness(kept), dtype=bool)
+            self._adjacency[group_id, :size, :size] = local
+
+    def batch(self, group_ids: Sequence[int]) -> GroupBatch:
+        ids = np.asarray(group_ids, dtype=np.int64)
+        return GroupBatch(
+            group_ids=ids,
+            members=self._members[ids],
+            mask=self._mask[ids],
+            adjacency=self._adjacency[ids],
+        )
+
+    def all_groups(self) -> GroupBatch:
+        return self.batch(np.arange(len(self._members)))
+
+
+def _local_adjacency(members: np.ndarray, friend_sets: List[Set[int]]) -> np.ndarray:
+    size = members.size
+    adjacency = np.zeros((size, size), dtype=bool)
+    for row, user in enumerate(members):
+        friends = friend_sets[int(user)]
+        for col in range(row + 1, size):
+            if int(members[col]) in friends:
+                adjacency[row, col] = True
+                adjacency[col, row] = True
+    return adjacency
+
+
+@dataclass(frozen=True)
+class TopNeighbours:
+    """Fixed-size Top-H neighbour tables for the user-modeling component.
+
+    ``items``/``item_mask`` hold each user's Top-H interacted items;
+    ``friends``/``friend_mask`` hold the Top-H social neighbours
+    (both ranked by TF-IDF, Section II-D).  Users with fewer than H
+    entries are padded (mask False).
+    """
+
+    items: np.ndarray
+    item_mask: np.ndarray
+    friends: np.ndarray
+    friend_mask: np.ndarray
+
+    @property
+    def top_h(self) -> int:
+        return self.items.shape[1]
+
+
+def build_top_neighbours(
+    dataset: GroupRecommendationDataset,
+    top_h: int,
+    item_scores: np.ndarray,
+    friend_scores: np.ndarray,
+) -> TopNeighbours:
+    """Assemble padded Top-H tables from per-entity ranking scores.
+
+    ``item_scores`` has one score per item (higher = more informative,
+    e.g. IDF); ``friend_scores`` one per user.
+    """
+    num_users = dataset.num_users
+    items = np.zeros((num_users, top_h), dtype=np.int64)
+    item_mask = np.zeros((num_users, top_h), dtype=bool)
+    friends = np.zeros((num_users, top_h), dtype=np.int64)
+    friend_mask = np.zeros((num_users, top_h), dtype=bool)
+
+    for user, interacted in enumerate(dataset.user_items()):
+        ranked = _top_by_score(np.fromiter(interacted, dtype=np.int64), item_scores, top_h)
+        items[user, : ranked.size] = ranked
+        item_mask[user, : ranked.size] = True
+
+    for user, neighbours in enumerate(dataset.friends()):
+        ranked = _top_by_score(neighbours, friend_scores, top_h)
+        friends[user, : ranked.size] = ranked
+        friend_mask[user, : ranked.size] = True
+
+    return TopNeighbours(
+        items=items, item_mask=item_mask, friends=friends, friend_mask=friend_mask
+    )
+
+
+def _top_by_score(candidates: np.ndarray, scores: np.ndarray, top_h: int) -> np.ndarray:
+    if candidates.size == 0:
+        return candidates
+    order = np.argsort(-scores[candidates], kind="stable")
+    return candidates[order[:top_h]]

@@ -1,0 +1,63 @@
+"""Dataset presets mirroring the paper's Table I statistics.
+
+``yelp_like``/``douban_like`` reproduce the per-entity averages of the
+real datasets (group size, interactions per user/group, friends per
+user) at a configurable scale; ``scale=1.0`` matches the published
+entity counts, while the small default keeps CPU training tractable.
+"""
+
+from __future__ import annotations
+
+from repro.data.synthetic import SyntheticConfig, SyntheticWorld, generate
+from repro.utils import RngLike
+
+#: Entity counts from Table I.
+YELP_FULL = {"users": 34_504, "items": 22_611, "groups": 24_103}
+DOUBAN_FULL = {"users": 29_181, "items": 46_097, "groups": 17_826}
+
+
+def yelp_like_config(scale: float = 0.02, seed: int = 7) -> SyntheticConfig:
+    """Yelp-shaped world: fewer items than users, sparser interactions."""
+    return SyntheticConfig(
+        num_users=max(40, int(YELP_FULL["users"] * scale)),
+        num_items=max(40, int(YELP_FULL["items"] * scale)),
+        num_groups=max(20, int(YELP_FULL["groups"] * scale)),
+        num_communities=6,
+        latent_dim=8,
+        avg_friends=20.77,
+        homophily=0.85,
+        avg_user_interactions=13.98,
+        avg_group_interactions=1.12,
+        avg_group_size=4.45,
+        seed=seed,
+        name="yelp-like",
+    )
+
+
+def douban_like_config(scale: float = 0.02, seed: int = 13) -> SyntheticConfig:
+    """Douban-Event-shaped world: more items than users, denser social
+    network and denser interactions."""
+    return SyntheticConfig(
+        num_users=max(40, int(DOUBAN_FULL["users"] * scale)),
+        num_items=max(40, int(DOUBAN_FULL["items"] * scale)),
+        num_groups=max(20, int(DOUBAN_FULL["groups"] * scale)),
+        num_communities=8,
+        latent_dim=8,
+        avg_friends=40.86,
+        homophily=0.85,
+        avg_user_interactions=25.22,
+        avg_group_interactions=1.47,
+        avg_group_size=4.84,
+        seed=seed,
+        name="douban-like",
+    )
+
+
+def yelp_like(scale: float = 0.02, seed: int = 7, rng: RngLike = None) -> SyntheticWorld:
+    """Generate a Yelp-shaped world."""
+    return generate(yelp_like_config(scale=scale, seed=seed), rng=rng)
+
+
+def douban_like(scale: float = 0.02, seed: int = 13, rng: RngLike = None) -> SyntheticWorld:
+    """Generate a Douban-Event-shaped world."""
+    return generate(douban_like_config(scale=scale, seed=seed), rng=rng)

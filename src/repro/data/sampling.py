@@ -1,0 +1,103 @@
+"""Negative sampling for BPR-style pair-wise training.
+
+The paper samples, for each positive (user, item) or (group, item)
+example, ``N`` random items unobserved for that user/group (Eq. 21 /
+Eq. 24 and the Training Method paragraph).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence, Set
+
+import numpy as np
+
+from repro.utils import RngLike, ensure_rng
+
+
+class NegativeSampler:
+    """Uniform negative sampler with rejection against observed items."""
+
+    def __init__(
+        self,
+        interacted: Sequence[Set[int]],
+        num_items: int,
+        rng: RngLike = None,
+    ) -> None:
+        if num_items <= 1:
+            raise ValueError("need at least two items to sample negatives")
+        self.interacted = interacted
+        self.num_items = num_items
+        self._rng = ensure_rng(rng)
+
+    def sample(self, entity: int, count: int) -> np.ndarray:
+        """Draw ``count`` items not interacted with by ``entity``."""
+        seen = self.interacted[entity]
+        if len(seen) >= self.num_items:
+            raise ValueError(f"entity {entity} has interacted with every item")
+        negatives = np.empty(count, dtype=np.int64)
+        filled = 0
+        while filled < count:
+            draw = self._rng.integers(0, self.num_items, size=count - filled)
+            fresh = [int(item) for item in draw if int(item) not in seen]
+            take = min(len(fresh), count - filled)
+            negatives[filled : filled + take] = fresh[:take]
+            filled += take
+        return negatives
+
+    def sample_many(self, entities: np.ndarray, count: int) -> np.ndarray:
+        """Vectorised helper: (len(entities), count) negatives."""
+        return np.stack([self.sample(int(entity), count) for entity in entities])
+
+
+def bpr_triple_batches(
+    edges: np.ndarray,
+    sampler: NegativeSampler,
+    batch_size: int = 256,
+    negatives_per_positive: int = 1,
+    rng: RngLike = None,
+) -> Iterator[tuple[np.ndarray, np.ndarray, np.ndarray]]:
+    """Yield (entity, positive, negative) batches for one epoch.
+
+    Each positive edge is replicated ``negatives_per_positive`` times,
+    once per sampled negative, matching the paper's parameter ``N``.
+    """
+    if len(edges) == 0:
+        return
+    generator = ensure_rng(rng)
+    order = generator.permutation(len(edges))
+    for start in range(0, len(order), batch_size):
+        batch = edges[order[start : start + batch_size]]
+        entities = np.repeat(batch[:, 0], negatives_per_positive)
+        positives = np.repeat(batch[:, 1], negatives_per_positive)
+        negatives = sampler.sample_many(batch[:, 0], negatives_per_positive).reshape(-1)
+        yield entities, positives, negatives
+
+
+def sample_evaluation_candidates(
+    entity: int,
+    interacted: Sequence[Set[int]],
+    num_items: int,
+    num_candidates: int = 100,
+    rng: RngLike = None,
+) -> np.ndarray:
+    """Sample the paper's 100 never-interacted candidate items.
+
+    Used by the ranking protocol of Section III-C: the positive test
+    item is ranked against these candidates.
+    """
+    generator = ensure_rng(rng)
+    seen = interacted[entity]
+    available = num_items - len(seen)
+    if available <= 0:
+        raise ValueError(f"entity {entity} has no unseen items left")
+    count = min(num_candidates, available)
+    candidates: List[int] = []
+    chosen: Set[int] = set()
+    while len(candidates) < count:
+        draw = generator.integers(0, num_items, size=count - len(candidates))
+        for item in draw:
+            item = int(item)
+            if item not in seen and item not in chosen:
+                candidates.append(item)
+                chosen.add(item)
+    return np.array(candidates, dtype=np.int64)

@@ -1,0 +1,91 @@
+"""Train/validation/test splitting per the paper's protocol.
+
+Section III-C: 80% of the group-item and user-item interactions for
+training, the rest for testing; 10% of the training records become the
+validation set used for hyper-parameter selection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.dataset import GroupRecommendationDataset
+from repro.utils import RngLike, ensure_rng
+
+
+@dataclass
+class DataSplit:
+    """Train / validation / test views over one dataset.
+
+    All three share the social network and the group member lists
+    (those are side information, not prediction targets).
+    """
+
+    train: GroupRecommendationDataset
+    validation: GroupRecommendationDataset
+    test: GroupRecommendationDataset
+
+    @property
+    def full(self) -> GroupRecommendationDataset:
+        """Union of all interactions (used to exclude seen items when
+        sampling evaluation candidates)."""
+        return self.train.with_interactions(
+            user_item=np.concatenate(
+                [self.train.user_item, self.validation.user_item, self.test.user_item]
+            ),
+            group_item=np.concatenate(
+                [self.train.group_item, self.validation.group_item, self.test.group_item]
+            ),
+            name=f"{self.train.name}-full",
+        )
+
+
+def split_interactions(
+    dataset: GroupRecommendationDataset,
+    train_fraction: float = 0.8,
+    validation_fraction: float = 0.1,
+    rng: RngLike = None,
+) -> DataSplit:
+    """Random interaction-level split of both edge types.
+
+    ``validation_fraction`` is taken *out of the training portion*, as
+    in the paper ("in the training dataset, we randomly choose 10%
+    records as the validation set").
+    """
+    if not 0.0 < train_fraction < 1.0:
+        raise ValueError("train_fraction must be in (0, 1)")
+    if not 0.0 <= validation_fraction < 1.0:
+        raise ValueError("validation_fraction must be in [0, 1)")
+    generator = ensure_rng(rng)
+
+    user_train, user_valid, user_test = _split_edges(
+        dataset.user_item, train_fraction, validation_fraction, generator
+    )
+    group_train, group_valid, group_test = _split_edges(
+        dataset.group_item, train_fraction, validation_fraction, generator
+    )
+
+    train = dataset.with_interactions(user_train, group_train, name=f"{dataset.name}-train")
+    validation = dataset.with_interactions(
+        user_valid, group_valid, name=f"{dataset.name}-valid"
+    )
+    test = dataset.with_interactions(user_test, group_test, name=f"{dataset.name}-test")
+    return DataSplit(train=train, validation=validation, test=test)
+
+
+def _split_edges(
+    edges: np.ndarray,
+    train_fraction: float,
+    validation_fraction: float,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    count = len(edges)
+    order = rng.permutation(count)
+    train_count = int(round(count * train_fraction))
+    valid_count = int(round(train_count * validation_fraction))
+    train_ids = order[: train_count - valid_count]
+    valid_ids = order[train_count - valid_count : train_count]
+    test_ids = order[train_count:]
+    return edges[train_ids], edges[valid_ids], edges[test_ids]

@@ -1,0 +1,47 @@
+"""Dataset statistics in the shape of the paper's Table I."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.data.dataset import GroupRecommendationDataset
+
+
+def table1_statistics(dataset: GroupRecommendationDataset) -> Dict[str, float]:
+    """Compute the seven statistics reported in Table I."""
+    num_users = dataset.num_users
+    num_groups = dataset.num_groups
+    sizes = dataset.group_sizes()
+    friends_per_user = (
+        2.0 * len(dataset.social) / num_users if num_users else 0.0
+    )
+    return {
+        "# Users": num_users,
+        "# Items/Events": dataset.num_items,
+        "# Groups": num_groups,
+        "Avg. group size": float(sizes.mean()) if sizes.size else 0.0,
+        "Avg. # interactions per user": (
+            len(dataset.user_item) / num_users if num_users else 0.0
+        ),
+        "Avg. # friends per user": friends_per_user,
+        "Avg. # interactions per group": (
+            len(dataset.group_item) / num_groups if num_groups else 0.0
+        ),
+    }
+
+
+def format_table1(stats_by_dataset: Dict[str, Dict[str, float]]) -> str:
+    """Render Table I as aligned text for the experiment harness."""
+    names = list(stats_by_dataset)
+    rows = list(next(iter(stats_by_dataset.values())))
+    header = f"{'Statistics':<32}" + "".join(f"{name:>16}" for name in names)
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        cells = []
+        for name in names:
+            value = stats_by_dataset[name][row]
+            cells.append(
+                f"{value:>16,.0f}" if row.startswith("#") else f"{value:>16.2f}"
+            )
+        lines.append(f"{row:<32}" + "".join(cells))
+    return "\n".join(lines)

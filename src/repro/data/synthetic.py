@@ -1,0 +1,375 @@
+"""Synthetic world generator standing in for the Yelp / Douban dumps.
+
+The paper's datasets come from the SIGR authors' site and are not
+redistributable offline, so this module builds statistically comparable
+worlds with a *planted latent voting mechanism*:
+
+1. users live in interest communities (homophily, per the paper's
+   closing discussion) and have latent taste vectors;
+2. the social network is sampled preferentially within communities;
+3. user-item interactions follow a softmax over taste-item affinity
+   mixed with a long-tailed global popularity;
+4. groups are connected subgraphs of the social network (so the group
+   extraction rule of SIGR [6] holds by construction);
+5. every group-item interaction is produced by an *expertise-weighted
+   vote*: members with high expertise on the item's topic dominate the
+   choice — exactly the dynamic-weight decision process GroupSA is
+   designed to learn, and the reason static aggregation baselines
+   should trail it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Set
+
+import numpy as np
+
+from repro.data.dataset import GroupRecommendationDataset
+from repro.utils import RngLike, ensure_rng
+
+
+@dataclass(frozen=True)
+class SyntheticConfig:
+    """Knobs of the generative world.
+
+    The defaults produce a small world suitable for unit tests; the
+    dataset presets in :mod:`repro.data.presets` scale them to mimic
+    Table I's per-entity averages.
+    """
+
+    num_users: int = 300
+    num_items: int = 200
+    num_groups: int = 150
+    num_communities: int = 6
+    latent_dim: int = 8
+    #: Average number of friends per user (Table I: 20.77 / 40.86).
+    avg_friends: float = 8.0
+    #: Probability a friendship stays within the community.
+    homophily: float = 0.85
+    #: Average user-item interactions per user (Table I: 13.98 / 25.22).
+    avg_user_interactions: float = 10.0
+    #: Average group-item interactions per group (Table I: 1.12 / 1.47).
+    avg_group_interactions: float = 1.2
+    #: Mean group size (Table I: 4.45 / 4.84); sizes are >= 2.
+    avg_group_size: float = 4.5
+    max_group_size: int = 12
+    #: Softmax temperature for interaction sampling (lower = more
+    #: deterministic tastes, easier learning problem).
+    taste_temperature: float = 0.35
+    #: Temperature of the group vote; groups decide more decisively
+    #: than individuals explore, mirroring the paper's observation that
+    #: group choices are highly predictable once member weights are known.
+    group_temperature: float = 0.15
+    #: Exponent on global popularity in individual choice: interaction
+    #: probability is proportional to ``pop^alpha * exp(affinity/tau)``.
+    #: Calibrated against Table II: Pop reaches HR@10 ~0.65 on the real
+    #: Yelp user task, so individual choices are strongly
+    #: popularity-driven (alpha ~= 1).
+    popularity_weight: float = 1.5
+    #: Popularity long-tail skew (sigma of the lognormal).
+    popularity_sigma: float = 1.8
+    #: Popularity exponent in the *group* vote; much weaker (Pop only
+    #: reaches HR@10 ~0.41 on the real Yelp group task).
+    group_popularity_weight: float = 0.5
+    #: Concentration of expertise: each user is an expert on a few
+    #: topics; higher sharpness makes the planted voting more dominant.
+    expertise_sharpness: float = 4.0
+    #: Discussion rounds before the vote: each round every member moves
+    #: their taste toward the mean taste of their *friends inside the
+    #: group* ("each user first exchanges opinions with his/her friends
+    #: to reach a consensus", Section I).  This is the mechanism the
+    #: social self-attention network is built to recover; setting it to
+    #: 0 removes the social component from the planted vote.
+    discussion_rounds: int = 2
+    #: How far a member moves toward their in-group friends per round.
+    discussion_strength: float = 0.5
+    #: Std-dev of user taste noise around the community centroid.
+    taste_noise: float = 0.25
+    seed: int = 7
+    name: str = "synthetic"
+
+    def scaled(self, factor: float) -> "SyntheticConfig":
+        """Return a copy with entity counts multiplied by ``factor``."""
+        return replace(
+            self,
+            num_users=max(20, int(self.num_users * factor)),
+            num_items=max(20, int(self.num_items * factor)),
+            num_groups=max(10, int(self.num_groups * factor)),
+        )
+
+
+@dataclass
+class SyntheticWorld:
+    """The generated dataset plus the hidden ground truth.
+
+    The latent arrays are *not* visible to models; tests and the case
+    study harness use them to check that learned attention correlates
+    with planted expertise.
+    """
+
+    dataset: GroupRecommendationDataset
+    user_latent: np.ndarray
+    item_latent: np.ndarray
+    item_topic: np.ndarray
+    user_expertise: np.ndarray  # (num_users, num_communities)
+    config: SyntheticConfig
+
+
+def generate(config: SyntheticConfig, rng: RngLike = None) -> SyntheticWorld:
+    """Generate a full world from ``config``."""
+    generator = ensure_rng(config.seed if rng is None else rng)
+
+    communities = generator.integers(0, config.num_communities, size=config.num_users)
+    centroids = generator.normal(size=(config.num_communities, config.latent_dim))
+    centroids /= np.linalg.norm(centroids, axis=1, keepdims=True)
+
+    user_latent = centroids[communities] + config.taste_noise * generator.normal(
+        size=(config.num_users, config.latent_dim)
+    )
+    item_topic = generator.integers(0, config.num_communities, size=config.num_items)
+    item_latent = centroids[item_topic] + config.taste_noise * generator.normal(
+        size=(config.num_items, config.latent_dim)
+    )
+
+    social = _sample_social_network(config, communities, generator)
+    friends = _adjacency_lists(config.num_users, social)
+
+    popularity = generator.lognormal(
+        mean=0.0, sigma=config.popularity_sigma, size=config.num_items
+    )
+    popularity /= popularity.sum()
+
+    user_item = _sample_user_interactions(
+        config, user_latent, item_latent, popularity, generator
+    )
+
+    user_expertise = _sample_expertise(config, communities, generator)
+
+    group_members = _sample_groups(config, friends, generator)
+    friend_sets = [set(neighbours) for neighbours in friends]
+    group_item = _sample_group_interactions(
+        config,
+        group_members,
+        friend_sets,
+        user_latent,
+        item_latent,
+        item_topic,
+        user_expertise,
+        popularity,
+        generator,
+    )
+
+    dataset = GroupRecommendationDataset(
+        num_users=config.num_users,
+        num_items=config.num_items,
+        num_groups=len(group_members),
+        user_item=user_item,
+        group_item=group_item,
+        social=social,
+        group_members=group_members,
+        name=config.name,
+    )
+    return SyntheticWorld(
+        dataset=dataset,
+        user_latent=user_latent,
+        item_latent=item_latent,
+        item_topic=item_topic,
+        user_expertise=user_expertise,
+        config=config,
+    )
+
+
+# ----------------------------------------------------------------------
+# Sampling helpers
+# ----------------------------------------------------------------------
+
+
+def _sample_social_network(
+    config: SyntheticConfig, communities: np.ndarray, rng: np.random.Generator
+) -> np.ndarray:
+    """Sample undirected friendships with community homophily."""
+    members_of: List[np.ndarray] = [
+        np.flatnonzero(communities == c) for c in range(config.num_communities)
+    ]
+    edges: Set[tuple[int, int]] = set()
+    # Target total edge count so the average degree matches avg_friends
+    # despite duplicate draws; sample until reached (with an attempt cap).
+    target_edges = int(round(config.num_users * config.avg_friends / 2))
+    max_attempts = max(10 * target_edges, 100)
+    attempts = 0
+    while len(edges) < target_edges and attempts < max_attempts:
+        attempts += 1
+        user = int(rng.integers(0, config.num_users))
+        if rng.random() < config.homophily:
+            pool = members_of[communities[user]]
+        else:
+            pool = None
+        friend = (
+            int(rng.choice(pool))
+            if pool is not None and pool.size > 1
+            else int(rng.integers(0, config.num_users))
+        )
+        if friend == user:
+            continue
+        edges.add((min(user, friend), max(user, friend)))
+    if not edges:
+        # Degenerate tiny config: connect consecutive users.
+        edges = {(u, u + 1) for u in range(config.num_users - 1)}
+    return np.array(sorted(edges), dtype=np.int64)
+
+
+def _adjacency_lists(num_users: int, social: np.ndarray) -> List[List[int]]:
+    friends: List[List[int]] = [[] for __ in range(num_users)]
+    for left, right in social:
+        friends[left].append(int(right))
+        friends[right].append(int(left))
+    return friends
+
+
+def _sample_user_interactions(
+    config: SyntheticConfig,
+    user_latent: np.ndarray,
+    item_latent: np.ndarray,
+    popularity: np.ndarray,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Sample implicit user-item feedback from taste + popularity."""
+    edges: Set[tuple[int, int]] = set()
+    log_pop = np.log(popularity + 1e-12)
+    for user in range(config.num_users):
+        # 1 + Poisson(mean-1) guarantees >= 1 while keeping the mean exact.
+        count = 1 + int(rng.poisson(max(config.avg_user_interactions - 1.0, 0.0)))
+        count = min(count, config.num_items - 1)
+        affinity = user_latent[user] @ item_latent.T
+        logits = (
+            affinity / config.taste_temperature
+            + config.popularity_weight * log_pop
+        )
+        probabilities = _softmax(logits)
+        items = rng.choice(
+            config.num_items, size=count, replace=False, p=probabilities
+        )
+        edges.update((user, int(item)) for item in items)
+    return np.array(sorted(edges), dtype=np.int64)
+
+
+def _sample_expertise(
+    config: SyntheticConfig, communities: np.ndarray, rng: np.random.Generator
+) -> np.ndarray:
+    """Per-user, per-topic expertise.
+
+    A user is strongest on their own community's topic, and a random
+    minority are planted *experts* on one extra topic — the "food
+    critic" of the paper's introduction.
+    """
+    base = rng.gamma(shape=1.0, scale=0.5, size=(config.num_users, config.num_communities))
+    base[np.arange(config.num_users), communities] += 1.0
+    expert_mask = rng.random(config.num_users) < 0.2
+    expert_topic = rng.integers(0, config.num_communities, size=config.num_users)
+    base[expert_mask, expert_topic[expert_mask]] += config.expertise_sharpness
+    return base
+
+
+def _sample_groups(
+    config: SyntheticConfig, friends: List[List[int]], rng: np.random.Generator
+) -> List[np.ndarray]:
+    """Grow groups as connected subgraphs of the social network."""
+    groups: List[np.ndarray] = []
+    num_users = len(friends)
+    for __ in range(config.num_groups):
+        target = int(
+            np.clip(rng.poisson(config.avg_group_size - 2) + 2, 2, config.max_group_size)
+        )
+        seed = int(rng.integers(0, num_users))
+        members = {seed}
+        frontier = list(friends[seed])
+        while len(members) < target and frontier:
+            pick = int(frontier.pop(rng.integers(0, len(frontier))))
+            if pick in members:
+                continue
+            members.add(pick)
+            frontier.extend(friends[pick])
+        if len(members) < 2:
+            # Isolated seed: fall back to seed + a random friend-less pair
+            # (kept rare by construction; still a valid occasional group).
+            other = int(rng.integers(0, num_users))
+            while other == seed:
+                other = int(rng.integers(0, num_users))
+            members.add(other)
+        groups.append(np.array(sorted(members), dtype=np.int64))
+    return groups
+
+
+def _discussed_tastes(
+    config: SyntheticConfig,
+    members: np.ndarray,
+    friend_sets: List[Set[int]],
+    user_latent: np.ndarray,
+) -> np.ndarray:
+    """Simulate the pre-vote discussion: members drift toward the mean
+    taste of their friends *inside the group* for a few rounds."""
+    tastes = user_latent[members].copy()
+    if config.discussion_rounds <= 0 or config.discussion_strength <= 0:
+        return tastes
+    size = members.size
+    adjacency = np.zeros((size, size), dtype=bool)
+    for row in range(size):
+        friends = friend_sets[int(members[row])]
+        for col in range(row + 1, size):
+            if int(members[col]) in friends:
+                adjacency[row, col] = True
+                adjacency[col, row] = True
+    degree = adjacency.sum(axis=1)
+    for __ in range(config.discussion_rounds):
+        neighbour_mean = np.where(
+            degree[:, None] > 0,
+            adjacency @ tastes / np.maximum(degree[:, None], 1),
+            tastes,
+        )
+        tastes = (
+            1.0 - config.discussion_strength
+        ) * tastes + config.discussion_strength * neighbour_mean
+    return tastes
+
+
+def _sample_group_interactions(
+    config: SyntheticConfig,
+    group_members: List[np.ndarray],
+    friend_sets: List[Set[int]],
+    user_latent: np.ndarray,
+    item_latent: np.ndarray,
+    item_topic: np.ndarray,
+    user_expertise: np.ndarray,
+    popularity: np.ndarray,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Planted latent voting: a social discussion adjusts member tastes,
+    then expertise-weighted voting picks the item."""
+    edges: Set[tuple[int, int]] = set()
+    num_items = item_latent.shape[0]
+    log_pop = np.log(popularity + 1e-12)
+    for group_id, members in enumerate(group_members):
+        count = 1 + int(rng.poisson(max(config.avg_group_interactions - 1.0, 0.0)))
+        count = min(count, num_items - 1)
+        discussed = _discussed_tastes(config, members, friend_sets, user_latent)
+        member_affinity = discussed @ item_latent.T  # (l, n)
+        # Voting weights: softmax over members of their expertise on
+        # each item's topic -> shape (l, n).
+        expertise = user_expertise[members][:, item_topic]  # (l, n)
+        weights = _softmax(expertise, axis=0)
+        group_score = (weights * member_affinity).sum(axis=0)
+        logits = (
+            group_score / config.group_temperature
+            + config.group_popularity_weight * log_pop
+        )
+        probabilities = _softmax(logits)
+        items = rng.choice(num_items, size=count, replace=False, p=probabilities)
+        edges.update((group_id, int(item)) for item in items)
+    return np.array(sorted(edges), dtype=np.int64)
+
+
+def _softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    shifted = logits - logits.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=axis, keepdims=True)

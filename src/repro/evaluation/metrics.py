@@ -1,0 +1,49 @@
+"""Top-K ranking metrics: Hit Ratio and NDCG (Section III-C).
+
+Both metrics operate on the *rank* of the single positive test item
+among the sampled candidates: HR@K is 1 when the positive lands in the
+Top-K; NDCG@K additionally rewards higher positions with
+``1 / log2(rank + 2)`` (rank is 0-based).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def rank_of_positive(
+    positive_scores: np.ndarray, candidate_scores: np.ndarray
+) -> np.ndarray:
+    """0-based rank of each positive among its candidate row.
+
+    ``positive_scores`` has shape (E,), ``candidate_scores`` (E, C).
+    Ties contribute half a position each, so models emitting constant
+    scores (e.g. popularity with unseen items) are treated fairly and
+    deterministically instead of optimistically.
+    """
+    positive = positive_scores[:, None]
+    stronger = (candidate_scores > positive).sum(axis=1)
+    ties = (candidate_scores == positive).sum(axis=1)
+    return stronger + 0.5 * ties
+
+
+def hit_ratio_at_k(ranks: np.ndarray, k: int) -> np.ndarray:
+    """Per-example HR@K indicator (mean gives the reported HR@K)."""
+    return (ranks < k).astype(np.float64)
+
+
+def ndcg_at_k(ranks: np.ndarray, k: int) -> np.ndarray:
+    """Per-example NDCG@K with a single relevant item."""
+    in_top = ranks < k
+    gains = np.zeros_like(ranks, dtype=np.float64)
+    gains[in_top] = 1.0 / np.log2(ranks[in_top] + 2.0)
+    return gains
+
+
+def summarize(ranks: np.ndarray, ks: tuple[int, ...] = (5, 10)) -> dict[str, float]:
+    """HR@K / NDCG@K means for every K, keyed like the paper's tables."""
+    summary: dict[str, float] = {}
+    for k in ks:
+        summary[f"HR@{k}"] = float(hit_ratio_at_k(ranks, k).mean()) if ranks.size else 0.0
+        summary[f"NDCG@{k}"] = float(ndcg_at_k(ranks, k).mean()) if ranks.size else 0.0
+    return summary

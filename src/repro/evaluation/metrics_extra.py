@@ -1,0 +1,114 @@
+"""Metrics beyond the paper's HR/NDCG.
+
+The paper reports HR@K and NDCG@K only; a production evaluation
+usually also wants rank-sensitive scalar metrics (MRR, AUC) and
+list-quality metrics (coverage, novelty, intra-list diversity).  All of
+these operate on the same primitives as :mod:`repro.evaluation.metrics`
+— per-example ranks, or recommendation lists.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Sequence
+
+import numpy as np
+
+
+def mrr(ranks: np.ndarray) -> float:
+    """Mean reciprocal rank (ranks are 0-based)."""
+    ranks = np.asarray(ranks, dtype=float)
+    if ranks.size == 0:
+        return 0.0
+    return float((1.0 / (ranks + 1.0)).mean())
+
+
+def auc(ranks: np.ndarray, num_candidates: int) -> float:
+    """Mean AUC for the single-positive protocol.
+
+    With one positive ranked against ``num_candidates`` negatives, the
+    per-example AUC is the fraction of negatives ranked below the
+    positive: ``(C - rank) / C``.
+    """
+    if num_candidates <= 0:
+        raise ValueError("num_candidates must be positive")
+    ranks = np.asarray(ranks, dtype=float)
+    if ranks.size == 0:
+        return 0.0
+    return float(((num_candidates - ranks) / num_candidates).mean())
+
+
+def mean_rank(ranks: np.ndarray) -> float:
+    """Average 0-based rank of the positive (lower is better)."""
+    ranks = np.asarray(ranks, dtype=float)
+    return float(ranks.mean()) if ranks.size else 0.0
+
+
+def catalog_coverage(
+    recommendation_lists: Iterable[Sequence[int]], num_items: int
+) -> float:
+    """Fraction of the catalog that appears in at least one Top-K list."""
+    if num_items <= 0:
+        raise ValueError("num_items must be positive")
+    seen: set[int] = set()
+    for items in recommendation_lists:
+        seen.update(int(item) for item in items)
+    return len(seen) / num_items
+
+
+def novelty(
+    recommendation_lists: Iterable[Sequence[int]], popularity: np.ndarray
+) -> float:
+    """Mean self-information ``-log2 p(item)`` of recommended items.
+
+    ``popularity`` holds interaction counts; items nobody interacted
+    with get the smallest observed probability (most novel).
+    """
+    popularity = np.asarray(popularity, dtype=float)
+    total = popularity.sum()
+    if total <= 0:
+        raise ValueError("popularity has no interactions")
+    probabilities = np.maximum(popularity, 1.0) / total
+    information = -np.log2(probabilities)
+    values = [
+        float(information[list(map(int, items))].mean())
+        for items in recommendation_lists
+        if len(items)
+    ]
+    return float(np.mean(values)) if values else 0.0
+
+
+def intra_list_diversity(
+    recommendation_lists: Iterable[Sequence[int]], item_vectors: np.ndarray
+) -> float:
+    """Mean pairwise cosine *distance* within each Top-K list.
+
+    ``item_vectors`` can be any item representation (learned embeddings
+    or the generator's latent vectors); higher means more diverse lists.
+    """
+    vectors = np.asarray(item_vectors, dtype=float)
+    norms = np.linalg.norm(vectors, axis=1)
+    norms = np.where(norms > 0, norms, 1.0)
+    normalized = vectors / norms[:, None]
+    values = []
+    for items in recommendation_lists:
+        items = list(map(int, items))
+        if len(items) < 2:
+            continue
+        block = normalized[items]
+        similarity = block @ block.T
+        upper = similarity[np.triu_indices(len(items), k=1)]
+        values.append(float((1.0 - upper).mean()))
+    return float(np.mean(values)) if values else 0.0
+
+
+def extended_summary(
+    ranks: np.ndarray, num_candidates: int, ks: tuple[int, ...] = (5, 10)
+) -> Dict[str, float]:
+    """HR/NDCG plus MRR, AUC and mean rank in one dict."""
+    from repro.evaluation.metrics import summarize
+
+    summary = summarize(ranks, ks)
+    summary["MRR"] = mrr(ranks)
+    summary["AUC"] = auc(ranks, num_candidates)
+    summary["MeanRank"] = mean_rank(ranks)
+    return summary

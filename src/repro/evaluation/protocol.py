@@ -1,0 +1,143 @@
+"""The paper's evaluation protocol (Section III-C).
+
+For every held-out (entity, item) interaction, 100 items the entity has
+*never* interacted with (across train+validation+test) are sampled as
+candidates; the model ranks the positive against them and HR@K /
+NDCG@K are averaged over all test interactions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.data.sampling import sample_evaluation_candidates
+from repro.evaluation.metrics import rank_of_positive, summarize
+from repro.utils import RngLike, ensure_rng
+
+ScoreFn = Callable[[np.ndarray, np.ndarray], np.ndarray]
+# Maps aligned (entity_ids, item_ids) arrays to a score array.
+
+
+@dataclass
+class RankingResult:
+    """Per-example ranks plus aggregate metrics for one model/task."""
+
+    ranks: np.ndarray
+    entities: np.ndarray
+    metrics: Dict[str, float]
+
+    def metric(self, name: str) -> float:
+        return self.metrics[name]
+
+    def per_example(self, name: str) -> np.ndarray:
+        """Per-example metric vector (for significance testing)."""
+        from repro.evaluation.metrics import hit_ratio_at_k, ndcg_at_k
+
+        kind, k = name.split("@")
+        if kind == "HR":
+            return hit_ratio_at_k(self.ranks, int(k))
+        if kind == "NDCG":
+            return ndcg_at_k(self.ranks, int(k))
+        raise ValueError(f"unknown metric '{name}'")
+
+
+@dataclass(frozen=True)
+class EvaluationTask:
+    """A prepared evaluation set with fixed candidate items.
+
+    Freezing the candidates lets every compared model rank the *same*
+    lists, which is what makes paired significance tests valid.
+    """
+
+    edges: np.ndarray  # (E, 2) test interactions
+    candidates: np.ndarray  # (E, C) sampled negative candidates
+
+    @property
+    def num_candidates(self) -> int:
+        return self.candidates.shape[1]
+
+
+def prepare_task(
+    test_edges: np.ndarray,
+    interacted: Sequence[Set[int]],
+    num_items: int,
+    num_candidates: int = 100,
+    rng: RngLike = None,
+) -> EvaluationTask:
+    """Sample the candidate lists once for a test set.
+
+    ``interacted`` must cover *all* splits so candidates are items the
+    entity never interacted with, per the protocol.
+    """
+    generator = ensure_rng(rng)
+    test_edges = np.asarray(test_edges, dtype=np.int64)
+    if len(test_edges):
+        # All rows must share one width; on tiny worlds some entity may
+        # have fewer unseen items than requested, so clip uniformly.
+        feasible = min(
+            num_items - len(interacted[int(entity)]) for entity in test_edges[:, 0]
+        )
+        width = min(num_candidates, feasible)
+        if width < 1:
+            raise ValueError("some test entity has no unseen candidate items")
+    else:
+        width = 0
+    candidate_rows = [
+        sample_evaluation_candidates(
+            int(entity), interacted, num_items, width, rng=generator
+        )
+        for entity, __ in test_edges
+    ]
+    return EvaluationTask(
+        edges=test_edges,
+        candidates=np.stack(candidate_rows) if candidate_rows else np.empty((0, 0), np.int64),
+    )
+
+
+def evaluate(
+    score_fn: ScoreFn,
+    task: EvaluationTask,
+    ks: Tuple[int, ...] = (5, 10),
+    chunk: int = 64,
+) -> RankingResult:
+    """Rank each positive against its frozen candidates and aggregate."""
+    edges = task.edges
+    if len(edges) == 0:
+        return RankingResult(
+            ranks=np.empty(0), entities=np.empty(0, np.int64), metrics=summarize(np.empty(0), ks)
+        )
+    count, width = task.candidates.shape
+    positive_scores = np.empty(count)
+    candidate_scores = np.empty((count, width))
+    for start in range(0, count, chunk):
+        stop = min(start + chunk, count)
+        block = slice(start, stop)
+        entities = edges[block, 0]
+        positives = edges[block, 1]
+        # One flat call scores positives and candidates together.
+        tiled_entities = np.repeat(entities, width + 1)
+        items = np.concatenate(
+            [positives[:, None], task.candidates[block]], axis=1
+        ).reshape(-1)
+        scores = score_fn(tiled_entities, items).reshape(stop - start, width + 1)
+        positive_scores[block] = scores[:, 0]
+        candidate_scores[block] = scores[:, 1:]
+    ranks = rank_of_positive(positive_scores, candidate_scores)
+    return RankingResult(ranks=ranks, entities=edges[:, 0], metrics=summarize(ranks, ks))
+
+
+def evaluate_filtered(
+    score_fn: ScoreFn,
+    task: EvaluationTask,
+    keep: np.ndarray,
+    ks: Tuple[int, ...] = (5, 10),
+) -> RankingResult:
+    """Evaluate on the subset of test edges where ``keep`` is True.
+
+    Used by the group-size breakdown of Table IX.
+    """
+    subset = EvaluationTask(edges=task.edges[keep], candidates=task.candidates[keep])
+    return evaluate(score_fn, subset, ks=ks)

@@ -1,0 +1,52 @@
+"""Top-K recommendation list generation from trained scorers.
+
+The evaluation protocol only needs ranks, but the example applications
+recommend actual item lists; this module provides that surface.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, Set
+
+import numpy as np
+
+ScoreFn = Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+
+def top_k_items(
+    score_fn: ScoreFn,
+    entity: int,
+    num_items: int,
+    k: int = 10,
+    exclude: Set[int] | None = None,
+) -> np.ndarray:
+    """Return the Top-K item ids for one entity, highest score first.
+
+    ``exclude`` removes already-interacted items from the ranking, the
+    usual deployment behaviour.
+    """
+    exclude = exclude or set()
+    candidates = np.array(
+        [item for item in range(num_items) if item not in exclude], dtype=np.int64
+    )
+    if candidates.size == 0:
+        return candidates
+    entities = np.full(candidates.size, entity, dtype=np.int64)
+    scores = score_fn(entities, candidates)
+    order = np.argsort(-scores, kind="stable")
+    return candidates[order[:k]]
+
+
+def recommend_for_groups(
+    score_fn: ScoreFn,
+    group_ids: Sequence[int],
+    num_items: int,
+    k: int = 10,
+    exclude_per_group: Sequence[Set[int]] | None = None,
+) -> dict[int, np.ndarray]:
+    """Top-K lists for several groups at once."""
+    results: dict[int, np.ndarray] = {}
+    for group in group_ids:
+        exclude = exclude_per_group[group] if exclude_per_group is not None else None
+        results[int(group)] = top_k_items(score_fn, int(group), num_items, k, exclude)
+    return results

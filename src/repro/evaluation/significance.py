@@ -1,0 +1,48 @@
+"""Statistical significance testing (paired t-tests, Section III-E)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats
+
+
+@dataclass(frozen=True)
+class TTestResult:
+    statistic: float
+    p_value: float
+
+    def significant(self, alpha: float = 0.01) -> bool:
+        """Whether the difference is significant at level ``alpha``
+        (the paper reports p < 0.01)."""
+        return bool(self.p_value < alpha)
+
+
+def paired_ttest(scores_a: np.ndarray, scores_b: np.ndarray) -> TTestResult:
+    """Paired t-test on per-example metric vectors of two models.
+
+    Valid when both models ranked the same frozen candidate lists
+    (see :class:`~repro.evaluation.protocol.EvaluationTask`).
+    """
+    scores_a = np.asarray(scores_a, dtype=np.float64)
+    scores_b = np.asarray(scores_b, dtype=np.float64)
+    if scores_a.shape != scores_b.shape:
+        raise ValueError("paired t-test requires equal-length score vectors")
+    if scores_a.size < 2:
+        raise ValueError("need at least two paired examples")
+    if np.allclose(scores_a, scores_b):
+        return TTestResult(statistic=0.0, p_value=1.0)
+    statistic, p_value = stats.ttest_rel(scores_a, scores_b)
+    return TTestResult(statistic=float(statistic), p_value=float(p_value))
+
+
+def one_sample_ttest(differences: np.ndarray, popmean: float = 0.0) -> TTestResult:
+    """One-sample t-test on per-example differences (paper's phrasing)."""
+    differences = np.asarray(differences, dtype=np.float64)
+    if differences.size < 2:
+        raise ValueError("need at least two examples")
+    if np.allclose(differences, popmean):
+        return TTestResult(statistic=0.0, p_value=1.0)
+    statistic, p_value = stats.ttest_1samp(differences, popmean)
+    return TTestResult(statistic=float(statistic), p_value=float(p_value))

@@ -1,0 +1,27 @@
+"""Experiment harnesses regenerating every table and figure."""
+
+from repro.experiments.runner import (
+    BENCH_BUDGET,
+    DATASETS,
+    ExperimentBudget,
+    PAPER_BUDGET,
+    PreparedRun,
+    average_over_seeds,
+    dataset_config,
+    evaluate_model,
+    prepare_run,
+    with_training,
+)
+
+__all__ = [
+    "ExperimentBudget",
+    "BENCH_BUDGET",
+    "PAPER_BUDGET",
+    "DATASETS",
+    "PreparedRun",
+    "prepare_run",
+    "dataset_config",
+    "evaluate_model",
+    "average_over_seeds",
+    "with_training",
+]

@@ -1,0 +1,35 @@
+"""CLI entry point: ``python -m repro.experiments <id> [--bench]``."""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.experiments.runner import BENCH_BUDGET, PAPER_BUDGET
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(
+        description="Reproduce a table/figure from the GroupSA paper."
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="experiment id (paper numbering) or 'all'",
+    )
+    parser.add_argument(
+        "--bench",
+        action="store_true",
+        help="use the quick benchmark budget instead of the paper budget",
+    )
+    arguments = parser.parse_args()
+    budget = BENCH_BUDGET if arguments.bench else PAPER_BUDGET
+    targets = sorted(EXPERIMENTS) if arguments.experiment == "all" else [arguments.experiment]
+    for identifier in targets:
+        print(f"=== {identifier}: {EXPERIMENTS[identifier].description} ===")
+        run_experiment(identifier, budget)
+        print()
+
+
+if __name__ == "__main__":
+    main()

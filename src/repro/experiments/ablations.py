@@ -1,0 +1,64 @@
+"""Figure 3: importance of the social self-attention and user-modeling
+components (RQ2 & RQ3).
+
+Compares GroupSA against Group-A, Group-S, Group-I and Group-F on the
+group task of both datasets (the figure plots HR@5/10 and NDCG@5/10).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.baselines import GroupSARecommender
+from repro.core.config import GroupSAConfig
+from repro.experiments.reporting import format_metric_table
+from repro.experiments.runner import (
+    ExperimentBudget,
+    PAPER_BUDGET,
+    average_over_seeds,
+)
+
+ABLATION_ORDER: Tuple[str, ...] = ("Group-A", "Group-S", "Group-I", "Group-F", "GroupSA")
+
+
+def run_ablations(
+    dataset: str = "yelp",
+    budget: ExperimentBudget = PAPER_BUDGET,
+    model_config: GroupSAConfig = GroupSAConfig(),
+    variants: Tuple[str, ...] = ABLATION_ORDER,
+) -> Dict[str, Dict[str, float]]:
+    """Group-task metrics for each ablation variant."""
+    factories = {
+        name: (
+            lambda seed, name=name: GroupSARecommender(
+                model_config.variant(seed=model_config.seed + seed),
+                budget.training,
+                variant=name,
+            )
+        )
+        for name in variants
+    }
+    rows = average_over_seeds(factories, dataset, budget)
+    return {name: rows[name]["group"] for name in variants if name in rows}
+
+
+def format_ablations(rows: Dict[str, Dict[str, float]], dataset: str) -> str:
+    from repro.experiments.figures import render_bar_chart
+
+    table = format_metric_table(
+        rows, title=f"Figure 3 — component importance ({dataset}, group task)"
+    )
+    chart = render_bar_chart(rows, "HR@10", title=f"HR@10 bars ({dataset})")
+    return f"{table}\n\n{chart}"
+
+
+def main(dataset: str = "yelp", budget: ExperimentBudget = PAPER_BUDGET) -> str:
+    text = format_ablations(run_ablations(dataset, budget), dataset)
+    print(text)
+    return text
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    main(sys.argv[1] if len(sys.argv) > 1 else "yelp")

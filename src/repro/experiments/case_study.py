@@ -1,0 +1,135 @@
+"""Table IV: case study of member attention weights (RQ2).
+
+Reproduces the qualitative analysis: pick a test group, compare how
+GroupSA and Group-S (no self-attention) distribute attention over the
+members for positive and negative items, and how close the predicted
+scores get to the 1 / 0 targets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.baselines import GroupSARecommender
+from repro.core.config import GroupSAConfig
+from repro.experiments.runner import (
+    ExperimentBudget,
+    PAPER_BUDGET,
+    PreparedRun,
+    prepare_run,
+)
+from repro.utils import ensure_rng
+
+
+@dataclass
+class CaseStudyRow:
+    """Attention weights and prediction for one (item, model) pair."""
+
+    item: int
+    is_positive: bool
+    model: str
+    member_weights: np.ndarray
+    score: float
+
+
+@dataclass
+class CaseStudy:
+    group: int
+    members: np.ndarray
+    rows: List[CaseStudyRow]
+
+    def format(self) -> str:
+        header = f"{'Item':>8} {'Model':<9}"
+        for member in self.members:
+            header += f"{f'User#{member}':>10}"
+        header += f"{'sigmoid(r_G)':>14}"
+        lines = [
+            f"Table IV — case study, group #{self.group} "
+            f"(members: {', '.join(map(str, self.members))})",
+            header,
+            "-" * len(header),
+        ]
+        for row in self.rows:
+            label = f"{'+' if row.is_positive else '-'}#{row.item}"
+            line = f"{label:>8} {row.model:<9}"
+            for weight in row.member_weights:
+                line += f"{weight:>10.4f}"
+            line += f"{row.score:>14.4f}"
+            lines.append(line)
+        return "\n".join(lines)
+
+
+def select_case_group(
+    run: PreparedRun, group_size: int = 3, rng_seed: int = 0
+) -> Optional[int]:
+    """Pick a test group of the requested size with a test positive."""
+    sizes = run.split.train.group_sizes()
+    tested = np.unique(run.group_task.edges[:, 0])
+    eligible = [int(g) for g in tested if sizes[g] == group_size]
+    if not eligible:
+        eligible = [int(g) for g in tested]
+    if not eligible:
+        return None
+    return eligible[int(ensure_rng(rng_seed).integers(0, len(eligible)))]
+
+
+def run_case_study(
+    dataset: str = "yelp",
+    budget: ExperimentBudget = PAPER_BUDGET,
+    model_config: GroupSAConfig = GroupSAConfig(),
+    num_negatives: int = 2,
+) -> CaseStudy:
+    seed = budget.seeds[0]
+    run = prepare_run(dataset, budget, seed)
+    group = select_case_group(run)
+    if group is None:
+        raise RuntimeError("no test group available for the case study")
+
+    models: Dict[str, GroupSARecommender] = {
+        "Group-S": GroupSARecommender(model_config, budget.training, variant="Group-S"),
+        "GroupSA": GroupSARecommender(model_config, budget.training),
+    }
+    for model in models.values():
+        model.fit(run.split)
+
+    edges = run.group_task.edges
+    positives = edges[edges[:, 0] == group][:, 1][:2]
+    candidate_row = run.group_task.candidates[int(np.flatnonzero(edges[:, 0] == group)[0])]
+    negatives = candidate_row[:num_negatives]
+
+    members = run.split.train.group_members[group]
+    rows: List[CaseStudyRow] = []
+    for item, is_positive in [(int(i), True) for i in positives] + [
+        (int(i), False) for i in negatives
+    ]:
+        for name, wrapped in models.items():
+            model, batcher = wrapped._require()
+            batch = batcher.batch([group])
+            weights = model.member_attention(batch, np.array([item]))[0]
+            score = model.score_group_items(batch, np.array([item]))[0]
+            rows.append(
+                CaseStudyRow(
+                    item=item,
+                    is_positive=is_positive,
+                    model=name,
+                    member_weights=weights[: members.size],
+                    score=float(1.0 / (1.0 + np.exp(-score))),
+                )
+            )
+    return CaseStudy(group=group, members=members, rows=rows)
+
+
+def main(dataset: str = "yelp", budget: ExperimentBudget = PAPER_BUDGET) -> str:
+    study = run_case_study(dataset, budget)
+    text = study.format()
+    print(text)
+    return text
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    main(sys.argv[1] if len(sys.argv) > 1 else "yelp")

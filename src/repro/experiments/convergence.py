@@ -1,0 +1,117 @@
+"""Training-dynamics harness: loss and validation metric vs. epoch.
+
+Not a numbered paper artifact, but the evidence behind the two-stage
+training story: the group-task loss starts far lower when stage 1 ran
+first (shared embeddings transfer), and the validation metric shows
+where fine-tuning saturates.  Produces CSV-ready rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.config import GroupSAConfig
+from repro.data.splits import DataSplit
+from repro.evaluation.protocol import evaluate
+from repro.experiments.runner import ExperimentBudget, PAPER_BUDGET, prepare_run
+from repro.training.trainer import GroupSATrainer, TrainingConfig
+from repro.training.two_stage import build_model
+from repro.tuning import validation_task
+
+
+@dataclass
+class ConvergencePoint:
+    stage: str
+    epoch: int
+    loss: float
+    validation_hr10: Optional[float]
+
+
+@dataclass
+class ConvergenceCurve:
+    points: List[ConvergencePoint]
+
+    def to_csv(self) -> str:
+        lines = ["stage,epoch,loss,validation_hr10"]
+        for point in self.points:
+            validation = (
+                f"{point.validation_hr10:.4f}"
+                if point.validation_hr10 is not None
+                else ""
+            )
+            lines.append(f"{point.stage},{point.epoch},{point.loss:.4f},{validation}")
+        return "\n".join(lines)
+
+    def losses(self, stage: str) -> List[float]:
+        return [p.loss for p in self.points if p.stage == stage]
+
+
+def trace_convergence(
+    split: DataSplit,
+    model_config: GroupSAConfig = GroupSAConfig(),
+    training: TrainingConfig = TrainingConfig(),
+    check_every: int = 5,
+    num_candidates: int = 100,
+) -> ConvergenceCurve:
+    """Train with the two-stage schedule, recording a curve."""
+    model, batcher = build_model(split, model_config)
+    trainer = GroupSATrainer(model, split, batcher, training)
+    task = (
+        validation_task(split, num_candidates=num_candidates)
+        if len(split.validation.group_item)
+        else None
+    )
+    points: List[ConvergencePoint] = []
+
+    def validation_value() -> Optional[float]:
+        if task is None:
+            return None
+        return evaluate(
+            lambda groups, items: model.score_group_items(batcher.batch(groups), items),
+            task,
+        ).metrics["HR@10"]
+
+    if model.config.use_user_task:
+        for epoch in range(1, training.user_epochs + 1):
+            trainer.train_user_task(epochs=1)
+            points.append(
+                ConvergencePoint(
+                    stage="user",
+                    epoch=epoch,
+                    loss=trainer.history.final_loss("user"),
+                    validation_hr10=None,
+                )
+            )
+        if training.init_group_tower_from_user:
+            model.group_tower.load_state_dict(model.user_tower.state_dict())
+
+    interleave = training.interleave_user_every if model.config.use_user_task else 0
+    for epoch in range(1, training.group_epochs + 1):
+        trainer.train_group_task(epochs=1)
+        if interleave and epoch % interleave == 0:
+            trainer.train_user_task(epochs=1)
+        validation = validation_value() if epoch % check_every == 0 else None
+        points.append(
+            ConvergencePoint(
+                stage="group",
+                epoch=epoch,
+                loss=trainer.history.final_loss("group"),
+                validation_hr10=validation,
+            )
+        )
+    return ConvergenceCurve(points=points)
+
+
+def main(dataset: str = "yelp", budget: ExperimentBudget = PAPER_BUDGET) -> str:
+    run = prepare_run(dataset, budget, budget.seeds[0])
+    curve = trace_convergence(run.split, training=budget.training)
+    text = curve.to_csv()
+    print(text)
+    return text
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    main(sys.argv[1] if len(sys.argv) > 1 else "yelp")

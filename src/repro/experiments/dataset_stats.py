@@ -1,0 +1,56 @@
+"""Table I: statistics of the (synthetic) Yelp and Douban-Event worlds."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.data.stats import format_table1, table1_statistics
+from repro.data.synthetic import generate
+from repro.experiments.runner import ExperimentBudget, PAPER_BUDGET, dataset_config
+
+#: Published values for side-by-side comparison.
+PAPER_TABLE1 = {
+    "yelp": {
+        "# Users": 34504,
+        "# Items/Events": 22611,
+        "# Groups": 24103,
+        "Avg. group size": 4.45,
+        "Avg. # interactions per user": 13.98,
+        "Avg. # friends per user": 20.77,
+        "Avg. # interactions per group": 1.12,
+    },
+    "douban": {
+        "# Users": 29181,
+        "# Items/Events": 46097,
+        "# Groups": 17826,
+        "Avg. group size": 4.84,
+        "Avg. # interactions per user": 25.22,
+        "Avg. # friends per user": 40.86,
+        "Avg. # interactions per group": 1.47,
+    },
+}
+
+
+def run_dataset_stats(
+    budget: ExperimentBudget = PAPER_BUDGET,
+) -> Dict[str, Dict[str, float]]:
+    """Statistics of both generated worlds at the budget's scale."""
+    stats = {}
+    for dataset in ("yelp", "douban"):
+        world = generate(dataset_config(dataset, budget.scale, budget.seeds[0]))
+        stats[dataset] = table1_statistics(world.dataset)
+    return stats
+
+
+def format_dataset_stats(stats: Dict[str, Dict[str, float]]) -> str:
+    return format_table1(stats)
+
+
+def main(budget: ExperimentBudget = PAPER_BUDGET) -> str:
+    text = format_dataset_stats(run_dataset_stats(budget))
+    print(text)
+    return text
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,45 @@
+"""ASCII figure rendering.
+
+The paper's Figure 3 is a bar chart; on a text-only substrate we render
+horizontal bars so the harness output still *reads* like the figure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+
+def render_bar_chart(
+    rows: Dict[str, Dict[str, float]],
+    metric: str,
+    title: Optional[str] = None,
+    width: int = 40,
+) -> str:
+    """Horizontal bar chart of ``metric`` across models.
+
+    ``rows`` maps model name -> metric dict (the ablation harness
+    output shape).  Bars are scaled to the maximum value.
+    """
+    if not rows:
+        raise ValueError("rows must not be empty")
+    values = {name: metrics[metric] for name, metrics in rows.items()}
+    peak = max(values.values()) or 1.0
+    label_width = max(len(name) for name in values)
+    lines = [title or metric]
+    for name, value in values.items():
+        bar = "#" * max(1, round(width * value / peak)) if value > 0 else ""
+        lines.append(f"{name:<{label_width}} |{bar:<{width}} {value:.4f}")
+    return "\n".join(lines)
+
+
+def render_figure3(
+    rows: Dict[str, Dict[str, float]],
+    dataset: str,
+    metrics: Sequence[str] = ("HR@5", "HR@10", "NDCG@5", "NDCG@10"),
+) -> str:
+    """Figure 3's four panels as stacked ASCII bar charts."""
+    panels = [
+        render_bar_chart(rows, metric, title=f"{metric} ({dataset})")
+        for metric in metrics
+    ]
+    return "\n\n".join(panels)

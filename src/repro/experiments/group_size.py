@@ -1,0 +1,78 @@
+"""Table IX: performance by group size (small < 3, medium 3-7, large > 7).
+
+Trains one GroupSA per seed, then evaluates the *same* model on test
+interactions bucketed by the size of the interacting group (the paper
+keeps parameters identical across bins).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.baselines import GroupSARecommender
+from repro.core.config import GroupSAConfig
+from repro.evaluation.protocol import evaluate_filtered
+from repro.experiments.reporting import format_metric_table
+from repro.experiments.runner import (
+    ExperimentBudget,
+    PAPER_BUDGET,
+    prepare_run,
+)
+
+SIZE_BINS: Tuple[Tuple[str, int, int], ...] = (
+    ("l < 3", 0, 3),
+    ("3 <= l <= 7", 3, 8),
+    ("7 < l", 8, 10**9),
+)
+
+
+def run_group_size(
+    dataset: str = "yelp",
+    budget: ExperimentBudget = PAPER_BUDGET,
+    model_config: GroupSAConfig = GroupSAConfig(),
+) -> Dict[str, Dict[str, float]]:
+    totals: Dict[str, Dict[str, list]] = {label: {} for label, *_ in SIZE_BINS}
+    for seed in budget.seeds:
+        run = prepare_run(dataset, budget, seed)
+        sizes = run.split.train.group_sizes()
+        model = GroupSARecommender(
+            model_config.variant(seed=model_config.seed + seed), budget.training
+        ).fit(run.split)
+        edge_sizes = sizes[run.group_task.edges[:, 0]]
+        for label, low, high in SIZE_BINS:
+            keep = (edge_sizes >= low) & (edge_sizes < high)
+            if not keep.any():
+                continue
+            result = evaluate_filtered(
+                model.score_group_items, run.group_task, keep, ks=budget.ks
+            )
+            slot = totals[label]
+            for metric, value in result.metrics.items():
+                slot.setdefault(metric, []).append(value)
+    return {
+        label: {metric: float(np.mean(values)) for metric, values in slots.items()}
+        for label, slots in totals.items()
+        if slots
+    }
+
+
+def format_group_size(rows: Dict[str, Dict[str, float]], dataset: str) -> str:
+    return format_metric_table(
+        rows,
+        title=f"Table IX — performance by group size ({dataset})",
+        key_header="group size",
+    )
+
+
+def main(dataset: str = "yelp", budget: ExperimentBudget = PAPER_BUDGET) -> str:
+    text = format_group_size(run_group_size(dataset, budget), dataset)
+    print(text)
+    return text
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    main(sys.argv[1] if len(sys.argv) > 1 else "yelp")

@@ -1,0 +1,58 @@
+"""Table V: importance of the user-item interaction data (RQ4).
+
+Compares NCF (virtual-user CF), Group-G (GroupSA without the user-item
+task) and full GroupSA on the group task of both datasets.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.baselines import NCF, GroupSARecommender
+from repro.core.config import GroupSAConfig
+from repro.experiments.reporting import format_metric_table
+from repro.experiments.runner import (
+    ExperimentBudget,
+    PAPER_BUDGET,
+    average_over_seeds,
+)
+
+MODEL_ORDER = ("NCF", "Group-G", "GroupSA")
+
+
+def run_joint_training(
+    dataset: str = "yelp",
+    budget: ExperimentBudget = PAPER_BUDGET,
+    model_config: GroupSAConfig = GroupSAConfig(),
+) -> Dict[str, Dict[str, float]]:
+    factories = {
+        "NCF": lambda seed: NCF(epochs=budget.training.user_epochs, seed=seed),
+        "Group-G": lambda seed: GroupSARecommender(
+            model_config.variant(seed=model_config.seed + seed),
+            budget.training,
+            variant="Group-G",
+        ),
+        "GroupSA": lambda seed: GroupSARecommender(
+            model_config.variant(seed=model_config.seed + seed), budget.training
+        ),
+    }
+    rows = average_over_seeds(factories, dataset, budget)
+    return {name: rows[name]["group"] for name in MODEL_ORDER if name in rows}
+
+
+def format_joint_training(rows: Dict[str, Dict[str, float]], dataset: str) -> str:
+    return format_metric_table(
+        rows, title=f"Table V — importance of user-item data ({dataset}, group task)"
+    )
+
+
+def main(dataset: str = "yelp", budget: ExperimentBudget = PAPER_BUDGET) -> str:
+    text = format_joint_training(run_joint_training(dataset, budget), dataset)
+    print(text)
+    return text
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    main(sys.argv[1] if len(sys.argv) > 1 else "yelp")

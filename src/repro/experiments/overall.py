@@ -1,0 +1,87 @@
+"""Tables II & III: overall Top-K performance comparison.
+
+Compares NCF, Pop, AGREE, SIGR, the three static score-aggregation
+strategies (over GroupSA's user predictor) and GroupSA itself, on both
+the user-item and group-item tasks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.baselines import (
+    AGREE,
+    NCF,
+    GroupSARecommender,
+    Popularity,
+    Recommender,
+    ScoreAggregationRecommender,
+    SIGR,
+)
+from repro.core.config import GroupSAConfig
+from repro.experiments.reporting import ResultRows, format_overall_table
+from repro.experiments.runner import (
+    ExperimentBudget,
+    PAPER_BUDGET,
+    PreparedRun,
+    average_over_seeds,
+)
+
+#: Row order of Tables II/III.
+MODEL_ORDER = (
+    "NCF",
+    "Pop",
+    "AGREE",
+    "SIGR",
+    "Group+avg",
+    "Group+lm",
+    "Group+ms",
+    "GroupSA",
+)
+
+
+def run_overall(
+    dataset: str = "yelp",
+    budget: ExperimentBudget = PAPER_BUDGET,
+    model_config: GroupSAConfig = GroupSAConfig(),
+) -> ResultRows:
+    """Run the full comparison; returns model -> task -> metric rows."""
+
+    factories = {
+        "NCF": lambda seed: NCF(epochs=budget.training.user_epochs, seed=seed),
+        "Pop": lambda seed: Popularity(),
+        "AGREE": lambda seed: AGREE(epochs=budget.training.user_epochs, seed=seed),
+        "SIGR": lambda seed: SIGR(epochs=budget.training.user_epochs, seed=seed),
+    }
+
+    def shared_groupsa(seed: int, run: PreparedRun) -> Dict[str, Recommender]:
+        base = GroupSARecommender(
+            model_config.variant(seed=model_config.seed + seed), budget.training
+        )
+        base.fit(run.split)
+        return {
+            "Group+avg": ScoreAggregationRecommender(base, "avg"),
+            "Group+lm": ScoreAggregationRecommender(base, "lm"),
+            "Group+ms": ScoreAggregationRecommender(base, "ms"),
+            "GroupSA": base,
+        }
+
+    rows = average_over_seeds(factories, dataset, budget, shared_base=shared_groupsa)
+    return {name: rows[name] for name in MODEL_ORDER if name in rows}
+
+
+def format_overall(rows: ResultRows, dataset: str) -> str:
+    return format_overall_table(rows, dataset)
+
+
+def main(dataset: str = "yelp", budget: ExperimentBudget = PAPER_BUDGET) -> str:
+    rows = run_overall(dataset, budget)
+    text = format_overall(rows, dataset)
+    print(text)
+    return text
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    main(sys.argv[1] if len(sys.argv) > 1 else "yelp")

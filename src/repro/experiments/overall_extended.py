@@ -1,0 +1,60 @@
+"""Extended overall comparison (beyond the paper's Table II rows).
+
+Adds the classic CF reference points (ItemKNN, BPR-MF) and the
+generative related-work models (PIT, COM) to the paper's comparison,
+all under the identical protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.baselines import (
+    BPRMF,
+    COM,
+    GroupSARecommender,
+    ItemKNN,
+    PIT,
+    Popularity,
+)
+from repro.core.config import GroupSAConfig
+from repro.experiments.reporting import ResultRows, format_overall_table
+from repro.experiments.runner import (
+    ExperimentBudget,
+    PAPER_BUDGET,
+    average_over_seeds,
+)
+
+MODEL_ORDER = ("Pop", "ItemKNN", "BPR-MF", "PIT", "COM", "GroupSA")
+
+
+def run_overall_extended(
+    dataset: str = "yelp",
+    budget: ExperimentBudget = PAPER_BUDGET,
+    model_config: GroupSAConfig = GroupSAConfig(),
+) -> ResultRows:
+    factories = {
+        "Pop": lambda seed: Popularity(),
+        "ItemKNN": lambda seed: ItemKNN(),
+        "BPR-MF": lambda seed: BPRMF(epochs=budget.training.user_epochs, seed=seed),
+        "PIT": lambda seed: PIT(seed=seed),
+        "COM": lambda seed: COM(seed=seed),
+        "GroupSA": lambda seed: GroupSARecommender(
+            model_config.variant(seed=model_config.seed + seed), budget.training
+        ),
+    }
+    rows = average_over_seeds(factories, dataset, budget)
+    return {name: rows[name] for name in MODEL_ORDER if name in rows}
+
+
+def main(dataset: str = "yelp", budget: ExperimentBudget = PAPER_BUDGET) -> str:
+    rows = run_overall_extended(dataset, budget)
+    text = format_overall_table(rows, f"{dataset}, extended")
+    print(text)
+    return text
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    main(sys.argv[1] if len(sys.argv) > 1 else "yelp")

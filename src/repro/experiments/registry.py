@@ -1,0 +1,111 @@
+"""Experiment registry mapping paper artifacts to harness callables.
+
+``python -m repro.experiments <id>`` runs one experiment; ids follow
+the paper's numbering (``table1`` .. ``table9``, ``figure3``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from repro.experiments import (
+    ablations,
+    case_study,
+    dataset_stats,
+    group_size,
+    hyperparams,
+    joint_training,
+    overall,
+    significance,
+)
+from repro.experiments.runner import ExperimentBudget, PAPER_BUDGET
+
+
+@dataclass(frozen=True)
+class Experiment:
+    identifier: str
+    description: str
+    run: Callable[..., str]
+
+
+def _table1(budget: ExperimentBudget = PAPER_BUDGET) -> str:
+    return dataset_stats.main(budget)
+
+
+def _table2(budget: ExperimentBudget = PAPER_BUDGET) -> str:
+    return overall.main("yelp", budget)
+
+
+def _table3(budget: ExperimentBudget = PAPER_BUDGET) -> str:
+    return overall.main("douban", budget)
+
+
+def _figure3(budget: ExperimentBudget = PAPER_BUDGET) -> str:
+    return "\n\n".join(
+        ablations.main(dataset, budget) for dataset in ("yelp", "douban")
+    )
+
+
+def _table4(budget: ExperimentBudget = PAPER_BUDGET) -> str:
+    return case_study.main("yelp", budget)
+
+
+def _table5(budget: ExperimentBudget = PAPER_BUDGET) -> str:
+    return "\n\n".join(
+        joint_training.main(dataset, budget) for dataset in ("yelp", "douban")
+    )
+
+
+def _table6(budget: ExperimentBudget = PAPER_BUDGET) -> str:
+    rows = hyperparams.sweep_attention_layers("yelp", budget)
+    text = hyperparams.format_sweep(rows, "N_X", "yelp")
+    print(text)
+    return text
+
+
+def _table7(budget: ExperimentBudget = PAPER_BUDGET) -> str:
+    rows = hyperparams.sweep_blend_weight("yelp", budget)
+    text = hyperparams.format_sweep(rows, "w^u", "yelp")
+    print(text)
+    return text
+
+
+def _table8(budget: ExperimentBudget = PAPER_BUDGET) -> str:
+    rows = hyperparams.sweep_negatives("yelp", budget)
+    text = hyperparams.format_sweep(rows, "N", "yelp")
+    print(text)
+    return text
+
+
+def _table9(budget: ExperimentBudget = PAPER_BUDGET) -> str:
+    return group_size.main("yelp", budget)
+
+
+def _significance(budget: ExperimentBudget = PAPER_BUDGET) -> str:
+    return significance.main("yelp", budget)
+
+
+EXPERIMENTS: Dict[str, Experiment] = {
+    "table1": Experiment("table1", "dataset statistics (Table I)", _table1),
+    "table2": Experiment("table2", "overall comparison on Yelp (Table II)", _table2),
+    "table3": Experiment("table3", "overall comparison on Douban (Table III)", _table3),
+    "figure3": Experiment("figure3", "component ablations (Figure 3)", _figure3),
+    "table4": Experiment("table4", "attention case study (Table IV)", _table4),
+    "table5": Experiment("table5", "user-item data importance (Table V)", _table5),
+    "table6": Experiment("table6", "N_X sweep (Table VI)", _table6),
+    "table7": Experiment("table7", "w^u sweep (Table VII)", _table7),
+    "table8": Experiment("table8", "negatives sweep (Table VIII)", _table8),
+    "table9": Experiment("table9", "group-size breakdown (Table IX)", _table9),
+    "significance": Experiment(
+        "significance", "paired t-tests vs baselines (Section III-E)", _significance
+    ),
+}
+
+
+def run_experiment(identifier: str, budget: ExperimentBudget = PAPER_BUDGET) -> str:
+    if identifier not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment '{identifier}'; choose from {sorted(EXPERIMENTS)}"
+        )
+    return EXPERIMENTS[identifier].run(budget)

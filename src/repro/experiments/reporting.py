@@ -1,0 +1,85 @@
+"""Text-table rendering for experiment results.
+
+The harnesses print tables in the same row/column layout as the paper
+so a side-by-side comparison with the published numbers is direct.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence
+
+Metrics = Dict[str, float]
+TaskMetrics = Dict[str, Metrics]  # task -> metric -> value
+ResultRows = Dict[str, TaskMetrics]  # model -> task -> metric -> value
+
+
+def format_overall_table(
+    rows: ResultRows,
+    dataset: str,
+    reference: str = "GroupSA",
+    ks: Sequence[int] = (5, 10),
+) -> str:
+    """Render a Table II/III-shaped comparison.
+
+    For each K: user HR/NDCG, group HR/NDCG, and the Delta% improvement
+    of ``reference`` over each model in group HR@K (the paper's Delta).
+    """
+    lines = [f"Overall Performance Comparison ({dataset})"]
+    header = f"{'Model':<12}"
+    for k in ks:
+        header += (
+            f"{f'uHR@{k}':>9}{f'uNDCG@{k}':>10}"
+            f"{f'gHR@{k}':>9}{f'gNDCG@{k}':>10}{f'Δ%@{k}':>9}"
+        )
+    lines.append(header)
+    lines.append("-" * len(header))
+    reference_group = rows.get(reference, {}).get("group", {})
+    for model, tasks in rows.items():
+        line = f"{model:<12}"
+        for k in ks:
+            user = tasks.get("user", {})
+            group = tasks.get("group", {})
+            line += _cell(user.get(f"HR@{k}"), 9)
+            line += _cell(user.get(f"NDCG@{k}"), 10)
+            line += _cell(group.get(f"HR@{k}"), 9)
+            line += _cell(group.get(f"NDCG@{k}"), 10)
+            line += _delta_cell(reference_group.get(f"HR@{k}"), group.get(f"HR@{k}"), model, reference)
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def format_metric_table(
+    rows: Dict[str, Metrics],
+    title: str,
+    metrics: Sequence[str] = ("HR@5", "HR@10", "NDCG@5", "NDCG@10"),
+    key_header: str = "Model",
+) -> str:
+    """Render a simple keyed metric table (Tables V-IX shapes)."""
+    lines = [title]
+    header = f"{key_header:<14}" + "".join(f"{m:>10}" for m in metrics)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for key, values in rows.items():
+        line = f"{str(key):<14}"
+        for metric in metrics:
+            line += _cell(values.get(metric), 10)
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def _cell(value: Optional[float], width: int) -> str:
+    if value is None:
+        return f"{'-':>{width}}"
+    return f"{value:>{width}.4f}"
+
+
+def _delta_cell(
+    reference_value: Optional[float],
+    value: Optional[float],
+    model: str,
+    reference: str,
+) -> str:
+    if model == reference or value in (None, 0.0) or reference_value is None:
+        return f"{'-':>9}"
+    delta = 100.0 * (reference_value - value) / value
+    return f"{delta:>9.2f}"

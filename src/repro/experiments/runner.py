@@ -1,0 +1,153 @@
+"""Shared experiment machinery: budgets, worlds, tasks, seed averaging.
+
+Every table/figure harness follows the same recipe the paper describes
+in Section III: generate a dataset, split 80/20 (+10% validation),
+freeze the 100-candidate evaluation lists, train each model, average
+metrics over repeated runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.baselines.base import Recommender
+from repro.data.presets import douban_like_config, yelp_like_config
+from repro.data.splits import DataSplit, split_interactions
+from repro.data.synthetic import SyntheticWorld, generate
+from repro.evaluation.protocol import EvaluationTask, evaluate, prepare_task
+from repro.training.trainer import TrainingConfig
+
+DATASETS = ("yelp", "douban")
+
+
+@dataclass(frozen=True)
+class ExperimentBudget:
+    """Compute budget for a harness run.
+
+    ``seeds`` controls repeats ("repeat each setting 5 times and report
+    the average", Section III-E); the bench default uses fewer repeats
+    and a smaller world so the whole suite finishes on a laptop CPU.
+    """
+
+    scale: float = 0.02
+    seeds: Tuple[int, ...] = (0, 1, 2)
+    training: TrainingConfig = field(default_factory=TrainingConfig)
+    num_candidates: int = 100
+    ks: Tuple[int, ...] = (5, 10)
+
+
+#: Quick budget used by the pytest benchmarks.
+BENCH_BUDGET = ExperimentBudget(
+    scale=0.01,
+    seeds=(0,),
+    training=TrainingConfig(user_epochs=12, group_epochs=30),
+)
+
+#: Budget approximating the paper's protocol at reduced scale.
+PAPER_BUDGET = ExperimentBudget(
+    scale=0.02,
+    seeds=(0, 1, 2),
+    training=TrainingConfig(user_epochs=25, group_epochs=60),
+)
+
+
+@dataclass
+class PreparedRun:
+    """One seeded world + split + frozen evaluation tasks."""
+
+    world: SyntheticWorld
+    split: DataSplit
+    user_task: EvaluationTask
+    group_task: EvaluationTask
+
+
+def dataset_config(dataset: str, scale: float, seed: int):
+    if dataset == "yelp":
+        return yelp_like_config(scale=scale, seed=7 + seed)
+    if dataset == "douban":
+        return douban_like_config(scale=scale, seed=13 + seed)
+    raise ValueError(f"unknown dataset '{dataset}'; choose from {DATASETS}")
+
+
+def prepare_run(dataset: str, budget: ExperimentBudget, seed: int) -> PreparedRun:
+    """Generate world, split and frozen candidate lists for one seed."""
+    world = generate(dataset_config(dataset, budget.scale, seed))
+    split = split_interactions(world.dataset, rng=1000 + seed)
+    full = split.full
+    user_task = prepare_task(
+        split.test.user_item,
+        full.user_items(),
+        full.num_items,
+        num_candidates=budget.num_candidates,
+        rng=2000 + seed,
+    )
+    group_task = prepare_task(
+        split.test.group_item,
+        full.group_items(),
+        full.num_items,
+        num_candidates=budget.num_candidates,
+        rng=3000 + seed,
+    )
+    return PreparedRun(world=world, split=split, user_task=user_task, group_task=group_task)
+
+
+ModelFactory = Callable[[int], Recommender]
+# Maps a seed to a fresh (unfitted) recommender, so repeated runs are
+# independent.
+
+
+def evaluate_model(
+    model: Recommender, run: PreparedRun, ks: Tuple[int, ...]
+) -> Dict[str, Dict[str, float]]:
+    """Fit one model on one run; return {'user': {...}, 'group': {...}}."""
+    model.fit(run.split)
+    metrics: Dict[str, Dict[str, float]] = {}
+    if model.supports_user_task:
+        metrics["user"] = evaluate(model.score_user_items, run.user_task, ks=ks).metrics
+    if model.supports_group_task:
+        metrics["group"] = evaluate(model.score_group_items, run.group_task, ks=ks).metrics
+    return metrics
+
+
+def average_over_seeds(
+    factories: Dict[str, ModelFactory],
+    dataset: str,
+    budget: ExperimentBudget,
+    shared_base: Optional[Callable[[int, PreparedRun], Dict[str, Recommender]]] = None,
+) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Run every model across all seeds, averaging the metric values.
+
+    ``shared_base`` optionally produces extra pre-wired models per run
+    (used to share one trained GroupSA across the score-aggregation
+    strategies instead of retraining it three times).
+    """
+    totals: Dict[str, Dict[str, Dict[str, List[float]]]] = {}
+    for seed in budget.seeds:
+        run = prepare_run(dataset, budget, seed)
+        models: Dict[str, Recommender] = {
+            name: factory(seed) for name, factory in factories.items()
+        }
+        if shared_base is not None:
+            models.update(shared_base(seed, run))
+        for name, model in models.items():
+            result = evaluate_model(model, run, budget.ks)
+            slot = totals.setdefault(name, {})
+            for task, values in result.items():
+                task_slot = slot.setdefault(task, {})
+                for metric, value in values.items():
+                    task_slot.setdefault(metric, []).append(value)
+    return {
+        name: {
+            task: {metric: float(np.mean(values)) for metric, values in task_values.items()}
+            for task, task_values in tasks.items()
+        }
+        for name, tasks in totals.items()
+    }
+
+
+def with_training(budget: ExperimentBudget, **changes) -> ExperimentBudget:
+    """Budget with a modified training config."""
+    return replace(budget, training=replace(budget.training, **changes))

@@ -1,0 +1,47 @@
+"""Graph substrates: bipartite/user-item, social, TF-IDF, closeness."""
+
+from repro.graphs.bipartite import (
+    interaction_matrix,
+    normalized_propagation,
+    propagate_embeddings,
+)
+from repro.graphs.closeness import (
+    CLOSENESS_REGISTRY,
+    ClosenessFn,
+    common_neighbours,
+    direct_connection,
+    full_attention,
+    pagerank_threshold,
+)
+from repro.graphs.social import (
+    degree_sequence,
+    is_socially_connected,
+    social_adjacency,
+    to_networkx,
+)
+from repro.graphs.tfidf import (
+    friend_idf,
+    item_idf,
+    random_top_neighbours,
+    tfidf_top_neighbours,
+)
+
+__all__ = [
+    "interaction_matrix",
+    "normalized_propagation",
+    "propagate_embeddings",
+    "social_adjacency",
+    "to_networkx",
+    "is_socially_connected",
+    "degree_sequence",
+    "item_idf",
+    "friend_idf",
+    "tfidf_top_neighbours",
+    "random_top_neighbours",
+    "ClosenessFn",
+    "CLOSENESS_REGISTRY",
+    "direct_connection",
+    "common_neighbours",
+    "pagerank_threshold",
+    "full_attention",
+]

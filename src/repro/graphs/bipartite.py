@@ -1,0 +1,64 @@
+"""User-item bipartite graph utilities.
+
+Used by the SIGR baseline's graph-embedding substrate and by data
+analysis helpers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.data.dataset import GroupRecommendationDataset
+
+
+def interaction_matrix(dataset: GroupRecommendationDataset) -> sp.csr_matrix:
+    """Binary user x item interaction matrix ``R^U``."""
+    shape = (dataset.num_users, dataset.num_items)
+    if len(dataset.user_item) == 0:
+        return sp.csr_matrix(shape, dtype=np.float64)
+    values = np.ones(len(dataset.user_item), dtype=np.float64)
+    matrix = sp.coo_matrix(
+        (values, (dataset.user_item[:, 0], dataset.user_item[:, 1])), shape=shape
+    )
+    matrix.sum_duplicates()
+    matrix.data[:] = 1.0
+    return matrix.tocsr()
+
+
+def normalized_propagation(matrix: sp.csr_matrix) -> tuple[sp.csr_matrix, sp.csr_matrix]:
+    """Row-normalized propagation operators (user->item and item->user).
+
+    One application of each is a single light-weight graph-convolution
+    step: ``user_repr = P_ui @ item_features`` averages the features of
+    a user's items, and vice versa.
+    """
+    user_degree = np.asarray(matrix.sum(axis=1)).ravel()
+    item_degree = np.asarray(matrix.sum(axis=0)).ravel()
+    inv_user = sp.diags(1.0 / np.maximum(user_degree, 1.0))
+    inv_item = sp.diags(1.0 / np.maximum(item_degree, 1.0))
+    return inv_user @ matrix, inv_item @ matrix.T
+
+
+def propagate_embeddings(
+    matrix: sp.csr_matrix,
+    user_embeddings: np.ndarray,
+    item_embeddings: np.ndarray,
+    rounds: int = 1,
+    mix: float = 0.5,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Bipartite smoothing of embeddings (SIGR's graph-embedding core).
+
+    Each round mixes an entity's own embedding with the mean embedding
+    of its neighbours on the other side of the bipartite graph.
+    """
+    if not 0.0 <= mix <= 1.0:
+        raise ValueError("mix must be in [0, 1]")
+    user_to_item, item_to_user = normalized_propagation(matrix)
+    users = user_embeddings.copy()
+    items = item_embeddings.copy()
+    for __ in range(rounds):
+        users_next = (1.0 - mix) * users + mix * (user_to_item @ items)
+        items_next = (1.0 - mix) * items + mix * (item_to_user @ users)
+        users, items = users_next, items_next
+    return users, items

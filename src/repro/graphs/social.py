@@ -1,0 +1,54 @@
+"""Social graph helpers built on scipy sparse / networkx."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import scipy.sparse as sp
+
+from repro.data.dataset import GroupRecommendationDataset
+
+
+def social_adjacency(dataset: GroupRecommendationDataset) -> sp.csr_matrix:
+    """Symmetric boolean CSR adjacency of the social network."""
+    count = dataset.num_users
+    if len(dataset.social) == 0:
+        return sp.csr_matrix((count, count), dtype=np.float64)
+    rows = np.concatenate([dataset.social[:, 0], dataset.social[:, 1]])
+    cols = np.concatenate([dataset.social[:, 1], dataset.social[:, 0]])
+    values = np.ones(len(rows), dtype=np.float64)
+    matrix = sp.coo_matrix((values, (rows, cols)), shape=(count, count))
+    matrix.sum_duplicates()
+    matrix.data[:] = 1.0
+    return matrix.tocsr()
+
+
+def to_networkx(dataset: GroupRecommendationDataset) -> nx.Graph:
+    """Export the social network as a networkx graph."""
+    graph = nx.Graph()
+    graph.add_nodes_from(range(dataset.num_users))
+    graph.add_edges_from(map(tuple, dataset.social))
+    return graph
+
+
+def is_socially_connected(
+    members: np.ndarray, dataset: GroupRecommendationDataset
+) -> bool:
+    """Whether a member set induces a connected social subgraph.
+
+    The SIGR group-extraction rule implies connectedness; the synthetic
+    generator is tested against this invariant.
+    """
+    if members.size <= 1:
+        return True
+    graph = to_networkx(dataset).subgraph(members.tolist())
+    return nx.is_connected(graph)
+
+
+def degree_sequence(dataset: GroupRecommendationDataset) -> np.ndarray:
+    """Per-user social degree."""
+    degree = np.zeros(dataset.num_users, dtype=np.int64)
+    for left, right in dataset.social:
+        degree[left] += 1
+        degree[right] += 1
+    return degree

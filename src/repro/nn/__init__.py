@@ -1,0 +1,36 @@
+"""Neural network layers built on :mod:`repro.autograd`."""
+
+from repro.nn.activations import Identity, ReLU, Sigmoid, Tanh
+from repro.nn.attention import (
+    MASK_VALUE,
+    PairwiseAttention,
+    ScaledDotProductSelfAttention,
+    social_bias_matrix,
+)
+from repro.nn.containers import ModuleList, Sequential
+from repro.nn.dropout import Dropout
+from repro.nn.embedding import Embedding
+from repro.nn.linear import Linear
+from repro.nn.mlp import MLP
+from repro.nn.module import Module, Parameter
+from repro.nn.normalization import LayerNorm
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Linear",
+    "Embedding",
+    "LayerNorm",
+    "Dropout",
+    "MLP",
+    "Sequential",
+    "ModuleList",
+    "ReLU",
+    "Sigmoid",
+    "Tanh",
+    "Identity",
+    "PairwiseAttention",
+    "ScaledDotProductSelfAttention",
+    "social_bias_matrix",
+    "MASK_VALUE",
+]

@@ -1,0 +1,26 @@
+"""Activation modules (the paper uses ReLU throughout)."""
+
+from __future__ import annotations
+
+from repro.autograd.tensor import Tensor
+from repro.nn.module import Module
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class Sigmoid(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.sigmoid()
+
+
+class Tanh(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()
+
+
+class Identity(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x

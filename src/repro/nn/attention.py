@@ -1,0 +1,210 @@
+"""Attention building blocks.
+
+Two kinds of attention appear in the paper:
+
+- :class:`PairwiseAttention` — the "vanilla attention" two-layer scoring
+  network of Eqs. (9)-(10), (13)-(14) and (17)-(18): a query vector
+  attends over a set of candidates, with logits produced by
+  ``w2^T . sigma(W1 [q (+) c] + b1) + b2``.
+- :class:`ScaledDotProductSelfAttention` — the transformer-style
+  self-attention of Eqs. (1)-(5), with an additive bias matrix used to
+  inject the social mask.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor, concatenate
+from repro.nn.linear import Linear
+from repro.nn.module import Module
+from repro.utils import RngLike, ensure_rng
+
+# Large negative logit standing in for the paper's -inf bias: it drives
+# the post-softmax weight to ~0 without producing NaNs when an entire
+# row is masked (e.g. padding members of a short group).
+MASK_VALUE = -1.0e9
+
+
+class PairwiseAttention(Module):
+    """Query-conditioned attention over a candidate set.
+
+    Given queries ``q`` of shape (B, d_q) and candidates ``c`` of shape
+    (B, H, d_c), produces softmax weights over the H candidates and the
+    attention-weighted sum of the value vectors (the candidates
+    themselves unless ``values`` is supplied).
+    """
+
+    def __init__(
+        self,
+        query_features: int,
+        candidate_features: int,
+        hidden_features: int = 32,
+        rng: RngLike = None,
+    ) -> None:
+        super().__init__()
+        generator = ensure_rng(rng)
+        self.score_hidden = Linear(
+            query_features + candidate_features, hidden_features, rng=generator
+        )
+        self.score_out = Linear(hidden_features, 1, rng=generator)
+
+    def logits(self, query: Tensor, candidates: Tensor) -> Tensor:
+        """Unnormalized attention logits of shape (B, H)."""
+        batch, count, __ = candidates.shape
+        expanded = query.reshape(batch, 1, query.shape[-1])
+        tiled = expanded + Tensor(np.zeros((batch, count, query.shape[-1])))
+        joint = concatenate([tiled, candidates], axis=-1)
+        hidden = self.score_hidden(joint).relu()
+        return self.score_out(hidden).reshape(batch, count)
+
+    def forward(
+        self,
+        query: Tensor,
+        candidates: Tensor,
+        mask: Optional[np.ndarray] = None,
+        values: Optional[Tensor] = None,
+    ) -> Tuple[Tensor, Tensor]:
+        """Return ``(aggregated, weights)``.
+
+        ``mask`` is a boolean (B, H) array; False entries receive ~zero
+        weight.  ``weights`` always sums to 1 over the valid candidates.
+        """
+        scores = self.logits(query, candidates)
+        row_valid: Optional[np.ndarray] = None
+        if mask is not None:
+            mask = np.asarray(mask, dtype=bool)
+            bias = np.where(mask, 0.0, MASK_VALUE)
+            scores = scores + Tensor(bias)
+            row_valid = mask.any(axis=1)
+        weights = scores.softmax(axis=-1)
+        if values is None:
+            values = candidates
+        batch, count = weights.shape
+        aggregated = (weights.reshape(batch, count, 1) * values).sum(axis=1)
+        if row_valid is not None and not row_valid.all():
+            # Rows with zero valid candidates (e.g. a user with no
+            # interactions) must not aggregate padding garbage: their
+            # output is the zero vector.
+            aggregated = aggregated * Tensor(
+                row_valid[:, None].astype(aggregated.data.dtype)
+            )
+        return aggregated, weights
+
+
+class ScaledDotProductSelfAttention(Module):
+    """Self-attention with an additive bias matrix.
+
+    Implements Eqs. (1)-(5): ``softmax(Q K^T / sqrt(d_k) + S) V`` where
+    ``S`` carries both the social connectivity mask and any padding
+    mask, expressed as 0 (allowed) / ``MASK_VALUE`` (disallowed).
+
+    The paper uses a single head; ``num_heads > 1`` is an extension
+    (each head gets ``key_features / num_heads`` dimensions and the
+    same social bias, and the returned attention weights are the
+    head-average).
+    """
+
+    def __init__(
+        self,
+        model_features: int,
+        key_features: int = 32,
+        value_features: int = 32,
+        num_heads: int = 1,
+        rng: RngLike = None,
+    ) -> None:
+        super().__init__()
+        if num_heads < 1:
+            raise ValueError("num_heads must be >= 1")
+        if key_features % num_heads or value_features % num_heads:
+            raise ValueError(
+                "key_features and value_features must be divisible by num_heads"
+            )
+        generator = ensure_rng(rng)
+        self.key_features = key_features
+        self.num_heads = num_heads
+        self.head_key_features = key_features // num_heads
+        self.head_value_features = value_features // num_heads
+        self.query_proj = Linear(model_features, key_features, bias=False, rng=generator)
+        self.key_proj = Linear(model_features, key_features, bias=False, rng=generator)
+        self.value_proj = Linear(model_features, value_features, bias=False, rng=generator)
+        self.output_proj = Linear(value_features, model_features, bias=False, rng=generator)
+
+    def _split_heads(self, x: Tensor, head_dim: int) -> Tensor:
+        batch, length, __ = x.shape
+        return x.reshape(batch, length, self.num_heads, head_dim).permute(0, 2, 1, 3)
+
+    def forward(
+        self,
+        x: Tensor,
+        bias: Optional[np.ndarray] = None,
+    ) -> Tuple[Tensor, Tensor]:
+        """Return ``(output, attention_weights)``.
+
+        ``x`` has shape (B, L, d_model); ``bias`` is a (B, L, L) or
+        (L, L) additive float array (0 = attend, ``MASK_VALUE`` = skip).
+        ``attention_weights`` has shape (B, L, L) — the head average
+        when ``num_heads > 1``.
+        """
+        batch, length, __ = x.shape
+        queries = self.query_proj(x)
+        keys = self.key_proj(x)
+        values = self.value_proj(x)
+        if self.num_heads == 1:
+            scores = (queries @ keys.transpose(-1, -2)) / math.sqrt(self.key_features)
+            if bias is not None:
+                scores = scores + Tensor(np.asarray(bias, dtype=scores.data.dtype))
+            weights = scores.softmax(axis=-1)
+            mixed = weights @ values
+            return self.output_proj(mixed), weights
+
+        queries = self._split_heads(queries, self.head_key_features)
+        keys = self._split_heads(keys, self.head_key_features)
+        values = self._split_heads(values, self.head_value_features)
+        scores = (queries @ keys.transpose(-1, -2)) / math.sqrt(self.head_key_features)
+        if bias is not None:
+            bias_array = np.asarray(bias, dtype=scores.data.dtype)
+            if bias_array.ndim == 2:
+                bias_array = bias_array[None, None]
+            else:
+                bias_array = bias_array[:, None]
+            scores = scores + Tensor(bias_array)
+        weights = scores.softmax(axis=-1)  # (B, H, L, L)
+        mixed = weights @ values  # (B, H, L, dv)
+        merged = mixed.permute(0, 2, 1, 3).reshape(
+            batch, length, self.num_heads * self.head_value_features
+        )
+        return self.output_proj(merged), weights.mean(axis=1)
+
+
+def social_bias_matrix(
+    adjacency: np.ndarray,
+    member_mask: Optional[np.ndarray] = None,
+    include_self: bool = True,
+) -> np.ndarray:
+    """Build the additive social bias ``S`` of Eq. (5) for a batch.
+
+    ``adjacency`` is a boolean (B, L, L) array: entry (b, i, j) is True
+    when members i and j of group b are socially connected (f(i,j)=1).
+    ``member_mask`` is a boolean (B, L) validity mask for padded groups.
+    The diagonal is always enabled when ``include_self`` because a voter
+    can always weigh their own opinion (the q_i k_i term of Eq. (1)).
+    """
+    allowed = np.asarray(adjacency, dtype=bool).copy()
+    if allowed.ndim != 3 or allowed.shape[-1] != allowed.shape[-2]:
+        raise ValueError("adjacency must have shape (B, L, L)")
+    length = allowed.shape[-1]
+    if include_self:
+        eye = np.eye(length, dtype=bool)
+        allowed |= eye
+    if member_mask is not None:
+        valid = np.asarray(member_mask, dtype=bool)
+        allowed &= valid[:, None, :]
+        allowed &= valid[:, :, None]
+        # Keep the diagonal of padded rows enabled so their softmax rows
+        # stay well-defined; downstream aggregation masks them out.
+        allowed |= np.eye(length, dtype=bool)
+    return np.where(allowed, 0.0, MASK_VALUE)

@@ -1,0 +1,53 @@
+"""Module containers."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List
+
+from repro.autograd.tensor import Tensor
+from repro.nn.module import Module
+
+
+class Sequential(Module):
+    """Apply modules in order."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        self._ordered: List[Module] = []
+        for position, module in enumerate(modules):
+            self.register_module(str(position), module)
+            self._ordered.append(module)
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._ordered)
+
+    def __len__(self) -> int:
+        return len(self._ordered)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for module in self._ordered:
+            x = module(x)
+        return x
+
+
+class ModuleList(Module):
+    """A list of submodules that registers each for parameter traversal."""
+
+    def __init__(self, modules: Iterable[Module] = ()) -> None:
+        super().__init__()
+        self._ordered: List[Module] = []
+        for module in modules:
+            self.append(module)
+
+    def append(self, module: Module) -> None:
+        self.register_module(str(len(self._ordered)), module)
+        self._ordered.append(module)
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._ordered)
+
+    def __len__(self) -> int:
+        return len(self._ordered)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._ordered[index]

@@ -1,0 +1,46 @@
+"""Embedding table with scatter-add gradients."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.utils import RngLike, ensure_rng
+
+
+class Embedding(Module):
+    """Lookup table of ``num_embeddings`` vectors of size ``dim``.
+
+    Section III-E of the paper applies Glorot initialization to
+    embedding layers; that is the default here.
+    """
+
+    def __init__(
+        self,
+        num_embeddings: int,
+        dim: int,
+        weight_init: str = "glorot",
+        rng: RngLike = None,
+    ) -> None:
+        super().__init__()
+        generator = ensure_rng(rng)
+        self.num_embeddings = num_embeddings
+        self.dim = dim
+        if weight_init == "glorot":
+            weight = init.glorot_uniform((num_embeddings, dim), generator)
+        elif weight_init == "gaussian":
+            weight = init.gaussian((num_embeddings, dim), generator)
+        else:
+            raise ValueError(f"unknown weight_init '{weight_init}'")
+        self.weight = Parameter(weight)
+
+    def forward(self, indices: np.ndarray) -> Tensor:
+        """Gather embeddings; output shape is ``indices.shape + (dim,)``."""
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.size and (indices.min() < 0 or indices.max() >= self.num_embeddings):
+            raise IndexError(
+                f"embedding index out of range [0, {self.num_embeddings})"
+            )
+        return self.weight[indices]

@@ -1,0 +1,37 @@
+"""Weight initialization schemes used by the paper.
+
+Section III-E: Glorot initialization on embedding layers and Gaussian
+(mean 0, std 0.1) on hidden layers, following AGREE [9].
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def glorot_uniform(
+    shape: tuple[int, ...], rng: np.random.Generator
+) -> np.ndarray:
+    """Glorot/Xavier uniform initialization [35]."""
+    fan_in, fan_out = _fans(shape)
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def gaussian(
+    shape: tuple[int, ...], rng: np.random.Generator, std: float = 0.1
+) -> np.ndarray:
+    """Zero-mean Gaussian initialization with the paper's std of 0.1."""
+    return rng.normal(0.0, std, size=shape)
+
+
+def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    return np.zeros(shape)
+
+
+def _fans(shape: tuple[int, ...]) -> tuple[int, int]:
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    fan_in = int(np.prod(shape[1:]))
+    fan_out = shape[0]
+    return fan_in, fan_out

@@ -1,0 +1,45 @@
+"""Fully connected layer."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.autograd.tensor import Tensor
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.utils import RngLike, ensure_rng
+
+
+class Linear(Module):
+    """Affine map ``y = x W + b`` with weight of shape (in, out).
+
+    Initialized with the paper's Gaussian(0, 0.1) scheme for hidden
+    layers by default; pass ``weight_init='glorot'`` for Glorot uniform.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        weight_init: str = "gaussian",
+        rng: RngLike = None,
+    ) -> None:
+        super().__init__()
+        generator = ensure_rng(rng)
+        self.in_features = in_features
+        self.out_features = out_features
+        if weight_init == "gaussian":
+            weight = init.gaussian((in_features, out_features), generator)
+        elif weight_init == "glorot":
+            weight = init.glorot_uniform((in_features, out_features), generator)
+        else:
+            raise ValueError(f"unknown weight_init '{weight_init}'")
+        self.weight = Parameter(weight)
+        self.bias: Optional[Parameter] = Parameter(init.zeros((out_features,))) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out

@@ -1,0 +1,65 @@
+"""Multi-layer perceptron used by the fusion and prediction towers."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.autograd.tensor import Tensor
+from repro.nn.activations import Identity, ReLU
+from repro.nn.containers import ModuleList
+from repro.nn.dropout import Dropout
+from repro.nn.linear import Linear
+from repro.nn.module import Module
+from repro.utils import RngLike, ensure_rng
+
+
+class MLP(Module):
+    """Feed-forward tower ``in -> hidden... -> out``.
+
+    ``output_activation`` distinguishes the paper's two uses:
+
+    - Eq. (19) user-factor fusion applies the non-linearity on every
+      layer including the last (``output_activation='relu'``);
+    - Eqs. (20)/(22) prediction towers end in a plain linear scorer
+      (``output_activation=None``).
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden_features: Sequence[int],
+        out_features: int,
+        output_activation: Optional[str] = None,
+        dropout: float = 0.0,
+        rng: RngLike = None,
+    ) -> None:
+        super().__init__()
+        generator = ensure_rng(rng)
+        dims = [in_features, *hidden_features, out_features]
+        self.layers = ModuleList(
+            Linear(dims[i], dims[i + 1], rng=generator) for i in range(len(dims) - 1)
+        )
+        self.hidden_activation = ReLU()
+        if output_activation is None:
+            self.output_activation: Module = Identity()
+        elif output_activation == "relu":
+            self.output_activation = ReLU()
+        elif output_activation == "sigmoid":
+            from repro.nn.activations import Sigmoid
+
+            self.output_activation = Sigmoid()
+        else:
+            raise ValueError(f"unknown output_activation '{output_activation}'")
+        self.dropout = Dropout(dropout, rng=generator) if dropout > 0 else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        last = len(self.layers) - 1
+        for position, layer in enumerate(self.layers):
+            x = layer(x)
+            if position < last:
+                x = self.hidden_activation(x)
+                if self.dropout is not None:
+                    x = self.dropout(x)
+            else:
+                x = self.output_activation(x)
+        return x

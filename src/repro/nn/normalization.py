@@ -1,0 +1,25 @@
+"""Layer normalization, used after each attention/FFN sub-layer."""
+
+from __future__ import annotations
+
+from repro.autograd.tensor import Tensor
+from repro.nn.module import Module, Parameter
+from repro.nn import init
+
+
+class LayerNorm(Module):
+    """Normalize the last dimension to zero mean / unit variance,
+    then apply a learned affine transform (gain and bias)."""
+
+    def __init__(self, dim: int, epsilon: float = 1e-5) -> None:
+        super().__init__()
+        self.dim = dim
+        self.epsilon = epsilon
+        self.gain = Parameter(init.zeros((dim,)) + 1.0)
+        self.bias = Parameter(init.zeros((dim,)))
+
+    def forward(self, x: Tensor) -> Tensor:
+        mean = x.mean(axis=-1, keepdims=True)
+        variance = x.var(axis=-1, keepdims=True)
+        normalized = (x - mean) / ((variance + self.epsilon).sqrt())
+        return normalized * self.gain + self.bias

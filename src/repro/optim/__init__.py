@@ -1,0 +1,17 @@
+"""Optimizers for training on the autograd engine."""
+
+from repro.optim.adam import Adam
+from repro.optim.clipping import clip_grad_norm, global_grad_norm
+from repro.optim.optimizer import Optimizer
+from repro.optim.schedulers import ConstantSchedule, StepDecay
+from repro.optim.sgd import SGD
+
+__all__ = [
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "StepDecay",
+    "ConstantSchedule",
+    "clip_grad_norm",
+    "global_grad_norm",
+]

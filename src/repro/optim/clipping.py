@@ -1,0 +1,35 @@
+"""Gradient clipping utilities."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+
+def global_grad_norm(parameters: Iterable[Parameter]) -> float:
+    """L2 norm of all gradients concatenated."""
+    total = 0.0
+    for parameter in parameters:
+        if parameter.grad is not None:
+            total += float((parameter.grad**2).sum())
+    return float(np.sqrt(total))
+
+
+def clip_grad_norm(parameters: Iterable[Parameter], max_norm: float) -> float:
+    """Scale gradients in place so their global L2 norm is <= max_norm.
+
+    Returns the pre-clipping norm (useful for logging).  Parameters
+    without gradients are skipped.
+    """
+    if max_norm <= 0:
+        raise ValueError("max_norm must be positive")
+    parameters = [p for p in parameters if p.grad is not None]
+    norm = global_grad_norm(parameters)
+    if norm > max_norm and norm > 0:
+        scale = max_norm / norm
+        for parameter in parameters:
+            parameter.grad *= scale
+    return norm

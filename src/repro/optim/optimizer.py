@@ -1,0 +1,42 @@
+"""Optimizer base class."""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.nn.module import Parameter
+
+
+class Optimizer:
+    """Base class: holds the parameter list and the shared step logic.
+
+    ``weight_decay`` implements the paper's L2 regularization term
+    ``lambda * ||Theta||^2`` by adding ``2 * lambda * theta`` to each
+    gradient at step time (equivalent to including it in the loss).
+    """
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float, weight_decay: float = 0.0) -> None:
+        self.parameters: List[Parameter] = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received an empty parameter list")
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        if weight_decay < 0:
+            raise ValueError("weight_decay must be non-negative")
+        self.lr = lr
+        self.weight_decay = weight_decay
+
+    def zero_grad(self) -> None:
+        for parameter in self.parameters:
+            parameter.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+    def _decayed_grad(self, parameter: Parameter):
+        grad = parameter.grad
+        if grad is None:
+            return None
+        if self.weight_decay:
+            grad = grad + 2.0 * self.weight_decay * parameter.data
+        return grad

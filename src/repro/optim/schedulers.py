@@ -1,0 +1,34 @@
+"""Learning-rate schedules (step decay used for long fine-tuning runs)."""
+
+from __future__ import annotations
+
+from repro.optim.optimizer import Optimizer
+
+
+class StepDecay:
+    """Multiply the learning rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.5) -> None:
+        if step_size <= 0:
+            raise ValueError("step_size must be positive")
+        if not 0.0 < gamma <= 1.0:
+            raise ValueError("gamma must be in (0, 1]")
+        self.optimizer = optimizer
+        self.step_size = step_size
+        self.gamma = gamma
+        self._epoch = 0
+
+    def step(self) -> None:
+        self._epoch += 1
+        if self._epoch % self.step_size == 0:
+            self.optimizer.lr *= self.gamma
+
+
+class ConstantSchedule:
+    """No-op schedule, so trainers can treat schedules uniformly."""
+
+    def __init__(self, optimizer: Optimizer) -> None:
+        self.optimizer = optimizer
+
+    def step(self) -> None:  # pragma: no cover - trivially nothing
+        return None

@@ -1,0 +1,99 @@
+"""Model checkpointing: save/load a trained GroupSA with its wiring.
+
+A checkpoint bundles the weights, the model configuration and the
+Top-H neighbour tables into one ``.npz`` archive, so a trained model
+can be reloaded for serving without re-deriving anything from the
+training split.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Tuple, Union
+
+import numpy as np
+
+from repro.core.config import GroupSAConfig
+from repro.core.groupsa import GroupSA
+from repro.data.loaders import TopNeighbours
+
+PathLike = Union[str, Path]
+
+_FORMAT_VERSION = 1
+
+
+def save_model(model: GroupSA, path: PathLike) -> None:
+    """Write a full checkpoint of ``model`` to ``path`` (``.npz``)."""
+    payload = {
+        "__version__": np.array(_FORMAT_VERSION),
+        "__config__": np.array(json.dumps(dataclasses.asdict(model.config))),
+        "__num_users__": np.array(model.num_users),
+        "__num_items__": np.array(model.num_items),
+    }
+    for name, weights in model.state_dict().items():
+        payload[f"param/{name}"] = weights
+    tables = model.top_neighbours
+    if tables is not None:
+        payload["tables/items"] = tables.items
+        payload["tables/item_mask"] = tables.item_mask
+        payload["tables/friends"] = tables.friends
+        payload["tables/friend_mask"] = tables.friend_mask
+    np.savez_compressed(Path(path), **payload)
+
+
+def load_model(path: PathLike) -> GroupSA:
+    """Reconstruct a GroupSA model from a checkpoint written by
+    :func:`save_model`."""
+    with np.load(Path(path), allow_pickle=False) as archive:
+        version = int(archive["__version__"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported checkpoint version {version} (expected {_FORMAT_VERSION})"
+            )
+        raw_config = json.loads(str(archive["__config__"]))
+        raw_config["prediction_hidden"] = tuple(raw_config["prediction_hidden"])
+        raw_config["fusion_hidden"] = tuple(raw_config["fusion_hidden"])
+        config = GroupSAConfig(**raw_config)
+        model = GroupSA(
+            int(archive["__num_users__"]), int(archive["__num_items__"]), config
+        )
+        state = {
+            name[len("param/") :]: archive[name]
+            for name in archive.files
+            if name.startswith("param/")
+        }
+        model.load_state_dict(state)
+        if "tables/items" in archive.files:
+            model.set_top_neighbours(
+                TopNeighbours(
+                    items=archive["tables/items"],
+                    item_mask=archive["tables/item_mask"],
+                    friends=archive["tables/friends"],
+                    friend_mask=archive["tables/friend_mask"],
+                )
+            )
+    return model
+
+
+def roundtrip_equal(model: GroupSA, other: GroupSA) -> bool:
+    """Whether two models have identical weights (testing helper)."""
+    own = model.state_dict()
+    theirs = other.state_dict()
+    if set(own) != set(theirs):
+        return False
+    return all(np.array_equal(own[name], theirs[name]) for name in own)
+
+
+def checkpoint_info(path: PathLike) -> Tuple[GroupSAConfig, int, int]:
+    """Read (config, num_users, num_items) without building the model."""
+    with np.load(Path(path), allow_pickle=False) as archive:
+        raw_config = json.loads(str(archive["__config__"]))
+        raw_config["prediction_hidden"] = tuple(raw_config["prediction_hidden"])
+        raw_config["fusion_hidden"] = tuple(raw_config["fusion_hidden"])
+        return (
+            GroupSAConfig(**raw_config),
+            int(archive["__num_users__"]),
+            int(archive["__num_items__"]),
+        )

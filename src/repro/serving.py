@@ -1,0 +1,133 @@
+"""A small serving layer over trained models.
+
+Wraps a checkpoint plus dataset into a request-oriented service:
+Top-K for users, dataset groups and ad-hoc member lists, with
+explanation payloads (voting weights) and basic input validation —
+the surface an application would actually integrate against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.adhoc import AdhocGroupRecommender
+from repro.core.groupsa import GroupSA
+from repro.data.dataset import GroupRecommendationDataset
+from repro.data.loaders import GroupBatcher
+from repro.evaluation.ranking import top_k_items
+from repro.persistence import load_model
+
+
+@dataclass
+class Recommendation:
+    """One ranked recommendation list plus its explanation."""
+
+    entity: str
+    items: List[int]
+    scores: List[float]
+    voting_weights: Optional[Dict[int, float]] = None
+
+
+@dataclass
+class RecommendationService:
+    """Serve Top-K requests from a trained GroupSA model.
+
+    Build directly or from a checkpoint::
+
+        service = RecommendationService.from_checkpoint("model.npz", dataset)
+        service.recommend_for_group(3, k=5)
+        service.recommend_for_members([1, 2, 3], k=5)
+    """
+
+    model: GroupSA
+    dataset: GroupRecommendationDataset
+    _batcher: GroupBatcher = field(init=False, repr=False)
+    _adhoc: AdhocGroupRecommender = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._batcher = GroupBatcher(self.dataset)
+        self._adhoc = AdhocGroupRecommender(self.model, self.dataset)
+
+    @classmethod
+    def from_checkpoint(
+        cls, path, dataset: GroupRecommendationDataset
+    ) -> "RecommendationService":
+        model = load_model(path)
+        if model.num_users != dataset.num_users or model.num_items != dataset.num_items:
+            raise ValueError(
+                "checkpoint entity counts do not match the dataset: "
+                f"model ({model.num_users} users, {model.num_items} items) vs "
+                f"dataset ({dataset.num_users} users, {dataset.num_items} items)"
+            )
+        return cls(model=model, dataset=dataset)
+
+    # ------------------------------------------------------------------
+
+    def recommend_for_user(self, user: int, k: int = 10) -> Recommendation:
+        """Top-K items for an individual user (seen items excluded)."""
+        self._check_user(user)
+        exclude = self.dataset.user_items()[user]
+        items = top_k_items(
+            self.model.score_user_items, user, self.dataset.num_items, k, exclude
+        )
+        scores = self.model.score_user_items(
+            np.full(items.size, user, dtype=np.int64), items
+        )
+        return Recommendation(
+            entity=f"user:{user}", items=items.tolist(), scores=scores.tolist()
+        )
+
+    def recommend_for_group(self, group: int, k: int = 10) -> Recommendation:
+        """Top-K items for a dataset group, with voting explanation."""
+        if not 0 <= group < self.dataset.num_groups:
+            raise IndexError(f"group {group} out of range [0, {self.dataset.num_groups})")
+        exclude = self.dataset.group_items()[group]
+
+        def scorer(groups, items):
+            return self.model.score_group_items(self._batcher.batch(groups), items)
+
+        items = top_k_items(scorer, group, self.dataset.num_items, k, exclude)
+        scores = scorer(np.full(items.size, group, dtype=np.int64), items)
+        weights = self._explain(group, int(items[0])) if items.size else None
+        return Recommendation(
+            entity=f"group:{group}",
+            items=items.tolist(),
+            scores=scores.tolist(),
+            voting_weights=weights,
+        )
+
+    def recommend_for_members(
+        self, members: Sequence[int], k: int = 10
+    ) -> Recommendation:
+        """Top-K items for an ad-hoc member list (true OGR serving)."""
+        for member in members:
+            self._check_user(int(member))
+        items = self._adhoc.recommend(members, k=k)
+        scores = self._adhoc.score(members, items) if items.size else np.empty(0)
+        weights = None
+        if items.size:
+            gamma = self._adhoc.voting_weights(members, int(items[0]))
+            unique_members = sorted(set(int(m) for m in members))
+            weights = {m: float(w) for m, w in zip(unique_members, gamma)}
+        return Recommendation(
+            entity=f"adhoc:{','.join(str(m) for m in members)}",
+            items=items.tolist(),
+            scores=scores.tolist(),
+            voting_weights=weights,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _explain(self, group: int, item: int) -> Dict[int, float]:
+        members = self.dataset.group_members[group]
+        gamma = self.model.member_attention(
+            self._batcher.batch([group]), np.array([item])
+        )[0]
+        return {int(m): float(w) for m, w in zip(members, gamma[: members.size])}
+
+    def _check_user(self, user: int) -> None:
+        if not 0 <= user < self.dataset.num_users:
+            raise IndexError(f"user {user} out of range [0, {self.dataset.num_users})")

@@ -1,0 +1,19 @@
+"""Training: BPR loss, epoch trainers, two-stage joint optimization."""
+
+from repro.training.bpr import bpr_accuracy, bpr_loss
+from repro.training.callbacks import EpochLog, History, print_progress
+from repro.training.trainer import GroupSATrainer, TrainingConfig
+from repro.training.two_stage import build_model, fit_groupsa, train_groupsa
+
+__all__ = [
+    "bpr_loss",
+    "bpr_accuracy",
+    "EpochLog",
+    "History",
+    "print_progress",
+    "GroupSATrainer",
+    "TrainingConfig",
+    "build_model",
+    "fit_groupsa",
+    "train_groupsa",
+]

@@ -1,0 +1,29 @@
+"""Bayesian Personalized Ranking loss [31] (Eqs. 21 and 24).
+
+Both recommendation tasks are optimized with the pair-wise objective
+``-ln sigma(r_pos - r_neg)``; the L2 term ``lambda * ||Theta||^2`` is
+applied as weight decay inside the optimizers.
+"""
+
+from __future__ import annotations
+
+from repro.autograd.tensor import Tensor
+
+
+def bpr_loss(positive_scores: Tensor, negative_scores: Tensor) -> Tensor:
+    """Mean BPR loss over aligned positive/negative score vectors.
+
+    Uses the numerically stable ``log_sigmoid`` primitive, so extreme
+    score margins cannot overflow.
+    """
+    if positive_scores.shape != negative_scores.shape:
+        raise ValueError(
+            f"score shapes differ: {positive_scores.shape} vs {negative_scores.shape}"
+        )
+    margin = positive_scores - negative_scores
+    return -(margin.log_sigmoid().mean())
+
+
+def bpr_accuracy(positive_scores: Tensor, negative_scores: Tensor) -> float:
+    """Fraction of pairs ranked correctly (a cheap training diagnostic)."""
+    return float((positive_scores.data > negative_scores.data).mean())

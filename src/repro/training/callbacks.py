@@ -1,0 +1,46 @@
+"""Training history and progress callbacks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+
+@dataclass
+class EpochLog:
+    """One epoch's summary for one task."""
+
+    task: str
+    epoch: int
+    loss: float
+    pairwise_accuracy: float
+
+
+@dataclass
+class History:
+    """Accumulated epoch logs for a training run."""
+
+    epochs: List[EpochLog] = field(default_factory=list)
+
+    def record(self, log: EpochLog) -> None:
+        self.epochs.append(log)
+
+    def losses(self, task: Optional[str] = None) -> List[float]:
+        return [e.loss for e in self.epochs if task is None or e.task == task]
+
+    def final_loss(self, task: str) -> float:
+        losses = self.losses(task)
+        if not losses:
+            raise ValueError(f"no epochs recorded for task '{task}'")
+        return losses[-1]
+
+
+ProgressCallback = Callable[[EpochLog], None]
+
+
+def print_progress(log: EpochLog) -> None:
+    """Simple stdout progress callback for examples and scripts."""
+    print(
+        f"[{log.task}] epoch {log.epoch:>3}  "
+        f"loss {log.loss:.4f}  pair-acc {log.pairwise_accuracy:.3f}"
+    )

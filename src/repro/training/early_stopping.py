@@ -1,0 +1,107 @@
+"""Validation-monitored fine-tuning with early stopping.
+
+The paper selects parameters on the 10% validation split; this module
+adds the operational counterpart: watch a validation metric during the
+stage-2 fine-tuning, keep the best weights, and stop once the metric
+has not improved for ``patience`` checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.groupsa import GroupSA
+from repro.data.loaders import GroupBatcher
+from repro.data.splits import DataSplit
+from repro.evaluation.protocol import EvaluationTask, evaluate
+from repro.training.callbacks import History
+from repro.training.trainer import GroupSATrainer, TrainingConfig
+from repro.tuning import validation_task
+
+
+@dataclass
+class ValidationMonitor:
+    """Track a validation metric; remember and restore the best state."""
+
+    model: GroupSA
+    batcher: GroupBatcher
+    task: EvaluationTask
+    metric: str = "HR@10"
+    patience: int = 3
+    best_value: float = -np.inf
+    checks_since_best: int = 0
+    history: List[float] = field(default_factory=list)
+    _best_state: Optional[Dict[str, np.ndarray]] = None
+
+    def check(self) -> bool:
+        """Evaluate once; return True when training should stop."""
+        result = evaluate(
+            lambda groups, items: self.model.score_group_items(
+                self.batcher.batch(groups), items
+            ),
+            self.task,
+        )
+        value = result.metrics[self.metric]
+        self.history.append(value)
+        if value > self.best_value:
+            self.best_value = value
+            self.checks_since_best = 0
+            self._best_state = self.model.state_dict()
+        else:
+            self.checks_since_best += 1
+        return self.checks_since_best >= self.patience
+
+    def restore_best(self) -> None:
+        """Load the best-seen weights back into the model."""
+        if self._best_state is not None:
+            self.model.load_state_dict(self._best_state)
+
+
+def fit_with_early_stopping(
+    model: GroupSA,
+    split: DataSplit,
+    batcher: GroupBatcher,
+    training: TrainingConfig = TrainingConfig(),
+    metric: str = "HR@10",
+    patience: int = 3,
+    check_every: int = 5,
+    max_group_epochs: Optional[int] = None,
+    num_candidates: int = 100,
+) -> tuple[History, ValidationMonitor]:
+    """Two-stage training with validation-based early stopping.
+
+    Stage 1 (user task) runs as configured; stage 2 checks the
+    validation group metric every ``check_every`` epochs and stops when
+    it plateaus, restoring the best checkpoint.
+    """
+    if len(split.validation.group_item) == 0:
+        raise ValueError(
+            "early stopping needs validation group interactions; use a "
+            "non-zero validation_fraction when splitting"
+        )
+    trainer = GroupSATrainer(model, split, batcher, training)
+    if model.config.use_user_task:
+        trainer.train_user_task()
+        if training.init_group_tower_from_user:
+            model.group_tower.load_state_dict(model.user_tower.state_dict())
+
+    monitor = ValidationMonitor(
+        model=model,
+        batcher=batcher,
+        task=validation_task(split, num_candidates=num_candidates),
+        metric=metric,
+        patience=patience,
+    )
+    limit = max_group_epochs or 10 * training.group_epochs
+    interleave = training.interleave_user_every if model.config.use_user_task else 0
+    for epoch in range(limit):
+        trainer.train_group_task(epochs=1)
+        if interleave and (epoch + 1) % interleave == 0:
+            trainer.train_user_task(epochs=1)
+        if (epoch + 1) % check_every == 0 and monitor.check():
+            break
+    monitor.restore_best()
+    return trainer.history, monitor

@@ -1,0 +1,190 @@
+"""Epoch-level BPR trainers for the user-item and group-item tasks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.groupsa import GroupSA
+from repro.data.loaders import GroupBatcher
+from repro.data.sampling import NegativeSampler, bpr_triple_batches
+from repro.data.splits import DataSplit
+from repro.optim import Adam, SGD, Optimizer
+from repro.training.bpr import bpr_accuracy, bpr_loss
+from repro.training.callbacks import EpochLog, History, ProgressCallback
+from repro.utils import ensure_rng
+
+
+@dataclass(frozen=True)
+class TrainingConfig:
+    """Optimization hyper-parameters (Section III-E).
+
+    ``negatives_per_positive`` is the paper's ``N`` (set to 1 for
+    training efficiency; Table VIII sweeps it).
+    """
+
+    user_epochs: int = 25
+    group_epochs: int = 30
+    batch_size: int = 256
+    negatives_per_positive: int = 1
+    learning_rate: float = 0.01
+    weight_decay: float = 1e-5
+    optimizer: str = "adam"
+    #: Global gradient-norm clip; 0 disables clipping.
+    grad_clip: float = 0.0
+    seed: int = 42
+    #: Initialize the group tower from the stage-1 user tower before
+    #: fine-tuning.  The paper transfers the learned *embeddings*
+    #: between stages; transferring the scorer too markedly improves
+    #: generalization at our reduced data scale (the group tower sees
+    #: two orders of magnitude fewer interactions than the user tower).
+    init_group_tower_from_user: bool = True
+    #: During stage 2, replay one user-task epoch every k group epochs
+    #: so the shared embeddings stay anchored to the dense user-item
+    #: signal (the "simultaneous" joint training of the abstract).
+    #: 0 disables interleaving.
+    interleave_user_every: int = 2
+
+    def build_optimizer(self, model: GroupSA) -> Optimizer:
+        if self.optimizer == "adam":
+            return Adam(
+                model.parameters(),
+                lr=self.learning_rate,
+                weight_decay=self.weight_decay,
+            )
+        if self.optimizer == "sgd":
+            return SGD(
+                model.parameters(),
+                lr=self.learning_rate,
+                weight_decay=self.weight_decay,
+            )
+        raise ValueError(f"unknown optimizer '{self.optimizer}'")
+
+
+class GroupSATrainer:
+    """Runs the paper's two tasks over one model.
+
+    The trainer owns the negative samplers (built from the *training*
+    interactions only) and the optimizer; stage orchestration lives in
+    :mod:`repro.training.two_stage`.
+    """
+
+    def __init__(
+        self,
+        model: GroupSA,
+        split: DataSplit,
+        batcher: GroupBatcher,
+        config: TrainingConfig = TrainingConfig(),
+    ) -> None:
+        self.model = model
+        self.split = split
+        self.batcher = batcher
+        self.config = config
+        self._rng = ensure_rng(config.seed)
+        train = split.train
+        self.user_sampler = NegativeSampler(
+            train.user_items(), train.num_items, rng=self._rng
+        )
+        self.group_sampler = NegativeSampler(
+            train.group_items(), train.num_items, rng=self._rng
+        )
+        self.optimizer = config.build_optimizer(model)
+        self.history = History()
+        self._epoch_counter = {"user": 0, "group": 0}
+
+    # ------------------------------------------------------------------
+
+    def train_user_task(
+        self, epochs: Optional[int] = None, callback: Optional[ProgressCallback] = None
+    ) -> History:
+        """Optimize L_R (Eq. 24) for ``epochs`` passes over R^U."""
+        epochs = self.config.user_epochs if epochs is None else epochs
+        edges = self.split.train.user_item
+        for __ in range(epochs):
+            log = self._run_epoch("user", edges, self._user_step)
+            if callback is not None:
+                callback(log)
+        return self.history
+
+    def train_group_task(
+        self, epochs: Optional[int] = None, callback: Optional[ProgressCallback] = None
+    ) -> History:
+        """Optimize L_G (Eq. 21) for ``epochs`` passes over R^G."""
+        epochs = self.config.group_epochs if epochs is None else epochs
+        edges = self.split.train.group_item
+        for __ in range(epochs):
+            log = self._run_epoch("group", edges, self._group_step)
+            if callback is not None:
+                callback(log)
+        return self.history
+
+    # ------------------------------------------------------------------
+
+    def _run_epoch(self, task: str, edges: np.ndarray, step) -> EpochLog:
+        sampler = self.user_sampler if task == "user" else self.group_sampler
+        self._epoch_counter[task] += 1
+        epoch = self._epoch_counter[task]
+        total_loss = 0.0
+        total_accuracy = 0.0
+        batches = 0
+        for entities, positives, negatives in bpr_triple_batches(
+            edges,
+            sampler,
+            batch_size=self.config.batch_size,
+            negatives_per_positive=self.config.negatives_per_positive,
+            rng=self._rng,
+        ):
+            loss, accuracy = step(entities, positives, negatives)
+            total_loss += loss
+            total_accuracy += accuracy
+            batches += 1
+        log = EpochLog(
+            task=task,
+            epoch=epoch,
+            loss=total_loss / max(batches, 1),
+            pairwise_accuracy=total_accuracy / max(batches, 1),
+        )
+        self.history.record(log)
+        return log
+
+    def _user_step(
+        self, users: np.ndarray, positives: np.ndarray, negatives: np.ndarray
+    ) -> tuple[float, float]:
+        self.optimizer.zero_grad()
+        positive_scores, positive_embedding = self.model.user_score_components(
+            users, positives
+        )
+        negative_scores, negative_embedding = self.model.user_score_components(
+            users, negatives
+        )
+        loss = bpr_loss(positive_scores, negative_scores)
+        if positive_embedding is not None:
+            # Auxiliary ranking loss on the raw embedding path so the
+            # shared embeddings (consumed by the group voting network)
+            # are trained at full strength regardless of w^u.
+            loss = loss + bpr_loss(positive_embedding, negative_embedding)
+        loss.backward()
+        self._clip()
+        self.optimizer.step()
+        return loss.item(), bpr_accuracy(positive_scores, negative_scores)
+
+    def _group_step(
+        self, groups: np.ndarray, positives: np.ndarray, negatives: np.ndarray
+    ) -> tuple[float, float]:
+        self.optimizer.zero_grad()
+        batch = self.batcher.batch(groups)
+        positive_scores = self.model.group_scores(batch, positives)
+        negative_scores = self.model.group_scores(batch, negatives)
+        loss = bpr_loss(positive_scores, negative_scores)
+        loss.backward()
+        self._clip()
+        self.optimizer.step()
+        return loss.item(), bpr_accuracy(positive_scores, negative_scores)
+
+    def _clip(self) -> None:
+        if self.config.grad_clip > 0:
+            from repro.optim import clip_grad_norm
+
+            clip_grad_norm(self.optimizer.parameters, self.config.grad_clip)

@@ -1,0 +1,86 @@
+"""Two-stage joint training (the Training Method of Section II-E).
+
+Stage 1 optimizes the user-item loss L_R on the abundant user-item and
+user-user data, learning the shared user/item embeddings.  Stage 2
+fine-tunes everything on the sparse group-item interactions with L_G.
+Because the embeddings are *shared parameters of one model*, stage 2
+starts from the stage-1 representations — exactly the paper's
+"use the learned embeddings to initialize ... then fine-tune".
+
+For the Group-G variant (``use_user_task=False``) stage 1 is skipped,
+which is what Table V measures.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.config import GroupSAConfig
+from repro.core.groupsa import GroupSA
+from repro.data.loaders import GroupBatcher
+from repro.data.splits import DataSplit
+from repro.graphs.tfidf import tfidf_top_neighbours
+from repro.training.callbacks import History, ProgressCallback
+from repro.training.trainer import GroupSATrainer, TrainingConfig
+
+
+def build_model(
+    split: DataSplit,
+    config: GroupSAConfig,
+    batcher: Optional[GroupBatcher] = None,
+) -> tuple[GroupSA, GroupBatcher]:
+    """Construct a GroupSA model wired to a split's training data."""
+    train = split.train
+    model = GroupSA(train.num_users, train.num_items, config)
+    if config.uses_user_modeling:
+        model.set_top_neighbours(tfidf_top_neighbours(train, config.top_h))
+    if batcher is None:
+        if config.closeness == "direct":
+            batcher = GroupBatcher(train)
+        else:
+            from repro.graphs.closeness import CLOSENESS_REGISTRY, full_attention
+
+            if config.closeness == "full":
+                closeness = full_attention()
+            else:
+                closeness = CLOSENESS_REGISTRY[config.closeness](train)
+            batcher = GroupBatcher(train, closeness=closeness)
+    return model, batcher
+
+
+def fit_groupsa(
+    model: GroupSA,
+    split: DataSplit,
+    batcher: GroupBatcher,
+    training: TrainingConfig = TrainingConfig(),
+    callback: Optional[ProgressCallback] = None,
+) -> History:
+    """Run the two-stage training schedule and return the history."""
+    trainer = GroupSATrainer(model, split, batcher, training)
+    uses_user_task = model.config.use_user_task
+    if uses_user_task:
+        trainer.train_user_task(callback=callback)
+        if training.init_group_tower_from_user:
+            model.group_tower.load_state_dict(model.user_tower.state_dict())
+    interleave = training.interleave_user_every if uses_user_task else 0
+    for epoch in range(training.group_epochs):
+        trainer.train_group_task(epochs=1, callback=callback)
+        if interleave and (epoch + 1) % interleave == 0:
+            trainer.train_user_task(epochs=1, callback=callback)
+    return trainer.history
+
+
+def train_groupsa(
+    split: DataSplit,
+    config: GroupSAConfig = GroupSAConfig(),
+    training: TrainingConfig = TrainingConfig(),
+    callback: Optional[ProgressCallback] = None,
+) -> tuple[GroupSA, GroupBatcher, History]:
+    """Convenience: build + fit in one call.
+
+    Returns the trained model, the batcher used for group forwards
+    (needed again at evaluation time) and the training history.
+    """
+    model, batcher = build_model(split, config)
+    history = fit_groupsa(model, split, batcher, training, callback=callback)
+    return model, batcher, history

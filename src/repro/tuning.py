@@ -1,0 +1,111 @@
+"""Validation-based hyper-parameter selection (Section III-E).
+
+The paper tunes every hyper-parameter on a 10% validation split carved
+out of the training data ("for all the hyper-parameters, we tune them
+on the validation set").  :func:`grid_search` reproduces that loop for
+any subset of :class:`~repro.core.config.GroupSAConfig` fields.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.config import GroupSAConfig
+from repro.data.splits import DataSplit
+from repro.evaluation.protocol import evaluate, prepare_task
+from repro.training.trainer import TrainingConfig
+from repro.training.two_stage import train_groupsa
+
+
+@dataclass
+class TrialResult:
+    """One grid point's configuration and validation metrics."""
+
+    overrides: Dict[str, object]
+    metrics: Dict[str, float]
+
+
+@dataclass
+class SearchResult:
+    """All trials plus the winner under the selection metric."""
+
+    trials: List[TrialResult] = field(default_factory=list)
+    metric: str = "HR@10"
+
+    @property
+    def best(self) -> TrialResult:
+        if not self.trials:
+            raise ValueError("no trials recorded")
+        return max(self.trials, key=lambda trial: trial.metrics[self.metric])
+
+    def best_config(self, base: GroupSAConfig) -> GroupSAConfig:
+        return base.variant(**self.best.overrides)
+
+    def format(self) -> str:
+        lines = [f"validation grid search (selection metric: {self.metric})"]
+        for trial in self.trials:
+            settings = ", ".join(f"{k}={v}" for k, v in trial.overrides.items())
+            score = trial.metrics[self.metric]
+            marker = "  <- best" if trial is self.best else ""
+            lines.append(f"  {settings:<40s} {self.metric}={score:.4f}{marker}")
+        return "\n".join(lines)
+
+
+def validation_task(split: DataSplit, num_candidates: int = 100, rng: int = 0):
+    """Frozen candidate lists over the *validation* group interactions."""
+    # Candidates must avoid items seen in train or validation; the test
+    # set stays untouched (no leakage into model selection).
+    visible = split.train.with_interactions(
+        user_item=_concat(split.train.user_item, split.validation.user_item),
+        group_item=_concat(split.train.group_item, split.validation.group_item),
+    )
+    return prepare_task(
+        split.validation.group_item,
+        visible.group_items(),
+        visible.num_items,
+        num_candidates=num_candidates,
+        rng=rng,
+    )
+
+
+def grid_search(
+    split: DataSplit,
+    grid: Dict[str, Sequence[object]],
+    base: GroupSAConfig = GroupSAConfig(),
+    training: TrainingConfig = TrainingConfig(),
+    metric: str = "HR@10",
+    num_candidates: int = 100,
+) -> SearchResult:
+    """Train one model per grid point; score on the validation split.
+
+    ``grid`` maps GroupSAConfig field names to candidate values, e.g.
+    ``{"num_attention_layers": [1, 2, 3], "top_h": [2, 4, 6]}``.
+    """
+    if not grid:
+        raise ValueError("grid must contain at least one parameter")
+    task = validation_task(split, num_candidates=num_candidates)
+    if len(task.edges) == 0:
+        raise ValueError(
+            "validation split has no group interactions; increase the "
+            "validation fraction or the dataset size"
+        )
+    result = SearchResult(metric=metric)
+    names = list(grid)
+    for values in itertools.product(*(grid[name] for name in names)):
+        overrides = dict(zip(names, values))
+        config = base.variant(**overrides)
+        model, batcher, __ = train_groupsa(split, config, training)
+        metrics = evaluate(
+            lambda groups, items: model.score_group_items(batcher.batch(groups), items),
+            task,
+        ).metrics
+        result.trials.append(TrialResult(overrides=overrides, metrics=metrics))
+    return result
+
+
+def _concat(left, right):
+    import numpy as np
+
+    return np.concatenate([left, right])

@@ -1,0 +1,38 @@
+"""Small shared utilities (seeding, batching)."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence, Union
+
+import numpy as np
+
+RngLike = Union[int, np.random.Generator, None]
+
+
+def ensure_rng(seed: RngLike) -> np.random.Generator:
+    """Coerce an int seed / Generator / None into a ``Generator``.
+
+    Passing a ``Generator`` through unchanged lets callers thread one
+    source of randomness through a whole experiment for reproducibility.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def batched(indices: Sequence[int], batch_size: int) -> Iterator[np.ndarray]:
+    """Yield contiguous index batches of at most ``batch_size``."""
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    array = np.asarray(indices)
+    for start in range(0, len(array), batch_size):
+        yield array[start : start + batch_size]
+
+
+def shuffled_batches(
+    count: int, batch_size: int, rng: RngLike = None
+) -> Iterator[np.ndarray]:
+    """Yield randomly permuted index batches over ``range(count)``."""
+    generator = ensure_rng(rng)
+    order = generator.permutation(count)
+    yield from batched(order, batch_size)

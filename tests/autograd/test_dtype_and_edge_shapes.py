@@ -1,0 +1,91 @@
+"""Edge cases: dtypes, degenerate shapes, scalar tensors."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.autograd.tensor import concatenate, stack, where
+
+
+class TestDtypes:
+    def test_default_is_float64(self):
+        assert Tensor([1, 2, 3]).dtype == np.float64
+
+    def test_explicit_float32(self):
+        tensor = Tensor([1.0], dtype=np.float32)
+        assert tensor.dtype == np.float32
+        assert (tensor + tensor).dtype == np.float32
+
+    def test_int_input_coerced(self):
+        tensor = Tensor(np.array([1, 2], dtype=np.int64))
+        assert tensor.dtype == np.float64
+
+
+class TestDegenerateShapes:
+    def test_empty_tensor_ops(self):
+        empty = Tensor(np.empty((0, 3)), requires_grad=True)
+        out = (empty * 2.0).sum()
+        out.backward()
+        assert empty.grad.shape == (0, 3)
+
+    def test_single_element(self):
+        one = Tensor([[5.0]], requires_grad=True)
+        (one @ one).sum().backward()
+        np.testing.assert_allclose(one.grad, [[10.0]])
+
+    def test_size_one_softmax(self):
+        out = Tensor([[3.0]]).softmax(axis=-1)
+        np.testing.assert_allclose(out.data, [[1.0]])
+
+    def test_length_one_concatenate(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        out = concatenate([a], axis=0)
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((2, 2)))
+
+    def test_stack_axis1(self):
+        a = Tensor(np.ones((2, 3)), requires_grad=True)
+        b = Tensor(np.zeros((2, 3)), requires_grad=True)
+        out = stack([a, b], axis=1)
+        assert out.shape == (2, 2, 3)
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((2, 3)))
+
+    def test_where_all_true(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        b = Tensor(np.zeros(3), requires_grad=True)
+        where(np.ones(3, dtype=bool), a, b).sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones(3))
+        np.testing.assert_allclose(b.grad, np.zeros(3))
+
+
+class TestScalarBehaviour:
+    def test_zero_dim_tensor(self):
+        scalar = Tensor(np.float64(2.5), requires_grad=True)
+        (scalar * 4.0).backward()
+        np.testing.assert_allclose(scalar.grad, 4.0)
+
+    def test_sum_of_scalar(self):
+        scalar = Tensor(3.0, requires_grad=True)
+        scalar.sum().backward()
+        np.testing.assert_allclose(scalar.grad, 1.0)
+
+    def test_mean_no_axis_of_matrix(self):
+        matrix = Tensor(np.arange(6, dtype=float).reshape(2, 3), requires_grad=True)
+        matrix.mean().backward()
+        np.testing.assert_allclose(matrix.grad, np.full((2, 3), 1 / 6))
+
+
+class TestErrorPaths:
+    def test_var_requires_axis(self):
+        # var is defined along an axis; sanity check the axis handling.
+        tensor = Tensor(np.ones((2, 4)))
+        assert tensor.var(axis=0).shape == (4,)
+        assert tensor.var(axis=1, keepdims=True).shape == (2, 1)
+
+    def test_max_keepdims(self):
+        tensor = Tensor(np.arange(6, dtype=float).reshape(2, 3), requires_grad=True)
+        out = tensor.max(axis=1, keepdims=True)
+        assert out.shape == (2, 1)
+        out.sum().backward()
+        assert tensor.grad.sum() == pytest.approx(2.0)

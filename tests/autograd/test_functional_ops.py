@@ -1,0 +1,100 @@
+"""The functional wrappers in repro.autograd.ops delegate correctly."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.autograd import ops
+
+
+class TestFunctionalWrappers:
+    def test_arithmetic(self, rng):
+        a = Tensor(rng.normal(size=(2, 3)))
+        b = Tensor(rng.normal(size=(2, 3)))
+        np.testing.assert_allclose(ops.add(a, b).data, a.data + b.data)
+        np.testing.assert_allclose(ops.sub(a, b).data, a.data - b.data)
+        np.testing.assert_allclose(ops.mul(a, b).data, a.data * b.data)
+        np.testing.assert_allclose(ops.div(a, b).data, a.data / b.data)
+
+    def test_matmul(self, rng):
+        a = Tensor(rng.normal(size=(2, 3)))
+        b = Tensor(rng.normal(size=(3, 4)))
+        np.testing.assert_allclose(ops.matmul(a, b).data, a.data @ b.data)
+
+    def test_unary(self, rng):
+        a = Tensor(np.abs(rng.normal(size=(2, 3))) + 0.5)
+        np.testing.assert_allclose(ops.exp(a).data, np.exp(a.data))
+        np.testing.assert_allclose(ops.log(a).data, np.log(a.data))
+        np.testing.assert_allclose(ops.sqrt(a).data, np.sqrt(a.data))
+        np.testing.assert_allclose(ops.tanh(a).data, np.tanh(a.data))
+        np.testing.assert_allclose(ops.relu(a).data, np.maximum(a.data, 0))
+
+    def test_stable_family(self, rng):
+        a = Tensor(rng.normal(size=(5,)))
+        np.testing.assert_allclose(
+            ops.sigmoid(a).data, 1.0 / (1.0 + np.exp(-a.data)), atol=1e-10
+        )
+        np.testing.assert_allclose(
+            ops.log_sigmoid(a).data, np.log(ops.sigmoid(a).data), atol=1e-10
+        )
+        np.testing.assert_allclose(
+            ops.softplus(a).data, np.log1p(np.exp(a.data)), atol=1e-10
+        )
+
+    def test_reductions(self, rng):
+        a = Tensor(rng.normal(size=(3, 4)))
+        np.testing.assert_allclose(ops.reduce_sum(a, axis=0).data, a.data.sum(axis=0))
+        np.testing.assert_allclose(ops.reduce_mean(a, axis=1).data, a.data.mean(axis=1))
+        np.testing.assert_allclose(ops.reduce_max(a, axis=1).data, a.data.max(axis=1))
+
+    def test_softmax(self, rng):
+        a = Tensor(rng.normal(size=(3, 4)))
+        np.testing.assert_allclose(ops.softmax(a).data.sum(axis=-1), np.ones(3))
+        np.testing.assert_allclose(
+            ops.log_softmax(a).data, np.log(ops.softmax(a).data), atol=1e-10
+        )
+
+    def test_shape_helpers(self, rng):
+        a = Tensor(rng.normal(size=(3, 4)))
+        assert ops.reshape(a, 2, 6).shape == (2, 6)
+        assert ops.transpose(a).shape == (4, 3)
+
+    def test_embedding_lookup(self, rng):
+        table = Tensor(rng.normal(size=(6, 3)), requires_grad=True)
+        indices = np.array([[0, 5], [2, 2]])
+        out = ops.embedding_lookup(table, indices)
+        assert out.shape == (2, 2, 3)
+        np.testing.assert_allclose(out.data, table.data[indices])
+
+    def test_accepts_raw_arrays(self):
+        out = ops.add(np.ones((2, 2)), Tensor(np.ones((2, 2))))
+        np.testing.assert_allclose(out.data, 2 * np.ones((2, 2)))
+
+
+class TestGradcheckUtility:
+    def test_gradcheck_reports_mismatch(self):
+        from repro.autograd import gradcheck
+
+        broken = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+
+        def wrong_gradient(a):
+            # Build an op with a deliberately wrong backward.
+            out = a * 1.0
+            original = out._backward
+
+            def bad(grad):
+                broken._accumulate(grad * 100.0)
+
+            out._backward = bad
+            return out
+
+        with pytest.raises(AssertionError, match="gradient mismatch"):
+            gradcheck(wrong_gradient, [broken])
+
+    def test_numerical_gradient_shape(self, rng):
+        from repro.autograd import numerical_gradient
+
+        a = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+        grad = numerical_gradient(lambda t: (t * t).sum(), [a], 0)
+        assert grad.shape == (2, 3)
+        np.testing.assert_allclose(grad, 2 * a.data, atol=1e-4)

@@ -1,0 +1,60 @@
+"""Softmax family: values, gradients, numerical stability, masking."""
+
+import numpy as np
+
+from repro.autograd import Tensor, gradcheck
+from repro.nn.attention import MASK_VALUE
+
+
+def _t(rng, *shape):
+    return Tensor(rng.normal(size=shape), requires_grad=True)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        out = _t(rng, 4, 7).softmax(axis=-1)
+        np.testing.assert_allclose(out.data.sum(axis=-1), np.ones(4))
+
+    def test_gradcheck(self, rng):
+        gradcheck(lambda a: a.softmax(axis=-1), [_t(rng, 3, 5)])
+
+    def test_gradcheck_middle_axis(self, rng):
+        gradcheck(lambda a: a.softmax(axis=1), [_t(rng, 2, 4, 3)])
+
+    def test_shift_invariance(self, rng):
+        x = rng.normal(size=(3, 5))
+        a = Tensor(x).softmax(axis=-1)
+        b = Tensor(x + 100.0).softmax(axis=-1)
+        np.testing.assert_allclose(a.data, b.data, atol=1e-12)
+
+    def test_large_logits_stable(self):
+        out = Tensor(np.array([[1e4, 0.0, -1e4]])).softmax(axis=-1)
+        assert np.isfinite(out.data).all()
+        np.testing.assert_allclose(out.data, [[1.0, 0.0, 0.0]], atol=1e-12)
+
+    def test_mask_value_zeroes_entries(self, rng):
+        logits = rng.normal(size=(2, 4))
+        logits[:, -1] += MASK_VALUE
+        out = Tensor(logits).softmax(axis=-1)
+        assert np.all(out.data[:, -1] < 1e-12)
+        np.testing.assert_allclose(out.data.sum(axis=-1), np.ones(2))
+
+    def test_fully_masked_row_is_uniform(self):
+        logits = np.full((1, 3), MASK_VALUE)
+        out = Tensor(logits).softmax(axis=-1)
+        np.testing.assert_allclose(out.data, np.full((1, 3), 1 / 3))
+
+
+class TestLogSoftmax:
+    def test_matches_log_of_softmax(self, rng):
+        x = rng.normal(size=(3, 6))
+        direct = Tensor(x).log_softmax(axis=-1).data
+        composed = np.log(Tensor(x).softmax(axis=-1).data)
+        np.testing.assert_allclose(direct, composed, atol=1e-10)
+
+    def test_gradcheck(self, rng):
+        gradcheck(lambda a: a.log_softmax(axis=-1), [_t(rng, 3, 5)])
+
+    def test_large_inputs_stable(self):
+        out = Tensor(np.array([[1e4, 0.0]])).log_softmax(axis=-1)
+        assert np.isfinite(out.data).all()

@@ -1,0 +1,95 @@
+"""Gradient correctness of elementwise arithmetic and broadcasting."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, gradcheck
+
+
+def _t(rng, *shape):
+    return Tensor(rng.normal(size=shape), requires_grad=True)
+
+
+class TestElementwise:
+    def test_add(self, rng):
+        gradcheck(lambda a, b: a + b, [_t(rng, 3, 4), _t(rng, 3, 4)])
+
+    def test_sub(self, rng):
+        gradcheck(lambda a, b: a - b, [_t(rng, 3, 4), _t(rng, 3, 4)])
+
+    def test_mul(self, rng):
+        gradcheck(lambda a, b: a * b, [_t(rng, 3, 4), _t(rng, 3, 4)])
+
+    def test_div(self, rng):
+        denominator = Tensor(rng.normal(size=(3, 4)) + 3.0, requires_grad=True)
+        gradcheck(lambda a, b: a / b, [_t(rng, 3, 4), denominator])
+
+    def test_neg(self, rng):
+        gradcheck(lambda a: -a, [_t(rng, 2, 5)])
+
+    def test_pow(self, rng):
+        base = Tensor(np.abs(rng.normal(size=(3, 3))) + 0.5, requires_grad=True)
+        gradcheck(lambda a: a**3, [base])
+
+    def test_pow_rejects_tensor_exponent(self, rng):
+        with pytest.raises(TypeError):
+            _t(rng, 2, 2) ** _t(rng, 2, 2)
+
+    def test_scalar_operands(self, rng):
+        gradcheck(lambda a: 2.0 * a + 1.0, [_t(rng, 4)])
+        gradcheck(lambda a: 1.0 - a, [_t(rng, 4)])
+        gradcheck(lambda a: 6.0 / (a + 4.0), [_t(rng, 4)])
+
+
+class TestBroadcasting:
+    def test_add_row_vector(self, rng):
+        gradcheck(lambda a, b: a + b, [_t(rng, 3, 4), _t(rng, 4)])
+
+    def test_add_column_vector(self, rng):
+        gradcheck(lambda a, b: a + b, [_t(rng, 3, 4), _t(rng, 3, 1)])
+
+    def test_mul_scalar_tensor(self, rng):
+        gradcheck(lambda a, b: a * b, [_t(rng, 2, 3, 4), _t(rng, 1)])
+
+    def test_mul_batched(self, rng):
+        gradcheck(lambda a, b: a * b, [_t(rng, 2, 3, 4), _t(rng, 3, 4)])
+
+    def test_broadcast_value_matches_numpy(self, rng):
+        a = rng.normal(size=(3, 1))
+        b = rng.normal(size=(1, 4))
+        out = Tensor(a) + Tensor(b)
+        np.testing.assert_allclose(out.data, a + b)
+
+
+class TestMatmul:
+    def test_2d(self, rng):
+        gradcheck(lambda a, b: a @ b, [_t(rng, 3, 4), _t(rng, 4, 2)])
+
+    def test_batched(self, rng):
+        gradcheck(lambda a, b: a @ b, [_t(rng, 2, 3, 4), _t(rng, 2, 4, 5)])
+
+    def test_broadcast_batch(self, rng):
+        gradcheck(lambda a, b: a @ b, [_t(rng, 2, 3, 4), _t(rng, 4, 5)])
+
+    def test_rejects_1d(self, rng):
+        with pytest.raises(ValueError):
+            _t(rng, 4) @ _t(rng, 4)
+
+    def test_value_matches_numpy(self, rng):
+        a = rng.normal(size=(5, 6))
+        b = rng.normal(size=(6, 2))
+        np.testing.assert_allclose((Tensor(a) @ Tensor(b)).data, a @ b)
+
+
+class TestChains:
+    def test_composite_expression(self, rng):
+        gradcheck(
+            lambda a, b: ((a @ b).relu() * 2.0 + 1.0).sigmoid(),
+            [_t(rng, 3, 4), _t(rng, 4, 3)],
+        )
+
+    def test_reused_tensor_accumulates(self, rng):
+        a = _t(rng, 3, 3)
+        out = (a * a).sum() + (a * 2.0).sum()
+        out.backward()
+        np.testing.assert_allclose(a.grad, 2.0 * a.data + 2.0)

@@ -1,0 +1,158 @@
+"""Gradients of non-linearities, reductions, shape ops and indexing."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, gradcheck
+from repro.autograd.tensor import concatenate, stack, where
+
+
+def _t(rng, *shape):
+    return Tensor(rng.normal(size=shape), requires_grad=True)
+
+
+class TestNonlinearities:
+    def test_exp(self, rng):
+        gradcheck(lambda a: a.exp(), [_t(rng, 3, 4)])
+
+    def test_log(self, rng):
+        positive = Tensor(np.abs(rng.normal(size=(3, 4))) + 0.5, requires_grad=True)
+        gradcheck(lambda a: a.log(), [positive])
+
+    def test_sqrt(self, rng):
+        positive = Tensor(np.abs(rng.normal(size=(3, 4))) + 0.5, requires_grad=True)
+        gradcheck(lambda a: a.sqrt(), [positive])
+
+    def test_sigmoid(self, rng):
+        gradcheck(lambda a: a.sigmoid(), [_t(rng, 3, 4)])
+
+    def test_sigmoid_extreme_values_stable(self):
+        out = Tensor(np.array([-1000.0, 0.0, 1000.0])).sigmoid()
+        np.testing.assert_allclose(out.data, [0.0, 0.5, 1.0], atol=1e-12)
+
+    def test_tanh(self, rng):
+        gradcheck(lambda a: a.tanh(), [_t(rng, 3, 4)])
+
+    def test_relu(self, rng):
+        # Shift away from 0 to dodge the kink during finite differencing.
+        data = rng.normal(size=(4, 4))
+        data[np.abs(data) < 0.1] += 0.3
+        gradcheck(lambda a: a.relu(), [Tensor(data, requires_grad=True)])
+
+    def test_softplus(self, rng):
+        gradcheck(lambda a: a.softplus(), [_t(rng, 3, 4)])
+
+    def test_softplus_stable_for_large_inputs(self):
+        out = Tensor(np.array([800.0, -800.0])).softplus()
+        assert np.isfinite(out.data).all()
+        np.testing.assert_allclose(out.data[0], 800.0)
+        np.testing.assert_allclose(out.data[1], 0.0, atol=1e-12)
+
+    def test_log_sigmoid(self, rng):
+        gradcheck(lambda a: a.log_sigmoid(), [_t(rng, 3, 4)])
+
+    def test_log_sigmoid_matches_naive(self, rng):
+        x = rng.normal(size=(5,))
+        naive = np.log(1.0 / (1.0 + np.exp(-x)))
+        np.testing.assert_allclose(Tensor(x).log_sigmoid().data, naive, atol=1e-10)
+
+
+class TestReductions:
+    def test_sum_all(self, rng):
+        gradcheck(lambda a: a.sum(), [_t(rng, 3, 4)])
+
+    def test_sum_axis(self, rng):
+        gradcheck(lambda a: a.sum(axis=1), [_t(rng, 3, 4)])
+
+    def test_sum_axis_keepdims(self, rng):
+        gradcheck(lambda a: a.sum(axis=-1, keepdims=True), [_t(rng, 2, 3, 4)])
+
+    def test_sum_multiple_axes(self, rng):
+        gradcheck(lambda a: a.sum(axis=(0, 2)), [_t(rng, 2, 3, 4)])
+
+    def test_mean(self, rng):
+        gradcheck(lambda a: a.mean(axis=-1), [_t(rng, 3, 4)])
+        out = Tensor(np.ones((2, 5))).mean()
+        assert out.item() == pytest.approx(1.0)
+
+    def test_max(self, rng):
+        data = rng.normal(size=(3, 5))
+        gradcheck(lambda a: a.max(axis=1), [Tensor(data, requires_grad=True)])
+
+    def test_max_splits_gradient_on_ties(self):
+        tied = Tensor(np.array([[1.0, 1.0, 0.0]]), requires_grad=True)
+        tied.max(axis=1).sum().backward()
+        np.testing.assert_allclose(tied.grad, [[0.5, 0.5, 0.0]])
+
+    def test_var(self, rng):
+        gradcheck(lambda a: a.var(axis=-1), [_t(rng, 3, 4)])
+        data = rng.normal(size=(4, 6))
+        np.testing.assert_allclose(
+            Tensor(data).var(axis=-1).data, data.var(axis=-1), atol=1e-10
+        )
+
+
+class TestShapes:
+    def test_reshape(self, rng):
+        gradcheck(lambda a: a.reshape(6, 2).sigmoid(), [_t(rng, 3, 4)])
+
+    def test_reshape_infer(self, rng):
+        out = _t(rng, 3, 4).reshape(2, -1)
+        assert out.shape == (2, 6)
+
+    def test_transpose(self, rng):
+        gradcheck(lambda a: a.transpose(-1, -2).sigmoid(), [_t(rng, 2, 3, 4)])
+
+    def test_permute(self, rng):
+        gradcheck(lambda a: a.permute(2, 0, 1).sigmoid(), [_t(rng, 2, 3, 4)])
+
+    def test_concatenate(self, rng):
+        gradcheck(
+            lambda a, b: concatenate([a, b], axis=-1).sigmoid(),
+            [_t(rng, 2, 3), _t(rng, 2, 2)],
+        )
+
+    def test_concatenate_axis0(self, rng):
+        gradcheck(
+            lambda a, b: concatenate([a, b], axis=0).sigmoid(),
+            [_t(rng, 2, 3), _t(rng, 4, 3)],
+        )
+
+    def test_stack(self, rng):
+        gradcheck(
+            lambda a, b: stack([a, b], axis=0).sigmoid(),
+            [_t(rng, 2, 3), _t(rng, 2, 3)],
+        )
+
+    def test_where(self, rng):
+        condition = rng.random((3, 4)) > 0.5
+        gradcheck(
+            lambda a, b: where(condition, a, b),
+            [_t(rng, 3, 4), _t(rng, 3, 4)],
+        )
+
+
+class TestIndexing:
+    def test_slice(self, rng):
+        gradcheck(lambda a: a[1:, :2].sigmoid(), [_t(rng, 3, 4)])
+
+    def test_integer_row(self, rng):
+        gradcheck(lambda a: a[1].sigmoid(), [_t(rng, 3, 4)])
+
+    def test_gather_rows(self, rng):
+        indices = np.array([0, 2, 2, 1])
+        gradcheck(lambda a: a[indices].sigmoid(), [_t(rng, 4, 3)])
+
+    def test_gather_2d_indices(self, rng):
+        indices = np.array([[0, 1], [3, 3]])
+        table = _t(rng, 5, 4)
+        out = table[indices]
+        assert out.shape == (2, 2, 4)
+        gradcheck(lambda a: a[indices].sigmoid(), [table])
+
+    def test_repeated_indices_accumulate(self, rng):
+        table = _t(rng, 3, 2)
+        indices = np.array([1, 1, 1])
+        table[indices].sum().backward()
+        np.testing.assert_allclose(table.grad[1], [3.0, 3.0])
+        np.testing.assert_allclose(table.grad[0], [0.0, 0.0])

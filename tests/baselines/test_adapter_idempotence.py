@@ -1,0 +1,29 @@
+"""GroupSARecommender.fit is idempotent (shared-base contract)."""
+
+import numpy as np
+
+from repro.baselines import GroupSARecommender
+from tests.conftest import TINY_MODEL_CONFIG, TINY_TRAINING
+
+
+class TestFitIdempotence:
+    def test_second_fit_is_noop(self, tiny_split):
+        adapter = GroupSARecommender(TINY_MODEL_CONFIG, TINY_TRAINING)
+        adapter.fit(tiny_split)
+        first_model = adapter.model
+        scores_before = adapter.score_user_items(np.arange(4), np.arange(4))
+        adapter.fit(tiny_split)
+        assert adapter.model is first_model
+        np.testing.assert_array_equal(
+            scores_before, adapter.score_user_items(np.arange(4), np.arange(4))
+        )
+
+    def test_fresh_instance_retrains(self, tiny_split):
+        import dataclasses
+
+        first = GroupSARecommender(TINY_MODEL_CONFIG, TINY_TRAINING).fit(tiny_split)
+        other_training = dataclasses.replace(TINY_TRAINING, seed=777)
+        second = GroupSARecommender(TINY_MODEL_CONFIG, other_training).fit(tiny_split)
+        a = first.score_user_items(np.arange(4), np.arange(4))
+        b = second.score_user_items(np.arange(4), np.arange(4))
+        assert not np.array_equal(a, b)

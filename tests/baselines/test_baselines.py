@@ -1,0 +1,191 @@
+"""Baseline recommenders: Pop, NCF, AGREE, SIGR, adapters."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    AGREE,
+    NCF,
+    GroupSARecommender,
+    Popularity,
+    Recommender,
+    ScoreAggregationRecommender,
+    SIGR,
+)
+from tests.conftest import TINY_MODEL_CONFIG, TINY_TRAINING
+
+
+class TestRecommenderInterface:
+    def test_supports_flags(self, tiny_split):
+        pop = Popularity().fit(tiny_split)
+        assert pop.supports_user_task
+        assert pop.supports_group_task
+
+    def test_base_class_raises(self):
+        class Empty(Recommender):
+            def fit(self, split):
+                return self
+
+        empty = Empty()
+        assert not empty.supports_user_task
+        assert not empty.supports_group_task
+        with pytest.raises(NotImplementedError):
+            empty.score_user_items(np.array([0]), np.array([0]))
+
+
+class TestPopularity:
+    def test_counts_from_training_only(self, tiny_split):
+        pop = Popularity(include_group_interactions=False).fit(tiny_split)
+        train = tiny_split.train
+        counts = np.zeros(train.num_items)
+        np.add.at(counts, train.user_item[:, 1], 1)
+        items = np.arange(train.num_items)
+        np.testing.assert_array_equal(
+            pop.score_user_items(np.zeros_like(items), items), counts
+        )
+
+    def test_group_interactions_included_by_default(self, tiny_split):
+        with_groups = Popularity().fit(tiny_split)
+        without = Popularity(include_group_interactions=False).fit(tiny_split)
+        items = np.arange(tiny_split.train.num_items)
+        zeros = np.zeros_like(items)
+        diff = with_groups.score_user_items(zeros, items) - without.score_user_items(
+            zeros, items
+        )
+        assert diff.sum() == len(tiny_split.train.group_item)
+
+    def test_scores_identical_for_users_and_groups(self, tiny_split):
+        pop = Popularity().fit(tiny_split)
+        items = np.arange(5)
+        np.testing.assert_array_equal(
+            pop.score_user_items(np.zeros(5, dtype=int), items),
+            pop.score_group_items(np.zeros(5, dtype=int), items),
+        )
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            Popularity().score_user_items(np.array([0]), np.array([0]))
+
+
+class TestNCF:
+    @pytest.fixture(scope="class")
+    def fitted(self, tiny_split):
+        return NCF(embedding_dim=8, epochs=2, batch_size=64, seed=0).fit(tiny_split)
+
+    def test_scores_shapes(self, fitted, tiny_split):
+        users = np.array([0, 1, 2])
+        items = np.array([0, 1, 2])
+        assert fitted.score_user_items(users, items).shape == (3,)
+        assert fitted.score_group_items(users, items).shape == (3,)
+
+    def test_group_offset_separates_entities(self, fitted, tiny_split):
+        items = np.arange(4)
+        user_scores = fitted.score_user_items(np.zeros(4, dtype=int), items)
+        group_scores = fitted.score_group_items(np.zeros(4, dtype=int), items)
+        assert not np.allclose(user_scores, group_scores)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            NCF().score_user_items(np.array([0]), np.array([0]))
+
+    def test_training_beats_random_on_train_pairs(self, tiny_split):
+        model = NCF(embedding_dim=8, epochs=8, batch_size=64, seed=0).fit(tiny_split)
+        train = tiny_split.train
+        rng = np.random.default_rng(0)
+        positives = train.user_item[:50]
+        negatives = rng.integers(0, train.num_items, size=len(positives))
+        pos_scores = model.score_user_items(positives[:, 0], positives[:, 1])
+        neg_scores = model.score_user_items(positives[:, 0], negatives)
+        assert (pos_scores > neg_scores).mean() > 0.6
+
+
+class TestAGREE:
+    @pytest.fixture(scope="class")
+    def fitted(self, tiny_split):
+        return AGREE(embedding_dim=8, epochs=2, batch_size=64, seed=0).fit(tiny_split)
+
+    def test_both_tasks_supported(self, fitted):
+        users = np.array([0, 1])
+        items = np.array([0, 1])
+        assert fitted.score_user_items(users, items).shape == (2,)
+        assert fitted.score_group_items(users, items).shape == (2,)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            AGREE().score_group_items(np.array([0]), np.array([0]))
+
+    def test_member_attention_conditioned_on_item(self, fitted, tiny_split):
+        scores_a = fitted.score_group_items(np.array([0]), np.array([0]))
+        scores_b = fitted.score_group_items(np.array([0]), np.array([1]))
+        assert scores_a[0] != scores_b[0]
+
+
+class TestSIGR:
+    @pytest.fixture(scope="class")
+    def fitted(self, tiny_split):
+        return SIGR(embedding_dim=8, epochs=2, batch_size=64, seed=0).fit(tiny_split)
+
+    def test_both_tasks_supported(self, fitted):
+        users = np.array([0, 1])
+        items = np.array([0, 1])
+        assert fitted.score_user_items(users, items).shape == (2,)
+        assert fitted.score_group_items(users, items).shape == (2,)
+
+    def test_propagation_changes_user_embedding(self, fitted, tiny_split):
+        from repro.autograd import no_grad
+
+        network = fitted._network
+        users = np.array([0, 1, 2])
+        with no_grad():
+            enhanced = network.enhanced_user_embeddings(users).data
+            own = network.user_embedding(users).data
+        assert not np.allclose(enhanced, own)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            SIGR().score_user_items(np.array([0]), np.array([0]))
+
+
+class TestGroupSAAdapters:
+    @pytest.fixture(scope="class")
+    def fitted(self, tiny_split):
+        return GroupSARecommender(TINY_MODEL_CONFIG, TINY_TRAINING).fit(tiny_split)
+
+    def test_scores(self, fitted):
+        assert fitted.score_user_items(np.array([0]), np.array([0])).shape == (1,)
+        assert fitted.score_group_items(np.array([0]), np.array([0])).shape == (1,)
+
+    def test_variant_name(self):
+        model = GroupSARecommender(TINY_MODEL_CONFIG, TINY_TRAINING, variant="Group-S")
+        assert model.name == "Group-S"
+        assert not model.config.use_self_attention
+
+    def test_score_aggregation_shares_base(self, fitted, tiny_split):
+        wrapper = ScoreAggregationRecommender(fitted, "avg")
+        wrapper.fit(tiny_split)  # must not retrain
+        assert wrapper.base is fitted
+        scores = wrapper.score_group_items(np.array([0, 1]), np.array([0, 1]))
+        assert scores.shape == (2,)
+
+    def test_score_aggregation_fits_unfitted_base(self, tiny_split):
+        base = GroupSARecommender(TINY_MODEL_CONFIG, TINY_TRAINING)
+        wrapper = ScoreAggregationRecommender(base, "lm")
+        wrapper.fit(tiny_split)
+        assert base.model is not None
+
+    def test_aggregation_name(self, fitted):
+        assert ScoreAggregationRecommender(fitted, "ms").name == "Group+ms"
+
+    def test_strategies_order_consistently(self, fitted, tiny_split):
+        groups = np.array([0, 1, 2])
+        items = np.array([0, 1, 2])
+        avg = ScoreAggregationRecommender(fitted, "avg").score_group_items(groups, items)
+        lm = ScoreAggregationRecommender(fitted, "lm").score_group_items(groups, items)
+        ms = ScoreAggregationRecommender(fitted, "ms").score_group_items(groups, items)
+        assert np.all(lm <= avg + 1e-12)
+        assert np.all(avg <= ms + 1e-12)
+
+    def test_unfitted_adapter_raises(self):
+        adapter = GroupSARecommender(TINY_MODEL_CONFIG, TINY_TRAINING)
+        with pytest.raises(RuntimeError):
+            adapter.score_user_items(np.array([0]), np.array([0]))

@@ -1,0 +1,140 @@
+"""PLSA topic model substrate and the PIT / COM generative baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import COM, PIT, PLSATopicModel, TopicModelConfig
+
+
+@pytest.fixture(scope="module")
+def fitted_plsa(tiny_split):
+    model = PLSATopicModel(TopicModelConfig(num_topics=6, iterations=15, seed=0))
+    return model.fit_dataset(tiny_split.train)
+
+
+class TestTopicModel:
+    def test_distributions_are_normalized(self, fitted_plsa):
+        np.testing.assert_allclose(
+            fitted_plsa.theta.sum(axis=1), 1.0, atol=1e-9
+        )
+        np.testing.assert_allclose(fitted_plsa.phi.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_log_likelihood_monotone(self, fitted_plsa):
+        trace = fitted_plsa.log_likelihood_trace
+        assert len(trace) == 15
+        diffs = np.diff(trace)
+        # EM guarantees monotone non-decreasing likelihood (tiny
+        # numerical slack for the smoothing terms).
+        assert np.all(diffs > -1e-6)
+
+    def test_scores_are_probabilities(self, fitted_plsa, tiny_split):
+        users = np.arange(10)
+        items = np.arange(10)
+        scores = fitted_plsa.score(users, items)
+        assert np.all((scores >= 0) & (scores <= 1))
+
+    def test_item_probabilities_normalized(self, fitted_plsa, tiny_split):
+        rows = fitted_plsa.item_probabilities(np.arange(5))
+        np.testing.assert_allclose(rows.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_observed_items_score_higher_than_random(self, fitted_plsa, tiny_split):
+        train = tiny_split.train
+        rng = np.random.default_rng(0)
+        edges = train.user_item[:100]
+        positives = fitted_plsa.score(edges[:, 0], edges[:, 1])
+        randoms = fitted_plsa.score(
+            edges[:, 0], rng.integers(0, train.num_items, size=len(edges))
+        )
+        assert positives.mean() > randoms.mean()
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            PLSATopicModel().score(np.array([0]), np.array([0]))
+
+    def test_empty_edges_rejected(self):
+        with pytest.raises(ValueError):
+            PLSATopicModel().fit(np.empty((0, 2), dtype=np.int64), 5, 5)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            TopicModelConfig(num_topics=0)
+        with pytest.raises(ValueError):
+            TopicModelConfig(iterations=0)
+        with pytest.raises(ValueError):
+            TopicModelConfig(alpha=-1.0)
+
+    def test_deterministic_given_seed(self, tiny_split):
+        first = PLSATopicModel(TopicModelConfig(num_topics=4, iterations=5, seed=3))
+        second = PLSATopicModel(TopicModelConfig(num_topics=4, iterations=5, seed=3))
+        first.fit_dataset(tiny_split.train)
+        second.fit_dataset(tiny_split.train)
+        np.testing.assert_allclose(first.theta, second.theta)
+
+
+class TestPIT:
+    @pytest.fixture(scope="class")
+    def fitted(self, tiny_split):
+        return PIT(num_topics=6, topic_iterations=10, impact_iterations=5).fit(
+            tiny_split
+        )
+
+    def test_impacts_are_distribution(self, fitted):
+        assert fitted.impacts.sum() == pytest.approx(1.0)
+        assert np.all(fitted.impacts > 0)
+
+    def test_scores_shapes(self, fitted):
+        users = np.array([0, 1, 2])
+        items = np.array([0, 1, 2])
+        assert fitted.score_user_items(users, items).shape == (3,)
+        assert fitted.score_group_items(users, items).shape == (3,)
+
+    def test_group_score_is_convex_combination(self, fitted, tiny_split):
+        # A group score lies between the min and max member likelihoods.
+        group, item = 0, 0
+        members = tiny_split.train.group_members[group]
+        likelihoods = fitted.score_user_items(
+            members, np.full(members.size, item, dtype=np.int64)
+        )
+        score = fitted.score_group_items(np.array([group]), np.array([item]))[0]
+        assert likelihoods.min() - 1e-12 <= score <= likelihoods.max() + 1e-12
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            PIT().score_group_items(np.array([0]), np.array([0]))
+
+
+class TestCOM:
+    @pytest.fixture(scope="class")
+    def fitted(self, tiny_split):
+        return COM(num_topics=6, topic_iterations=10, influence_iterations=5).fit(
+            tiny_split
+        )
+
+    def test_influence_is_distribution(self, fitted):
+        assert fitted.influence.sum() == pytest.approx(1.0)
+        assert np.all(fitted.influence > 0)
+
+    def test_group_topic_mixture_normalized(self, fitted, tiny_split):
+        mixture = fitted._group_topic_mixture(tiny_split.train.group_members[0])
+        assert mixture.sum() == pytest.approx(1.0)
+        assert np.all(mixture >= 0)
+
+    def test_scores_shapes(self, fitted):
+        groups = np.array([0, 1])
+        items = np.array([0, 1])
+        assert fitted.score_group_items(groups, items).shape == (2,)
+        assert fitted.score_user_items(groups, items).shape == (2,)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            COM().score_group_items(np.array([0]), np.array([0]))
+
+    def test_com_and_pit_differ(self, fitted, tiny_split):
+        pit = PIT(num_topics=6, topic_iterations=10, impact_iterations=5).fit(
+            tiny_split
+        )
+        groups = np.arange(5)
+        items = np.arange(5)
+        com_scores = fitted.score_group_items(groups, items)
+        pit_scores = pit.score_group_items(groups, items)
+        assert not np.allclose(com_scores, pit_scores)

@@ -1,0 +1,80 @@
+"""ItemKNN and BPR-MF reference baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import BPRMF, ItemKNN
+
+
+class TestItemKNN:
+    @pytest.fixture(scope="class")
+    def fitted(self, tiny_split):
+        return ItemKNN(neighbours=10).fit(tiny_split)
+
+    def test_scores_shapes(self, fitted):
+        users = np.array([0, 1, 2])
+        items = np.array([0, 1, 2])
+        assert fitted.score_user_items(users, items).shape == (3,)
+        assert fitted.score_group_items(users, items).shape == (3,)
+
+    def test_history_items_score_high(self, fitted, tiny_split):
+        # An item similar to the user's history should outscore a
+        # random item on average over many users.
+        train = tiny_split.train
+        edges = train.user_item[:60]
+        rng = np.random.default_rng(0)
+        positives = fitted.score_user_items(edges[:, 0], edges[:, 1])
+        randoms = fitted.score_user_items(
+            edges[:, 0], rng.integers(0, train.num_items, size=len(edges))
+        )
+        assert positives.mean() > randoms.mean()
+
+    def test_neighbour_truncation(self, tiny_split):
+        dense = ItemKNN(neighbours=1000).fit(tiny_split)
+        sparse = ItemKNN(neighbours=2).fit(tiny_split)
+        nonzero_dense = (dense._similarity > 0).sum()
+        nonzero_sparse = (sparse._similarity > 0).sum()
+        assert nonzero_sparse <= nonzero_dense
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ItemKNN(neighbours=0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            ItemKNN().score_user_items(np.array([0]), np.array([0]))
+
+
+class TestBPRMF:
+    @pytest.fixture(scope="class")
+    def fitted(self, tiny_split):
+        return BPRMF(dim=8, epochs=6, batch_size=64, seed=0).fit(tiny_split)
+
+    def test_scores_shapes(self, fitted):
+        users = np.array([0, 1])
+        items = np.array([0, 1])
+        assert fitted.score_user_items(users, items).shape == (2,)
+        assert fitted.score_group_items(users, items).shape == (2,)
+
+    def test_learns_training_preferences(self, fitted, tiny_split):
+        train = tiny_split.train
+        rng = np.random.default_rng(1)
+        edges = train.user_item[:80]
+        positives = fitted.score_user_items(edges[:, 0], edges[:, 1])
+        randoms = fitted.score_user_items(
+            edges[:, 0], rng.integers(0, train.num_items, size=len(edges))
+        )
+        assert (positives > randoms).mean() > 0.6
+
+    def test_group_score_is_member_average(self, fitted, tiny_split):
+        group, item = 0, 3
+        members = tiny_split.train.group_members[group]
+        member_scores = fitted.score_user_items(
+            members, np.full(members.size, item, dtype=np.int64)
+        )
+        group_score = fitted.score_group_items(np.array([group]), np.array([item]))[0]
+        assert group_score == pytest.approx(member_scores.mean())
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            BPRMF().score_user_items(np.array([0]), np.array([0]))

@@ -1,0 +1,74 @@
+"""Shared fixtures: tiny worlds and trained models reused across tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import GroupSAConfig
+from repro.data import split_interactions
+from repro.data.synthetic import SyntheticConfig, generate
+from repro.training import TrainingConfig, train_groupsa
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+TINY_CONFIG = SyntheticConfig(
+    num_users=60,
+    num_items=50,
+    num_groups=30,
+    num_communities=4,
+    latent_dim=6,
+    avg_friends=6.0,
+    avg_user_interactions=8.0,
+    avg_group_interactions=1.3,
+    avg_group_size=3.5,
+    max_group_size=8,
+    seed=99,
+    name="tiny",
+)
+
+TINY_MODEL_CONFIG = GroupSAConfig(
+    embedding_dim=12,
+    key_dim=8,
+    value_dim=8,
+    ffn_hidden=12,
+    attention_hidden=12,
+    top_h=3,
+    prediction_hidden=(12,),
+    fusion_hidden=(12,),
+    dropout=0.0,
+    seed=5,
+)
+
+TINY_TRAINING = TrainingConfig(
+    user_epochs=4,
+    group_epochs=4,
+    batch_size=64,
+    learning_rate=0.02,
+    seed=5,
+)
+
+
+@pytest.fixture(scope="session")
+def tiny_world():
+    return generate(TINY_CONFIG)
+
+
+@pytest.fixture(scope="session")
+def tiny_split(tiny_world):
+    return split_interactions(tiny_world.dataset, rng=7)
+
+
+@pytest.fixture(scope="session")
+def trained_tiny_model(tiny_split):
+    """A GroupSA trained for a handful of epochs on the tiny world.
+
+    Session-scoped: training takes a couple of seconds and many tests
+    only need *a* trained model, not a fresh one.
+    """
+    model, batcher, history = train_groupsa(tiny_split, TINY_MODEL_CONFIG, TINY_TRAINING)
+    return model, batcher, history

@@ -1,0 +1,98 @@
+"""Model introspection utilities."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    attention_heatmap_text,
+    dominant_member,
+    embedding_neighbours,
+    member_weight_profile,
+    voting_rounds_trace,
+)
+
+
+class TestVotingTrace:
+    def test_one_trace_per_layer(self, trained_tiny_model):
+        model, batcher, __ = trained_tiny_model
+        batch = batcher.batch([0, 1])
+        traces = voting_rounds_trace(model, batch)
+        assert len(traces) == model.config.num_attention_layers
+        for trace in traces:
+            assert trace.shape == (2, batch.members.shape[1], batch.members.shape[1])
+            np.testing.assert_allclose(trace.sum(axis=-1), 1.0, atol=1e-8)
+
+    def test_no_self_attention_variant_empty(self, tiny_split):
+        from repro.core import GroupSA
+        from repro.data import GroupBatcher
+        from tests.conftest import TINY_MODEL_CONFIG
+
+        config = TINY_MODEL_CONFIG.variant(
+            use_self_attention=False,
+            use_item_aggregation=False,
+            use_social_aggregation=False,
+        )
+        train = tiny_split.train
+        model = GroupSA(train.num_users, train.num_items, config)
+        batcher = GroupBatcher(train)
+        assert voting_rounds_trace(model, batcher.batch([0])) == []
+
+
+class TestHeatmap:
+    def test_renders_all_labels(self):
+        weights = np.array([[0.9, 0.1], [0.5, 0.5]])
+        text = attention_heatmap_text(weights, labels=["u1", "u2"])
+        assert "u1" in text and "u2" in text
+        assert len(text.splitlines()) == 3
+
+    def test_extreme_values_use_ramp_ends(self):
+        text = attention_heatmap_text(np.array([[1.0, 0.0], [0.0, 1.0]]))
+        assert "@" in text and " " in text
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            attention_heatmap_text(np.zeros((2, 3)))
+
+    def test_rejects_bad_labels(self):
+        with pytest.raises(ValueError):
+            attention_heatmap_text(np.zeros((2, 2)), labels=["only-one"])
+
+
+class TestEmbeddingNeighbours:
+    def test_finds_identical_vector(self):
+        table = np.array([[1.0, 0.0], [1.0, 0.0], [0.0, 1.0]])
+        neighbours = embedding_neighbours(table, 0, k=2)
+        assert neighbours[0][0] == 1
+        assert neighbours[0][1] == pytest.approx(1.0)
+
+    def test_excludes_self(self):
+        table = np.eye(4)
+        neighbours = embedding_neighbours(table, 2, k=3)
+        assert 2 not in [index for index, __ in neighbours]
+
+    def test_out_of_range(self):
+        with pytest.raises(IndexError):
+            embedding_neighbours(np.eye(3), 5)
+
+    def test_zero_rows_safe(self):
+        table = np.zeros((3, 4))
+        table[0, 0] = 1.0
+        neighbours = embedding_neighbours(table, 0, k=2)
+        assert len(neighbours) == 2
+
+
+class TestWeightProfiles:
+    def test_profile_zeroes_padding(self, trained_tiny_model, tiny_split):
+        model, batcher, __ = trained_tiny_model
+        sizes = tiny_split.train.group_sizes()
+        group = int(np.argmin(sizes))
+        batch = batcher.batch([group])
+        profile = member_weight_profile(model, batch, np.array([0]))
+        assert np.all(profile[0, sizes[group]:] == 0.0)
+
+    def test_dominant_member_is_a_member(self, trained_tiny_model, tiny_split):
+        model, batcher, __ = trained_tiny_model
+        batch = batcher.batch([0, 1, 2])
+        dominant = dominant_member(model, batch, np.array([0, 1, 2]))
+        for group, user in zip([0, 1, 2], dominant):
+            assert user in tiny_split.train.group_members[group]

@@ -1,0 +1,80 @@
+"""GroupSAConfig validation and the named ablation variants."""
+
+import pytest
+
+from repro.core import GroupSAConfig, VARIANTS, variant_config
+
+
+class TestConfig:
+    def test_defaults_follow_paper(self):
+        config = GroupSAConfig()
+        assert config.embedding_dim == 32
+        assert config.key_dim == 32
+        assert config.blend_weight == 0.9
+        assert config.dropout == 0.1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GroupSAConfig(embedding_dim=0)
+        with pytest.raises(ValueError):
+            GroupSAConfig(blend_weight=1.5)
+        with pytest.raises(ValueError):
+            GroupSAConfig(num_attention_layers=-1)
+        with pytest.raises(ValueError):
+            GroupSAConfig(top_h=0)
+
+    def test_variant_copies(self):
+        base = GroupSAConfig()
+        changed = base.variant(num_attention_layers=3)
+        assert changed.num_attention_layers == 3
+        assert base.num_attention_layers == 1
+
+    def test_uses_user_modeling(self):
+        assert GroupSAConfig().uses_user_modeling
+        assert not GroupSAConfig(
+            use_item_aggregation=False, use_social_aggregation=False
+        ).uses_user_modeling
+
+
+class TestVariants:
+    def test_all_paper_variants_present(self):
+        assert set(VARIANTS) == {
+            "GroupSA",
+            "Group-A",
+            "Group-S",
+            "Group-I",
+            "Group-F",
+            "Group-G",
+        }
+
+    def test_group_a_removes_voting_and_user_modeling(self):
+        config = variant_config("Group-A", GroupSAConfig())
+        assert not config.use_self_attention
+        assert not config.uses_user_modeling
+
+    def test_group_s_removes_self_attention_only(self):
+        config = variant_config("Group-S", GroupSAConfig())
+        assert not config.use_self_attention
+        assert config.uses_user_modeling
+
+    def test_group_i_removes_item_aggregation(self):
+        config = variant_config("Group-I", GroupSAConfig())
+        assert not config.use_item_aggregation
+        assert config.use_social_aggregation
+
+    def test_group_f_removes_social_aggregation(self):
+        config = variant_config("Group-F", GroupSAConfig())
+        assert config.use_item_aggregation
+        assert not config.use_social_aggregation
+
+    def test_group_g_removes_user_task(self):
+        config = variant_config("Group-G", GroupSAConfig())
+        assert not config.use_user_task
+
+    def test_groupsa_unchanged(self):
+        base = GroupSAConfig()
+        assert variant_config("GroupSA", base) == base
+
+    def test_unknown_variant(self):
+        with pytest.raises(KeyError):
+            variant_config("Group-Z", GroupSAConfig())

@@ -1,0 +1,126 @@
+"""GroupSA model surface: scoring, variants, attention extraction."""
+
+import numpy as np
+import pytest
+
+from repro.core import GroupSA, GroupSAConfig
+from repro.data import GroupBatcher
+from repro.graphs import tfidf_top_neighbours
+from tests.conftest import TINY_MODEL_CONFIG
+
+
+class TestConstruction:
+    def test_components_follow_config(self, tiny_split):
+        train = tiny_split.train
+        model = GroupSA(train.num_users, train.num_items, TINY_MODEL_CONFIG)
+        assert model.user_modeling is not None
+        assert model.voting.enabled
+
+    def test_group_a_has_no_user_modeling(self, tiny_split):
+        train = tiny_split.train
+        config = TINY_MODEL_CONFIG.variant(
+            use_self_attention=False,
+            use_item_aggregation=False,
+            use_social_aggregation=False,
+        )
+        model = GroupSA(train.num_users, train.num_items, config)
+        assert model.user_modeling is None
+        assert not model.voting.enabled
+
+    def test_missing_tables_raise(self, tiny_split):
+        train = tiny_split.train
+        model = GroupSA(train.num_users, train.num_items, TINY_MODEL_CONFIG)
+        with pytest.raises(RuntimeError, match="TopNeighbours"):
+            model.user_scores(np.array([0]), np.array([0]))
+
+    def test_seeded_construction_deterministic(self, tiny_split):
+        train = tiny_split.train
+        first = GroupSA(train.num_users, train.num_items, TINY_MODEL_CONFIG)
+        second = GroupSA(train.num_users, train.num_items, TINY_MODEL_CONFIG)
+        np.testing.assert_array_equal(
+            first.user_embedding.weight.data, second.user_embedding.weight.data
+        )
+
+
+class TestScoring:
+    @pytest.fixture
+    def model(self, tiny_split):
+        train = tiny_split.train
+        model = GroupSA(train.num_users, train.num_items, TINY_MODEL_CONFIG)
+        model.set_top_neighbours(tfidf_top_neighbours(train, TINY_MODEL_CONFIG.top_h))
+        return model
+
+    def test_user_scores_shape(self, model):
+        scores = model.user_scores(np.array([0, 1, 2]), np.array([3, 4, 5]))
+        assert scores.shape == (3,)
+
+    def test_group_scores_shape(self, model, tiny_split):
+        batcher = GroupBatcher(tiny_split.train)
+        batch = batcher.batch([0, 1])
+        scores = model.group_scores(batch, np.array([0, 1]))
+        assert scores.shape == (2,)
+
+    def test_score_user_items_numpy(self, model):
+        scores = model.score_user_items(np.array([0, 1]), np.array([0, 1]))
+        assert isinstance(scores, np.ndarray)
+        assert scores.shape == (2,)
+
+    def test_score_group_items_chunked(self, model, tiny_split):
+        batcher = GroupBatcher(tiny_split.train)
+        groups = np.zeros(10, dtype=np.int64)
+        items = np.arange(10)
+        batch = batcher.batch(groups)
+        full = model.score_group_items(batch, items, chunk=3)
+        one = model.score_group_items(batch, items, chunk=100)
+        np.testing.assert_allclose(full, one)
+
+    def test_blend_weight_zero_skips_user_modeling(self, tiny_split):
+        train = tiny_split.train
+        config = TINY_MODEL_CONFIG.variant(blend_weight=0.0)
+        model = GroupSA(train.num_users, train.num_items, config)
+        # No tables set, but w^u == 0 means the latent path is unused.
+        scores = model.user_scores(np.array([0]), np.array([0]))
+        assert scores.shape == (1,)
+
+    def test_blend_weight_one_uses_latent_only(self, tiny_split, rng):
+        train = tiny_split.train
+        config = TINY_MODEL_CONFIG.variant(blend_weight=1.0)
+        model = GroupSA(train.num_users, train.num_items, config)
+        model.set_top_neighbours(tfidf_top_neighbours(train, config.top_h))
+        scores = model.user_scores(np.array([0, 1]), np.array([0, 1]))
+        assert scores.shape == (2,)
+
+    def test_member_attention_sums_to_one(self, model, tiny_split):
+        batcher = GroupBatcher(tiny_split.train)
+        batch = batcher.batch([0, 1, 2])
+        gamma = model.member_attention(batch, np.array([0, 1, 2]))
+        np.testing.assert_allclose(gamma.sum(axis=1), np.ones(3), atol=1e-9)
+
+    def test_padded_members_get_zero_attention(self, model, tiny_split):
+        batcher = GroupBatcher(tiny_split.train)
+        sizes = tiny_split.train.group_sizes()
+        small_group = int(np.argmin(sizes))
+        batch = batcher.batch([small_group])
+        gamma = model.member_attention(batch, np.array([0]))
+        size = sizes[small_group]
+        assert np.all(gamma[0, size:] < 1e-9)
+
+    def test_eval_scoring_is_deterministic(self, model):
+        users, items = np.array([0, 1, 2]), np.array([1, 2, 3])
+        first = model.score_user_items(users, items)
+        second = model.score_user_items(users, items)
+        np.testing.assert_array_equal(first, second)
+
+
+class TestTrainedModel:
+    def test_training_reduces_loss(self, trained_tiny_model):
+        __, __, history = trained_tiny_model
+        user_losses = history.losses("user")
+        assert user_losses[-1] < user_losses[0]
+
+    def test_trained_model_scores_finite(self, trained_tiny_model, tiny_split):
+        model, batcher, __ = trained_tiny_model
+        scores = model.score_user_items(np.arange(5), np.arange(5))
+        assert np.isfinite(scores).all()
+        batch = batcher.batch([0, 1])
+        assert np.isfinite(model.score_group_items(batch, np.array([0, 1]))).all()

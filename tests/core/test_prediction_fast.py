@@ -1,0 +1,109 @@
+"""Prediction towers and the fast group recommendation path."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.core import FastGroupRecommender, STRATEGIES
+from repro.core.fast import (
+    average_strategy,
+    least_misery_strategy,
+    maximum_satisfaction_strategy,
+)
+from repro.core.prediction import PredictionTower
+from repro.data import GroupBatcher
+
+
+class TestPredictionTower:
+    def test_output_shape(self, rng):
+        tower = PredictionTower(8, (8,), rng=rng)
+        out = tower(Tensor(rng.normal(size=(5, 8))), Tensor(rng.normal(size=(5, 8))))
+        assert out.shape == (5,)
+
+    def test_uses_product_pathway(self, rng):
+        # Scores must not be invariant to sign flips of both inputs if
+        # only concatenation were used they could be; the product term
+        # makes score(a, b) != score(-a, b) in general.
+        tower = PredictionTower(4, (8,), rng=rng)
+        a = Tensor(rng.normal(size=(3, 4)))
+        b = Tensor(rng.normal(size=(3, 4)))
+        assert not np.allclose(tower(a, b).data, tower(-a, b).data)
+
+    def test_gradients(self, rng):
+        tower = PredictionTower(4, (6,), rng=rng)
+        a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        tower(a, Tensor(rng.normal(size=(3, 4)))).sum().backward()
+        assert a.grad is not None
+
+    def test_no_hidden_layer(self, rng):
+        tower = PredictionTower(4, (), rng=rng)
+        out = tower(Tensor(rng.normal(size=(2, 4))), Tensor(rng.normal(size=(2, 4))))
+        assert out.shape == (2,)
+
+
+class TestStrategies:
+    def setup_method(self):
+        self.scores = np.array([[1.0, 3.0, 2.0], [5.0, -1.0, 0.0]])
+        self.mask = np.array([[True, True, True], [True, True, False]])
+
+    def test_average(self):
+        out = average_strategy(self.scores, self.mask)
+        np.testing.assert_allclose(out, [2.0, 2.0])
+
+    def test_least_misery(self):
+        out = least_misery_strategy(self.scores, self.mask)
+        np.testing.assert_allclose(out, [1.0, -1.0])
+
+    def test_maximum_satisfaction(self):
+        out = maximum_satisfaction_strategy(self.scores, self.mask)
+        np.testing.assert_allclose(out, [3.0, 5.0])
+
+    def test_padding_excluded(self):
+        scores = np.array([[1.0, 100.0]])
+        mask = np.array([[True, False]])
+        assert average_strategy(scores, mask)[0] == 1.0
+        assert maximum_satisfaction_strategy(scores, mask)[0] == 1.0
+        assert least_misery_strategy(scores, mask)[0] == 1.0
+
+    def test_registry(self):
+        assert set(STRATEGIES) == {"avg", "lm", "ms"}
+
+
+class TestFastGroupRecommender:
+    def test_scores_match_manual_average(self, trained_tiny_model, tiny_split):
+        model, batcher, __ = trained_tiny_model
+        fast = FastGroupRecommender(model, "avg")
+        batch = batcher.batch([0])
+        items = np.array([1])
+        fast_score = fast.score_group_items(batch, items)[0]
+        members = tiny_split.train.group_members[0]
+        member_scores = model.score_user_items(
+            members, np.full(members.size, 1, dtype=np.int64)
+        )
+        assert fast_score == pytest.approx(member_scores.mean(), abs=1e-9)
+
+    def test_unknown_strategy_rejected(self, trained_tiny_model):
+        model, __, __h = trained_tiny_model
+        with pytest.raises(ValueError):
+            FastGroupRecommender(model, "median")
+
+    def test_callable_strategy(self, trained_tiny_model, tiny_split):
+        model, batcher, __ = trained_tiny_model
+
+        def first_member(scores, mask):
+            return scores[:, 0]
+
+        fast = FastGroupRecommender(model, first_member)
+        assert fast.strategy_name == "first_member"
+        batch = batcher.batch([0, 1])
+        assert fast.score_group_items(batch, np.array([0, 1])).shape == (2,)
+
+    def test_strategies_differ_on_real_model(self, trained_tiny_model):
+        model, batcher, __ = trained_tiny_model
+        batch = batcher.batch([0, 1, 2, 3])
+        items = np.arange(4)
+        avg = FastGroupRecommender(model, "avg").score_group_items(batch, items)
+        lm = FastGroupRecommender(model, "lm").score_group_items(batch, items)
+        ms = FastGroupRecommender(model, "ms").score_group_items(batch, items)
+        assert np.all(lm <= avg + 1e-12)
+        assert np.all(avg <= ms + 1e-12)

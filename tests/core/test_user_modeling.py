@@ -1,0 +1,91 @@
+"""User modeling: item/social aggregation, fusion, variants."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.core import GroupSAConfig
+from repro.core.user_modeling import UserModeling
+from repro.data.loaders import TopNeighbours
+
+
+CONFIG = GroupSAConfig(
+    embedding_dim=8,
+    attention_hidden=8,
+    fusion_hidden=(8,),
+    top_h=3,
+    dropout=0.0,
+)
+
+
+@pytest.fixture
+def tables(rng):
+    num_users, top_h = 10, 3
+    return TopNeighbours(
+        items=rng.integers(0, 12, size=(num_users, top_h)),
+        item_mask=np.ones((num_users, top_h), dtype=bool),
+        friends=rng.integers(0, 10, size=(num_users, top_h)),
+        friend_mask=np.ones((num_users, top_h), dtype=bool),
+    )
+
+
+class TestUserModeling:
+    def test_output_shape(self, rng, tables):
+        module = UserModeling(10, 12, CONFIG, rng=rng)
+        users = np.array([0, 3, 7])
+        embeddings = Tensor(rng.normal(size=(3, 8)))
+        out = module(embeddings, users, tables)
+        assert out.shape == (3, 8)
+
+    def test_output_nonnegative(self, rng, tables):
+        # Eq. (19) ends in a ReLU.
+        module = UserModeling(10, 12, CONFIG, rng=rng)
+        out = module(Tensor(rng.normal(size=(4, 8))), np.arange(4), tables)
+        assert (out.data >= 0).all()
+
+    def test_item_factor_lookup(self, rng):
+        module = UserModeling(10, 12, CONFIG, rng=rng)
+        factor = module.item_factor(np.array([0, 5]))
+        np.testing.assert_array_equal(factor.data, module.item_latent.weight.data[[0, 5]])
+
+    def test_item_only_variant(self, rng, tables):
+        config = CONFIG.variant(use_social_aggregation=False)
+        module = UserModeling(10, 12, config, rng=rng)
+        out = module(Tensor(rng.normal(size=(2, 8))), np.array([0, 1]), tables)
+        assert out.shape == (2, 8)
+        assert not hasattr(module, "social_attention")
+
+    def test_social_only_variant(self, rng, tables):
+        config = CONFIG.variant(use_item_aggregation=False)
+        module = UserModeling(10, 12, config, rng=rng)
+        out = module(Tensor(rng.normal(size=(2, 8))), np.array([0, 1]), tables)
+        assert out.shape == (2, 8)
+        assert not hasattr(module, "item_attention")
+
+    def test_both_disabled_rejected(self, rng):
+        config = CONFIG.variant(
+            use_item_aggregation=False, use_social_aggregation=False
+        )
+        with pytest.raises(ValueError):
+            UserModeling(10, 12, config, rng=rng)
+
+    def test_gradients_flow_to_latent_tables(self, rng, tables):
+        module = UserModeling(10, 12, CONFIG, rng=rng)
+        out = module(Tensor(rng.normal(size=(3, 8))), np.array([0, 1, 2]), tables)
+        out.sum().backward()
+        assert module.item_latent.weight.grad is not None
+        assert module.social_latent.weight.grad is not None
+
+    def test_masked_neighbours_do_not_matter(self, rng):
+        # Two users with identical valid top-H rows but different padded
+        # slots must get identical latent factors.
+        module = UserModeling(10, 12, CONFIG, rng=rng)
+        items = np.array([[1, 2, 3], [1, 2, 9]])
+        item_mask = np.array([[True, True, False], [True, True, False]])
+        friends = np.array([[0, 1, 4], [0, 1, 8]])
+        friend_mask = np.array([[True, True, False], [True, True, False]])
+        tables = TopNeighbours(items, item_mask, friends, friend_mask)
+        embedding = Tensor(rng.normal(size=(1, 8)))
+        both = Tensor(np.vstack([embedding.data, embedding.data]))
+        out = module(both, np.array([0, 0]), tables)
+        np.testing.assert_allclose(out.data[0], out.data[1], atol=1e-9)

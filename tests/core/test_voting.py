@@ -1,0 +1,128 @@
+"""Voting network: social masking, padding, gating, aggregation."""
+
+import numpy as np
+
+from repro.autograd import Tensor
+from repro.core import GroupSAConfig
+from repro.core.voting import GroupAggregation, VotingLayer, VotingNetwork
+from repro.nn import social_bias_matrix
+
+
+CONFIG = GroupSAConfig(
+    embedding_dim=8,
+    key_dim=6,
+    value_dim=6,
+    ffn_hidden=8,
+    attention_hidden=8,
+    dropout=0.0,
+    num_attention_layers=2,
+)
+
+
+def batch_inputs(rng, batch=3, length=4, dim=8):
+    x = Tensor(rng.normal(size=(batch, length, dim)), requires_grad=True)
+    adjacency = rng.random((batch, length, length)) > 0.4
+    adjacency = adjacency | adjacency.transpose(0, 2, 1)
+    mask = np.ones((batch, length), dtype=bool)
+    return x, adjacency, mask
+
+
+class TestVotingLayer:
+    def test_output_shape(self, rng):
+        layer = VotingLayer(CONFIG, rng=rng)
+        x, adjacency, mask = batch_inputs(rng)
+        bias = social_bias_matrix(adjacency, member_mask=mask)
+        out, weights = layer(x, bias)
+        assert out.shape == x.shape
+        assert weights.shape == (3, 4, 4)
+
+    def test_social_mask_respected(self, rng):
+        layer = VotingLayer(CONFIG, rng=rng)
+        x, __, mask = batch_inputs(rng)
+        adjacency = np.zeros((3, 4, 4), dtype=bool)  # no social edges
+        bias = social_bias_matrix(adjacency, member_mask=mask)
+        __, weights = layer(x, bias)
+        # With no edges, each member can only attend to itself.
+        np.testing.assert_allclose(
+            weights.data, np.broadcast_to(np.eye(4), (3, 4, 4)), atol=1e-9
+        )
+
+
+class TestVotingNetwork:
+    def test_identity_at_initialization(self, rng):
+        network = VotingNetwork(CONFIG, rng=rng)
+        x, adjacency, mask = batch_inputs(rng)
+        out, __ = network(x, adjacency, mask)
+        # ReZero gate starts at 0 => output == input.
+        np.testing.assert_allclose(out.data, x.data)
+
+    def test_gate_learns(self, rng):
+        network = VotingNetwork(CONFIG, rng=rng)
+        x, adjacency, mask = batch_inputs(rng)
+        out, __ = network(x, adjacency, mask)
+        (out * out).sum().backward()
+        assert network.gate.grad is not None
+
+    def test_disabled_passthrough(self, rng):
+        config = CONFIG.variant(use_self_attention=False)
+        network = VotingNetwork(config, rng=rng)
+        x, adjacency, mask = batch_inputs(rng)
+        out, weights = network(x, adjacency, mask)
+        assert out is x
+        assert weights is None
+
+    def test_zero_layers_passthrough(self, rng):
+        network = VotingNetwork(CONFIG.variant(num_attention_layers=0), rng=rng)
+        x, adjacency, mask = batch_inputs(rng)
+        out, weights = network(x, adjacency, mask)
+        assert out is x
+
+    def test_layer_count(self, rng):
+        network = VotingNetwork(CONFIG.variant(num_attention_layers=3), rng=rng)
+        assert len(network.layers) == 3
+
+    def test_returns_last_layer_attention(self, rng):
+        network = VotingNetwork(CONFIG, rng=rng)
+        x, adjacency, mask = batch_inputs(rng)
+        __, weights = network(x, adjacency, mask)
+        assert weights.shape == (3, 4, 4)
+        np.testing.assert_allclose(weights.sum(axis=-1), np.ones((3, 4)))
+
+
+class TestGroupAggregation:
+    def test_output_shapes(self, rng):
+        aggregation = GroupAggregation(CONFIG, rng=rng)
+        members = Tensor(rng.normal(size=(2, 4, 8)))
+        items = Tensor(rng.normal(size=(2, 8)))
+        mask = np.ones((2, 4), dtype=bool)
+        group, gamma = aggregation(members, items, mask)
+        assert group.shape == (2, 8)
+        assert gamma.shape == (2, 4)
+
+    def test_gamma_ignores_padding(self, rng):
+        aggregation = GroupAggregation(CONFIG, rng=rng)
+        members = Tensor(rng.normal(size=(1, 4, 8)))
+        items = Tensor(rng.normal(size=(1, 8)))
+        mask = np.array([[True, True, False, False]])
+        __, gamma = aggregation(members, items, mask)
+        assert np.all(gamma.data[0, 2:] < 1e-9)
+        assert gamma.data.sum() == 1.0 or abs(gamma.data.sum() - 1.0) < 1e-9
+
+    def test_identity_at_initialization(self, rng):
+        aggregation = GroupAggregation(CONFIG, rng=rng)
+        members = Tensor(rng.normal(size=(2, 3, 8)))
+        items = Tensor(rng.normal(size=(2, 8)))
+        mask = np.ones((2, 3), dtype=bool)
+        group, gamma = aggregation(members, items, mask)
+        manual = np.einsum("bl,bld->bd", gamma.data, members.data)
+        np.testing.assert_allclose(group.data, manual, atol=1e-10)
+
+    def test_gamma_varies_with_item(self, rng):
+        # Expertise weighting: different target items should induce
+        # different member weights once the scorer is non-degenerate.
+        aggregation = GroupAggregation(CONFIG, rng=rng)
+        members = Tensor(rng.normal(size=(1, 4, 8)))
+        mask = np.ones((1, 4), dtype=bool)
+        __, gamma_a = aggregation(members, Tensor(rng.normal(size=(1, 8))), mask)
+        __, gamma_b = aggregation(members, Tensor(rng.normal(size=(1, 8))), mask)
+        assert not np.allclose(gamma_a.data, gamma_b.data)

@@ -1,0 +1,105 @@
+"""Group batching and Top-H neighbour tables."""
+
+import numpy as np
+
+from repro.data import GroupBatcher, GroupRecommendationDataset
+from repro.data.loaders import build_top_neighbours
+
+
+def small_dataset():
+    return GroupRecommendationDataset(
+        num_users=5,
+        num_items=6,
+        num_groups=3,
+        user_item=[(0, 0), (0, 1), (1, 2), (2, 3), (3, 4), (4, 5)],
+        group_item=[(0, 0), (1, 1), (2, 2)],
+        social=[(0, 1), (1, 2), (3, 4)],
+        group_members=[
+            np.array([0, 1, 2]),
+            np.array([3, 4]),
+            np.array([0, 1, 2, 3, 4]),
+        ],
+    )
+
+
+class TestGroupBatcher:
+    def test_padding_to_max_size(self):
+        batcher = GroupBatcher(small_dataset())
+        batch = batcher.batch([0, 1])
+        assert batch.members.shape == (2, 5)
+        np.testing.assert_array_equal(batch.mask[0], [1, 1, 1, 0, 0])
+        np.testing.assert_array_equal(batch.mask[1], [1, 1, 0, 0, 0])
+
+    def test_members_preserved(self):
+        batcher = GroupBatcher(small_dataset())
+        batch = batcher.batch([2])
+        np.testing.assert_array_equal(batch.members[0], [0, 1, 2, 3, 4])
+
+    def test_adjacency_matches_social_graph(self):
+        batcher = GroupBatcher(small_dataset())
+        batch = batcher.batch([0])  # members 0,1,2; edges (0,1),(1,2)
+        adjacency = batch.adjacency[0, :3, :3]
+        assert adjacency[0, 1] and adjacency[1, 0]
+        assert adjacency[1, 2] and adjacency[2, 1]
+        assert not adjacency[0, 2]
+        assert not adjacency.diagonal().any()  # diagonal added later by the bias builder
+
+    def test_padded_adjacency_is_false(self):
+        batcher = GroupBatcher(small_dataset())
+        batch = batcher.batch([1])
+        assert not batch.adjacency[0, :, 2:].any()
+
+    def test_max_members_truncates(self):
+        batcher = GroupBatcher(small_dataset(), max_members=3)
+        batch = batcher.batch([2])
+        assert batch.members.shape == (1, 3)
+        assert batch.mask[0].all()
+
+    def test_custom_closeness(self):
+        everyone = lambda members: np.ones((members.size, members.size), dtype=bool)
+        batcher = GroupBatcher(small_dataset(), closeness=everyone)
+        batch = batcher.batch([0])
+        assert batch.adjacency[0, :3, :3].all()
+
+    def test_all_groups(self):
+        batcher = GroupBatcher(small_dataset())
+        batch = batcher.all_groups()
+        assert len(batch) == 3
+
+    def test_batch_order_matches_request(self):
+        batcher = GroupBatcher(small_dataset())
+        batch = batcher.batch([2, 0])
+        np.testing.assert_array_equal(batch.group_ids, [2, 0])
+        assert batch.mask[0].sum() == 5
+        assert batch.mask[1].sum() == 3
+
+
+class TestTopNeighbours:
+    def test_ranking_by_score(self):
+        dataset = small_dataset()
+        item_scores = np.array([0.1, 0.9, 0.2, 0.3, 0.4, 0.5])
+        friend_scores = np.zeros(5)
+        tables = build_top_neighbours(dataset, 1, item_scores, friend_scores)
+        # User 0 interacted with items 0 and 1; item 1 scores higher.
+        assert tables.items[0, 0] == 1
+
+    def test_padding_mask(self):
+        dataset = small_dataset()
+        tables = build_top_neighbours(
+            dataset, 3, np.ones(6), np.ones(5)
+        )
+        # User 3 has a single interaction -> one valid slot.
+        assert tables.item_mask[3].sum() == 1
+        # User 0 has one friend (user 1).
+        assert tables.friend_mask[0].sum() == 1
+
+    def test_top_h_property(self):
+        tables = build_top_neighbours(small_dataset(), 4, np.ones(6), np.ones(5))
+        assert tables.top_h == 4
+
+    def test_friends_ranked(self):
+        dataset = small_dataset()
+        friend_scores = np.array([0.0, 0.5, 1.0, 0.0, 0.0])
+        tables = build_top_neighbours(dataset, 1, np.ones(6), friend_scores)
+        # User 1's friends are 0 and 2; 2 scores higher.
+        assert tables.friends[1, 0] == 2

@@ -1,0 +1,118 @@
+"""AGREE/SIGR file-format loader."""
+
+import numpy as np
+import pytest
+
+from repro.data.real import (
+    FormatError,
+    load_agree_format,
+    parse_group_members,
+    parse_pair_file,
+)
+
+
+@pytest.fixture
+def dataset_dir(tmp_path):
+    (tmp_path / "groupMember.txt").write_text(
+        "10 100,101\n"
+        "11 101,102,103\n"
+    )
+    (tmp_path / "userRating.txt").write_text(
+        "100 7 5.0 1234\n"
+        "100 9\n"
+        "101 7\n"
+        "102 8\n"
+        "103 9\n"
+    )
+    (tmp_path / "groupRating.txt").write_text(
+        "10 7\n"
+        "11 8\n"
+    )
+    (tmp_path / "socialConnection.txt").write_text(
+        "100 101\n"
+        "101 102\n"
+        "# comment line\n"
+        "102 103\n"
+    )
+    return tmp_path
+
+
+class TestLoader:
+    def test_counts(self, dataset_dir):
+        dataset = load_agree_format(dataset_dir)
+        assert dataset.num_users == 4
+        assert dataset.num_items == 3
+        assert dataset.num_groups == 2
+
+    def test_ids_are_dense_and_remapped(self, dataset_dir):
+        dataset = load_agree_format(dataset_dir)
+        assert dataset.user_item[:, 0].max() < dataset.num_users
+        assert dataset.user_item[:, 1].max() < dataset.num_items
+        dataset.validate()
+
+    def test_group_members_remapped(self, dataset_dir):
+        dataset = load_agree_format(dataset_dir)
+        # raw group 10 -> dense 0 with raw members 100,101 -> dense 0,1.
+        np.testing.assert_array_equal(dataset.group_members[0], [0, 1])
+        np.testing.assert_array_equal(dataset.group_members[1], [1, 2, 3])
+
+    def test_extra_rating_columns_ignored(self, dataset_dir):
+        dataset = load_agree_format(dataset_dir)
+        # (100, 7) appears with rating+timestamp columns; still one edge.
+        assert len(dataset.user_item) == 5
+
+    def test_social_optional(self, dataset_dir):
+        (dataset_dir / "socialConnection.txt").unlink()
+        dataset = load_agree_format(dataset_dir)
+        assert len(dataset.social) == 0
+
+    def test_name_defaults_to_directory(self, dataset_dir):
+        dataset = load_agree_format(dataset_dir)
+        assert dataset.name == dataset_dir.name
+        assert load_agree_format(dataset_dir, name="yelp").name == "yelp"
+
+    def test_usable_by_split_and_batcher(self, dataset_dir):
+        from repro.data import GroupBatcher, split_interactions
+
+        dataset = load_agree_format(dataset_dir)
+        split = split_interactions(dataset, rng=0)
+        batcher = GroupBatcher(split.train)
+        batch = batcher.batch([0, 1])
+        assert batch.members.shape[0] == 2
+
+
+class TestParsers:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FormatError, match="missing"):
+            parse_pair_file(tmp_path / "nope.txt")
+
+    def test_bad_member_line(self, tmp_path):
+        path = tmp_path / "m.txt"
+        path.write_text("1 2 3\n")
+        with pytest.raises(FormatError, match="expected"):
+            parse_group_members(path)
+
+    def test_non_integer_ids(self, tmp_path):
+        path = tmp_path / "m.txt"
+        path.write_text("a b,c\n")
+        with pytest.raises(FormatError, match="non-integer"):
+            parse_group_members(path)
+
+    def test_empty_member_list(self, tmp_path):
+        path = tmp_path / "m.txt"
+        path.write_text("5 ,\n")
+        with pytest.raises(FormatError, match="no members"):
+            parse_group_members(path)
+
+    def test_short_rating_line(self, tmp_path):
+        path = tmp_path / "r.txt"
+        path.write_text("42\n")
+        with pytest.raises(FormatError, match="two columns"):
+            parse_pair_file(path)
+
+    def test_group_without_members_rejected(self, tmp_path):
+        (tmp_path / "groupMember.txt").write_text("1 100\n")
+        (tmp_path / "userRating.txt").write_text("100 5\n")
+        (tmp_path / "groupRating.txt").write_text("2 5\n")  # group 2 undefined
+        with pytest.raises(FormatError, match="no members"):
+            load_agree_format(tmp_path, social_file=None)

@@ -1,0 +1,73 @@
+"""Train/validation/test splitting."""
+
+import numpy as np
+import pytest
+
+from repro.data import split_interactions
+
+
+class TestSplitInteractions:
+    def test_partition_is_exact(self, tiny_world):
+        dataset = tiny_world.dataset
+        split = split_interactions(dataset, rng=0)
+        total_user = (
+            len(split.train.user_item)
+            + len(split.validation.user_item)
+            + len(split.test.user_item)
+        )
+        assert total_user == len(dataset.user_item)
+        total_group = (
+            len(split.train.group_item)
+            + len(split.validation.group_item)
+            + len(split.test.group_item)
+        )
+        assert total_group == len(dataset.group_item)
+
+    def test_no_overlap(self, tiny_world):
+        split = split_interactions(tiny_world.dataset, rng=0)
+        train = set(map(tuple, split.train.user_item))
+        test = set(map(tuple, split.test.user_item))
+        valid = set(map(tuple, split.validation.user_item))
+        assert not train & test
+        assert not train & valid
+        assert not valid & test
+
+    def test_fractions_respected(self, tiny_world):
+        dataset = tiny_world.dataset
+        split = split_interactions(dataset, train_fraction=0.8, validation_fraction=0.1, rng=0)
+        total = len(dataset.user_item)
+        train_plus_valid = len(split.train.user_item) + len(split.validation.user_item)
+        assert train_plus_valid == pytest.approx(0.8 * total, abs=1)
+        assert len(split.validation.user_item) == pytest.approx(0.08 * total, abs=1)
+
+    def test_side_information_shared(self, tiny_world):
+        split = split_interactions(tiny_world.dataset, rng=0)
+        np.testing.assert_array_equal(split.train.social, split.test.social)
+        assert len(split.train.group_members) == len(split.test.group_members)
+
+    def test_deterministic_with_seed(self, tiny_world):
+        first = split_interactions(tiny_world.dataset, rng=42)
+        second = split_interactions(tiny_world.dataset, rng=42)
+        np.testing.assert_array_equal(first.test.user_item, second.test.user_item)
+
+    def test_different_seeds_differ(self, tiny_world):
+        first = split_interactions(tiny_world.dataset, rng=1)
+        second = split_interactions(tiny_world.dataset, rng=2)
+        assert not np.array_equal(first.test.user_item, second.test.user_item)
+
+    def test_full_union(self, tiny_world):
+        dataset = tiny_world.dataset
+        split = split_interactions(dataset, rng=0)
+        full = split.full
+        assert len(full.user_item) == len(dataset.user_item)
+        assert len(full.group_item) == len(dataset.group_item)
+
+    def test_invalid_fractions(self, tiny_world):
+        with pytest.raises(ValueError):
+            split_interactions(tiny_world.dataset, train_fraction=1.5)
+        with pytest.raises(ValueError):
+            split_interactions(tiny_world.dataset, validation_fraction=1.0)
+
+    def test_zero_validation(self, tiny_world):
+        split = split_interactions(tiny_world.dataset, validation_fraction=0.0, rng=0)
+        assert len(split.validation.user_item) == 0

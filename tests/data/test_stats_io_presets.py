@@ -1,0 +1,92 @@
+"""Table I statistics, dataset (de)serialization, presets."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    douban_like,
+    load_dataset,
+    save_dataset,
+    table1_statistics,
+    yelp_like,
+)
+from repro.data.stats import format_table1
+
+
+class TestStatistics:
+    def test_all_seven_rows(self, tiny_world):
+        stats = table1_statistics(tiny_world.dataset)
+        assert set(stats) == {
+            "# Users",
+            "# Items/Events",
+            "# Groups",
+            "Avg. group size",
+            "Avg. # interactions per user",
+            "Avg. # friends per user",
+            "Avg. # interactions per group",
+        }
+
+    def test_counts_match_dataset(self, tiny_world):
+        dataset = tiny_world.dataset
+        stats = table1_statistics(dataset)
+        assert stats["# Users"] == dataset.num_users
+        assert stats["Avg. group size"] == pytest.approx(
+            dataset.group_sizes().mean()
+        )
+
+    def test_format_contains_all_rows(self, tiny_world):
+        stats = {"tiny": table1_statistics(tiny_world.dataset)}
+        text = format_table1(stats)
+        assert "# Users" in text
+        assert "tiny" in text
+        assert "Avg. group size" in text
+
+
+class TestIO:
+    def test_roundtrip(self, tiny_world, tmp_path):
+        original = tiny_world.dataset
+        path = tmp_path / "dataset.npz"
+        save_dataset(original, path)
+        loaded = load_dataset(path)
+        assert loaded.num_users == original.num_users
+        assert loaded.name == original.name
+        np.testing.assert_array_equal(loaded.user_item, original.user_item)
+        np.testing.assert_array_equal(loaded.group_item, original.group_item)
+        np.testing.assert_array_equal(loaded.social, original.social)
+        assert len(loaded.group_members) == len(original.group_members)
+        for left, right in zip(loaded.group_members, original.group_members):
+            np.testing.assert_array_equal(left, right)
+
+    def test_loaded_dataset_validates(self, tiny_world, tmp_path):
+        path = tmp_path / "d.npz"
+        save_dataset(tiny_world.dataset, path)
+        load_dataset(path).validate()
+
+
+class TestPresets:
+    def test_yelp_statistics_match_table1(self):
+        stats = table1_statistics(yelp_like(scale=0.01).dataset)
+        assert stats["Avg. group size"] == pytest.approx(4.45, abs=0.5)
+        assert stats["Avg. # interactions per user"] == pytest.approx(13.98, abs=1.5)
+        assert stats["Avg. # friends per user"] == pytest.approx(20.77, abs=1.0)
+        assert stats["Avg. # interactions per group"] == pytest.approx(1.12, abs=0.25)
+
+    def test_douban_statistics_match_table1(self):
+        stats = table1_statistics(douban_like(scale=0.01).dataset)
+        assert stats["Avg. group size"] == pytest.approx(4.84, abs=0.5)
+        assert stats["Avg. # interactions per user"] == pytest.approx(25.22, abs=2.0)
+        assert stats["Avg. # friends per user"] == pytest.approx(40.86, abs=1.5)
+        assert stats["Avg. # interactions per group"] == pytest.approx(1.47, abs=0.3)
+
+    def test_douban_has_more_items_than_users(self):
+        world = douban_like(scale=0.01)
+        assert world.dataset.num_items > world.dataset.num_users
+
+    def test_yelp_has_fewer_items_than_users(self):
+        world = yelp_like(scale=0.01)
+        assert world.dataset.num_items < world.dataset.num_users
+
+    def test_scale_changes_counts(self):
+        small = yelp_like(scale=0.005).dataset
+        large = yelp_like(scale=0.02).dataset
+        assert large.num_users > small.num_users

@@ -1,0 +1,131 @@
+"""Synthetic world generator: statistics, invariants, determinism."""
+
+import numpy as np
+
+from repro.data.synthetic import SyntheticConfig, generate
+from repro.graphs.social import is_socially_connected
+
+
+SMALL = SyntheticConfig(
+    num_users=120,
+    num_items=80,
+    num_groups=60,
+    avg_friends=8.0,
+    avg_user_interactions=9.0,
+    avg_group_interactions=1.3,
+    avg_group_size=4.0,
+    seed=3,
+)
+
+
+class TestGeneration:
+    def test_entity_counts(self):
+        world = generate(SMALL)
+        assert world.dataset.num_users == 120
+        assert world.dataset.num_items == 80
+        assert world.dataset.num_groups == 60
+
+    def test_deterministic_given_seed(self):
+        first = generate(SMALL)
+        second = generate(SMALL)
+        np.testing.assert_array_equal(first.dataset.user_item, second.dataset.user_item)
+        np.testing.assert_array_equal(first.dataset.social, second.dataset.social)
+        np.testing.assert_array_equal(
+            first.dataset.group_item, second.dataset.group_item
+        )
+
+    def test_different_seed_differs(self):
+        import dataclasses
+
+        other = generate(dataclasses.replace(SMALL, seed=99))
+        base = generate(SMALL)
+        assert not np.array_equal(base.dataset.user_item, other.dataset.user_item)
+
+    def test_dataset_passes_validation(self):
+        generate(SMALL).dataset.validate()
+
+
+class TestStatistics:
+    def test_average_friends_close_to_target(self):
+        dataset = generate(SMALL).dataset
+        avg = 2 * len(dataset.social) / dataset.num_users
+        assert abs(avg - SMALL.avg_friends) < 1.5
+
+    def test_average_interactions_close_to_target(self):
+        dataset = generate(SMALL).dataset
+        avg = len(dataset.user_item) / dataset.num_users
+        assert abs(avg - SMALL.avg_user_interactions) < 2.0
+
+    def test_group_interactions_close_to_target(self):
+        dataset = generate(SMALL).dataset
+        avg = len(dataset.group_item) / dataset.num_groups
+        assert abs(avg - SMALL.avg_group_interactions) < 0.5
+
+    def test_group_sizes_in_range(self):
+        dataset = generate(SMALL).dataset
+        sizes = dataset.group_sizes()
+        assert sizes.min() >= 2
+        assert sizes.max() <= SMALL.max_group_size
+
+    def test_every_user_has_an_interaction(self):
+        dataset = generate(SMALL).dataset
+        users_with_items = set(dataset.user_item[:, 0].tolist())
+        assert users_with_items == set(range(dataset.num_users))
+
+    def test_popularity_is_long_tailed(self):
+        dataset = generate(SMALL).dataset
+        popularity = np.sort(dataset.item_popularity())[::-1]
+        top_decile = popularity[: len(popularity) // 10].sum()
+        assert top_decile > 0.3 * popularity.sum()
+
+
+class TestPlantedStructure:
+    def test_groups_are_socially_connected(self):
+        world = generate(SMALL)
+        connected = sum(
+            is_socially_connected(members, world.dataset)
+            for members in world.dataset.group_members
+        )
+        # The generator grows groups along social edges; allow a few
+        # fallback pairs for isolated seeds.
+        assert connected >= 0.9 * world.dataset.num_groups
+
+    def test_latent_shapes(self):
+        world = generate(SMALL)
+        assert world.user_latent.shape == (120, SMALL.latent_dim)
+        assert world.item_latent.shape == (80, SMALL.latent_dim)
+        assert world.item_topic.shape == (80,)
+        assert world.user_expertise.shape == (120, SMALL.num_communities)
+
+    def test_expertise_positive(self):
+        world = generate(SMALL)
+        assert (world.user_expertise > 0).all()
+
+    def test_group_choices_follow_member_taste(self):
+        # Group-chosen items should align better with the mean member
+        # latent than random items do: the planted vote is visible.
+        world = generate(SMALL)
+        dataset = world.dataset
+        rng = np.random.default_rng(0)
+        chosen, random = [], []
+        for group, item in dataset.group_item:
+            members = dataset.group_members[group]
+            mean_taste = world.user_latent[members].mean(axis=0)
+            chosen.append(mean_taste @ world.item_latent[item])
+            random.append(
+                mean_taste @ world.item_latent[rng.integers(0, dataset.num_items)]
+            )
+        assert np.mean(chosen) > np.mean(random) + 0.1
+
+
+class TestScaled:
+    def test_scaled_counts(self):
+        scaled = SMALL.scaled(0.5)
+        assert scaled.num_users == 60
+        assert scaled.num_items == 40
+        assert scaled.num_groups == 30
+
+    def test_scaled_floors(self):
+        scaled = SMALL.scaled(0.0001)
+        assert scaled.num_users >= 20
+        assert scaled.num_groups >= 10

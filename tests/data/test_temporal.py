@@ -1,0 +1,106 @@
+"""Timestamps and chronological splitting."""
+
+import numpy as np
+import pytest
+
+from repro.data.temporal import (
+    InteractionTimestamps,
+    attach_timestamps,
+    temporal_split,
+)
+
+
+@pytest.fixture
+def timestamps(tiny_world):
+    return attach_timestamps(tiny_world.dataset, rng=0)
+
+
+class TestAttachTimestamps:
+    def test_aligned_lengths(self, tiny_world, timestamps):
+        timestamps.validate_against(tiny_world.dataset)
+
+    def test_within_horizon(self, tiny_world):
+        times = attach_timestamps(tiny_world.dataset, horizon_days=100.0, rng=0)
+        assert times.user_item.min() >= 0.0
+        assert times.user_item.max() <= 100.0
+
+    def test_same_item_clusters_in_time(self, tiny_world, timestamps):
+        dataset = tiny_world.dataset
+        # Spread of timestamps within an item << spread across items.
+        within = []
+        for item in range(dataset.num_items):
+            mask = dataset.user_item[:, 1] == item
+            if mask.sum() >= 3:
+                within.append(timestamps.user_item[mask].std())
+        overall = timestamps.user_item.std()
+        assert np.mean(within) < overall
+
+    def test_deterministic(self, tiny_world):
+        first = attach_timestamps(tiny_world.dataset, rng=5)
+        second = attach_timestamps(tiny_world.dataset, rng=5)
+        np.testing.assert_allclose(first.user_item, second.user_item)
+
+    def test_validation_errors(self, tiny_world):
+        with pytest.raises(ValueError):
+            attach_timestamps(tiny_world.dataset, horizon_days=0.0)
+        bad = InteractionTimestamps(user_item=np.zeros(1), group_item=np.zeros(1))
+        with pytest.raises(ValueError, match="timestamp count"):
+            bad.validate_against(tiny_world.dataset)
+
+
+class TestTemporalSplit:
+    def test_partition_complete(self, tiny_world, timestamps):
+        dataset = tiny_world.dataset
+        split = temporal_split(dataset, timestamps)
+        total = (
+            len(split.train.user_item)
+            + len(split.validation.user_item)
+            + len(split.test.user_item)
+        )
+        assert total == len(dataset.user_item)
+
+    def test_train_precedes_test(self, tiny_world, timestamps):
+        dataset = tiny_world.dataset
+        split = temporal_split(dataset, timestamps)
+        time_of = {
+            (int(u), int(i)): t
+            for (u, i), t in zip(dataset.user_item, timestamps.user_item)
+        }
+        train_max = max(time_of[tuple(edge)] for edge in split.train.user_item)
+        test_min = min(time_of[tuple(edge)] for edge in split.test.user_item)
+        assert train_max <= test_min
+
+    def test_validation_is_most_recent_training_slice(self, tiny_world, timestamps):
+        dataset = tiny_world.dataset
+        split = temporal_split(dataset, timestamps)
+        time_of = {
+            (int(u), int(i)): t
+            for (u, i), t in zip(dataset.user_item, timestamps.user_item)
+        }
+        train_max = max(time_of[tuple(edge)] for edge in split.train.user_item)
+        valid_min = min(time_of[tuple(edge)] for edge in split.validation.user_item)
+        assert train_max <= valid_min
+
+    def test_group_edges_also_chronological(self, tiny_world, timestamps):
+        dataset = tiny_world.dataset
+        split = temporal_split(dataset, timestamps)
+        time_of = {
+            (int(g), int(i)): t
+            for (g, i), t in zip(dataset.group_item, timestamps.group_item)
+        }
+        if len(split.train.group_item) and len(split.test.group_item):
+            train_max = max(time_of[tuple(edge)] for edge in split.train.group_item)
+            test_min = min(time_of[tuple(edge)] for edge in split.test.group_item)
+            assert train_max <= test_min
+
+    def test_usable_for_training(self, tiny_world, timestamps):
+        from tests.conftest import TINY_MODEL_CONFIG, TINY_TRAINING
+        from repro.training import train_groupsa
+
+        split = temporal_split(tiny_world.dataset, timestamps)
+        model, batcher, history = train_groupsa(split, TINY_MODEL_CONFIG, TINY_TRAINING)
+        assert np.isfinite(history.final_loss("group"))
+
+    def test_fraction_validation(self, tiny_world, timestamps):
+        with pytest.raises(ValueError):
+            temporal_split(tiny_world.dataset, timestamps, train_fraction=2.0)

@@ -1,0 +1,81 @@
+"""HR@K / NDCG@K metric semantics."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import hit_ratio_at_k, ndcg_at_k, rank_of_positive, summarize
+
+
+class TestRankOfPositive:
+    def test_best_rank_zero(self):
+        ranks = rank_of_positive(np.array([10.0]), np.array([[1.0, 2.0, 3.0]]))
+        assert ranks[0] == 0
+
+    def test_worst_rank(self):
+        ranks = rank_of_positive(np.array([0.0]), np.array([[1.0, 2.0, 3.0]]))
+        assert ranks[0] == 3
+
+    def test_middle(self):
+        ranks = rank_of_positive(np.array([2.5]), np.array([[1.0, 2.0, 3.0, 4.0]]))
+        assert ranks[0] == 2
+
+    def test_ties_give_half_credit(self):
+        ranks = rank_of_positive(np.array([2.0]), np.array([[2.0, 2.0, 1.0]]))
+        assert ranks[0] == 1.0  # two ties -> 0 strictly greater + 1.0
+
+    def test_all_equal_scores(self):
+        ranks = rank_of_positive(np.array([5.0]), np.array([[5.0] * 100]))
+        assert ranks[0] == 50.0
+
+    def test_vectorized(self):
+        positives = np.array([10.0, 0.0])
+        candidates = np.array([[1.0, 2.0], [1.0, 2.0]])
+        np.testing.assert_array_equal(
+            rank_of_positive(positives, candidates), [0.0, 2.0]
+        )
+
+
+class TestHitRatio:
+    def test_hit_inside_k(self):
+        np.testing.assert_array_equal(
+            hit_ratio_at_k(np.array([0.0, 4.0, 5.0, 9.0]), 5), [1, 1, 0, 0]
+        )
+
+    def test_k_boundary(self):
+        assert hit_ratio_at_k(np.array([4.999]), 5)[0] == 1.0
+        assert hit_ratio_at_k(np.array([5.0]), 5)[0] == 0.0
+
+
+class TestNdcg:
+    def test_top_rank_is_one(self):
+        assert ndcg_at_k(np.array([0.0]), 10)[0] == pytest.approx(1.0)
+
+    def test_rank_one_value(self):
+        assert ndcg_at_k(np.array([1.0]), 10)[0] == pytest.approx(1.0 / np.log2(3.0))
+
+    def test_outside_k_is_zero(self):
+        assert ndcg_at_k(np.array([10.0]), 10)[0] == 0.0
+
+    def test_monotonically_decreasing_in_rank(self):
+        ranks = np.arange(10, dtype=float)
+        values = ndcg_at_k(ranks, 10)
+        assert np.all(np.diff(values) < 0)
+
+    def test_ndcg_never_exceeds_hr(self):
+        ranks = np.linspace(0, 20, 41)
+        assert np.all(ndcg_at_k(ranks, 10) <= hit_ratio_at_k(ranks, 10) + 1e-12)
+
+
+class TestSummarize:
+    def test_keys(self):
+        summary = summarize(np.array([0.0, 3.0, 12.0]), ks=(5, 10))
+        assert set(summary) == {"HR@5", "NDCG@5", "HR@10", "NDCG@10"}
+
+    def test_values(self):
+        summary = summarize(np.array([0.0, 7.0, 20.0]), ks=(5, 10))
+        assert summary["HR@5"] == pytest.approx(1 / 3)
+        assert summary["HR@10"] == pytest.approx(2 / 3)
+
+    def test_empty_ranks(self):
+        summary = summarize(np.empty(0), ks=(5,))
+        assert summary["HR@5"] == 0.0

@@ -1,0 +1,111 @@
+"""Extended metrics: MRR, AUC, coverage, novelty, diversity."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import (
+    auc,
+    catalog_coverage,
+    extended_summary,
+    intra_list_diversity,
+    mean_rank,
+    mrr,
+    novelty,
+)
+
+
+class TestMRR:
+    def test_perfect(self):
+        assert mrr(np.zeros(5)) == 1.0
+
+    def test_rank_one(self):
+        assert mrr(np.array([1.0])) == pytest.approx(0.5)
+
+    def test_empty(self):
+        assert mrr(np.empty(0)) == 0.0
+
+    def test_decreasing_in_rank(self):
+        assert mrr(np.array([0.0])) > mrr(np.array([3.0])) > mrr(np.array([50.0]))
+
+
+class TestAUC:
+    def test_perfect(self):
+        assert auc(np.zeros(4), 100) == 1.0
+
+    def test_worst(self):
+        assert auc(np.array([100.0]), 100) == 0.0
+
+    def test_random_is_half(self):
+        assert auc(np.array([50.0]), 100) == pytest.approx(0.5)
+
+    def test_invalid_candidates(self):
+        with pytest.raises(ValueError):
+            auc(np.zeros(1), 0)
+
+    def test_empty(self):
+        assert auc(np.empty(0), 10) == 0.0
+
+
+class TestMeanRank:
+    def test_value(self):
+        assert mean_rank(np.array([0.0, 10.0])) == 5.0
+
+
+class TestCoverage:
+    def test_full_coverage(self):
+        assert catalog_coverage([[0, 1], [2, 3]], 4) == 1.0
+
+    def test_partial(self):
+        assert catalog_coverage([[0, 0], [1]], 4) == 0.5
+
+    def test_invalid_num_items(self):
+        with pytest.raises(ValueError):
+            catalog_coverage([[0]], 0)
+
+
+class TestNovelty:
+    def test_rare_items_more_novel(self):
+        popularity = np.array([100.0, 1.0])
+        rare = novelty([[1]], popularity)
+        common = novelty([[0]], popularity)
+        assert rare > common
+
+    def test_zero_interactions_rejected(self):
+        with pytest.raises(ValueError):
+            novelty([[0]], np.zeros(3))
+
+    def test_empty_lists(self):
+        assert novelty([], np.array([1.0, 1.0])) == 0.0
+
+
+class TestDiversity:
+    def test_identical_items_zero(self):
+        vectors = np.array([[1.0, 0.0], [1.0, 0.0]])
+        assert intra_list_diversity([[0, 1]], vectors) == pytest.approx(0.0)
+
+    def test_orthogonal_items_one(self):
+        vectors = np.array([[1.0, 0.0], [0.0, 1.0]])
+        assert intra_list_diversity([[0, 1]], vectors) == pytest.approx(1.0)
+
+    def test_short_lists_skipped(self):
+        vectors = np.eye(3)
+        assert intra_list_diversity([[0]], vectors) == 0.0
+
+    def test_zero_vectors_safe(self):
+        vectors = np.zeros((2, 3))
+        value = intra_list_diversity([[0, 1]], vectors)
+        assert np.isfinite(value)
+
+
+class TestExtendedSummary:
+    def test_contains_all_keys(self):
+        summary = extended_summary(np.array([0.0, 3.0, 20.0]), num_candidates=100)
+        assert {"HR@5", "NDCG@5", "HR@10", "NDCG@10", "MRR", "AUC", "MeanRank"} <= set(
+            summary
+        )
+
+    def test_consistency_with_base_metrics(self):
+        ranks = np.array([0.0, 7.0])
+        summary = extended_summary(ranks, num_candidates=50)
+        assert summary["HR@5"] == pytest.approx(0.5)
+        assert summary["MeanRank"] == pytest.approx(3.5)

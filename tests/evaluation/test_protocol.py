@@ -1,0 +1,170 @@
+"""The 100-candidate ranking protocol and significance tests."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import (
+    EvaluationTask,
+    evaluate,
+    evaluate_filtered,
+    one_sample_ttest,
+    paired_ttest,
+    prepare_task,
+    recommend_for_groups,
+    top_k_items,
+)
+
+
+def perfect_scorer(world_affinity):
+    def score(entities, items):
+        return world_affinity[entities, items]
+
+    return score
+
+
+class TestPrepareTask:
+    def test_candidates_exclude_interacted(self, tiny_split):
+        full = tiny_split.full
+        task = prepare_task(
+            tiny_split.test.user_item, full.user_items(), full.num_items,
+            num_candidates=20, rng=0,
+        )
+        interacted = full.user_items()
+        for (user, __), row in zip(task.edges, task.candidates):
+            assert not set(row.tolist()) & interacted[user]
+
+    def test_shapes(self, tiny_split):
+        full = tiny_split.full
+        task = prepare_task(
+            tiny_split.test.user_item, full.user_items(), full.num_items,
+            num_candidates=15, rng=0,
+        )
+        assert task.candidates.shape == (len(tiny_split.test.user_item), 15)
+        assert task.num_candidates == 15
+
+    def test_deterministic(self, tiny_split):
+        full = tiny_split.full
+        kwargs = dict(num_candidates=10, rng=123)
+        first = prepare_task(
+            tiny_split.test.user_item, full.user_items(), full.num_items, **kwargs
+        )
+        second = prepare_task(
+            tiny_split.test.user_item, full.user_items(), full.num_items, **kwargs
+        )
+        np.testing.assert_array_equal(first.candidates, second.candidates)
+
+
+class TestEvaluate:
+    def test_oracle_gets_perfect_metrics(self):
+        # A scorer that always ranks the positive first.
+        edges = np.array([[0, 3], [1, 4]])
+        candidates = np.array([[0, 1], [0, 1]])
+        task = EvaluationTask(edges=edges, candidates=candidates)
+
+        def score(entities, items):
+            return (items >= 3).astype(float)
+
+        result = evaluate(score, task, ks=(1, 5))
+        assert result.metrics["HR@1"] == 1.0
+        assert result.metrics["NDCG@1"] == 1.0
+
+    def test_adversarial_scorer_gets_zero(self):
+        edges = np.array([[0, 3]])
+        candidates = np.array([[0, 1]])
+        task = EvaluationTask(edges=edges, candidates=candidates)
+        result = evaluate(lambda e, i: -(i >= 3).astype(float), task, ks=(1, 2))
+        assert result.metrics["HR@2"] == 0.0
+
+    def test_chunking_invariant(self, tiny_split, trained_tiny_model):
+        model, __, __h = trained_tiny_model
+        full = tiny_split.full
+        task = prepare_task(
+            tiny_split.test.user_item, full.user_items(), full.num_items,
+            num_candidates=12, rng=0,
+        )
+        small = evaluate(model.score_user_items, task, chunk=3)
+        large = evaluate(model.score_user_items, task, chunk=1000)
+        np.testing.assert_allclose(small.ranks, large.ranks)
+
+    def test_empty_task(self):
+        task = EvaluationTask(
+            edges=np.empty((0, 2), dtype=np.int64), candidates=np.empty((0, 0))
+        )
+        result = evaluate(lambda e, i: np.zeros(len(e)), task)
+        assert result.metrics["HR@5"] == 0.0
+
+    def test_per_example_vectors(self):
+        edges = np.array([[0, 3], [1, 4]])
+        candidates = np.array([[0, 1], [0, 1]])
+        task = EvaluationTask(edges=edges, candidates=candidates)
+        result = evaluate(lambda e, i: i.astype(float), task, ks=(1,))
+        hr = result.per_example("HR@1")
+        ndcg = result.per_example("NDCG@1")
+        assert hr.shape == (2,)
+        np.testing.assert_array_equal(hr, ndcg)
+
+    def test_per_example_unknown_metric(self):
+        task = EvaluationTask(
+            edges=np.array([[0, 1]]), candidates=np.array([[0]])
+        )
+        result = evaluate(lambda e, i: np.zeros(len(e)), task, ks=(1,))
+        with pytest.raises(ValueError):
+            result.per_example("MRR@1")
+
+    def test_evaluate_filtered(self):
+        edges = np.array([[0, 3], [1, 4], [2, 5]])
+        candidates = np.array([[0, 1]] * 3)
+        task = EvaluationTask(edges=edges, candidates=candidates)
+        keep = np.array([True, False, True])
+        result = evaluate_filtered(lambda e, i: i.astype(float), task, keep, ks=(1,))
+        assert result.ranks.shape == (2,)
+
+
+class TestSignificance:
+    def test_identical_vectors_not_significant(self):
+        scores = np.array([1.0, 0.0, 1.0, 1.0])
+        result = paired_ttest(scores, scores)
+        assert result.p_value == 1.0
+        assert not result.significant()
+
+    def test_clear_difference_significant(self, rng):
+        better = rng.normal(1.0, 0.1, size=200)
+        worse = rng.normal(0.0, 0.1, size=200)
+        result = paired_ttest(better, worse)
+        assert result.significant(alpha=0.01)
+        assert result.statistic > 0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            paired_ttest(np.zeros(3), np.zeros(4))
+
+    def test_too_few_examples(self):
+        with pytest.raises(ValueError):
+            paired_ttest(np.zeros(1), np.zeros(1))
+
+    def test_one_sample(self, rng):
+        diffs = rng.normal(0.5, 0.1, size=100)
+        assert one_sample_ttest(diffs).significant()
+        assert not one_sample_ttest(np.zeros(10)).significant()
+
+
+class TestRanking:
+    def test_top_k_excludes_seen(self):
+        scores = np.arange(10, dtype=float)
+        top = top_k_items(lambda e, i: scores[i], 0, 10, k=3, exclude={9, 8})
+        np.testing.assert_array_equal(top, [7, 6, 5])
+
+    def test_top_k_orders_descending(self):
+        top = top_k_items(lambda e, i: -i.astype(float), 0, 5, k=5)
+        np.testing.assert_array_equal(top, [0, 1, 2, 3, 4])
+
+    def test_recommend_for_groups(self):
+        recs = recommend_for_groups(
+            lambda e, i: i.astype(float), [0, 1], num_items=6, k=2
+        )
+        assert set(recs) == {0, 1}
+        np.testing.assert_array_equal(recs[0], [5, 4])
+
+    def test_everything_excluded(self):
+        top = top_k_items(lambda e, i: i.astype(float), 0, 3, k=2, exclude={0, 1, 2})
+        assert top.size == 0

@@ -1,0 +1,61 @@
+"""Protocol edge cases: candidate clipping, width uniformity."""
+
+import numpy as np
+import pytest
+
+from repro.data import GroupRecommendationDataset
+from repro.evaluation import prepare_task
+
+
+def tiny_dataset(num_items=12):
+    return GroupRecommendationDataset(
+        num_users=3,
+        num_items=num_items,
+        num_groups=1,
+        user_item=[(0, 0), (0, 1), (1, 2), (2, 3)],
+        group_item=[(0, 4)],
+        social=[(0, 1)],
+        group_members=[np.array([0, 1])],
+    )
+
+
+class TestCandidateClipping:
+    def test_width_clipped_to_feasible(self):
+        dataset = tiny_dataset(num_items=12)
+        # User 0 has seen 2 items -> 10 unseen; ask for 100.
+        task = prepare_task(
+            np.array([[0, 5]]), dataset.user_items(), dataset.num_items,
+            num_candidates=100, rng=0,
+        )
+        assert task.candidates.shape == (1, 10)
+
+    def test_width_uniform_across_entities(self):
+        dataset = tiny_dataset(num_items=12)
+        interacted = dataset.user_items()
+        interacted[0].update({4, 5, 6, 7})  # user 0 has fewer unseen items
+        edges = np.array([[0, 8], [1, 5]])
+        task = prepare_task(edges, interacted, dataset.num_items, 100, rng=0)
+        # Uniform width = min over entities of their unseen count.
+        assert task.candidates.shape[0] == 2
+        assert (task.candidates.shape[1]) == 12 - len(interacted[0])
+
+    def test_no_unseen_items_raises(self):
+        interacted = [set(range(12))]
+        with pytest.raises(ValueError, match="no unseen"):
+            prepare_task(np.array([[0, 3]]), interacted, 12, 100, rng=0)
+
+    def test_requested_width_kept_when_feasible(self):
+        dataset = tiny_dataset(num_items=200)
+        task = prepare_task(
+            np.array([[0, 5]]), dataset.user_items(), dataset.num_items,
+            num_candidates=50, rng=0,
+        )
+        assert task.candidates.shape == (1, 50)
+
+    def test_empty_edges(self):
+        dataset = tiny_dataset()
+        task = prepare_task(
+            np.empty((0, 2), dtype=np.int64), dataset.user_items(), dataset.num_items,
+            num_candidates=10, rng=0,
+        )
+        assert task.candidates.shape == (0, 0)

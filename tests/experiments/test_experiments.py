@@ -1,0 +1,180 @@
+"""Experiment harnesses: budgets, runner plumbing, reporting, registry.
+
+These use a micro budget so the whole file stays fast; the full-budget
+runs live in the benchmarks.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import GroupSAConfig
+from repro.experiments import (
+    ExperimentBudget,
+    dataset_config,
+    evaluate_model,
+    prepare_run,
+    with_training,
+)
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.experiments.reporting import format_metric_table, format_overall_table
+from repro.training import TrainingConfig
+
+MICRO_BUDGET = ExperimentBudget(
+    scale=0.004,
+    seeds=(0,),
+    training=TrainingConfig(user_epochs=2, group_epochs=2, batch_size=64),
+    num_candidates=20,
+)
+
+MICRO_MODEL = GroupSAConfig(
+    embedding_dim=8,
+    key_dim=8,
+    value_dim=8,
+    ffn_hidden=8,
+    attention_hidden=8,
+    top_h=2,
+    prediction_hidden=(8,),
+    fusion_hidden=(8,),
+    dropout=0.0,
+)
+
+
+class TestRunner:
+    def test_dataset_config_known(self):
+        assert dataset_config("yelp", 0.01, 0).name == "yelp-like"
+        assert dataset_config("douban", 0.01, 0).name == "douban-like"
+
+    def test_dataset_config_unknown(self):
+        with pytest.raises(ValueError):
+            dataset_config("netflix", 0.01, 0)
+
+    def test_prepare_run_structure(self):
+        run = prepare_run("yelp", MICRO_BUDGET, seed=0)
+        assert run.user_task.num_candidates == 20
+        assert len(run.group_task.edges) > 0
+
+    def test_prepare_run_seed_changes_world(self):
+        first = prepare_run("yelp", MICRO_BUDGET, seed=0)
+        second = prepare_run("yelp", MICRO_BUDGET, seed=1)
+        assert not np.array_equal(
+            first.split.test.user_item, second.split.test.user_item
+        )
+
+    def test_evaluate_model_returns_both_tasks(self):
+        from repro.baselines import Popularity
+
+        run = prepare_run("yelp", MICRO_BUDGET, seed=0)
+        metrics = evaluate_model(Popularity(), run, ks=(5, 10))
+        assert set(metrics) == {"user", "group"}
+        assert "HR@5" in metrics["user"]
+
+    def test_with_training(self):
+        changed = with_training(MICRO_BUDGET, negatives_per_positive=4)
+        assert changed.training.negatives_per_positive == 4
+        assert MICRO_BUDGET.training.negatives_per_positive == 1
+
+
+class TestReporting:
+    def test_overall_table_contains_models_and_deltas(self):
+        rows = {
+            "Pop": {"group": {"HR@5": 0.2, "NDCG@5": 0.1, "HR@10": 0.3, "NDCG@10": 0.15}},
+            "GroupSA": {
+                "user": {"HR@5": 0.5, "NDCG@5": 0.4, "HR@10": 0.6, "NDCG@10": 0.45},
+                "group": {"HR@5": 0.4, "NDCG@5": 0.3, "HR@10": 0.6, "NDCG@10": 0.4},
+            },
+        }
+        text = format_overall_table(rows, "yelp")
+        assert "Pop" in text and "GroupSA" in text
+        assert "100.00" in text  # (0.4 - 0.2) / 0.2
+        assert text.count("-") > 0  # missing user rows rendered as '-'
+
+    def test_metric_table(self):
+        rows = {"1": {"HR@5": 0.1, "HR@10": 0.2, "NDCG@5": 0.05, "NDCG@10": 0.1}}
+        text = format_metric_table(rows, "Sweep", key_header="N_X")
+        assert "Sweep" in text and "N_X" in text and "0.1000" in text
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        assert set(EXPERIMENTS) == {
+            "table1",
+            "table2",
+            "table3",
+            "table4",
+            "table5",
+            "table6",
+            "table7",
+            "table8",
+            "table9",
+            "figure3",
+            "significance",
+        }
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            run_experiment("table42")
+
+    def test_table1_runs(self, capsys):
+        text = run_experiment("table1", MICRO_BUDGET)
+        assert "# Users" in text
+        assert "yelp" in text and "douban" in text
+
+
+class TestHarnessesSmoke:
+    """Each harness runs end-to-end at the micro budget."""
+
+    def test_overall(self):
+        from repro.experiments.overall import run_overall
+
+        rows = run_overall("yelp", MICRO_BUDGET, MICRO_MODEL)
+        assert "GroupSA" in rows and "Pop" in rows
+        assert "group" in rows["GroupSA"]
+
+    def test_ablations(self):
+        from repro.experiments.ablations import run_ablations
+
+        rows = run_ablations(
+            "yelp", MICRO_BUDGET, MICRO_MODEL, variants=("Group-S", "GroupSA")
+        )
+        assert set(rows) == {"Group-S", "GroupSA"}
+
+    def test_joint_training(self):
+        from repro.experiments.joint_training import run_joint_training
+
+        rows = run_joint_training("yelp", MICRO_BUDGET, MICRO_MODEL)
+        assert set(rows) == {"NCF", "Group-G", "GroupSA"}
+
+    def test_hyperparam_sweeps(self):
+        from repro.experiments.hyperparams import (
+            sweep_attention_layers,
+            sweep_blend_weight,
+            sweep_negatives,
+        )
+
+        nx = sweep_attention_layers("yelp", MICRO_BUDGET, MICRO_MODEL, values=(1, 2))
+        assert set(nx) == {"1", "2"}
+        wu = sweep_blend_weight("yelp", MICRO_BUDGET, MICRO_MODEL, values=(0.5,))
+        assert set(wu) == {"0.5"}
+        negatives = sweep_negatives("yelp", MICRO_BUDGET, MICRO_MODEL, values=(2,))
+        assert set(negatives) == {"2"}
+
+    def test_group_size(self):
+        from repro.experiments.group_size import run_group_size
+
+        rows = run_group_size("yelp", MICRO_BUDGET, MICRO_MODEL)
+        assert rows  # at least one bin populated
+        for metrics in rows.values():
+            assert "HR@5" in metrics
+
+    def test_case_study(self):
+        from repro.experiments.case_study import run_case_study
+
+        study = run_case_study("yelp", MICRO_BUDGET, MICRO_MODEL, num_negatives=1)
+        assert study.rows
+        text = study.format()
+        assert "Table IV" in text
+        models = {row.model for row in study.rows}
+        assert models == {"GroupSA", "Group-S"}
+        for row in study.rows:
+            assert 0.0 <= row.score <= 1.0
+            np.testing.assert_allclose(row.member_weights.sum(), 1.0, atol=1e-6)

@@ -1,0 +1,48 @@
+"""ASCII figure rendering."""
+
+import pytest
+
+from repro.experiments.figures import render_bar_chart, render_figure3
+
+ROWS = {
+    "Group-A": {"HR@5": 0.4, "HR@10": 0.5, "NDCG@5": 0.3, "NDCG@10": 0.35},
+    "GroupSA": {"HR@5": 0.5, "HR@10": 0.8, "NDCG@5": 0.4, "NDCG@10": 0.5},
+}
+
+
+class TestBarChart:
+    def test_contains_all_models_and_values(self):
+        chart = render_bar_chart(ROWS, "HR@10")
+        assert "Group-A" in chart and "GroupSA" in chart
+        assert "0.5000" in chart and "0.8000" in chart
+
+    def test_largest_value_gets_longest_bar(self):
+        chart = render_bar_chart(ROWS, "HR@10", width=20)
+        lines = {line.split(" ")[0]: line for line in chart.splitlines()[1:]}
+        assert lines["GroupSA"].count("#") > lines["Group-A"].count("#")
+
+    def test_max_bar_fills_width(self):
+        chart = render_bar_chart(ROWS, "HR@10", width=20)
+        best_line = next(l for l in chart.splitlines() if l.startswith("GroupSA"))
+        assert best_line.count("#") == 20
+
+    def test_zero_value(self):
+        rows = {"a": {"m": 0.0}, "b": {"m": 1.0}}
+        chart = render_bar_chart(rows, "m", width=10)
+        zero_line = next(l for l in chart.splitlines() if l.startswith("a"))
+        assert "#" not in zero_line
+
+    def test_custom_title(self):
+        assert render_bar_chart(ROWS, "HR@5", title="Panel").startswith("Panel")
+
+    def test_empty_rows_rejected(self):
+        with pytest.raises(ValueError):
+            render_bar_chart({}, "HR@5")
+
+
+class TestFigure3:
+    def test_four_panels(self):
+        figure = render_figure3(ROWS, "yelp")
+        assert figure.count("(yelp)") == 4
+        for metric in ("HR@5", "HR@10", "NDCG@5", "NDCG@10"):
+            assert metric in figure

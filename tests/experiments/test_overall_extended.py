@@ -1,0 +1,19 @@
+"""Extended overall harness (classic CF + generative models)."""
+
+from repro.experiments.overall_extended import MODEL_ORDER, run_overall_extended
+from tests.experiments.test_experiments import MICRO_BUDGET, MICRO_MODEL
+
+
+class TestOverallExtended:
+    def test_all_models_present(self):
+        rows = run_overall_extended("yelp", MICRO_BUDGET, MICRO_MODEL)
+        assert set(rows) == set(MODEL_ORDER)
+
+    def test_every_model_scores_both_tasks(self):
+        rows = run_overall_extended("yelp", MICRO_BUDGET, MICRO_MODEL)
+        for name, tasks in rows.items():
+            assert "group" in tasks, name
+            assert "user" in tasks, name
+            for metrics in tasks.values():
+                for value in metrics.values():
+                    assert 0.0 <= value <= 1.0

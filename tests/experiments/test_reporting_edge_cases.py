@@ -1,0 +1,48 @@
+"""Reporting helpers: delta cells, missing rows, empty metrics."""
+
+from repro.experiments.reporting import (
+    _cell,
+    _delta_cell,
+    format_metric_table,
+    format_overall_table,
+)
+
+
+class TestCells:
+    def test_none_renders_dash(self):
+        assert _cell(None, 8).strip() == "-"
+
+    def test_value_formatting(self):
+        assert _cell(0.12345, 9).strip() == "0.1235"
+
+    def test_delta_of_reference_is_dash(self):
+        assert _delta_cell(0.5, 0.5, "GroupSA", "GroupSA").strip() == "-"
+
+    def test_delta_against_zero_is_dash(self):
+        assert _delta_cell(0.5, 0.0, "Pop", "GroupSA").strip() == "-"
+
+    def test_delta_value(self):
+        cell = _delta_cell(0.6, 0.4, "Pop", "GroupSA")
+        assert cell.strip() == "50.00"
+
+    def test_negative_delta(self):
+        cell = _delta_cell(0.3, 0.4, "Pop", "GroupSA")
+        assert cell.strip() == "-25.00"
+
+
+class TestTables:
+    def test_overall_without_reference_row(self):
+        rows = {"Pop": {"group": {"HR@5": 0.2, "NDCG@5": 0.1, "HR@10": 0.3, "NDCG@10": 0.2}}}
+        text = format_overall_table(rows, "yelp", reference="GroupSA")
+        assert "Pop" in text  # renders, deltas become dashes
+
+    def test_metric_table_missing_metric(self):
+        rows = {"a": {"HR@5": 0.1}}
+        text = format_metric_table(rows, "T", metrics=("HR@5", "HR@10"))
+        assert "0.1000" in text
+        assert "-" in text
+
+    def test_metric_table_custom_metrics(self):
+        rows = {"x": {"MRR": 0.5}}
+        text = format_metric_table(rows, "T", metrics=("MRR",))
+        assert "MRR" in text and "0.5000" in text

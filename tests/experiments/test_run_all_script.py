@@ -1,0 +1,48 @@
+"""The report-generation script."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SCRIPT = REPO_ROOT / "scripts" / "run_all_experiments.py"
+
+
+class TestProfiles:
+    def test_profiles_cover_all_experiments(self):
+        import importlib.util
+
+        spec = importlib.util.spec_from_file_location("run_all", SCRIPT)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        from repro.experiments.registry import EXPERIMENTS
+
+        for profile, budgets in module.PROFILES.items():
+            assert set(budgets) == set(EXPERIMENTS), profile
+
+
+@pytest.mark.slow
+class TestScriptExecution:
+    def test_table1_via_script(self, tmp_path):
+        result = subprocess.run(
+            [
+                sys.executable,
+                str(SCRIPT),
+                "--profile",
+                "bench",
+                "--only",
+                "table1",
+                "--out",
+                str(tmp_path),
+            ],
+            capture_output=True,
+            text=True,
+            timeout=300,
+            cwd=REPO_ROOT,
+        )
+        assert result.returncode == 0, result.stderr
+        assert (tmp_path / "table1.txt").exists()
+        assert "# Users" in (tmp_path / "table1.txt").read_text()
+        assert (tmp_path / "ALL.txt").exists()

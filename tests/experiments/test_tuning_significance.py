@@ -1,0 +1,117 @@
+"""Validation grid search and significance reporting."""
+
+import numpy as np
+import pytest
+
+from repro.core import GroupSAConfig
+from repro.tuning import grid_search, validation_task
+from tests.conftest import TINY_MODEL_CONFIG, TINY_TRAINING
+
+
+class TestValidationTask:
+    def test_candidates_avoid_train_and_validation(self, tiny_split):
+        task = validation_task(tiny_split, num_candidates=15)
+        train_items = tiny_split.train.group_items()
+        valid_items = tiny_split.validation.group_items()
+        for (group, __), row in zip(task.edges, task.candidates):
+            seen = train_items[group] | valid_items[group]
+            assert not set(row.tolist()) & seen
+
+    def test_edges_are_validation_edges(self, tiny_split):
+        task = validation_task(tiny_split)
+        np.testing.assert_array_equal(task.edges, tiny_split.validation.group_item)
+
+
+class TestGridSearch:
+    def test_runs_all_grid_points(self, tiny_split):
+        result = grid_search(
+            tiny_split,
+            grid={"num_attention_layers": [1, 2]},
+            base=TINY_MODEL_CONFIG,
+            training=TINY_TRAINING,
+            num_candidates=10,
+        )
+        assert len(result.trials) == 2
+        assert {t.overrides["num_attention_layers"] for t in result.trials} == {1, 2}
+
+    def test_cartesian_product(self, tiny_split):
+        result = grid_search(
+            tiny_split,
+            grid={"num_attention_layers": [1, 2], "top_h": [2, 3]},
+            base=TINY_MODEL_CONFIG,
+            training=TINY_TRAINING,
+            num_candidates=10,
+        )
+        assert len(result.trials) == 4
+
+    def test_best_and_config(self, tiny_split):
+        result = grid_search(
+            tiny_split,
+            grid={"blend_weight": [0.5, 0.9]},
+            base=TINY_MODEL_CONFIG,
+            training=TINY_TRAINING,
+            num_candidates=10,
+        )
+        best = result.best
+        assert best.metrics["HR@10"] == max(
+            t.metrics["HR@10"] for t in result.trials
+        )
+        config = result.best_config(TINY_MODEL_CONFIG)
+        assert isinstance(config, GroupSAConfig)
+        assert config.blend_weight == best.overrides["blend_weight"]
+
+    def test_format(self, tiny_split):
+        result = grid_search(
+            tiny_split,
+            grid={"top_h": [2]},
+            base=TINY_MODEL_CONFIG,
+            training=TINY_TRAINING,
+            num_candidates=10,
+        )
+        text = result.format()
+        assert "top_h=2" in text and "best" in text
+
+    def test_empty_grid_rejected(self, tiny_split):
+        with pytest.raises(ValueError):
+            grid_search(tiny_split, grid={})
+
+    def test_empty_best_rejected(self):
+        from repro.tuning import SearchResult
+
+        with pytest.raises(ValueError):
+            SearchResult().best
+
+
+class TestSignificanceReport:
+    def test_report_runs_and_formats(self):
+        from repro.experiments.runner import ExperimentBudget
+        from repro.experiments.significance import (
+            format_significance,
+            run_significance,
+        )
+        from repro.training import TrainingConfig
+
+        budget = ExperimentBudget(
+            scale=0.004,
+            seeds=(0,),
+            training=TrainingConfig(user_epochs=2, group_epochs=2, batch_size=64),
+            num_candidates=20,
+        )
+        micro = GroupSAConfig(
+            embedding_dim=8,
+            key_dim=8,
+            value_dim=8,
+            ffn_hidden=8,
+            attention_hidden=8,
+            top_h=2,
+            prediction_hidden=(8,),
+            fusion_hidden=(8,),
+            dropout=0.0,
+        )
+        rows = run_significance("yelp", budget, micro, metrics=("HR@10",))
+        baselines = {row.baseline for row in rows}
+        assert baselines == {"Pop", "NCF", "AGREE", "SIGR"}
+        for row in rows:
+            assert 0.0 <= row.ttest.p_value <= 1.0
+        text = format_significance(rows, "yelp")
+        assert "Paired t-tests" in text and "Pop" in text

@@ -1,0 +1,144 @@
+"""Graph utilities: adjacency, TF-IDF ranking, propagation, closeness."""
+
+import numpy as np
+import pytest
+
+from repro.data import GroupRecommendationDataset
+from repro.graphs import (
+    common_neighbours,
+    degree_sequence,
+    direct_connection,
+    friend_idf,
+    full_attention,
+    interaction_matrix,
+    is_socially_connected,
+    item_idf,
+    normalized_propagation,
+    pagerank_threshold,
+    propagate_embeddings,
+    random_top_neighbours,
+    social_adjacency,
+    tfidf_top_neighbours,
+    to_networkx,
+)
+
+
+@pytest.fixture
+def dataset():
+    return GroupRecommendationDataset(
+        num_users=5,
+        num_items=4,
+        num_groups=2,
+        user_item=[(0, 0), (1, 0), (2, 0), (0, 1), (1, 2), (3, 3)],
+        group_item=[(0, 0), (1, 1)],
+        social=[(0, 1), (1, 2), (2, 3), (0, 2)],
+        group_members=[np.array([0, 1, 2]), np.array([2, 3])],
+    )
+
+
+class TestSocial:
+    def test_adjacency_symmetric(self, dataset):
+        adjacency = social_adjacency(dataset).toarray()
+        np.testing.assert_array_equal(adjacency, adjacency.T)
+        assert adjacency[0, 1] == 1
+        assert adjacency[0, 4] == 0
+
+    def test_degree_sequence(self, dataset):
+        np.testing.assert_array_equal(degree_sequence(dataset), [2, 2, 3, 1, 0])
+
+    def test_networkx_export(self, dataset):
+        graph = to_networkx(dataset)
+        assert graph.number_of_nodes() == 5
+        assert graph.number_of_edges() == 4
+
+    def test_connected_group(self, dataset):
+        assert is_socially_connected(np.array([0, 1, 2]), dataset)
+
+    def test_disconnected_group(self, dataset):
+        assert not is_socially_connected(np.array([0, 4]), dataset)
+
+    def test_singleton_connected(self, dataset):
+        assert is_socially_connected(np.array([4]), dataset)
+
+
+class TestTfidf:
+    def test_item_idf_decreases_with_popularity(self, dataset):
+        idf = item_idf(dataset)
+        assert idf[0] < idf[1]  # item 0 has 3 interactions, item 1 has 1
+        assert idf[1] == idf[2] == idf[3]
+
+    def test_friend_idf_decreases_with_degree(self, dataset):
+        idf = friend_idf(dataset)
+        assert idf[2] < idf[3]  # user 2 has degree 3, user 3 degree 1
+        assert idf[4] == idf.max()
+
+    def test_top_neighbours_prefers_rare_items(self, dataset):
+        tables = tfidf_top_neighbours(dataset, top_h=1)
+        # User 0 interacted with popular item 0 and rare item 1.
+        assert tables.items[0, 0] == 1
+
+    def test_random_variant_is_seedable(self, dataset):
+        first = random_top_neighbours(dataset, 2, seed=1)
+        second = random_top_neighbours(dataset, 2, seed=1)
+        np.testing.assert_array_equal(first.items, second.items)
+
+
+class TestBipartite:
+    def test_interaction_matrix(self, dataset):
+        matrix = interaction_matrix(dataset)
+        assert matrix.shape == (5, 4)
+        assert matrix[0, 0] == 1
+        assert matrix[4].sum() == 0
+
+    def test_normalized_propagation_rows_sum_to_one(self, dataset):
+        user_to_item, item_to_user = normalized_propagation(interaction_matrix(dataset))
+        sums = np.asarray(user_to_item.sum(axis=1)).ravel()
+        for user in range(4):  # users with interactions
+            assert sums[user] == pytest.approx(1.0)
+        assert sums[4] == 0.0
+
+    def test_propagate_embeddings_moves_toward_neighbours(self, dataset):
+        matrix = interaction_matrix(dataset)
+        users = np.zeros((5, 2))
+        items = np.ones((4, 2))
+        new_users, __ = propagate_embeddings(matrix, users, items, rounds=1, mix=0.5)
+        np.testing.assert_allclose(new_users[0], [0.5, 0.5])
+        np.testing.assert_allclose(new_users[4], [0.0, 0.0])
+
+    def test_propagate_validates_mix(self, dataset):
+        matrix = interaction_matrix(dataset)
+        with pytest.raises(ValueError):
+            propagate_embeddings(matrix, np.zeros((5, 2)), np.zeros((4, 2)), mix=2.0)
+
+
+class TestCloseness:
+    def test_direct_connection(self, dataset):
+        closeness = direct_connection(dataset)
+        matrix = closeness(np.array([0, 1, 3]))
+        assert matrix[0, 1] and matrix[1, 0]
+        assert not matrix[0, 2]
+        assert not matrix.diagonal().any()
+
+    def test_common_neighbours_extends_direct(self, dataset):
+        closeness = common_neighbours(dataset, minimum_common=1)
+        # Users 0 and 3 are not direct friends but share neighbour 2.
+        matrix = closeness(np.array([0, 3]))
+        assert matrix[0, 1]
+
+    def test_full_attention(self):
+        matrix = full_attention()(np.array([5, 6, 7]))
+        assert matrix.all()
+
+    def test_pagerank_threshold_enables_influential_columns(self, dataset):
+        closeness = pagerank_threshold(dataset, quantile=0.4)
+        matrix = closeness(np.array([0, 2, 4]))
+        # User 2 is the highest-degree node; attention toward it should
+        # be enabled from everyone in the group.
+        assert matrix[:, 1].all()
+
+    def test_pagerank_scores_sum_to_one(self, dataset):
+        from repro.graphs.closeness import _pagerank
+
+        scores = _pagerank(social_adjacency(dataset))
+        assert scores.sum() == pytest.approx(1.0, abs=1e-6)
+        assert scores[2] == scores.max()  # highest degree

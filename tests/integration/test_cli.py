@@ -1,0 +1,99 @@
+"""End-to-end CLI workflow: generate -> train -> evaluate -> recommend."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def workspace(tmp_path_factory):
+    root = tmp_path_factory.mktemp("cli")
+    data = root / "world.npz"
+    model = root / "model.npz"
+    code = main(
+        [
+            "generate",
+            "--preset", "yelp",
+            "--scale", "0.004",
+            "--seed", "3",
+            "--out", str(data),
+        ]
+    )
+    assert code == 0
+    code = main(
+        [
+            "train",
+            "--data", str(data),
+            "--out", str(model),
+            "--dim", "12",
+            "--user-epochs", "3",
+            "--group-epochs", "3",
+        ]
+    )
+    assert code == 0
+    return data, model
+
+
+class TestCli:
+    def test_generate_writes_dataset(self, workspace, capsys):
+        data, __ = workspace
+        assert data.exists()
+
+    def test_train_writes_checkpoint(self, workspace):
+        __, model = workspace
+        assert model.exists()
+        from repro.persistence import checkpoint_info
+
+        config, num_users, num_items = checkpoint_info(model)
+        assert config.embedding_dim == 12
+        assert num_users > 0 and num_items > 0
+
+    def test_evaluate_group_task(self, workspace, capsys):
+        data, model = workspace
+        code = main(
+            [
+                "evaluate",
+                "--data", str(data),
+                "--model", str(model),
+                "--task", "group",
+                "--candidates", "20",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "HR@10" in out and "NDCG@5" in out
+
+    def test_evaluate_user_task(self, workspace, capsys):
+        data, model = workspace
+        code = main(
+            [
+                "evaluate",
+                "--data", str(data),
+                "--model", str(model),
+                "--task", "user",
+                "--candidates", "20",
+            ]
+        )
+        assert code == 0
+        assert "HR@5" in capsys.readouterr().out
+
+    def test_recommend(self, workspace, capsys):
+        data, model = workspace
+        code = main(
+            ["recommend", "--data", str(data), "--model", str(model), "--group", "0", "-k", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "top-3" in out and "voting weights" in out
+
+    def test_recommend_bad_group(self, workspace, capsys):
+        data, model = workspace
+        code = main(
+            ["recommend", "--data", str(data), "--model", str(model), "--group", "99999"]
+        )
+        assert code == 2
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

@@ -1,0 +1,123 @@
+"""Cross-module consistency checks."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import COM, PIT
+
+
+class TestComPitRelationship:
+    def test_com_without_conformity_matches_pit(self, tiny_split):
+        """With kappa=0, COM's topic-level mixture factorizes to PIT's
+        item-level mixture (same substrate, same influence EM), so the
+        two models must produce identical group scores."""
+        pit = PIT(num_topics=5, topic_iterations=8, impact_iterations=4, seed=2).fit(
+            tiny_split
+        )
+        com = COM(
+            num_topics=5,
+            topic_iterations=8,
+            influence_iterations=4,
+            conformity=0.0,
+            seed=2,
+        ).fit(tiny_split)
+        groups = np.arange(6)
+        items = np.arange(6)
+        np.testing.assert_allclose(
+            pit.score_group_items(groups, items),
+            com.score_group_items(groups, items),
+            atol=1e-10,
+        )
+
+    def test_conformity_changes_scores(self, tiny_split):
+        low = COM(num_topics=5, topic_iterations=8, conformity=0.0, seed=2).fit(
+            tiny_split
+        )
+        high = COM(num_topics=5, topic_iterations=8, conformity=0.9, seed=2).fit(
+            tiny_split
+        )
+        groups = np.arange(6)
+        items = np.arange(6)
+        assert not np.allclose(
+            low.score_group_items(groups, items),
+            high.score_group_items(groups, items),
+        )
+
+    def test_invalid_conformity(self):
+        with pytest.raises(ValueError):
+            COM(conformity=1.5)
+
+
+class TestVariantStateDicts:
+    @pytest.mark.parametrize("variant", ["GroupSA", "Group-A", "Group-S", "Group-G"])
+    def test_state_dict_roundtrip_per_variant(self, tiny_split, variant):
+        from repro.core import GroupSA, variant_config
+        from tests.conftest import TINY_MODEL_CONFIG
+
+        config = variant_config(variant, TINY_MODEL_CONFIG)
+        train = tiny_split.train
+        first = GroupSA(train.num_users, train.num_items, config)
+        second = GroupSA(train.num_users, train.num_items, config)
+        second.user_embedding.weight.data += 1.0  # make them differ
+        second.load_state_dict(first.state_dict())
+        for (na, pa), (nb, pb) in zip(
+            first.named_parameters(), second.named_parameters()
+        ):
+            assert na == nb
+            np.testing.assert_array_equal(pa.data, pb.data)
+
+    def test_variant_parameter_counts_differ(self, tiny_split):
+        from repro.core import GroupSA, variant_config
+        from tests.conftest import TINY_MODEL_CONFIG
+
+        train = tiny_split.train
+        full = GroupSA(train.num_users, train.num_items, TINY_MODEL_CONFIG)
+        stripped = GroupSA(
+            train.num_users,
+            train.num_items,
+            variant_config("Group-A", TINY_MODEL_CONFIG),
+        )
+        assert full.num_parameters() > stripped.num_parameters()
+
+
+class TestEvaluationCustomKs:
+    def test_custom_ks_respected(self, tiny_split, trained_tiny_model):
+        from repro.evaluation import evaluate, prepare_task
+
+        model, __, __h = trained_tiny_model
+        full = tiny_split.full
+        task = prepare_task(
+            tiny_split.test.user_item, full.user_items(), full.num_items,
+            num_candidates=15, rng=0,
+        )
+        result = evaluate(model.score_user_items, task, ks=(1, 3, 7))
+        assert set(result.metrics) == {
+            "HR@1", "NDCG@1", "HR@3", "NDCG@3", "HR@7", "NDCG@7",
+        }
+        assert result.metrics["HR@1"] <= result.metrics["HR@3"] <= result.metrics["HR@7"]
+
+
+class TestAnalysisEdgeCases:
+    def test_embedding_neighbours_k_exceeds_table(self):
+        from repro.analysis import embedding_neighbours
+
+        table = np.eye(3)
+        neighbours = embedding_neighbours(table, 0, k=10)
+        assert len(neighbours) == 2  # everyone but self
+
+    def test_runner_with_group_only_model(self):
+        from repro.experiments import evaluate_model
+        from tests.experiments.test_experiments import MICRO_BUDGET
+        from repro.experiments import prepare_run
+        from repro.baselines import GroupSARecommender, ScoreAggregationRecommender
+        from tests.experiments.test_experiments import MICRO_MODEL
+        from repro.training import TrainingConfig
+
+        run = prepare_run("yelp", MICRO_BUDGET, seed=0)
+        base = GroupSARecommender(
+            MICRO_MODEL, TrainingConfig(user_epochs=1, group_epochs=1, batch_size=64)
+        )
+        base.fit(run.split)
+        wrapper = ScoreAggregationRecommender(base, "avg")
+        metrics = evaluate_model(wrapper, run, ks=(5,))
+        assert set(metrics) == {"group"}  # no user task for aggregations

@@ -1,0 +1,79 @@
+"""RecommendationService end-to-end."""
+
+import numpy as np
+import pytest
+
+from repro.persistence import save_model
+from repro.serving import Recommendation, RecommendationService
+
+
+@pytest.fixture(scope="module")
+def service(trained_tiny_model, tiny_split):
+    model, __, __h = trained_tiny_model
+    return RecommendationService(model=model, dataset=tiny_split.train)
+
+
+class TestUserRequests:
+    def test_top_k(self, service):
+        rec = service.recommend_for_user(0, k=5)
+        assert isinstance(rec, Recommendation)
+        assert len(rec.items) == 5
+        assert len(rec.scores) == 5
+        assert rec.entity == "user:0"
+
+    def test_scores_sorted_descending(self, service):
+        rec = service.recommend_for_user(1, k=5)
+        assert rec.scores == sorted(rec.scores, reverse=True)
+
+    def test_excludes_history(self, service, tiny_split):
+        rec = service.recommend_for_user(2, k=10)
+        assert not set(rec.items) & tiny_split.train.user_items()[2]
+
+    def test_out_of_range(self, service):
+        with pytest.raises(IndexError):
+            service.recommend_for_user(10**6)
+
+
+class TestGroupRequests:
+    def test_top_k_with_explanation(self, service, tiny_split):
+        rec = service.recommend_for_group(0, k=3)
+        assert len(rec.items) == 3
+        members = tiny_split.train.group_members[0]
+        assert set(rec.voting_weights) == set(int(m) for m in members)
+        assert sum(rec.voting_weights.values()) == pytest.approx(1.0, abs=1e-6)
+
+    def test_out_of_range(self, service):
+        with pytest.raises(IndexError):
+            service.recommend_for_group(10**6)
+
+
+class TestAdhocRequests:
+    def test_members_request(self, service):
+        rec = service.recommend_for_members([0, 1, 2], k=4)
+        assert len(rec.items) == 4
+        assert rec.entity == "adhoc:0,1,2"
+        assert set(rec.voting_weights) == {0, 1, 2}
+
+    def test_member_validation(self, service):
+        with pytest.raises(IndexError):
+            service.recommend_for_members([0, 10**6])
+
+
+class TestCheckpointConstruction:
+    def test_from_checkpoint(self, trained_tiny_model, tiny_split, tmp_path):
+        model, __, __h = trained_tiny_model
+        path = tmp_path / "m.npz"
+        save_model(model, path)
+        service = RecommendationService.from_checkpoint(path, tiny_split.train)
+        rec = service.recommend_for_user(0, k=3)
+        assert len(rec.items) == 3
+
+    def test_mismatched_dataset_rejected(self, trained_tiny_model, tmp_path):
+        from repro.data import yelp_like
+
+        model, __, __h = trained_tiny_model
+        path = tmp_path / "m.npz"
+        save_model(model, path)
+        other = yelp_like(scale=0.004).dataset
+        with pytest.raises(ValueError, match="entity counts"):
+            RecommendationService.from_checkpoint(path, other)

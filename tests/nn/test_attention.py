@@ -1,0 +1,121 @@
+"""Attention blocks: masking semantics, shapes, gradients."""
+
+import numpy as np
+
+from repro.autograd import Tensor, gradcheck
+from repro.nn import (
+    MASK_VALUE,
+    PairwiseAttention,
+    ScaledDotProductSelfAttention,
+    social_bias_matrix,
+)
+
+
+class TestPairwiseAttention:
+    def test_weights_sum_to_one(self, rng):
+        attention = PairwiseAttention(4, 4, rng=rng)
+        __, weights = attention(
+            Tensor(rng.normal(size=(3, 4))), Tensor(rng.normal(size=(3, 6, 4)))
+        )
+        np.testing.assert_allclose(weights.data.sum(axis=-1), np.ones(3))
+
+    def test_masked_candidates_get_zero_weight(self, rng):
+        attention = PairwiseAttention(4, 4, rng=rng)
+        mask = np.array([[True, True, False, False]] * 2)
+        __, weights = attention(
+            Tensor(rng.normal(size=(2, 4))),
+            Tensor(rng.normal(size=(2, 4, 4))),
+            mask=mask,
+        )
+        assert np.all(weights.data[:, 2:] < 1e-9)
+        np.testing.assert_allclose(weights.data.sum(axis=-1), np.ones(2))
+
+    def test_aggregation_is_convex_combination(self, rng):
+        attention = PairwiseAttention(3, 3, rng=rng)
+        candidates = Tensor(rng.normal(size=(2, 5, 3)))
+        aggregated, weights = attention(Tensor(rng.normal(size=(2, 3))), candidates)
+        manual = np.einsum("bh,bhd->bd", weights.data, candidates.data)
+        np.testing.assert_allclose(aggregated.data, manual, atol=1e-10)
+
+    def test_custom_values(self, rng):
+        attention = PairwiseAttention(3, 3, rng=rng)
+        values = Tensor(rng.normal(size=(2, 5, 7)))
+        aggregated, __ = attention(
+            Tensor(rng.normal(size=(2, 3))),
+            Tensor(rng.normal(size=(2, 5, 3))),
+            values=values,
+        )
+        assert aggregated.shape == (2, 7)
+
+    def test_masked_candidate_gets_no_gradient(self, rng):
+        attention = PairwiseAttention(3, 3, rng=rng)
+        candidates = Tensor(rng.normal(size=(1, 3, 3)), requires_grad=True)
+        mask = np.array([[True, True, False]])
+        aggregated, __ = attention(Tensor(rng.normal(size=(1, 3))), candidates, mask=mask)
+        aggregated.sum().backward()
+        np.testing.assert_allclose(candidates.grad[0, 2], np.zeros(3), atol=1e-7)
+
+    def test_gradcheck_through_attention(self, rng):
+        attention = PairwiseAttention(3, 3, hidden_features=4, rng=rng)
+        query = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+        candidates = Tensor(rng.normal(size=(2, 4, 3)), requires_grad=True)
+        gradcheck(lambda q, c: attention(q, c)[0], [query, candidates], atol=1e-4)
+
+
+class TestSelfAttention:
+    def test_output_shape(self, rng):
+        attention = ScaledDotProductSelfAttention(6, key_features=4, value_features=4, rng=rng)
+        out, weights = attention(Tensor(rng.normal(size=(2, 5, 6))))
+        assert out.shape == (2, 5, 6)
+        assert weights.shape == (2, 5, 5)
+
+    def test_attention_rows_sum_to_one(self, rng):
+        attention = ScaledDotProductSelfAttention(6, rng=rng)
+        __, weights = attention(Tensor(rng.normal(size=(2, 4, 6))))
+        np.testing.assert_allclose(weights.data.sum(axis=-1), np.ones((2, 4)))
+
+    def test_bias_blocks_attention(self, rng):
+        attention = ScaledDotProductSelfAttention(6, rng=rng)
+        bias = np.zeros((1, 3, 3))
+        bias[0, 0, 2] = MASK_VALUE  # member 0 may not attend to member 2
+        __, weights = attention(Tensor(rng.normal(size=(1, 3, 6))), bias=bias)
+        assert weights.data[0, 0, 2] < 1e-9
+        assert weights.data[0, 1, 2] > 1e-9  # others unaffected
+
+    def test_gradcheck(self, rng):
+        attention = ScaledDotProductSelfAttention(4, key_features=3, value_features=3, rng=rng)
+        x = Tensor(rng.normal(size=(2, 3, 4)), requires_grad=True)
+        gradcheck(lambda t: attention(t)[0], [x], atol=1e-4)
+
+
+class TestSocialBiasMatrix:
+    def test_diagonal_always_enabled(self):
+        adjacency = np.zeros((1, 3, 3), dtype=bool)
+        bias = social_bias_matrix(adjacency)
+        np.testing.assert_allclose(np.diagonal(bias[0]), np.zeros(3))
+
+    def test_social_edges_enabled(self):
+        adjacency = np.zeros((1, 3, 3), dtype=bool)
+        adjacency[0, 0, 1] = adjacency[0, 1, 0] = True
+        bias = social_bias_matrix(adjacency)
+        assert bias[0, 0, 1] == 0.0
+        assert bias[0, 0, 2] == MASK_VALUE
+
+    def test_padding_masked_out(self):
+        adjacency = np.ones((1, 3, 3), dtype=bool)
+        member_mask = np.array([[True, True, False]])
+        bias = social_bias_matrix(adjacency, member_mask=member_mask)
+        assert bias[0, 0, 2] == MASK_VALUE  # nobody attends to padding
+        assert bias[0, 2, 0] == MASK_VALUE  # padding attends to nobody...
+        assert bias[0, 2, 2] == 0.0  # ...except itself (keeps softmax finite)
+
+    def test_rejects_bad_shape(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            social_bias_matrix(np.zeros((3, 3), dtype=bool))
+
+    def test_no_self_option(self):
+        adjacency = np.zeros((1, 2, 2), dtype=bool)
+        bias = social_bias_matrix(adjacency, include_self=False)
+        assert bias[0, 0, 0] == MASK_VALUE

@@ -1,0 +1,48 @@
+"""Robustness of attention to fully-masked candidate rows."""
+
+import numpy as np
+
+from repro.autograd import Tensor
+from repro.nn import PairwiseAttention
+
+
+class TestFullyMaskedRows:
+    def test_zero_vector_output(self, rng):
+        attention = PairwiseAttention(4, 4, rng=rng)
+        mask = np.array([[True, True], [False, False]])
+        aggregated, __ = attention(
+            Tensor(rng.normal(size=(2, 4))), Tensor(rng.normal(size=(2, 2, 4))),
+            mask=mask,
+        )
+        np.testing.assert_allclose(aggregated.data[1], np.zeros(4))
+        assert np.abs(aggregated.data[0]).sum() > 0
+
+    def test_gradients_still_flow_to_valid_rows(self, rng):
+        attention = PairwiseAttention(3, 3, rng=rng)
+        candidates = Tensor(rng.normal(size=(2, 2, 3)), requires_grad=True)
+        mask = np.array([[True, True], [False, False]])
+        aggregated, __ = attention(
+            Tensor(rng.normal(size=(2, 3))), candidates, mask=mask
+        )
+        aggregated.sum().backward()
+        assert np.abs(candidates.grad[0]).sum() > 0
+        np.testing.assert_allclose(candidates.grad[1], np.zeros((2, 3)), atol=1e-9)
+
+    def test_user_with_no_history_gets_finite_latent(self, rng):
+        from repro.core import GroupSAConfig
+        from repro.core.user_modeling import UserModeling
+        from repro.data.loaders import TopNeighbours
+
+        config = GroupSAConfig(
+            embedding_dim=8, attention_hidden=8, fusion_hidden=(8,), top_h=2,
+            dropout=0.0,
+        )
+        module = UserModeling(4, 6, config, rng=rng)
+        tables = TopNeighbours(
+            items=np.zeros((4, 2), dtype=np.int64),
+            item_mask=np.zeros((4, 2), dtype=bool),  # nobody has items
+            friends=np.zeros((4, 2), dtype=np.int64),
+            friend_mask=np.zeros((4, 2), dtype=bool),  # nobody has friends
+        )
+        out = module(Tensor(rng.normal(size=(2, 8))), np.array([0, 1]), tables)
+        assert np.isfinite(out.data).all()

@@ -1,0 +1,55 @@
+"""MLP tower behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.nn import MLP
+from repro.nn.activations import Identity, ReLU, Sigmoid
+
+
+class TestMLP:
+    def test_shapes(self, rng):
+        mlp = MLP(6, [8, 4], 2, rng=rng)
+        assert mlp(Tensor(rng.normal(size=(5, 6)))).shape == (5, 2)
+
+    def test_no_hidden_layers(self, rng):
+        mlp = MLP(4, [], 3, rng=rng)
+        assert mlp(Tensor(rng.normal(size=(2, 4)))).shape == (2, 3)
+        assert len(mlp.layers) == 1
+
+    def test_linear_output_by_default(self, rng):
+        mlp = MLP(4, [4], 1, rng=rng)
+        assert isinstance(mlp.output_activation, Identity)
+        out = mlp(Tensor(rng.normal(size=(200, 4))))
+        assert (out.data < 0).any(), "linear output should produce negatives"
+
+    def test_relu_output_option(self, rng):
+        mlp = MLP(4, [4], 2, output_activation="relu", rng=rng)
+        assert isinstance(mlp.output_activation, ReLU)
+        out = mlp(Tensor(rng.normal(size=(50, 4))))
+        assert (out.data >= 0).all()
+
+    def test_sigmoid_output_option(self, rng):
+        mlp = MLP(4, [4], 2, output_activation="sigmoid", rng=rng)
+        assert isinstance(mlp.output_activation, Sigmoid)
+        out = mlp(Tensor(rng.normal(size=(10, 4))))
+        assert ((out.data > 0) & (out.data < 1)).all()
+
+    def test_unknown_activation_raises(self):
+        with pytest.raises(ValueError):
+            MLP(2, [2], 1, output_activation="swish")
+
+    def test_dropout_only_in_training(self, rng):
+        mlp = MLP(4, [64], 1, dropout=0.5, rng=rng)
+        x = Tensor(rng.normal(size=(8, 4)))
+        mlp.eval()
+        first = mlp(x).data
+        second = mlp(x).data
+        np.testing.assert_array_equal(first, second)
+
+    def test_gradients_reach_all_layers(self, rng):
+        mlp = MLP(3, [5, 4], 1, rng=rng)
+        mlp(Tensor(rng.normal(size=(6, 3)))).sum().backward()
+        for name, parameter in mlp.named_parameters():
+            assert parameter.grad is not None, name

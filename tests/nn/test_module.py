@@ -1,0 +1,135 @@
+"""Module system: registration, traversal, modes, serialization."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.nn import Linear, Module, ModuleList, Parameter, Sequential, ReLU
+
+
+class Nested(Module):
+    def __init__(self):
+        super().__init__()
+        self.inner = Linear(3, 2, rng=0)
+        self.weight = Parameter(np.ones((2, 2)))
+        self.not_a_param = np.zeros(3)
+
+    def forward(self, x):
+        return self.inner(x)
+
+
+class TestRegistration:
+    def test_parameters_are_registered(self):
+        module = Nested()
+        names = dict(module.named_parameters())
+        assert "weight" in names
+        assert "inner.weight" in names
+        assert "inner.bias" in names
+
+    def test_plain_attributes_not_registered(self):
+        module = Nested()
+        assert "not_a_param" not in dict(module.named_parameters())
+
+    def test_reassignment_replaces_registration(self):
+        module = Nested()
+        module.weight = Parameter(np.zeros((1,)))
+        assert dict(module.named_parameters())["weight"].shape == (1,)
+
+    def test_reassign_param_to_plain_removes_it(self):
+        module = Nested()
+        module.weight = 3.0
+        assert "weight" not in dict(module.named_parameters())
+
+    def test_num_parameters(self):
+        module = Linear(3, 2, rng=0)
+        assert module.num_parameters() == 3 * 2 + 2
+
+    def test_modules_iterates_recursively(self):
+        outer = Sequential(Linear(2, 2, rng=0), ReLU())
+        kinds = [type(m).__name__ for m in outer.modules()]
+        assert "Sequential" in kinds and "Linear" in kinds and "ReLU" in kinds
+
+
+class TestModes:
+    def test_train_eval_propagates(self):
+        module = Sequential(Linear(2, 2, rng=0), Nested())
+        module.eval()
+        assert all(not m.training for m in module.modules())
+        module.train()
+        assert all(m.training for m in module.modules())
+
+    def test_zero_grad(self):
+        module = Linear(2, 2, rng=0)
+        out = module(Tensor(np.ones((1, 2)))).sum()
+        out.backward()
+        assert module.weight.grad is not None
+        module.zero_grad()
+        assert module.weight.grad is None
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        source = Nested()
+        target = Nested()
+        target.load_state_dict(source.state_dict())
+        for (na, pa), (nb, pb) in zip(
+            source.named_parameters(), target.named_parameters()
+        ):
+            assert na == nb
+            np.testing.assert_array_equal(pa.data, pb.data)
+
+    def test_state_dict_copies(self):
+        module = Nested()
+        state = module.state_dict()
+        state["weight"][...] = 99.0
+        assert not np.any(module.weight.data == 99.0)
+
+    def test_missing_key_raises(self):
+        module = Nested()
+        state = module.state_dict()
+        del state["weight"]
+        with pytest.raises(KeyError):
+            module.load_state_dict(state)
+
+    def test_unexpected_key_raises(self):
+        module = Nested()
+        state = module.state_dict()
+        state["phantom"] = np.zeros(1)
+        with pytest.raises(KeyError):
+            module.load_state_dict(state)
+
+    def test_shape_mismatch_raises(self):
+        module = Nested()
+        state = module.state_dict()
+        state["weight"] = np.zeros((5, 5))
+        with pytest.raises(ValueError):
+            module.load_state_dict(state)
+
+
+class TestContainers:
+    def test_sequential_applies_in_order(self):
+        double = Linear(2, 2, bias=False, rng=0)
+        double.weight.data[...] = 2 * np.eye(2)
+        seq = Sequential(double, ReLU())
+        out = seq(Tensor(np.array([[-1.0, 1.0]])))
+        np.testing.assert_allclose(out.data, [[0.0, 2.0]])
+
+    def test_sequential_len_iter(self):
+        seq = Sequential(ReLU(), ReLU())
+        assert len(seq) == 2
+        assert len(list(seq)) == 2
+
+    def test_module_list_registers(self):
+        layers = ModuleList(Linear(2, 2, rng=0) for __ in range(3))
+        assert len(layers) == 3
+        assert len(list(layers[0].parameters())) == 2
+        assert len(dict(layers.named_parameters())) == 6
+
+    def test_module_list_append(self):
+        layers = ModuleList()
+        layers.append(Linear(2, 2, rng=0))
+        assert len(layers) == 1
+
+    def test_base_forward_raises(self):
+        with pytest.raises(NotImplementedError):
+            Module()(1)

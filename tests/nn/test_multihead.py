@@ -1,0 +1,69 @@
+"""Multi-head extension of the social self-attention."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, gradcheck
+from repro.nn import MASK_VALUE, ScaledDotProductSelfAttention, social_bias_matrix
+
+
+class TestMultiHead:
+    def test_output_shape(self, rng):
+        attention = ScaledDotProductSelfAttention(
+            8, key_features=8, value_features=8, num_heads=2, rng=rng
+        )
+        out, weights = attention(Tensor(rng.normal(size=(3, 5, 8))))
+        assert out.shape == (3, 5, 8)
+        assert weights.shape == (3, 5, 5)
+
+    def test_head_average_rows_sum_to_one(self, rng):
+        attention = ScaledDotProductSelfAttention(
+            8, key_features=8, value_features=8, num_heads=4, rng=rng
+        )
+        __, weights = attention(Tensor(rng.normal(size=(2, 3, 8))))
+        np.testing.assert_allclose(weights.data.sum(axis=-1), np.ones((2, 3)))
+
+    def test_bias_respected_by_every_head(self, rng):
+        attention = ScaledDotProductSelfAttention(
+            8, key_features=8, value_features=8, num_heads=2, rng=rng
+        )
+        adjacency = np.zeros((1, 3, 3), dtype=bool)  # only self-attention
+        bias = social_bias_matrix(adjacency, member_mask=np.ones((1, 3), bool))
+        __, weights = attention(Tensor(rng.normal(size=(1, 3, 8))), bias=bias)
+        np.testing.assert_allclose(weights.data[0], np.eye(3), atol=1e-9)
+
+    def test_2d_bias_broadcast(self, rng):
+        attention = ScaledDotProductSelfAttention(
+            8, key_features=8, value_features=8, num_heads=2, rng=rng
+        )
+        bias = np.full((3, 3), 0.0)
+        bias[0, 1] = MASK_VALUE
+        __, weights = attention(Tensor(rng.normal(size=(2, 3, 8))), bias=bias)
+        assert np.all(weights.data[:, 0, 1] < 1e-9)
+
+    def test_gradcheck(self, rng):
+        attention = ScaledDotProductSelfAttention(
+            6, key_features=4, value_features=4, num_heads=2, rng=rng
+        )
+        x = Tensor(rng.normal(size=(2, 3, 6)), requires_grad=True)
+        gradcheck(lambda t: attention(t)[0], [x], atol=1e-4)
+
+    def test_invalid_head_counts(self):
+        with pytest.raises(ValueError):
+            ScaledDotProductSelfAttention(8, key_features=8, num_heads=0)
+        with pytest.raises(ValueError):
+            ScaledDotProductSelfAttention(8, key_features=8, value_features=8, num_heads=3)
+
+    def test_heads_in_full_model(self, tiny_split):
+        from repro.core import GroupSA
+        from repro.data import GroupBatcher
+        from repro.graphs import tfidf_top_neighbours
+        from tests.conftest import TINY_MODEL_CONFIG
+
+        config = TINY_MODEL_CONFIG.variant(num_heads=2, key_dim=8, value_dim=8)
+        train = tiny_split.train
+        model = GroupSA(train.num_users, train.num_items, config)
+        model.set_top_neighbours(tfidf_top_neighbours(train, config.top_h))
+        batcher = GroupBatcher(train)
+        scores = model.score_group_items(batcher.batch([0, 1]), np.array([0, 1]))
+        assert np.isfinite(scores).all()

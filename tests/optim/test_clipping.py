@@ -1,0 +1,62 @@
+"""Gradient clipping."""
+
+import numpy as np
+import pytest
+
+from repro.nn.module import Parameter
+from repro.optim import clip_grad_norm, global_grad_norm
+
+
+def params_with_grads(*grads):
+    parameters = []
+    for grad in grads:
+        parameter = Parameter(np.zeros_like(np.asarray(grad, dtype=float)))
+        parameter.grad = np.asarray(grad, dtype=float)
+        parameters.append(parameter)
+    return parameters
+
+
+class TestGlobalNorm:
+    def test_value(self):
+        parameters = params_with_grads([3.0], [4.0])
+        assert global_grad_norm(parameters) == pytest.approx(5.0)
+
+    def test_skips_missing_grads(self):
+        parameters = params_with_grads([3.0])
+        parameters.append(Parameter(np.zeros(2)))  # no grad
+        assert global_grad_norm(parameters) == pytest.approx(3.0)
+
+    def test_empty(self):
+        assert global_grad_norm([]) == 0.0
+
+
+class TestClip:
+    def test_scales_down_when_above(self):
+        parameters = params_with_grads([3.0], [4.0])
+        returned = clip_grad_norm(parameters, max_norm=1.0)
+        assert returned == pytest.approx(5.0)
+        assert global_grad_norm(parameters) == pytest.approx(1.0)
+        np.testing.assert_allclose(parameters[0].grad, [0.6])
+
+    def test_untouched_when_below(self):
+        parameters = params_with_grads([0.3])
+        clip_grad_norm(parameters, max_norm=1.0)
+        np.testing.assert_allclose(parameters[0].grad, [0.3])
+
+    def test_invalid_max_norm(self):
+        with pytest.raises(ValueError):
+            clip_grad_norm([], max_norm=0.0)
+
+    def test_trainer_integration(self, tiny_split):
+        from repro.training import GroupSATrainer, TrainingConfig
+        from repro.training.two_stage import build_model
+        from tests.conftest import TINY_MODEL_CONFIG
+
+        model, batcher = build_model(tiny_split, TINY_MODEL_CONFIG)
+        config = TrainingConfig(
+            user_epochs=1, group_epochs=1, grad_clip=0.5, batch_size=64, seed=0
+        )
+        trainer = GroupSATrainer(model, tiny_split, batcher, config)
+        trainer.train_user_task(epochs=1)
+        trainer.train_group_task(epochs=1)
+        assert np.isfinite(trainer.history.final_loss("user"))

@@ -1,0 +1,132 @@
+"""SGD / Adam correctness and convergence; schedules."""
+
+import numpy as np
+import pytest
+
+from repro.nn.module import Parameter
+from repro.optim import Adam, ConstantSchedule, SGD, StepDecay
+
+
+def quadratic_loss(parameter: Parameter, target: float):
+    return ((parameter - target) ** 2).sum()
+
+
+class TestSGD:
+    def test_single_step_matches_formula(self):
+        parameter = Parameter(np.array([1.0]))
+        optimizer = SGD([parameter], lr=0.1)
+        loss = quadratic_loss(parameter, 0.0)
+        loss.backward()
+        optimizer.step()
+        np.testing.assert_allclose(parameter.data, [1.0 - 0.1 * 2.0])
+
+    def test_converges_on_quadratic(self):
+        parameter = Parameter(np.array([5.0]))
+        optimizer = SGD([parameter], lr=0.1)
+        for __ in range(100):
+            optimizer.zero_grad()
+            quadratic_loss(parameter, 2.0).backward()
+            optimizer.step()
+        np.testing.assert_allclose(parameter.data, [2.0], atol=1e-4)
+
+    def test_momentum_accelerates(self):
+        plain = Parameter(np.array([5.0]))
+        momentum = Parameter(np.array([5.0]))
+        opt_plain = SGD([plain], lr=0.01)
+        opt_momentum = SGD([momentum], lr=0.01, momentum=0.9)
+        for __ in range(30):
+            for parameter, optimizer in ((plain, opt_plain), (momentum, opt_momentum)):
+                optimizer.zero_grad()
+                quadratic_loss(parameter, 0.0).backward()
+                optimizer.step()
+        assert abs(momentum.data[0]) < abs(plain.data[0])
+
+    def test_weight_decay_shrinks_weights(self):
+        parameter = Parameter(np.array([1.0]))
+        optimizer = SGD([parameter], lr=0.1, weight_decay=0.5)
+        optimizer.zero_grad()
+        (parameter * 0.0).sum().backward()  # zero task gradient
+        optimizer.step()
+        assert parameter.data[0] < 1.0
+
+    def test_none_gradient_skipped(self):
+        parameter = Parameter(np.array([1.0]))
+        SGD([parameter], lr=0.1).step()
+        np.testing.assert_allclose(parameter.data, [1.0])
+
+    def test_validation(self):
+        parameter = Parameter(np.array([1.0]))
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+        with pytest.raises(ValueError):
+            SGD([parameter], lr=-1.0)
+        with pytest.raises(ValueError):
+            SGD([parameter], lr=0.1, momentum=1.5)
+        with pytest.raises(ValueError):
+            SGD([parameter], lr=0.1, weight_decay=-1.0)
+
+
+class TestAdam:
+    def test_first_step_size_is_lr(self):
+        # With bias correction the first Adam step is ~lr in magnitude.
+        parameter = Parameter(np.array([1.0]))
+        optimizer = Adam([parameter], lr=0.1)
+        quadratic_loss(parameter, 0.0).backward()
+        optimizer.step()
+        np.testing.assert_allclose(parameter.data, [0.9], atol=1e-6)
+
+    def test_converges_on_quadratic(self):
+        parameter = Parameter(np.array([5.0, -3.0]))
+        optimizer = Adam([parameter], lr=0.1)
+        for __ in range(300):
+            optimizer.zero_grad()
+            quadratic_loss(parameter, 1.0).backward()
+            optimizer.step()
+        np.testing.assert_allclose(parameter.data, [1.0, 1.0], atol=1e-3)
+
+    def test_adapts_to_gradient_scale(self):
+        # Two coordinates with wildly different gradient scales move at
+        # comparable speed under Adam.
+        parameter = Parameter(np.array([1.0, 1.0]))
+        optimizer = Adam([parameter], lr=0.01)
+        scales = np.array([100.0, 0.01])
+        for __ in range(10):
+            optimizer.zero_grad()
+            (parameter * parameter * scales).sum().backward()
+            optimizer.step()
+        moved = 1.0 - parameter.data
+        assert moved[0] == pytest.approx(moved[1], rel=0.2)
+
+    def test_invalid_betas(self):
+        parameter = Parameter(np.array([1.0]))
+        with pytest.raises(ValueError):
+            Adam([parameter], betas=(1.0, 0.9))
+
+
+class TestSchedules:
+    def test_step_decay(self):
+        parameter = Parameter(np.array([1.0]))
+        optimizer = SGD([parameter], lr=1.0)
+        schedule = StepDecay(optimizer, step_size=2, gamma=0.5)
+        schedule.step()
+        assert optimizer.lr == 1.0
+        schedule.step()
+        assert optimizer.lr == 0.5
+        schedule.step()
+        schedule.step()
+        assert optimizer.lr == 0.25
+
+    def test_step_decay_validation(self):
+        parameter = Parameter(np.array([1.0]))
+        optimizer = SGD([parameter], lr=1.0)
+        with pytest.raises(ValueError):
+            StepDecay(optimizer, step_size=0)
+        with pytest.raises(ValueError):
+            StepDecay(optimizer, step_size=1, gamma=0.0)
+
+    def test_constant_schedule(self):
+        parameter = Parameter(np.array([1.0]))
+        optimizer = SGD([parameter], lr=0.3)
+        schedule = ConstantSchedule(optimizer)
+        schedule.step()
+        assert optimizer.lr == 0.3

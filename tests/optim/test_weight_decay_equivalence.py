@@ -1,0 +1,41 @@
+"""Weight decay in the optimizer equals the paper's L2 loss term."""
+
+import numpy as np
+
+from repro.autograd import Tensor
+from repro.nn.module import Parameter
+from repro.optim import SGD
+
+
+class TestWeightDecayEquivalence:
+    def test_sgd_decay_matches_explicit_l2(self):
+        # Model A: weight decay lambda in the optimizer.
+        # Model B: explicit lambda * ||theta||^2 added to the loss.
+        # One SGD step must produce identical parameters.
+        lam = 0.01
+        start = np.array([1.5, -2.0, 0.5])
+        data = np.array([0.7, -0.3, 0.1])
+
+        decayed = Parameter(start.copy())
+        optimizer_a = SGD([decayed], lr=0.1, weight_decay=lam)
+        loss_a = ((decayed - Tensor(data)) ** 2).sum()
+        loss_a.backward()
+        optimizer_a.step()
+
+        explicit = Parameter(start.copy())
+        optimizer_b = SGD([explicit], lr=0.1)
+        loss_b = ((explicit - Tensor(data)) ** 2).sum() + lam * (explicit**2).sum()
+        loss_b.backward()
+        optimizer_b.step()
+
+        np.testing.assert_allclose(decayed.data, explicit.data, atol=1e-12)
+
+    def test_decay_pulls_toward_zero_at_optimum(self):
+        # With task gradient zero, repeated decay steps shrink weights.
+        parameter = Parameter(np.array([4.0]))
+        optimizer = SGD([parameter], lr=0.1, weight_decay=0.1)
+        for __ in range(50):
+            optimizer.zero_grad()
+            (parameter * 0.0).sum().backward()
+            optimizer.step()
+        assert abs(parameter.data[0]) < 4.0 * (1 - 0.02) ** 49

@@ -1,0 +1,111 @@
+"""Hypothesis property tests for the autograd engine."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro.autograd import Tensor, gradcheck
+
+finite_floats = st.floats(
+    min_value=-5.0, max_value=5.0, allow_nan=False, allow_infinity=False, width=64
+)
+
+
+def tensors(max_dims=3, max_side=4):
+    return arrays(
+        dtype=np.float64,
+        shape=array_shapes(min_dims=1, max_dims=max_dims, min_side=1, max_side=max_side),
+        elements=finite_floats,
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(tensors())
+def test_softmax_is_probability_distribution(data):
+    out = Tensor(data).softmax(axis=-1).data
+    assert np.all(out >= 0)
+    np.testing.assert_allclose(out.sum(axis=-1), np.ones(out.shape[:-1]), atol=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(tensors())
+def test_softmax_shift_invariance(data):
+    base = Tensor(data).softmax(axis=-1).data
+    shifted = Tensor(data + 7.5).softmax(axis=-1).data
+    np.testing.assert_allclose(base, shifted, atol=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(tensors())
+def test_sigmoid_bounds_and_symmetry(data):
+    out = Tensor(data).sigmoid().data
+    assert np.all((out > 0) & (out < 1))
+    mirrored = Tensor(-data).sigmoid().data
+    np.testing.assert_allclose(out + mirrored, np.ones_like(out), atol=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(tensors())
+def test_log_sigmoid_consistency(data):
+    log_sig = Tensor(data).log_sigmoid().data
+    sig = Tensor(data).sigmoid().data
+    np.testing.assert_allclose(log_sig, np.log(sig), atol=1e-8)
+
+
+@settings(max_examples=30, deadline=None)
+@given(tensors(max_dims=2))
+def test_sum_gradient_is_ones(data):
+    tensor = Tensor(data, requires_grad=True)
+    tensor.sum().backward()
+    np.testing.assert_allclose(tensor.grad, np.ones_like(data))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    arrays(
+        np.float64,
+        st.tuples(st.integers(1, 3), st.integers(1, 4)),
+        elements=finite_floats,
+    )
+)
+def test_mul_gradcheck_random_shapes(data):
+    a = Tensor(data, requires_grad=True)
+    b = Tensor(np.ones_like(data) * 0.5 + 0.1, requires_grad=True)
+    gradcheck(lambda x, y: x * y, [a, b])
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.integers(1, 4),
+    st.integers(1, 4),
+    st.integers(1, 4),
+    st.integers(0, 2**31 - 1),
+)
+def test_matmul_gradcheck_random_dims(rows, inner, cols, seed):
+    rng = np.random.default_rng(seed)
+    a = Tensor(rng.normal(size=(rows, inner)), requires_grad=True)
+    b = Tensor(rng.normal(size=(inner, cols)), requires_grad=True)
+    gradcheck(lambda x, y: x @ y, [a, b])
+
+
+@settings(max_examples=30, deadline=None)
+@given(tensors(max_dims=2), tensors(max_dims=2))
+def test_add_commutes(a, b):
+    if a.shape != b.shape:
+        return
+    left = (Tensor(a) + Tensor(b)).data
+    right = (Tensor(b) + Tensor(a)).data
+    np.testing.assert_array_equal(left, right)
+
+
+@settings(max_examples=30, deadline=None)
+@given(tensors(max_dims=3))
+def test_layernorm_statistics(data):
+    if data.shape[-1] < 2 or np.ptp(data, axis=-1).min() < 1e-6:
+        return
+    from repro.nn import LayerNorm
+
+    layer = LayerNorm(data.shape[-1])
+    out = layer(Tensor(data)).data
+    np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-6)

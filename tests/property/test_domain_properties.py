@@ -1,0 +1,101 @@
+"""Hypothesis property tests for metrics, sampling and the generator."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.sampling import NegativeSampler, sample_evaluation_candidates
+from repro.evaluation import hit_ratio_at_k, ndcg_at_k, rank_of_positive
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.integers(1, 50),
+    st.integers(1, 20),
+    st.integers(0, 2**31 - 1),
+)
+def test_rank_bounds(num_candidates, k, seed):
+    rng = np.random.default_rng(seed)
+    positives = rng.normal(size=5)
+    candidates = rng.normal(size=(5, num_candidates))
+    ranks = rank_of_positive(positives, candidates)
+    assert np.all(ranks >= 0)
+    assert np.all(ranks <= num_candidates)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(1, 30), st.integers(0, 2**31 - 1))
+def test_hr_ndcg_relationship(k, seed):
+    rng = np.random.default_rng(seed)
+    ranks = rng.uniform(0, 40, size=20)
+    hr = hit_ratio_at_k(ranks, k)
+    ndcg = ndcg_at_k(ranks, k)
+    # NDCG is bounded by HR and both live in [0, 1].
+    assert np.all(ndcg <= hr + 1e-12)
+    assert np.all((hr == 0) | (hr == 1))
+    assert np.all((ndcg >= 0) & (ndcg <= 1))
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(2, 15))
+def test_hr_monotone_in_k(k):
+    ranks = np.linspace(0, 20, 30)
+    smaller = hit_ratio_at_k(ranks, k - 1).mean()
+    larger = hit_ratio_at_k(ranks, k).mean()
+    assert larger >= smaller
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.sets(st.integers(0, 49), max_size=40),
+    st.integers(1, 8),
+    st.integers(0, 2**31 - 1),
+)
+def test_negative_sampler_never_returns_observed(observed, count, seed):
+    sampler = NegativeSampler([observed], num_items=50, rng=seed)
+    negatives = sampler.sample(0, count)
+    assert len(negatives) == count
+    assert not set(negatives.tolist()) & observed
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.sets(st.integers(0, 99), max_size=60),
+    st.integers(1, 40),
+    st.integers(0, 2**31 - 1),
+)
+def test_candidate_sampling_properties(observed, count, seed):
+    candidates = sample_evaluation_candidates(0, [observed], 100, count, rng=seed)
+    assert len(set(candidates.tolist())) == len(candidates)
+    assert not set(candidates.tolist()) & observed
+    assert len(candidates) == min(count, 100 - len(observed))
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 10_000))
+def test_generator_always_valid(seed):
+    from repro.data.synthetic import SyntheticConfig, generate
+
+    config = SyntheticConfig(
+        num_users=40, num_items=30, num_groups=12, avg_group_size=3.0, seed=seed
+    )
+    world = generate(config)
+    world.dataset.validate()
+    sizes = world.dataset.group_sizes()
+    assert sizes.min() >= 2
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 2**31 - 1), st.integers(2, 10))
+def test_bpr_loss_positive_and_decreasing_in_margin(seed, count):
+    from repro.autograd import Tensor
+    from repro.training import bpr_loss
+
+    rng = np.random.default_rng(seed)
+    scores = rng.normal(size=count)
+    margins = np.array([0.0, 1.0, 2.0])
+    losses = [
+        bpr_loss(Tensor(scores + margin), Tensor(scores)).item() for margin in margins
+    ]
+    assert all(loss > 0 for loss in losses)
+    assert losses[0] > losses[1] > losses[2]

@@ -1,0 +1,119 @@
+"""Structural invariants of the voting architecture.
+
+The group representation must not depend on the *order* in which
+members appear in the batch row (permutation invariance of the group
+score; permutation equivariance of the member representations), nor on
+how much padding the row carries.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import GroupSA, GroupSAConfig
+from repro.data.loaders import GroupBatch
+from repro.graphs import tfidf_top_neighbours
+
+CONFIG = GroupSAConfig(
+    embedding_dim=8,
+    key_dim=8,
+    value_dim=8,
+    ffn_hidden=8,
+    attention_hidden=8,
+    top_h=2,
+    prediction_hidden=(8,),
+    fusion_hidden=(8,),
+    dropout=0.0,
+    seed=3,
+)
+
+
+@pytest.fixture(scope="module")
+def model(tiny_split):
+    train = tiny_split.train
+    instance = GroupSA(train.num_users, train.num_items, CONFIG)
+    instance.set_top_neighbours(tfidf_top_neighbours(train, CONFIG.top_h))
+    instance.eval()
+    return instance
+
+
+def make_batch(members, adjacency, mask):
+    return GroupBatch(
+        group_ids=np.zeros(len(members), dtype=np.int64),
+        members=np.asarray(members, dtype=np.int64),
+        mask=np.asarray(mask, dtype=bool),
+        adjacency=np.asarray(adjacency, dtype=bool),
+    )
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 2**31 - 1))
+def test_group_score_invariant_to_member_order(model, seed):
+    rng = np.random.default_rng(seed)
+    size = int(rng.integers(2, 6))
+    members = rng.choice(20, size=size, replace=False)
+    adjacency = rng.random((size, size)) < 0.5
+    adjacency = np.triu(adjacency, 1)
+    adjacency = adjacency | adjacency.T
+    mask = np.ones(size, dtype=bool)
+
+    permutation = rng.permutation(size)
+    base = make_batch([members], [adjacency], [mask])
+    permuted = make_batch(
+        [members[permutation]],
+        [adjacency[np.ix_(permutation, permutation)]],
+        [mask],
+    )
+    item = np.array([int(rng.integers(0, model.num_items))])
+    original = model.score_group_items(base, item)
+    shuffled = model.score_group_items(permuted, item)
+    np.testing.assert_allclose(original, shuffled, atol=1e-8)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 2**31 - 1), st.integers(0, 4))
+def test_group_score_invariant_to_padding(model, seed, extra_padding):
+    rng = np.random.default_rng(seed)
+    size = int(rng.integers(2, 5))
+    members = rng.choice(20, size=size, replace=False)
+    adjacency = rng.random((size, size)) < 0.5
+    adjacency = np.triu(adjacency, 1)
+    adjacency = adjacency | adjacency.T
+
+    def padded(width):
+        member_row = np.zeros(width, dtype=np.int64)
+        member_row[:size] = members
+        mask_row = np.zeros(width, dtype=bool)
+        mask_row[:size] = True
+        adjacency_block = np.zeros((width, width), dtype=bool)
+        adjacency_block[:size, :size] = adjacency
+        return make_batch([member_row], [adjacency_block], [mask_row])
+
+    item = np.array([int(rng.integers(0, model.num_items))])
+    tight = model.score_group_items(padded(size), item)
+    loose = model.score_group_items(padded(size + extra_padding), item)
+    np.testing.assert_allclose(tight, loose, atol=1e-8)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 2**31 - 1))
+def test_member_attention_equivariant(model, seed):
+    rng = np.random.default_rng(seed)
+    size = 4
+    members = rng.choice(20, size=size, replace=False)
+    adjacency = np.ones((size, size), dtype=bool)
+    mask = np.ones(size, dtype=bool)
+    permutation = rng.permutation(size)
+
+    item = np.array([3])
+    gamma = model.member_attention(make_batch([members], [adjacency], [mask]), item)[0]
+    gamma_permuted = model.member_attention(
+        make_batch(
+            [members[permutation]],
+            [adjacency[np.ix_(permutation, permutation)]],
+            [mask],
+        ),
+        item,
+    )[0]
+    np.testing.assert_allclose(gamma[permutation], gamma_permuted, atol=1e-8)

@@ -1,0 +1,63 @@
+"""Shared utility helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils import batched, ensure_rng, shuffled_batches
+
+
+class TestEnsureRng:
+    def test_int_seed_is_deterministic(self):
+        assert ensure_rng(5).random() == ensure_rng(5).random()
+
+    def test_generator_passthrough(self):
+        generator = np.random.default_rng(0)
+        assert ensure_rng(generator) is generator
+
+    def test_none_gives_fresh_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+
+class TestBatched:
+    def test_exact_division(self):
+        batches = list(batched(np.arange(6), 2))
+        assert len(batches) == 3
+        np.testing.assert_array_equal(batches[0], [0, 1])
+
+    def test_remainder(self):
+        batches = list(batched(np.arange(5), 2))
+        assert len(batches) == 3
+        np.testing.assert_array_equal(batches[-1], [4])
+
+    def test_batch_larger_than_input(self):
+        batches = list(batched(np.arange(3), 10))
+        assert len(batches) == 1
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            list(batched(np.arange(3), 0))
+
+    def test_empty_input(self):
+        assert list(batched(np.array([], dtype=int), 4)) == []
+
+
+class TestShuffledBatches:
+    def test_covers_all_indices_once(self):
+        seen = np.concatenate(list(shuffled_batches(10, 3, rng=0)))
+        np.testing.assert_array_equal(np.sort(seen), np.arange(10))
+
+    def test_deterministic_with_seed(self):
+        first = [b.tolist() for b in shuffled_batches(8, 3, rng=1)]
+        second = [b.tolist() for b in shuffled_batches(8, 3, rng=1)]
+        assert first == second
+
+    def test_shuffles(self):
+        order = np.concatenate(list(shuffled_batches(50, 50, rng=0)))
+        assert not np.array_equal(order, np.arange(50))
+
+
+class TestVersion:
+    def test_package_exports_version(self):
+        import repro
+
+        assert repro.__version__

@@ -1,0 +1,79 @@
+"""Trainer option coverage: negatives, optimizers, variant training."""
+
+import numpy as np
+import pytest
+
+from repro.training import GroupSATrainer, TrainingConfig
+from repro.training.two_stage import build_model
+from tests.conftest import TINY_MODEL_CONFIG
+
+
+class TestNegativesPerPositive:
+    def test_multiple_negatives_train(self, tiny_split):
+        model, batcher = build_model(tiny_split, TINY_MODEL_CONFIG)
+        config = TrainingConfig(
+            user_epochs=1, group_epochs=1, negatives_per_positive=3,
+            batch_size=64, seed=0,
+        )
+        trainer = GroupSATrainer(model, tiny_split, batcher, config)
+        trainer.train_user_task(epochs=1)
+        trainer.train_group_task(epochs=1)
+        assert len(trainer.history.epochs) == 2
+
+    def test_loss_finite_with_many_negatives(self, tiny_split):
+        model, batcher = build_model(tiny_split, TINY_MODEL_CONFIG)
+        config = TrainingConfig(
+            user_epochs=1, group_epochs=1, negatives_per_positive=5,
+            batch_size=32, seed=0,
+        )
+        trainer = GroupSATrainer(model, tiny_split, batcher, config)
+        trainer.train_user_task(epochs=1)
+        assert np.isfinite(trainer.history.final_loss("user"))
+
+
+class TestOptimizerChoice:
+    def test_sgd_option_trains(self, tiny_split):
+        model, batcher = build_model(tiny_split, TINY_MODEL_CONFIG)
+        config = TrainingConfig(
+            user_epochs=2, group_epochs=1, optimizer="sgd",
+            learning_rate=0.05, batch_size=64, seed=0,
+        )
+        trainer = GroupSATrainer(model, tiny_split, batcher, config)
+        trainer.train_user_task()
+        losses = trainer.history.losses("user")
+        assert losses[-1] <= losses[0] + 0.05
+
+
+class TestVariantTraining:
+    @pytest.mark.parametrize(
+        "variant", ["Group-A", "Group-S", "Group-I", "Group-F", "Group-G"]
+    )
+    def test_every_variant_trains_and_scores(self, tiny_split, variant):
+        from repro.core import variant_config
+        from repro.training import train_groupsa
+        from tests.conftest import TINY_TRAINING
+
+        config = variant_config(variant, TINY_MODEL_CONFIG)
+        model, batcher, history = train_groupsa(tiny_split, config, TINY_TRAINING)
+        scores = model.score_group_items(batcher.batch([0, 1]), np.array([0, 1]))
+        assert np.isfinite(scores).all()
+        if config.use_user_task:
+            user_scores = model.score_user_items(np.array([0]), np.array([0]))
+            assert np.isfinite(user_scores).all()
+
+    def test_num_heads_variant_trains(self, tiny_split):
+        from repro.training import train_groupsa
+        from tests.conftest import TINY_TRAINING
+
+        config = TINY_MODEL_CONFIG.variant(num_heads=2, key_dim=8, value_dim=8)
+        model, batcher, __ = train_groupsa(tiny_split, config, TINY_TRAINING)
+        scores = model.score_group_items(batcher.batch([0]), np.array([0]))
+        assert np.isfinite(scores).all()
+
+    def test_multilayer_voting_trains(self, tiny_split):
+        from repro.training import train_groupsa
+        from tests.conftest import TINY_TRAINING
+
+        config = TINY_MODEL_CONFIG.variant(num_attention_layers=3)
+        model, __, history = train_groupsa(tiny_split, config, TINY_TRAINING)
+        assert np.isfinite(history.final_loss("group"))
