@@ -1,0 +1,70 @@
+"""Serving throughput: direct vs engine-backed user Top-K.
+
+Records requests/second and p50/p99 latency for both paths at the
+default preset scale and writes a JSON report (CI uploads it as an
+artifact), so the engine's speedup is measured, not asserted blindly.
+The acceptance floor — ≥ 5× throughput for cached user Top-K — *is*
+asserted, far below the typical measured ratio.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_engine_throughput.py -s
+"""
+
+import json
+import os
+
+import numpy as np
+
+from repro.core import GroupSA, GroupSAConfig
+from repro.data import split_interactions, yelp_like
+from repro.engine import EngineConfig, InferenceEngine, benchmark_user_serving
+from repro.graphs import tfidf_top_neighbours
+from repro.serving import RecommendationService
+
+REPORT_PATH = os.environ.get("ENGINE_BENCH_JSON", "results/engine_throughput.json")
+NUM_REQUESTS = int(os.environ.get("ENGINE_BENCH_REQUESTS", "150"))
+
+
+def test_bench_engine_throughput():
+    world = yelp_like(scale=0.005)
+    split = split_interactions(world.dataset, rng=0)
+    train = split.train
+    config = GroupSAConfig()
+    model = GroupSA(train.num_users, train.num_items, config)
+    model.set_top_neighbours(tfidf_top_neighbours(train, config.top_h))
+
+    service = RecommendationService(model=model, dataset=train)
+    engine = InferenceEngine(
+        model, train, config=EngineConfig(max_batch_size=64, flush_interval=0.0)
+    )
+    rng = np.random.default_rng(0)
+    users = rng.integers(0, train.num_users, size=NUM_REQUESTS)
+    try:
+        report = benchmark_user_serving(service, engine, users, k=10, clients=8)
+    finally:
+        engine.close()
+
+    report["world"] = {
+        "preset": "yelp_like",
+        "scale": 0.005,
+        "num_users": train.num_users,
+        "num_items": train.num_items,
+    }
+    os.makedirs(os.path.dirname(REPORT_PATH) or ".", exist_ok=True)
+    with open(REPORT_PATH, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+
+    for mode in ("direct", "engine"):
+        side = report[mode]
+        print(
+            f"\n{mode:8s} {side['rps']:10.1f} req/s   "
+            f"p50 {side['p50_ms']:8.3f} ms   p99 {side['p99_ms']:8.3f} ms",
+            end="",
+        )
+    print(f"\nspeedup  {report['speedup_rps']:10.1f}x  (report: {REPORT_PATH})")
+
+    assert report["speedup_rps"] >= 5.0, (
+        f"engine-backed serving only {report['speedup_rps']:.1f}x faster "
+        f"than direct (acceptance floor is 5x)"
+    )

@@ -6,11 +6,13 @@ Examples::
     python -m repro.cli train --data world.npz --out model.npz --group-epochs 30
     python -m repro.cli evaluate --data world.npz --model model.npz --task group
     python -m repro.cli recommend --data world.npz --model model.npz --group 3 -k 5
+    python -m repro.cli serve-bench --data world.npz --model model.npz --requests 200
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -114,6 +116,43 @@ def _command_recommend(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve_bench(args: argparse.Namespace) -> int:
+    from repro.engine import EngineConfig, InferenceEngine, benchmark_user_serving
+    from repro.serving import RecommendationService
+
+    dataset = load_dataset(args.data)
+    service = RecommendationService.from_checkpoint(args.model, dataset)
+    engine = InferenceEngine(
+        service.model,
+        dataset,
+        config=EngineConfig(
+            max_batch_size=args.max_batch,
+            flush_interval=args.flush_ms / 1000.0,
+            score_cache_budget_mb=args.cache_mb,
+        ),
+    )
+    rng = np.random.default_rng(args.seed)
+    users = rng.integers(0, dataset.num_users, size=args.requests)
+    try:
+        report = benchmark_user_serving(
+            service, engine, users, k=args.k, clients=args.clients
+        )
+    finally:
+        engine.close()
+    for mode in ("direct", "engine"):
+        side = report[mode]
+        print(
+            f"{mode:8s} {side['rps']:10.1f} req/s   "
+            f"p50 {side['p50_ms']:8.3f} ms   p99 {side['p99_ms']:8.3f} ms"
+        )
+    print(f"speedup  {report['speedup_rps']:10.1f}x (requests/second)")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+        print(f"wrote {args.json}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     commands = parser.add_subparsers(dest="command", required=True)
@@ -152,6 +191,22 @@ def build_parser() -> argparse.ArgumentParser:
     recommend.add_argument("--group", type=int, required=True)
     recommend.add_argument("-k", type=int, default=10)
     recommend.set_defaults(handler=_command_recommend)
+
+    serve_bench = commands.add_parser(
+        "serve-bench",
+        help="benchmark direct vs engine-backed user Top-K serving",
+    )
+    serve_bench.add_argument("--data", required=True)
+    serve_bench.add_argument("--model", required=True)
+    serve_bench.add_argument("--requests", type=int, default=200)
+    serve_bench.add_argument("-k", type=int, default=10)
+    serve_bench.add_argument("--clients", type=int, default=8)
+    serve_bench.add_argument("--max-batch", type=int, default=64)
+    serve_bench.add_argument("--flush-ms", type=float, default=0.0)
+    serve_bench.add_argument("--cache-mb", type=float, default=None)
+    serve_bench.add_argument("--seed", type=int, default=0)
+    serve_bench.add_argument("--json", default=None, help="write the report here")
+    serve_bench.set_defaults(handler=_command_serve_bench)
 
     return parser
 

@@ -106,8 +106,22 @@ class AdhocGroupRecommender:
         order = np.argsort(-scores, kind="stable")
         return candidates[order[:k]]
 
+    @staticmethod
+    def canonical_members(members: Sequence[int]) -> np.ndarray:
+        """Deduplicated, ascending member ids — the batch member order.
+
+        :func:`build_adhoc_batch` lays members out via ``np.unique``;
+        any per-member output (e.g. :meth:`voting_weights`) follows
+        this order, so callers should pair against it explicitly.
+        """
+        return np.unique(np.asarray(members, dtype=np.int64))
+
     def voting_weights(self, members: Sequence[int], item_id: int) -> np.ndarray:
-        """Member gamma weights (Eq. 10) for one target item."""
+        """Member gamma weights (Eq. 10) for one target item.
+
+        Returned in :meth:`canonical_members` order (one weight per
+        unique member; duplicates in ``members`` collapse).
+        """
         batch = build_adhoc_batch([members], self._friend_sets)
         gamma = self.model.member_attention(batch, np.array([item_id]))
-        return gamma[0][: len(np.unique(members))]
+        return gamma[0][: self.canonical_members(members).size]

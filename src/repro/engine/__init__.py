@@ -1,0 +1,34 @@
+"""Batched inference engine for production-style serving.
+
+Layered between a trained :class:`~repro.core.groupsa.GroupSA` and the
+:class:`~repro.serving.RecommendationService` surface:
+
+- :mod:`repro.engine.score_cache` — blocked user×item score matrix
+  (the Section II-F fast path) plus a generic LRU cache;
+- :mod:`repro.engine.batching` — request micro-batching queue;
+- :mod:`repro.engine.topk` — vectorized Top-K selection kernels;
+- :mod:`repro.engine.telemetry` — latency/counter/occupancy metrics;
+- :mod:`repro.engine.service` — the engine tying the stages together;
+- :mod:`repro.engine.bench` — direct-vs-engine benchmark harness.
+"""
+
+from repro.engine.batching import MicroBatcher
+from repro.engine.bench import benchmark_user_serving, run_closed_loop
+from repro.engine.score_cache import LRUCache, ScoreCache
+from repro.engine.service import EngineConfig, InferenceEngine
+from repro.engine.telemetry import Telemetry
+from repro.engine.topk import batch_topk, exclusion_mask, topk_indices
+
+__all__ = [
+    "MicroBatcher",
+    "benchmark_user_serving",
+    "run_closed_loop",
+    "LRUCache",
+    "ScoreCache",
+    "EngineConfig",
+    "InferenceEngine",
+    "Telemetry",
+    "batch_topk",
+    "exclusion_mask",
+    "topk_indices",
+]

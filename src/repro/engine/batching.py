@@ -1,0 +1,172 @@
+"""Request micro-batching: coalesce concurrent requests into one pass.
+
+Per-member scoring dominates group-serving cost (SIGR, AGREE), so the
+win at serving time is amortization: requests that arrive together are
+flushed together, and the handler turns each flush into a small number
+of vectorized forward passes instead of one per request.
+
+:class:`MicroBatcher` owns a ``queue.Queue`` and a single worker
+thread.  ``submit`` returns a :class:`concurrent.futures.Future`; the
+worker drains up to ``max_batch_size`` requests per flush, waiting at
+most ``flush_interval`` seconds for stragglers once the first request
+of a batch has arrived (``0`` = greedy: take whatever is queued, never
+wait).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro.engine.telemetry import Telemetry
+
+# Handler contract: payloads in, one result per payload, same order.
+BatchHandler = Callable[[Sequence[Any]], Sequence[Any]]
+
+_SHUTDOWN = object()
+
+
+@dataclass
+class _Request:
+    payload: Any
+    future: Future = field(default_factory=Future)
+    enqueued_at: float = field(default_factory=time.perf_counter)
+
+
+class MicroBatcher:
+    """Coalesce submitted payloads into batched handler calls.
+
+    Parameters
+    ----------
+    handler:
+        Called on the worker thread with a list of payloads; must
+        return one result per payload in order.  An exception fails
+        every future in the flush.
+    max_batch_size:
+        Flush as soon as this many requests are pending.
+    flush_interval:
+        Seconds to wait for more requests after the first one of a
+        batch arrives.  ``0.0`` means greedy draining: anything already
+        queued joins the flush, but the worker never sleeps waiting.
+    autostart:
+        Start the worker immediately.  Pass ``False`` to stage
+        requests first (deterministic coalescing in tests) and call
+        :meth:`start` later.
+    """
+
+    def __init__(
+        self,
+        handler: BatchHandler,
+        max_batch_size: int = 64,
+        flush_interval: float = 0.0,
+        telemetry: Optional[Telemetry] = None,
+        autostart: bool = True,
+    ) -> None:
+        if max_batch_size < 1:
+            raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
+        if flush_interval < 0:
+            raise ValueError(f"flush_interval must be >= 0, got {flush_interval}")
+        self.handler = handler
+        self.max_batch_size = max_batch_size
+        self.flush_interval = flush_interval
+        self.telemetry = telemetry
+        self._queue: "queue.Queue[Any]" = queue.Queue()
+        self._worker: Optional[threading.Thread] = None
+        self._closed = False
+        if autostart:
+            self.start()
+
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        if self._worker is not None:
+            return
+        self._worker = threading.Thread(
+            target=self._run, name="microbatcher-worker", daemon=True
+        )
+        self._worker.start()
+
+    def submit(self, payload: Any) -> "Future":
+        """Enqueue one payload; resolve its result via the future."""
+        if self._closed:
+            raise RuntimeError("MicroBatcher is closed")
+        request = _Request(payload)
+        self._queue.put(request)
+        return request.future
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Drain outstanding requests, then stop the worker."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._worker is not None:
+            self._queue.put(_SHUTDOWN)
+            self._worker.join(timeout=timeout)
+            self._worker = None
+
+    def __enter__(self) -> "MicroBatcher":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+
+    def _collect(self) -> Optional[List[_Request]]:
+        """Block for the first request, then coalesce a batch."""
+        first = self._queue.get()
+        if first is _SHUTDOWN:
+            return None
+        batch = [first]
+        deadline = time.perf_counter() + self.flush_interval
+        while len(batch) < self.max_batch_size:
+            remaining = deadline - time.perf_counter()
+            try:
+                if remaining > 0:
+                    item = self._queue.get(timeout=remaining)
+                else:
+                    item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is _SHUTDOWN:
+                # Keep the sentinel semantics: finish this flush, exit next.
+                self._queue.put(_SHUTDOWN)
+                break
+            batch.append(item)
+        return batch
+
+    def _run(self) -> None:
+        while True:
+            batch = self._collect()
+            if batch is None:
+                return
+            now = time.perf_counter()
+            if self.telemetry:
+                self.telemetry.record_batch(len(batch))
+                self.telemetry.increment("batch.flushes")
+                self.telemetry.increment("batch.requests", len(batch))
+                for request in batch:
+                    self.telemetry.record_latency(
+                        "batch.queue_wait", now - request.enqueued_at
+                    )
+            try:
+                if self.telemetry:
+                    with self.telemetry.time("batch.execute"):
+                        results = self.handler([r.payload for r in batch])
+                else:
+                    results = self.handler([r.payload for r in batch])
+                if len(results) != len(batch):
+                    raise RuntimeError(
+                        f"handler returned {len(results)} results "
+                        f"for {len(batch)} payloads"
+                    )
+            except Exception as error:  # noqa: BLE001 — forwarded to futures
+                for request in batch:
+                    request.future.set_exception(error)
+                continue
+            for request, result in zip(batch, results):
+                request.future.set_result(result)

@@ -1,0 +1,97 @@
+"""Serving benchmark harness: direct vs engine-backed Top-K.
+
+Measures closed-loop requests/second and latency percentiles so the
+engine's speedup is a recorded number, not an assertion.  Used by the
+``repro serve-bench`` CLI command and
+``benchmarks/test_bench_engine_throughput.py``.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, List, Sequence
+
+import numpy as np
+
+
+def latency_summary(latencies: Sequence[float], elapsed: float) -> dict:
+    """Throughput plus latency percentiles for one request stream."""
+    ordered = np.sort(np.asarray(latencies, dtype=np.float64))
+    count = ordered.size
+
+    def pct(q: float) -> float:
+        return float(ordered[min(count - 1, int(round(q / 100.0 * (count - 1))))])
+
+    return {
+        "requests": int(count),
+        "elapsed_s": float(elapsed),
+        "rps": float(count / elapsed) if elapsed > 0 else float("inf"),
+        "p50_ms": pct(50) * 1000.0,
+        "p99_ms": pct(99) * 1000.0,
+        "mean_ms": float(ordered.mean()) * 1000.0,
+    }
+
+
+def run_closed_loop(
+    request_fn: Callable[[int], object],
+    num_requests: int,
+    clients: int = 1,
+) -> dict:
+    """Drive ``request_fn(i)`` for every request index, timing each.
+
+    ``clients`` > 1 spreads the indices over that many threads, so a
+    batched backend sees genuinely concurrent submitters.
+    """
+    latencies: List[float] = [0.0] * num_requests
+
+    def drive(index: int) -> None:
+        start = time.perf_counter()
+        request_fn(index)
+        latencies[index] = time.perf_counter() - start
+
+    wall_start = time.perf_counter()
+    if clients <= 1:
+        for index in range(num_requests):
+            drive(index)
+    else:
+        with ThreadPoolExecutor(max_workers=clients) as pool:
+            list(pool.map(drive, range(num_requests)))
+    elapsed = time.perf_counter() - wall_start
+    return latency_summary(latencies, elapsed)
+
+
+def benchmark_user_serving(
+    service,
+    engine,
+    users: Sequence[int],
+    k: int = 10,
+    clients: int = 8,
+    warm: bool = True,
+) -> dict:
+    """Compare direct vs engine-backed user Top-K on the same requests.
+
+    ``service`` must be a direct-mode
+    :class:`~repro.serving.RecommendationService` (its ``engine``
+    attribute unset); ``engine`` an
+    :class:`~repro.engine.service.InferenceEngine` over the same
+    checkpoint.  Returns a JSON-serializable report.
+    """
+    users = [int(u) for u in users]
+    direct = run_closed_loop(
+        lambda i: service.recommend_for_user(users[i], k=k), len(users)
+    )
+    if warm:
+        engine.warm(np.asarray(users, dtype=np.int64))
+    engine_side = run_closed_loop(
+        lambda i: engine.topk_user(users[i], k=k), len(users), clients=clients
+    )
+    return {
+        "k": k,
+        "clients": clients,
+        "warm": warm,
+        "direct": direct,
+        "engine": engine_side,
+        "speedup_rps": engine_side["rps"] / direct["rps"] if direct["rps"] else 0.0,
+        "telemetry": engine.telemetry_snapshot(),
+    }

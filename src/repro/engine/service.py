@@ -1,0 +1,317 @@
+"""The inference engine: batched Top-K serving over a trained GroupSA.
+
+Sits between the model and :class:`repro.serving.RecommendationService`.
+Three request kinds flow through one micro-batch queue:
+
+- ``user`` — answered from the precomputed score-matrix cache
+  (Section II-F fast path): a row fetch, an exclusion mask and a
+  partition;
+- ``group`` — dataset groups; concurrent requests are concatenated
+  into a single chunked ``score_group_items`` forward pass;
+- ``adhoc`` — serving-time member lists; the padded batch structure is
+  LRU-cached per frozen member tuple, scoring is vectorized over the
+  candidate items.
+
+All stages record into a shared :class:`Telemetry`; snapshots expose
+per-stage latency, cache hit rates and batch occupancy.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.adhoc import build_adhoc_batch
+from repro.core.groupsa import GroupSA
+from repro.data.dataset import GroupRecommendationDataset
+from repro.data.loaders import GroupBatch, GroupBatcher
+from repro.engine.batching import MicroBatcher
+from repro.engine.score_cache import LRUCache, ScoreCache
+from repro.engine.telemetry import Telemetry
+from repro.engine.topk import exclusion_mask, topk_indices
+
+TopK = Tuple[np.ndarray, np.ndarray]  # (item ids, scores), best first
+
+
+@dataclass
+class EngineConfig:
+    """Knobs for the inference engine.
+
+    Attributes
+    ----------
+    max_batch_size:
+        Requests coalesced into one flush at most.
+    flush_interval:
+        Seconds the worker waits for stragglers after the first request
+        of a batch; ``0.0`` drains greedily without sleeping.
+    score_block_rows:
+        Users per score-cache block (residency granularity).
+    score_cache_budget_mb:
+        Resident score-cache budget in MiB; ``None`` keeps the whole
+        user×item matrix.
+    adhoc_cache_size:
+        LRU capacity for ad-hoc group structures (frozen member tuples).
+    warm_on_start:
+        Precompute the score cache when the engine is constructed.
+    """
+
+    max_batch_size: int = 64
+    flush_interval: float = 0.0
+    score_block_rows: int = 256
+    score_cache_budget_mb: Optional[float] = None
+    adhoc_cache_size: int = 128
+    warm_on_start: bool = False
+
+
+@dataclass(frozen=True)
+class _AdhocEntry:
+    """Cached serving structures for one frozen member tuple."""
+
+    batch: GroupBatch  # single-row padded batch
+    exclude: frozenset  # union of member interaction histories
+
+
+class InferenceEngine:
+    """Request-oriented batched inference over a trained model.
+
+    Synchronous callers use :meth:`topk_user` / :meth:`topk_group` /
+    :meth:`topk_members`; concurrent callers can hold the returned
+    futures from the ``submit_*`` variants so their requests coalesce
+    into shared forward passes.
+    """
+
+    def __init__(
+        self,
+        model: GroupSA,
+        dataset: GroupRecommendationDataset,
+        config: Optional[EngineConfig] = None,
+        telemetry: Optional[Telemetry] = None,
+        autostart: bool = True,
+    ) -> None:
+        self.model = model
+        self.dataset = dataset
+        self.config = config or EngineConfig()
+        self.telemetry = telemetry or Telemetry()
+
+        budget = self.config.score_cache_budget_mb
+        self.score_cache = ScoreCache(
+            model.score_user_items,
+            num_users=dataset.num_users,
+            num_items=dataset.num_items,
+            block_rows=self.config.score_block_rows,
+            memory_budget_bytes=None if budget is None else int(budget * 2**20),
+            telemetry=self.telemetry,
+        )
+        self._user_items = dataset.user_items()
+        self._group_items = dataset.group_items()
+        self._friend_sets = dataset.friend_set()
+        self._batcher = GroupBatcher(dataset)
+        self._adhoc_entries = LRUCache(
+            capacity=self.config.adhoc_cache_size,
+            telemetry=self.telemetry,
+            name="adhoc_cache",
+        )
+        self._adhoc_lock = threading.Lock()
+        self._batcher_queue = MicroBatcher(
+            self._execute,
+            max_batch_size=self.config.max_batch_size,
+            flush_interval=self.config.flush_interval,
+            telemetry=self.telemetry,
+            autostart=autostart,
+        )
+        if self.config.warm_on_start:
+            self.warm()
+
+    # -- lifecycle ------------------------------------------------------
+
+    def start(self) -> None:
+        """Start the worker (no-op when ``autostart`` already did)."""
+        self._batcher_queue.start()
+
+    def close(self) -> None:
+        self._batcher_queue.close()
+
+    def __enter__(self) -> "InferenceEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def warm(self, users: Optional[np.ndarray] = None) -> None:
+        """Materialize score-cache blocks ahead of traffic."""
+        self.score_cache.warm(users)
+
+    def telemetry_snapshot(self) -> dict:
+        return self.telemetry.snapshot()
+
+    # -- submission -----------------------------------------------------
+
+    def submit_user(self, user: int, k: int = 10) -> "Future[TopK]":
+        user = int(user)
+        if not 0 <= user < self.dataset.num_users:
+            raise IndexError(
+                f"user {user} out of range [0, {self.dataset.num_users})"
+            )
+        self._check_k(k)
+        self.telemetry.increment("requests.user")
+        return self._batcher_queue.submit(("user", user, k))
+
+    def submit_group(self, group: int, k: int = 10) -> "Future[TopK]":
+        group = int(group)
+        if not 0 <= group < self.dataset.num_groups:
+            raise IndexError(
+                f"group {group} out of range [0, {self.dataset.num_groups})"
+            )
+        self._check_k(k)
+        self.telemetry.increment("requests.group")
+        return self._batcher_queue.submit(("group", group, k))
+
+    def submit_members(self, members: Sequence[int], k: int = 10) -> "Future[TopK]":
+        if len(members) == 0:
+            raise ValueError("members must be a non-empty sequence of user ids")
+        for member in members:
+            if not 0 <= int(member) < self.dataset.num_users:
+                raise IndexError(
+                    f"member {int(member)} out of range [0, {self.dataset.num_users})"
+                )
+        self._check_k(k)
+        self.telemetry.increment("requests.adhoc")
+        key = self.canonical_members(members)
+        return self._batcher_queue.submit(("adhoc", key, k))
+
+    def topk_user(self, user: int, k: int = 10) -> TopK:
+        with self.telemetry.time("engine.request"):
+            return self.submit_user(user, k).result()
+
+    def topk_group(self, group: int, k: int = 10) -> TopK:
+        with self.telemetry.time("engine.request"):
+            return self.submit_group(group, k).result()
+
+    def topk_members(self, members: Sequence[int], k: int = 10) -> TopK:
+        with self.telemetry.time("engine.request"):
+            return self.submit_members(members, k).result()
+
+    @staticmethod
+    def canonical_members(members: Sequence[int]) -> Tuple[int, ...]:
+        """Frozen cache key: duplicates collapsed, ascending order.
+
+        Matches the member ordering
+        :func:`repro.core.adhoc.build_adhoc_batch` produces via
+        ``np.unique``, so gamma weights align with this tuple.
+        """
+        return tuple(int(m) for m in np.unique(np.asarray(members, dtype=np.int64)))
+
+    @staticmethod
+    def _check_k(k: int) -> None:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+
+    # -- execution (worker thread) -------------------------------------
+
+    def _execute(self, payloads: Sequence[tuple]) -> List[TopK]:
+        results: List[Optional[TopK]] = [None] * len(payloads)
+        by_kind: Dict[str, List[int]] = {"user": [], "group": [], "adhoc": []}
+        for index, payload in enumerate(payloads):
+            by_kind[payload[0]].append(index)
+        if by_kind["user"]:
+            with self.telemetry.time("engine.user_stage"):
+                self._execute_users(payloads, by_kind["user"], results)
+        if by_kind["group"]:
+            with self.telemetry.time("engine.group_stage"):
+                self._execute_groups(payloads, by_kind["group"], results)
+        if by_kind["adhoc"]:
+            with self.telemetry.time("engine.adhoc_stage"):
+                self._execute_adhoc(payloads, by_kind["adhoc"], results)
+        return results  # type: ignore[return-value]
+
+    def _execute_users(
+        self, payloads: Sequence[tuple], indices: List[int], results: List
+    ) -> None:
+        users = np.array([payloads[i][1] for i in indices], dtype=np.int64)
+        rows = self.score_cache.scores_for_users(users)
+        for row, index in zip(rows, indices):
+            __, user, k = payloads[index]
+            mask = exclusion_mask(self.dataset.num_items, self._user_items[user])
+            items = topk_indices(row, k, mask)
+            results[index] = (items, row[items])
+
+    def _execute_groups(
+        self, payloads: Sequence[tuple], indices: List[int], results: List
+    ) -> None:
+        # Concatenate every request's candidate set into one chunked
+        # group-forward pass, then split and rank per request.
+        group_chunks: List[np.ndarray] = []
+        item_chunks: List[np.ndarray] = []
+        candidate_sets: List[np.ndarray] = []
+        for index in indices:
+            __, group, __k = payloads[index]
+            mask = exclusion_mask(self.dataset.num_items, self._group_items[group])
+            keep = (
+                np.nonzero(~mask)[0]
+                if mask is not None
+                else np.arange(self.dataset.num_items, dtype=np.int64)
+            )
+            candidate_sets.append(keep)
+            group_chunks.append(np.full(keep.size, group, dtype=np.int64))
+            item_chunks.append(keep)
+        groups_flat = np.concatenate(group_chunks)
+        items_flat = np.concatenate(item_chunks)
+        scores_flat = self.model.score_group_items(
+            self._batcher.batch(groups_flat), items_flat
+        )
+        offset = 0
+        for index, candidates in zip(indices, candidate_sets):
+            __, __g, k = payloads[index]
+            scores = scores_flat[offset : offset + candidates.size]
+            offset += candidates.size
+            chosen = topk_indices(scores, k)
+            results[index] = (candidates[chosen], scores[chosen])
+
+    def _execute_adhoc(
+        self, payloads: Sequence[tuple], indices: List[int], results: List
+    ) -> None:
+        for index in indices:
+            __, key, k = payloads[index]
+            entry = self._adhoc_entry(key)
+            mask = exclusion_mask(self.dataset.num_items, entry.exclude)
+            candidates = (
+                np.nonzero(~mask)[0]
+                if mask is not None
+                else np.arange(self.dataset.num_items, dtype=np.int64)
+            )
+            if candidates.size == 0:
+                results[index] = (
+                    np.empty(0, dtype=np.int64),
+                    np.empty(0),
+                )
+                continue
+            single = entry.batch
+            repeated = GroupBatch(
+                group_ids=np.full(candidates.size, -1, dtype=np.int64),
+                members=np.repeat(single.members, candidates.size, axis=0),
+                mask=np.repeat(single.mask, candidates.size, axis=0),
+                adjacency=np.repeat(single.adjacency, candidates.size, axis=0),
+            )
+            scores = self.model.score_group_items(repeated, candidates)
+            chosen = topk_indices(scores, k)
+            results[index] = (candidates[chosen], scores[chosen])
+
+    def _adhoc_entry(self, key: Tuple[int, ...]) -> _AdhocEntry:
+        entry = self._adhoc_entries.get(key)
+        if entry is not None:
+            return entry
+        with self._adhoc_lock:
+            entry = self._adhoc_entries.peek(key)
+            if entry is None:
+                with self.telemetry.time("engine.adhoc_build"):
+                    batch = build_adhoc_batch([list(key)], self._friend_sets)
+                    exclude: set = set()
+                    for member in key:
+                        exclude |= self._user_items[member]
+                    entry = _AdhocEntry(batch=batch, exclude=frozenset(exclude))
+                self._adhoc_entries.put(key, entry)
+        return entry

@@ -1,0 +1,140 @@
+"""Serving telemetry: latency histograms, counters, batch occupancy.
+
+Every engine stage records into a shared :class:`Telemetry` instance,
+which exports a JSON-serializable snapshot — the observability surface
+an operator would scrape.  All methods are thread-safe; the micro-batch
+worker and request threads record concurrently.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import defaultdict, deque
+from contextlib import contextmanager
+from typing import Deque, Dict, Iterator
+
+# Retain at most this many recent samples per stage for percentiles;
+# count/sum/max are exact over the full history.
+DEFAULT_MAX_SAMPLES = 8192
+
+
+def _percentile(samples: list, q: float) -> float:
+    """Nearest-rank percentile of a non-empty sorted list."""
+    rank = min(len(samples) - 1, max(0, int(round(q / 100.0 * (len(samples) - 1)))))
+    return samples[rank]
+
+
+class _StageStats:
+    """Latency accumulator for one named stage."""
+
+    __slots__ = ("count", "total", "max", "samples")
+
+    def __init__(self, max_samples: int) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+        self.samples: Deque[float] = deque(maxlen=max_samples)
+
+    def record(self, seconds: float) -> None:
+        self.count += 1
+        self.total += seconds
+        self.max = max(self.max, seconds)
+        self.samples.append(seconds)
+
+    def summary(self) -> Dict[str, float]:
+        ordered = sorted(self.samples)
+        to_ms = 1000.0
+        return {
+            "count": self.count,
+            "mean_ms": (self.total / self.count) * to_ms,
+            "p50_ms": _percentile(ordered, 50) * to_ms,
+            "p90_ms": _percentile(ordered, 90) * to_ms,
+            "p99_ms": _percentile(ordered, 99) * to_ms,
+            "max_ms": self.max * to_ms,
+        }
+
+
+class Telemetry:
+    """Thread-safe metrics sink for the inference engine.
+
+    Three primitive kinds:
+
+    - **latency stages** (``time`` / ``record_latency``): histograms
+      summarized as mean/p50/p90/p99/max milliseconds;
+    - **counters** (``increment``): monotonically increasing integers;
+      a ``<name>.hit`` / ``<name>.miss`` pair additionally yields a
+      derived ``<name>.hit_rate`` in the snapshot;
+    - **batch occupancy** (``record_batch``): sizes of flushed
+      micro-batches, summarized as count/mean/max.
+    """
+
+    def __init__(self, max_samples: int = DEFAULT_MAX_SAMPLES) -> None:
+        self._lock = threading.Lock()
+        self._max_samples = max_samples
+        self._stages: Dict[str, _StageStats] = {}
+        self._counters: Dict[str, int] = defaultdict(int)
+        self._batch_sizes = _StageStats(max_samples)
+
+    # -- recording ------------------------------------------------------
+
+    @contextmanager
+    def time(self, stage: str) -> Iterator[None]:
+        """Context manager timing one occurrence of ``stage``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.record_latency(stage, time.perf_counter() - start)
+
+    def record_latency(self, stage: str, seconds: float) -> None:
+        with self._lock:
+            stats = self._stages.get(stage)
+            if stats is None:
+                stats = self._stages[stage] = _StageStats(self._max_samples)
+            stats.record(seconds)
+
+    def increment(self, counter: str, amount: int = 1) -> None:
+        with self._lock:
+            self._counters[counter] += amount
+
+    def record_batch(self, size: int) -> None:
+        with self._lock:
+            self._batch_sizes.record(float(size))
+
+    # -- reading --------------------------------------------------------
+
+    def counter(self, name: str) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def snapshot(self) -> dict:
+        """JSON-serializable view of everything recorded so far."""
+        with self._lock:
+            stages = {name: stats.summary() for name, stats in self._stages.items()}
+            counters = dict(self._counters)
+            batches = self._batch_sizes
+            batch_summary = {
+                "count": batches.count,
+                "mean_occupancy": (batches.total / batches.count) if batches.count else 0.0,
+                "max_occupancy": batches.max,
+            }
+        derived: Dict[str, float] = {}
+        for name in list(counters):
+            if name.endswith(".hit"):
+                base = name[: -len(".hit")]
+                hits = counters[name]
+                misses = counters.get(base + ".miss", 0)
+                total = hits + misses
+                if total:
+                    derived[base + ".hit_rate"] = hits / total
+        return {
+            "stages": stages,
+            "counters": counters,
+            "rates": derived,
+            "batches": batch_summary,
+        }
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)

@@ -1,0 +1,105 @@
+"""Vectorized Top-K selection kernels.
+
+The seed's Top-K path built the candidate list with a Python loop and
+ran a full ``argsort`` per request.  These kernels keep the exact same
+ordering contract — descending score, ties broken by ascending index —
+but select with :func:`numpy.argpartition`, so the cost is
+O(n + k log k) instead of O(n log n) plus interpreter overhead.
+
+Tie handling matters for bit-identical results: ``argpartition`` picks
+an *arbitrary* subset among boundary ties, so the kernel partitions
+first, then resolves the boundary explicitly — everything strictly
+above the k-th score is kept, and the remaining slots are filled from
+the threshold ties in ascending index order, which is exactly what a
+stable descending argsort would have produced.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+
+def topk_indices(
+    scores: np.ndarray,
+    k: int,
+    exclude_mask: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Indices of the Top-K scores, best first, ties by ascending index.
+
+    Parameters
+    ----------
+    scores:
+        1-D array of finite scores, one per candidate position.
+    k:
+        Number of positions to return; fewer when the candidate pool
+        (after exclusion) is smaller.
+    exclude_mask:
+        Optional boolean array, True where a position must never be
+        returned regardless of its score.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    if scores.ndim != 1:
+        raise ValueError(f"scores must be 1-D, got shape {scores.shape}")
+    size = scores.size
+    if k <= 0 or size == 0:
+        return np.empty(0, dtype=np.int64)
+
+    if exclude_mask is not None:
+        exclude_mask = np.asarray(exclude_mask, dtype=bool)
+        if exclude_mask.shape != scores.shape:
+            raise ValueError(
+                f"exclude_mask shape {exclude_mask.shape} does not match "
+                f"scores shape {scores.shape}"
+            )
+        num_valid = size - int(exclude_mask.sum())
+        if num_valid == 0:
+            return np.empty(0, dtype=np.int64)
+        masked = np.where(exclude_mask, -np.inf, scores)
+    else:
+        num_valid = size
+        masked = scores
+
+    keep = min(k, num_valid)
+    if keep >= size:
+        # Partition cannot help; a stable full sort is already optimal.
+        order = np.argsort(-masked, kind="stable")
+        return order[:keep].astype(np.int64)
+
+    part = np.argpartition(-masked, keep - 1)[:keep]
+    threshold = masked[part].min()
+    above = np.nonzero(masked > threshold)[0]
+    # Strictly-above entries sorted by (-score, index); lexsort keys are
+    # least-significant first.
+    above = above[np.lexsort((above, -masked[above]))]
+    need = keep - above.size
+    if need > 0:
+        ties = np.nonzero(masked == threshold)[0][:need]
+        return np.concatenate([above, ties]).astype(np.int64)
+    return above.astype(np.int64)
+
+
+def batch_topk(
+    score_matrix: np.ndarray,
+    k: int,
+    exclude_masks: Optional[Sequence[Optional[np.ndarray]]] = None,
+) -> List[np.ndarray]:
+    """Row-wise :func:`topk_indices` over a (B, n) score matrix."""
+    score_matrix = np.asarray(score_matrix, dtype=np.float64)
+    if score_matrix.ndim != 2:
+        raise ValueError(f"score_matrix must be 2-D, got shape {score_matrix.shape}")
+    results = []
+    for row_index in range(score_matrix.shape[0]):
+        mask = exclude_masks[row_index] if exclude_masks is not None else None
+        results.append(topk_indices(score_matrix[row_index], k, mask))
+    return results
+
+
+def exclusion_mask(num_items: int, exclude) -> Optional[np.ndarray]:
+    """Boolean exclusion mask from an iterable of item ids (None if empty)."""
+    if not exclude:
+        return None
+    mask = np.zeros(num_items, dtype=bool)
+    mask[np.fromiter((int(i) for i in exclude), dtype=np.int64)] = True
+    return mask

@@ -10,6 +10,8 @@ from typing import Callable, Sequence, Set
 
 import numpy as np
 
+from repro.engine.topk import exclusion_mask, topk_indices
+
 ScoreFn = Callable[[np.ndarray, np.ndarray], np.ndarray]
 
 
@@ -23,18 +25,21 @@ def top_k_items(
     """Return the Top-K item ids for one entity, highest score first.
 
     ``exclude`` removes already-interacted items from the ranking, the
-    usual deployment behaviour.
+    usual deployment behaviour.  Selection runs through the vectorized
+    :func:`repro.engine.topk.topk_indices` kernel (boolean exclusion
+    mask + ``argpartition``); ordering is identical to a stable
+    descending sort — ties break toward the smaller item id.
     """
-    exclude = exclude or set()
-    candidates = np.array(
-        [item for item in range(num_items) if item not in exclude], dtype=np.int64
+    mask = exclusion_mask(num_items, exclude)
+    candidates = (
+        np.nonzero(~mask)[0] if mask is not None else np.arange(num_items, dtype=np.int64)
     )
-    if candidates.size == 0:
-        return candidates
+    if candidates.size == 0 or k <= 0:
+        return np.empty(0, dtype=np.int64)
     entities = np.full(candidates.size, entity, dtype=np.int64)
     scores = score_fn(entities, candidates)
-    order = np.argsort(-scores, kind="stable")
-    return candidates[order[:k]]
+    # Candidates are ascending, so positional ties equal item-id ties.
+    return candidates[topk_indices(scores, k)]
 
 
 def recommend_for_groups(

@@ -4,6 +4,15 @@ Wraps a checkpoint plus dataset into a request-oriented service:
 Top-K for users, dataset groups and ad-hoc member lists, with
 explanation payloads (voting weights) and basic input validation —
 the surface an application would actually integrate against.
+
+Two execution modes share this surface:
+
+- **direct** (the default): every request runs its own forward pass;
+- **engine-backed**: requests route through an
+  :class:`~repro.engine.service.InferenceEngine` — precomputed score
+  caches, micro-batched forward passes and serving telemetry — and
+  return the same recommendation lists.  Enable with
+  :meth:`RecommendationService.enable_engine`.
 """
 
 from __future__ import annotations
@@ -17,6 +26,8 @@ from repro.core.adhoc import AdhocGroupRecommender
 from repro.core.groupsa import GroupSA
 from repro.data.dataset import GroupRecommendationDataset
 from repro.data.loaders import GroupBatcher
+from repro.engine.service import EngineConfig, InferenceEngine
+from repro.engine.telemetry import Telemetry
 from repro.evaluation.ranking import top_k_items
 from repro.persistence import load_model
 
@@ -40,10 +51,15 @@ class RecommendationService:
         service = RecommendationService.from_checkpoint("model.npz", dataset)
         service.recommend_for_group(3, k=5)
         service.recommend_for_members([1, 2, 3], k=5)
+
+    Call :meth:`enable_engine` to route Top-K computation through the
+    batched inference engine; explanations and payload shapes are
+    unchanged.
     """
 
     model: GroupSA
     dataset: GroupRecommendationDataset
+    engine: Optional[InferenceEngine] = None
     _batcher: GroupBatcher = field(init=False, repr=False)
     _adhoc: AdhocGroupRecommender = field(init=False, repr=False)
 
@@ -53,7 +69,11 @@ class RecommendationService:
 
     @classmethod
     def from_checkpoint(
-        cls, path, dataset: GroupRecommendationDataset
+        cls,
+        path,
+        dataset: GroupRecommendationDataset,
+        engine_config: Optional[EngineConfig] = None,
+        use_engine: bool = False,
     ) -> "RecommendationService":
         model = load_model(path)
         if model.num_users != dataset.num_users or model.num_items != dataset.num_items:
@@ -62,20 +82,53 @@ class RecommendationService:
                 f"model ({model.num_users} users, {model.num_items} items) vs "
                 f"dataset ({dataset.num_users} users, {dataset.num_items} items)"
             )
-        return cls(model=model, dataset=dataset)
+        service = cls(model=model, dataset=dataset)
+        if use_engine or engine_config is not None:
+            service.enable_engine(engine_config)
+        return service
+
+    # ------------------------------------------------------------------
+    # Engine mode
+    # ------------------------------------------------------------------
+
+    def enable_engine(
+        self,
+        config: Optional[EngineConfig] = None,
+        telemetry: Optional[Telemetry] = None,
+    ) -> InferenceEngine:
+        """Switch to engine-backed serving; returns the engine."""
+        if self.engine is None:
+            self.engine = InferenceEngine(
+                self.model, self.dataset, config=config, telemetry=telemetry
+            )
+        return self.engine
+
+    def close(self) -> None:
+        """Stop the engine worker, if one is attached."""
+        if self.engine is not None:
+            self.engine.close()
+            self.engine = None
+
+    def telemetry_snapshot(self) -> Optional[dict]:
+        """The engine's telemetry snapshot (None in direct mode)."""
+        return self.engine.telemetry_snapshot() if self.engine is not None else None
 
     # ------------------------------------------------------------------
 
     def recommend_for_user(self, user: int, k: int = 10) -> Recommendation:
         """Top-K items for an individual user (seen items excluded)."""
         self._check_user(user)
-        exclude = self.dataset.user_items()[user]
-        items = top_k_items(
-            self.model.score_user_items, user, self.dataset.num_items, k, exclude
-        )
-        scores = self.model.score_user_items(
-            np.full(items.size, user, dtype=np.int64), items
-        )
+        self._check_k(k)
+        if self.engine is not None:
+            items, scores = self.engine.topk_user(user, k)
+        else:
+            exclude = self.dataset.user_items()[user]
+            items = top_k_items(
+                self.model.score_user_items, user, self.dataset.num_items, k, exclude
+            )
+            scores = self.model.score_user_items(
+                np.full(items.size, user, dtype=np.int64), items
+            )
         return Recommendation(
             entity=f"user:{user}", items=items.tolist(), scores=scores.tolist()
         )
@@ -84,13 +137,19 @@ class RecommendationService:
         """Top-K items for a dataset group, with voting explanation."""
         if not 0 <= group < self.dataset.num_groups:
             raise IndexError(f"group {group} out of range [0, {self.dataset.num_groups})")
-        exclude = self.dataset.group_items()[group]
+        self._check_k(k)
+        if self.engine is not None:
+            items, scores = self.engine.topk_group(group, k)
+        else:
+            exclude = self.dataset.group_items()[group]
 
-        def scorer(groups, items):
-            return self.model.score_group_items(self._batcher.batch(groups), items)
+            def scorer(groups, target_items):
+                return self.model.score_group_items(
+                    self._batcher.batch(groups), target_items
+                )
 
-        items = top_k_items(scorer, group, self.dataset.num_items, k, exclude)
-        scores = scorer(np.full(items.size, group, dtype=np.int64), items)
+            items = top_k_items(scorer, group, self.dataset.num_items, k, exclude)
+            scores = scorer(np.full(items.size, group, dtype=np.int64), items)
         weights = self._explain(group, int(items[0])) if items.size else None
         return Recommendation(
             entity=f"group:{group}",
@@ -102,16 +161,30 @@ class RecommendationService:
     def recommend_for_members(
         self, members: Sequence[int], k: int = 10
     ) -> Recommendation:
-        """Top-K items for an ad-hoc member list (true OGR serving)."""
+        """Top-K items for an ad-hoc member list (true OGR serving).
+
+        Duplicate member ids collapse to one vote: the model scores the
+        *set* of members, and ``voting_weights`` is keyed by the
+        canonical member order (ascending unique ids — the order the
+        ad-hoc batch feeds the voting network).
+        """
+        if len(members) == 0:
+            raise ValueError("members must be a non-empty sequence of user ids")
         for member in members:
             self._check_user(int(member))
-        items = self._adhoc.recommend(members, k=k)
-        scores = self._adhoc.score(members, items) if items.size else np.empty(0)
+        self._check_k(k)
+        canonical = self._adhoc.canonical_members(members)
+        if self.engine is not None:
+            items, scores = self.engine.topk_members(members, k)
+        else:
+            items = self._adhoc.recommend(members, k=k)
+            scores = self._adhoc.score(members, items) if items.size else np.empty(0)
         weights = None
         if items.size:
             gamma = self._adhoc.voting_weights(members, int(items[0]))
-            unique_members = sorted(set(int(m) for m in members))
-            weights = {m: float(w) for m, w in zip(unique_members, gamma)}
+            # gamma rows follow the ad-hoc batch's member axis, which is
+            # exactly `canonical`; zip them explicitly.
+            weights = {int(m): float(w) for m, w in zip(canonical, gamma)}
         return Recommendation(
             entity=f"adhoc:{','.join(str(m) for m in members)}",
             items=items.tolist(),
@@ -131,3 +204,8 @@ class RecommendationService:
     def _check_user(self, user: int) -> None:
         if not 0 <= user < self.dataset.num_users:
             raise IndexError(f"user {user} out of range [0, {self.dataset.num_users})")
+
+    @staticmethod
+    def _check_k(k: int) -> None:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")

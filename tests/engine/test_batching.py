@@ -1,0 +1,142 @@
+"""Micro-batching queue: coalescing, ordering, failure propagation."""
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.engine.batching import MicroBatcher
+from repro.engine.telemetry import Telemetry
+
+
+def echo_handler(payloads):
+    return [p * 2 for p in payloads]
+
+
+class TestCoalescing:
+    def test_staged_requests_flush_as_one_batch(self):
+        seen = []
+        telemetry = Telemetry()
+
+        def handler(payloads):
+            seen.append(list(payloads))
+            return payloads
+
+        batcher = MicroBatcher(
+            handler, max_batch_size=16, telemetry=telemetry, autostart=False
+        )
+        futures = [batcher.submit(i) for i in range(6)]
+        batcher.start()
+        assert [f.result(timeout=5) for f in futures] == list(range(6))
+        batcher.close()
+        assert seen == [[0, 1, 2, 3, 4, 5]]
+        snapshot = telemetry.snapshot()
+        assert snapshot["batches"]["count"] == 1
+        assert snapshot["batches"]["mean_occupancy"] == 6.0
+
+    def test_max_batch_size_splits_flushes(self):
+        sizes = []
+
+        def handler(payloads):
+            sizes.append(len(payloads))
+            return payloads
+
+        batcher = MicroBatcher(handler, max_batch_size=4, autostart=False)
+        futures = [batcher.submit(i) for i in range(10)]
+        batcher.start()
+        [f.result(timeout=5) for f in futures]
+        batcher.close()
+        assert sizes == [4, 4, 2]
+
+    def test_flush_interval_waits_for_stragglers(self):
+        sizes = []
+
+        def handler(payloads):
+            sizes.append(len(payloads))
+            return payloads
+
+        batcher = MicroBatcher(
+            handler, max_batch_size=8, flush_interval=0.2, autostart=True
+        )
+        first = batcher.submit(1)
+        time.sleep(0.05)  # well inside the flush window
+        second = batcher.submit(2)
+        assert first.result(timeout=5) == 1
+        assert second.result(timeout=5) == 2
+        batcher.close()
+        assert sizes == [2]
+
+
+class TestConcurrency:
+    def test_concurrent_submitters_get_their_own_results(self):
+        telemetry = Telemetry()
+        batcher = MicroBatcher(echo_handler, max_batch_size=8, telemetry=telemetry)
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            results = list(pool.map(lambda i: batcher.submit(i).result(timeout=5), range(64)))
+        batcher.close()
+        assert results == [i * 2 for i in range(64)]
+        assert telemetry.counter("batch.requests") == 64
+
+    def test_handler_runs_on_single_worker_thread(self):
+        threads = set()
+
+        def handler(payloads):
+            threads.add(threading.current_thread().name)
+            return payloads
+
+        batcher = MicroBatcher(handler, max_batch_size=4)
+        futures = [batcher.submit(i) for i in range(12)]
+        [f.result(timeout=5) for f in futures]
+        batcher.close()
+        assert threads == {"microbatcher-worker"}
+
+
+class TestFailure:
+    def test_handler_exception_fails_the_whole_flush(self):
+        def handler(payloads):
+            raise RuntimeError("boom")
+
+        batcher = MicroBatcher(handler, autostart=False)
+        futures = [batcher.submit(i) for i in range(3)]
+        batcher.start()
+        for future in futures:
+            with pytest.raises(RuntimeError, match="boom"):
+                future.result(timeout=5)
+        batcher.close()
+
+    def test_wrong_result_count_fails_futures(self):
+        batcher = MicroBatcher(lambda payloads: [], autostart=False)
+        future = batcher.submit(1)
+        batcher.start()
+        with pytest.raises(RuntimeError, match="results"):
+            future.result(timeout=5)
+        batcher.close()
+
+    def test_exception_does_not_kill_worker(self):
+        calls = []
+
+        def handler(payloads):
+            calls.append(list(payloads))
+            if payloads[0] == "bad":
+                raise ValueError("bad payload")
+            return payloads
+
+        batcher = MicroBatcher(handler)
+        bad = batcher.submit("bad")
+        with pytest.raises(ValueError):
+            bad.result(timeout=5)
+        assert batcher.submit("good").result(timeout=5) == "good"
+        batcher.close()
+
+    def test_submit_after_close_raises(self):
+        batcher = MicroBatcher(echo_handler)
+        batcher.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            batcher.submit(1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_batch_size"):
+            MicroBatcher(echo_handler, max_batch_size=0)
+        with pytest.raises(ValueError, match="flush_interval"):
+            MicroBatcher(echo_handler, flush_interval=-1.0)

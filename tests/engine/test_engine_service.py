@@ -1,0 +1,126 @@
+"""Inference engine vs direct serving: identical results, telemetry.
+
+The acceptance contract: engine-backed serving returns the same
+recommendation lists as the direct path, from the same checkpoint.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine import EngineConfig, InferenceEngine
+from repro.persistence import save_model
+from repro.serving import RecommendationService
+
+
+@pytest.fixture(scope="module")
+def checkpoint(trained_tiny_model, tmp_path_factory):
+    model, __, __h = trained_tiny_model
+    path = tmp_path_factory.mktemp("engine") / "model.npz"
+    save_model(model, path)
+    return path
+
+
+@pytest.fixture(scope="module")
+def direct_service(checkpoint, tiny_split):
+    return RecommendationService.from_checkpoint(checkpoint, tiny_split.train)
+
+
+@pytest.fixture(scope="module")
+def engine_service(checkpoint, tiny_split):
+    service = RecommendationService.from_checkpoint(
+        checkpoint, tiny_split.train, use_engine=True
+    )
+    yield service
+    service.close()
+
+
+class TestDirectEngineParity:
+    def test_user_lists_identical(self, direct_service, engine_service):
+        for user in range(20):
+            direct = direct_service.recommend_for_user(user, k=7)
+            backed = engine_service.recommend_for_user(user, k=7)
+            assert direct.items == backed.items
+            assert np.allclose(direct.scores, backed.scores, rtol=1e-9)
+
+    def test_group_lists_identical(self, direct_service, engine_service):
+        for group in range(15):
+            direct = direct_service.recommend_for_group(group, k=5)
+            backed = engine_service.recommend_for_group(group, k=5)
+            assert direct.items == backed.items
+            assert direct.voting_weights == backed.voting_weights
+            assert np.allclose(direct.scores, backed.scores, rtol=1e-9)
+
+    def test_adhoc_lists_identical(self, direct_service, engine_service):
+        for members in ([0, 1, 2], [9, 3, 3, 1], [17], [5, 12, 8, 5, 12]):
+            direct = direct_service.recommend_for_members(members, k=5)
+            backed = engine_service.recommend_for_members(members, k=5)
+            assert direct.items == backed.items
+            assert direct.voting_weights == backed.voting_weights
+
+    def test_parity_under_tight_cache_budget(self, trained_tiny_model, tiny_split):
+        model, __, __h = trained_tiny_model
+        config = EngineConfig(score_block_rows=8, score_cache_budget_mb=8 * 50 * 8 / 2**20)
+        with InferenceEngine(model, tiny_split.train, config=config) as engine:
+            direct = RecommendationService(model=model, dataset=tiny_split.train)
+            for user in (0, 30, 59, 1, 31):  # hop across blocks to force evictions
+                items, __scores = engine.topk_user(user, k=6)
+                assert items.tolist() == direct.recommend_for_user(user, k=6).items
+            assert engine.telemetry.counter("score_cache.evict") > 0
+
+
+class TestEngineRequests:
+    def test_concurrent_mixed_futures(self, direct_service, trained_tiny_model, tiny_split):
+        model, __, __h = trained_tiny_model
+        with InferenceEngine(model, tiny_split.train, autostart=False) as engine:
+            user_futures = [engine.submit_user(u, k=4) for u in range(6)]
+            group_futures = [engine.submit_group(g, k=4) for g in range(4)]
+            adhoc_future = engine.submit_members([2, 4, 6], k=4)
+            engine.start()
+            for user, future in enumerate(user_futures):
+                items, __s = future.result(timeout=30)
+                assert items.tolist() == direct_service.recommend_for_user(user, k=4).items
+            for group, future in enumerate(group_futures):
+                items, __s = future.result(timeout=30)
+                assert items.tolist() == direct_service.recommend_for_group(group, k=4).items
+            items, __s = adhoc_future.result(timeout=30)
+            assert items.tolist() == direct_service.recommend_for_members([2, 4, 6], k=4).items
+            # Staged submissions coalesced into shared flushes.
+            snapshot = engine.telemetry_snapshot()
+            assert snapshot["batches"]["mean_occupancy"] > 1.0
+
+    def test_validation(self, trained_tiny_model, tiny_split):
+        model, __, __h = trained_tiny_model
+        with InferenceEngine(model, tiny_split.train) as engine:
+            with pytest.raises(IndexError):
+                engine.submit_user(10**6)
+            with pytest.raises(IndexError):
+                engine.submit_group(10**6)
+            with pytest.raises(IndexError):
+                engine.submit_members([0, 10**6])
+            with pytest.raises(ValueError, match="non-empty"):
+                engine.submit_members([])
+            with pytest.raises(ValueError, match="k must be"):
+                engine.submit_user(0, k=0)
+
+    def test_canonical_members(self):
+        assert InferenceEngine.canonical_members([5, 1, 5, 3]) == (1, 3, 5)
+
+
+class TestEngineTelemetry:
+    def test_snapshot_covers_stages_rates_occupancy(self, engine_service):
+        engine = engine_service.engine
+        engine_service.recommend_for_user(0, k=3)
+        engine_service.recommend_for_user(1, k=3)
+        engine_service.recommend_for_members([0, 1], k=3)
+        engine_service.recommend_for_members([0, 1], k=3)  # adhoc cache hit
+        snapshot = engine_service.telemetry_snapshot()
+        assert "engine.user_stage" in snapshot["stages"]
+        assert "engine.adhoc_stage" in snapshot["stages"]
+        assert "batch.execute" in snapshot["stages"]
+        assert snapshot["rates"]["score_cache.hit_rate"] > 0.0
+        assert snapshot["rates"]["adhoc_cache.hit_rate"] > 0.0
+        assert snapshot["batches"]["mean_occupancy"] >= 1.0
+        assert snapshot["counters"]["requests.user"] >= 2
+
+    def test_direct_mode_has_no_snapshot(self, direct_service):
+        assert direct_service.telemetry_snapshot() is None

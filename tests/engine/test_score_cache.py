@@ -1,0 +1,145 @@
+"""Score cache: exact equality with direct scoring, LRU residency."""
+
+import numpy as np
+import pytest
+
+from repro.engine.score_cache import LRUCache, ScoreCache
+from repro.engine.telemetry import Telemetry
+
+
+def toy_scorer(users, items):
+    """Cheap deterministic stand-in for ``model.score_user_items``."""
+    return (users * 31 + items * 7) % 13 + 0.5 * users
+
+
+class TestLRUCache:
+    def test_get_put_and_eviction_order(self):
+        cache = LRUCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)  # evicts "a"
+        assert cache.get("a") is None
+        assert cache.get("b") == 2
+        assert cache.get("c") == 3
+
+    def test_get_refreshes_recency(self):
+        cache = LRUCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # "b" is now stalest
+        cache.put("c", 3)
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+
+    def test_peek_does_not_refresh(self):
+        cache = LRUCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.peek("a")  # "a" stays stalest
+        cache.put("c", 3)
+        assert cache.get("a") is None
+        assert cache.get("b") == 2
+
+    def test_telemetry_counters(self):
+        telemetry = Telemetry()
+        cache = LRUCache(capacity=1, telemetry=telemetry, name="x")
+        cache.get("missing")
+        cache.put("a", 1)
+        cache.get("a")
+        cache.put("b", 2)  # evicts
+        assert telemetry.counter("x.hit") == 1
+        assert telemetry.counter("x.miss") == 1
+        assert telemetry.counter("x.evict") == 1
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError, match="capacity"):
+            LRUCache(capacity=0)
+
+
+class TestScoreCacheBlocks:
+    def test_rows_match_direct_scoring_exactly(self):
+        cache = ScoreCache(toy_scorer, num_users=10, num_items=7, block_rows=3)
+        items = np.arange(7, dtype=np.int64)
+        for user in range(10):
+            direct = toy_scorer(np.full(7, user, dtype=np.int64), items)
+            assert np.array_equal(cache.scores_for_user(user), direct)
+
+    def test_matrix_fetch_matches_rows(self):
+        cache = ScoreCache(toy_scorer, num_users=10, num_items=7, block_rows=4)
+        users = np.array([9, 0, 5, 0], dtype=np.int64)
+        matrix = cache.scores_for_users(users)
+        assert matrix.shape == (4, 7)
+        for row, user in zip(matrix, users):
+            assert np.array_equal(row, cache.scores_for_user(int(user)))
+
+    def test_lazy_materialization_hit_miss(self):
+        telemetry = Telemetry()
+        cache = ScoreCache(
+            toy_scorer, num_users=10, num_items=7, block_rows=5, telemetry=telemetry
+        )
+        assert cache.resident_blocks == 0
+        cache.scores_for_user(0)  # miss: materializes block 0
+        cache.scores_for_user(1)  # hit: same block
+        cache.scores_for_user(7)  # miss: block 1
+        assert cache.resident_blocks == 2
+        assert telemetry.counter("score_cache.miss") == 2
+        assert telemetry.counter("score_cache.hit") == 1
+
+    def test_budget_evicts_and_recomputes(self):
+        telemetry = Telemetry()
+        # One block = 5 rows * 7 items * 8 bytes = 280 bytes; budget of
+        # 300 keeps exactly one block resident.
+        cache = ScoreCache(
+            toy_scorer,
+            num_users=10,
+            num_items=7,
+            block_rows=5,
+            memory_budget_bytes=300,
+            telemetry=telemetry,
+        )
+        row_0 = cache.scores_for_user(0)
+        cache.scores_for_user(7)  # evicts block 0
+        assert cache.resident_blocks == 1
+        assert telemetry.counter("score_cache.evict") == 1
+        # Recomputed block is identical.
+        assert np.array_equal(cache.scores_for_user(0), row_0)
+        assert telemetry.counter("score_cache.miss") == 3
+
+    def test_warm_all_and_subset(self):
+        cache = ScoreCache(toy_scorer, num_users=10, num_items=7, block_rows=4)
+        cache.warm(np.array([0, 9]))
+        assert cache.resident_blocks == 2
+        cache.warm()
+        assert cache.resident_blocks == cache.num_blocks == 3
+
+    def test_out_of_range_user(self):
+        cache = ScoreCache(toy_scorer, num_users=4, num_items=3)
+        with pytest.raises(IndexError):
+            cache.scores_for_user(4)
+        with pytest.raises(IndexError):
+            cache.scores_for_users(np.array([0, 7]))
+
+    def test_rejects_bad_block_rows(self):
+        with pytest.raises(ValueError, match="block_rows"):
+            ScoreCache(toy_scorer, num_users=4, num_items=3, block_rows=0)
+
+
+class TestScoreCacheAgainstModel:
+    """The contract the engine relies on: cache rows are bit-identical
+    to the canonical direct full-row scoring call on a real model."""
+
+    def test_exact_equality_with_trained_model(self, trained_tiny_model, tiny_split):
+        model, __, __h = trained_tiny_model
+        train = tiny_split.train
+        cache = ScoreCache(
+            model.score_user_items,
+            num_users=train.num_users,
+            num_items=train.num_items,
+            block_rows=16,
+        )
+        items = np.arange(train.num_items, dtype=np.int64)
+        for user in (0, 1, 15, 16, train.num_users - 1):
+            direct = model.score_user_items(
+                np.full(train.num_items, user, dtype=np.int64), items
+            )
+            assert np.array_equal(cache.scores_for_user(user), direct)

@@ -1,0 +1,97 @@
+"""Telemetry: latency stages, counters, derived rates, occupancy."""
+
+import json
+import threading
+import time
+
+from repro.engine.telemetry import Telemetry
+
+
+class TestStages:
+    def test_latency_summary_fields(self):
+        telemetry = Telemetry()
+        for ms in (1, 2, 3, 4, 100):
+            telemetry.record_latency("stage", ms / 1000.0)
+        summary = telemetry.snapshot()["stages"]["stage"]
+        assert summary["count"] == 5
+        assert summary["mean_ms"] == 22.0
+        assert summary["p50_ms"] == 3.0
+        assert summary["max_ms"] == 100.0
+        assert summary["p99_ms"] == 100.0
+
+    def test_time_context_manager(self):
+        telemetry = Telemetry()
+        with telemetry.time("sleepy"):
+            time.sleep(0.01)
+        summary = telemetry.snapshot()["stages"]["sleepy"]
+        assert summary["count"] == 1
+        assert summary["max_ms"] >= 10.0
+
+    def test_sample_cap_keeps_exact_counts(self):
+        telemetry = Telemetry(max_samples=4)
+        for index in range(10):
+            telemetry.record_latency("stage", float(index))
+        summary = telemetry.snapshot()["stages"]["stage"]
+        assert summary["count"] == 10           # exact over full history
+        assert summary["p50_ms"] >= 6000.0      # percentiles over recent window
+
+
+class TestCountersAndRates:
+    def test_increment(self):
+        telemetry = Telemetry()
+        telemetry.increment("requests", 3)
+        telemetry.increment("requests")
+        assert telemetry.counter("requests") == 4
+        assert telemetry.counter("unknown") == 0
+
+    def test_hit_rate_derivation(self):
+        telemetry = Telemetry()
+        telemetry.increment("cache.hit", 3)
+        telemetry.increment("cache.miss", 1)
+        snapshot = telemetry.snapshot()
+        assert snapshot["rates"]["cache.hit_rate"] == 0.75
+
+    def test_no_rate_without_traffic(self):
+        telemetry = Telemetry()
+        telemetry.increment("other", 5)
+        assert telemetry.snapshot()["rates"] == {}
+
+    def test_thread_safety(self):
+        telemetry = Telemetry()
+
+        def spin():
+            for __ in range(1000):
+                telemetry.increment("n")
+
+        threads = [threading.Thread(target=spin) for __ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert telemetry.counter("n") == 8000
+
+
+class TestBatchesAndExport:
+    def test_batch_occupancy(self):
+        telemetry = Telemetry()
+        for size in (1, 3, 8):
+            telemetry.record_batch(size)
+        batches = telemetry.snapshot()["batches"]
+        assert batches["count"] == 3
+        assert batches["mean_occupancy"] == 4.0
+        assert batches["max_occupancy"] == 8.0
+
+    def test_empty_snapshot_is_safe(self):
+        snapshot = Telemetry().snapshot()
+        assert snapshot["stages"] == {}
+        assert snapshot["batches"]["count"] == 0
+        assert snapshot["batches"]["mean_occupancy"] == 0.0
+
+    def test_json_roundtrip(self):
+        telemetry = Telemetry()
+        telemetry.increment("cache.hit")
+        telemetry.record_latency("stage", 0.001)
+        telemetry.record_batch(4)
+        parsed = json.loads(telemetry.to_json())
+        assert parsed["counters"]["cache.hit"] == 1
+        assert "stage" in parsed["stages"]

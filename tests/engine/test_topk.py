@@ -1,0 +1,86 @@
+"""Vectorized Top-K kernel: parity with a stable descending sort."""
+
+import numpy as np
+import pytest
+
+from repro.engine.topk import batch_topk, exclusion_mask, topk_indices
+
+
+def reference_topk(scores, k, exclude_mask=None):
+    """The seed's semantics: stable argsort over the candidate pool."""
+    indices = np.arange(scores.size)
+    if exclude_mask is not None:
+        indices = indices[~exclude_mask]
+    order = np.argsort(-scores[indices], kind="stable")
+    return indices[order[:k]]
+
+
+class TestTopkIndices:
+    def test_matches_reference_with_heavy_ties(self):
+        rng = np.random.default_rng(0)
+        for __ in range(500):
+            size = int(rng.integers(1, 60))
+            # Few distinct values => lots of boundary ties.
+            scores = rng.integers(0, 6, size=size).astype(float)
+            k = int(rng.integers(1, size + 3))
+            mask = None
+            if rng.random() < 0.5:
+                mask = rng.random(size) < 0.3
+            expected = reference_topk(scores, k, mask)
+            got = topk_indices(scores, k, mask)
+            assert np.array_equal(expected, got), (scores, k, mask)
+
+    def test_descending_with_index_tiebreak(self):
+        scores = np.array([1.0, 3.0, 3.0, 2.0, 3.0])
+        assert topk_indices(scores, 4).tolist() == [1, 2, 4, 3]
+
+    def test_excluded_never_returned(self):
+        scores = np.array([10.0, 9.0, 8.0, 7.0])
+        mask = np.array([True, False, True, False])
+        assert topk_indices(scores, 4, mask).tolist() == [1, 3]
+
+    def test_k_larger_than_pool(self):
+        scores = np.array([1.0, 2.0])
+        assert topk_indices(scores, 10).tolist() == [1, 0]
+
+    def test_all_excluded(self):
+        scores = np.array([1.0, 2.0])
+        mask = np.array([True, True])
+        assert topk_indices(scores, 1, mask).size == 0
+
+    def test_empty_and_nonpositive_k(self):
+        assert topk_indices(np.empty(0), 3).size == 0
+        assert topk_indices(np.array([1.0]), 0).size == 0
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError, match="1-D"):
+            topk_indices(np.zeros((2, 2)), 1)
+        with pytest.raises(ValueError, match="exclude_mask"):
+            topk_indices(np.zeros(3), 1, np.zeros(4, dtype=bool))
+
+    def test_returns_int64(self):
+        assert topk_indices(np.array([1.0, 2.0]), 1).dtype == np.int64
+
+
+class TestBatchTopk:
+    def test_rowwise_parity(self):
+        rng = np.random.default_rng(1)
+        matrix = rng.integers(0, 4, size=(6, 20)).astype(float)
+        masks = [rng.random(20) < 0.3 for __ in range(6)]
+        rows = batch_topk(matrix, 5, masks)
+        for row, mask, got in zip(matrix, masks, rows):
+            assert np.array_equal(got, topk_indices(row, 5, mask))
+
+    def test_rejects_non_matrix(self):
+        with pytest.raises(ValueError, match="2-D"):
+            batch_topk(np.zeros(3), 1)
+
+
+class TestExclusionMask:
+    def test_builds_mask(self):
+        mask = exclusion_mask(5, {1, 3})
+        assert mask.tolist() == [False, True, False, True, False]
+
+    def test_empty_returns_none(self):
+        assert exclusion_mask(5, set()) is None
+        assert exclusion_mask(5, None) is None

@@ -33,6 +33,12 @@ class TestUserRequests:
         with pytest.raises(IndexError):
             service.recommend_for_user(10**6)
 
+    def test_rejects_k_below_one(self, service):
+        with pytest.raises(ValueError, match="k must be"):
+            service.recommend_for_user(0, k=0)
+        with pytest.raises(ValueError, match="k must be"):
+            service.recommend_for_user(0, k=-3)
+
 
 class TestGroupRequests:
     def test_top_k_with_explanation(self, service, tiny_split):
@@ -46,6 +52,10 @@ class TestGroupRequests:
         with pytest.raises(IndexError):
             service.recommend_for_group(10**6)
 
+    def test_rejects_k_below_one(self, service):
+        with pytest.raises(ValueError, match="k must be"):
+            service.recommend_for_group(0, k=0)
+
 
 class TestAdhocRequests:
     def test_members_request(self, service):
@@ -57,6 +67,25 @@ class TestAdhocRequests:
     def test_member_validation(self, service):
         with pytest.raises(IndexError):
             service.recommend_for_members([0, 10**6])
+
+    def test_rejects_empty_members(self, service):
+        with pytest.raises(ValueError, match="non-empty"):
+            service.recommend_for_members([])
+
+    def test_rejects_k_below_one(self, service):
+        with pytest.raises(ValueError, match="k must be"):
+            service.recommend_for_members([0, 1], k=0)
+
+    def test_duplicates_collapse_to_canonical_order(self, service):
+        """Unsorted, duplicated member lists: one vote per unique member,
+        voting weights keyed by the canonical (ascending unique) order."""
+        messy = service.recommend_for_members([3, 1, 3, 2], k=4)
+        clean = service.recommend_for_members([1, 2, 3], k=4)
+        assert messy.items == clean.items
+        assert messy.scores == clean.scores
+        assert set(messy.voting_weights) == {1, 2, 3}
+        assert messy.voting_weights == clean.voting_weights
+        assert sum(messy.voting_weights.values()) == pytest.approx(1.0, abs=1e-6)
 
 
 class TestCheckpointConstruction:
