@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Resume smoke test: SIGKILL a training run mid-schedule, then assert
+# that --resume completes it and the final checkpoint loads.
+#
+# Usage: PYTHONPATH=src scripts/ci_resume_smoke.sh [workdir]
+# Env:   SMOKE_KILL_AFTER  seconds before the SIGKILL (default 6)
+
+set -euo pipefail
+
+if [ $# -ge 1 ]; then
+  workdir="$1"
+  mkdir -p "$workdir"
+else
+  workdir="$(mktemp -d)"
+  trap 'rm -rf "$workdir"' EXIT
+fi
+
+export PYTHONPATH="${PYTHONPATH:-src}"
+
+train_args=(
+  --data "$workdir/world.npz"
+  --out "$workdir/model.npz"
+  --dim 16
+  --user-epochs 30
+  --group-epochs 40
+  --checkpoint-dir "$workdir/ckpts"
+)
+
+python -m repro.cli generate --preset yelp --scale 0.01 --seed 3 \
+  --out "$workdir/world.npz"
+
+echo "--- starting training, SIGKILL in ${SMOKE_KILL_AFTER:-6}s"
+set +e
+timeout --signal=KILL "${SMOKE_KILL_AFTER:-6}" \
+  python -m repro.cli train "${train_args[@]}"
+status=$?
+set -e
+if [ "$status" -eq 0 ]; then
+  echo "WARNING: run finished before the kill; resume will be a no-op"
+else
+  echo "killed with status $status (expected 137)"
+fi
+
+count=$(ls "$workdir/ckpts"/ckpt-*.npz 2>/dev/null | wc -l)
+echo "--- $count checkpoint(s) on disk, resuming"
+[ "$count" -ge 1 ] || { echo "FAIL: no checkpoint written before the kill"; exit 1; }
+
+python -m repro.cli train "${train_args[@]}" --resume
+
+python - "$workdir/model.npz" <<'EOF'
+import sys
+from repro.persistence import load_model
+model = load_model(sys.argv[1])
+print(f"final checkpoint ok: {model.num_users} users, {model.num_items} items")
+EOF
+echo "--- resume smoke passed"

@@ -4,6 +4,8 @@ Examples::
 
     python -m repro.cli generate --preset yelp --scale 0.01 --out world.npz
     python -m repro.cli train --data world.npz --out model.npz --group-epochs 30
+    python -m repro.cli train --data world.npz --out model.npz \
+        --checkpoint-dir ckpts --resume
     python -m repro.cli evaluate --data world.npz --model model.npz --task group
     python -m repro.cli recommend --data world.npz --model model.npz --group 3 -k 5
     python -m repro.cli serve-bench --data world.npz --model model.npz --requests 200
@@ -42,6 +44,9 @@ def _command_generate(args: argparse.Namespace) -> int:
 
 
 def _command_train(args: argparse.Namespace) -> int:
+    if args.resume and not args.checkpoint_dir:
+        print("error: --resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
     dataset = load_dataset(args.data)
     split = split_interactions(dataset, rng=args.seed)
     config = GroupSAConfig(
@@ -56,7 +61,15 @@ def _command_train(args: argparse.Namespace) -> int:
         learning_rate=args.lr,
         seed=args.seed,
     )
-    model, __, history = train_groupsa(split, config, training)
+    model, __, history = train_groupsa(
+        split,
+        config,
+        training,
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
+        checkpoint_every=args.checkpoint_every,
+        keep_last=args.keep_last,
+    )
     save_model(model, args.out)
     print(
         f"wrote {args.out} "
@@ -175,6 +188,28 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--group-epochs", type=int, default=30)
     train.add_argument("--lr", type=float, default=0.01)
     train.add_argument("--seed", type=int, default=0)
+    train.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="write resumable epoch checkpoints into this directory",
+    )
+    train.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue from the newest checkpoint in --checkpoint-dir",
+    )
+    train.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=1,
+        help="checkpoint every N epochs (stage boundaries always checkpoint)",
+    )
+    train.add_argument(
+        "--keep-last",
+        type=int,
+        default=3,
+        help="retain the newest N checkpoints (best-by-loss kept separately)",
+    )
     train.set_defaults(handler=_command_train)
 
     evaluate_cmd = commands.add_parser("evaluate", help="evaluate a checkpoint")

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Any, Dict, Iterable
 
 import numpy as np
 
@@ -31,6 +31,22 @@ class Adam(Optimizer):
         self._step_count = 0
         self._first_moment = [np.zeros_like(p.data) for p in self.parameters]
         self._second_moment = [np.zeros_like(p.data) for p in self.parameters]
+
+    def state_dict(self) -> Dict[str, Any]:
+        state = super().state_dict()
+        state["scalars"]["step_count"] = self._step_count
+        for index, (first, second) in enumerate(
+            zip(self._first_moment, self._second_moment)
+        ):
+            state["arrays"][f"first_moment/{index}"] = first.copy()
+            state["arrays"][f"second_moment/{index}"] = second.copy()
+        return state
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        super().load_state_dict(state)
+        self._step_count = int(state["scalars"]["step_count"])
+        self._load_slot_arrays(self._first_moment, state["arrays"], "first_moment")
+        self._load_slot_arrays(self._second_moment, state["arrays"], "second_moment")
 
     def step(self) -> None:
         self._step_count += 1

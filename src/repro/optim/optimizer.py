@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
-from typing import Iterable, List
+from typing import Any, Dict, Iterable, List, Sequence
+
+import numpy as np
 
 from repro.nn.module import Parameter
 
@@ -32,6 +34,53 @@ class Optimizer:
 
     def step(self) -> None:
         raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Serialization (checkpoint/resume support)
+    # ------------------------------------------------------------------
+
+    @property
+    def kind(self) -> str:
+        """Stable identifier stored in checkpoints (``adam``, ``sgd``)."""
+        return type(self).__name__.lower()
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Snapshot of the optimizer's mutable state.
+
+        Layout: ``{"kind": str, "scalars": {name: number},
+        "arrays": {name: ndarray}}`` — scalars serialize as JSON and
+        arrays as native ``.npz`` entries in a checkpoint.  Subclasses
+        extend ``scalars``/``arrays``; hyper-parameters (lr, betas, …)
+        are construction-time configuration and are *not* captured.
+        """
+        return {"kind": self.kind, "scalars": {}, "arrays": {}}
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Restore a snapshot produced by :meth:`state_dict`."""
+        kind = state.get("kind")
+        if kind != self.kind:
+            raise ValueError(
+                f"optimizer state was written by '{kind}', not '{self.kind}'"
+            )
+
+    def _load_slot_arrays(
+        self,
+        slots: Sequence[np.ndarray],
+        arrays: Dict[str, np.ndarray],
+        name: str,
+    ) -> None:
+        """Copy per-parameter state arrays ``name/<i>`` into ``slots``."""
+        for index, slot in enumerate(slots):
+            key = f"{name}/{index}"
+            if key not in arrays:
+                raise KeyError(f"optimizer state is missing '{key}'")
+            value = np.asarray(arrays[key])
+            if value.shape != slot.shape:
+                raise ValueError(
+                    f"shape mismatch for optimizer state '{key}': "
+                    f"{slot.shape} vs {value.shape}"
+                )
+            slot[...] = value
 
     def _decayed_grad(self, parameter: Parameter):
         grad = parameter.grad

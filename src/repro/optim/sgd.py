@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Any, Dict, Iterable
 
 import numpy as np
 
@@ -26,6 +26,16 @@ class SGD(Optimizer):
             raise ValueError("momentum must be in [0, 1)")
         self.momentum = momentum
         self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def state_dict(self) -> Dict[str, Any]:
+        state = super().state_dict()
+        for index, velocity in enumerate(self._velocity):
+            state["arrays"][f"velocity/{index}"] = velocity.copy()
+        return state
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        super().load_state_dict(state)
+        self._load_slot_arrays(self._velocity, state["arrays"], "velocity")
 
     def step(self) -> None:
         for parameter, velocity in zip(self.parameters, self._velocity):

@@ -4,14 +4,30 @@ A checkpoint bundles the weights, the model configuration and the
 Top-H neighbour tables into one ``.npz`` archive, so a trained model
 can be reloaded for serving without re-deriving anything from the
 training split.
+
+Format v2 optionally extends the archive with *training* state — the
+optimizer moments, the trainer's RNG bit-generator state, epoch
+counters and the two-stage schedule position — so an interrupted run
+can resume and produce bit-identical results (see
+:mod:`repro.training.checkpointing`).  v1 weight-only checkpoints
+remain loadable.
+
+All writes are atomic: the archive is serialized to a temporary file
+in the target directory, fsynced, and moved into place with
+``os.replace``.  A crash mid-write can never corrupt an existing
+checkpoint at the target path.
 """
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import json
+import os
+import tempfile
+import warnings
 from pathlib import Path
-from typing import Tuple, Union
+from typing import Any, Dict, Optional, Tuple, Union
 
 import numpy as np
 
@@ -21,11 +37,104 @@ from repro.data.loaders import TopNeighbours
 
 PathLike = Union[str, Path]
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+#: Versions this reader understands.  v1 is the original weight-only
+#: layout; v2 adds the optional ``optim/*`` + ``__train_meta__`` entries.
+_COMPAT_VERSIONS = frozenset({1, 2})
 
 
-def save_model(model: GroupSA, path: PathLike) -> None:
-    """Write a full checkpoint of ``model`` to ``path`` (``.npz``)."""
+@dataclasses.dataclass(frozen=True)
+class TrainingState:
+    """Training-time state carried by a v2 checkpoint.
+
+    ``trainer`` is the :meth:`GroupSATrainer.state_dict` payload
+    (optimizer moments, RNG states, epoch counters, history);
+    ``schedule`` is the two-stage schedule position recorded by
+    :func:`repro.training.two_stage.fit_groupsa`; ``metric`` is the
+    retention metric the writer attached (lower-is-better group loss by
+    default).  Any of them may be ``None`` for weight-only checkpoints.
+    """
+
+    trainer: Optional[Dict[str, Any]] = None
+    schedule: Optional[Dict[str, Any]] = None
+    metric: Optional[float] = None
+
+
+def _normalize_path(path: PathLike) -> Path:
+    """Resolve the on-disk archive name for ``path``.
+
+    ``np.savez_compressed`` silently appends ``.npz`` to suffix-less
+    names, which historically made ``save_model(m, "ckpt")`` /
+    ``load_model("ckpt")`` disagree about the file name.  Both sides now
+    normalize through this helper so they always address the same file.
+    """
+    path = Path(path)
+    if not path.name.endswith(".npz"):
+        path = path.with_name(path.name + ".npz")
+    return path
+
+
+def _atomic_savez(path: Path, payload: Dict[str, np.ndarray]) -> None:
+    """Write an ``.npz`` archive atomically (tmp + fsync + ``os.replace``)."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            np.savez_compressed(handle, **payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp_name)
+        raise
+    # Make the rename itself durable (best effort; not all filesystems
+    # support fsync on directories).
+    with contextlib.suppress(OSError):
+        dir_fd = os.open(path.parent, os.O_RDONLY)
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
+
+
+def _decode_config(raw_json: str) -> GroupSAConfig:
+    """Parse a serialized :class:`GroupSAConfig`, tolerating newer writers.
+
+    Unknown keys (fields added by a later version of the code) are
+    dropped with a warning instead of crashing ``GroupSAConfig(**raw)``
+    with a ``TypeError``, so older readers stay forward compatible.
+    """
+    raw = json.loads(raw_json)
+    known = {field.name for field in dataclasses.fields(GroupSAConfig)}
+    unknown = sorted(set(raw) - known)
+    if unknown:
+        warnings.warn(
+            f"checkpoint config has unknown keys {unknown}; "
+            "ignoring them (written by a newer version?)",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        raw = {key: value for key, value in raw.items() if key in known}
+    for key in ("prediction_hidden", "fusion_hidden"):
+        if key in raw:
+            raw[key] = tuple(raw[key])
+    return GroupSAConfig(**raw)
+
+
+def _check_version(archive) -> int:
+    version = int(archive["__version__"])
+    if version not in _COMPAT_VERSIONS:
+        supported = sorted(_COMPAT_VERSIONS)
+        raise ValueError(
+            f"unsupported checkpoint version {version} (supported: {supported})"
+        )
+    return version
+
+
+def _model_payload(model: GroupSA) -> Dict[str, np.ndarray]:
     payload = {
         "__version__": np.array(_FORMAT_VERSION),
         "__config__": np.array(json.dumps(dataclasses.asdict(model.config))),
@@ -40,25 +149,68 @@ def save_model(model: GroupSA, path: PathLike) -> None:
         payload["tables/item_mask"] = tables.item_mask
         payload["tables/friends"] = tables.friends
         payload["tables/friend_mask"] = tables.friend_mask
-    np.savez_compressed(Path(path), **payload)
+    return payload
 
 
-def load_model(path: PathLike) -> GroupSA:
-    """Reconstruct a GroupSA model from a checkpoint written by
-    :func:`save_model`."""
-    with np.load(Path(path), allow_pickle=False) as archive:
-        version = int(archive["__version__"])
-        if version != _FORMAT_VERSION:
+def save_checkpoint(
+    model: GroupSA,
+    path: PathLike,
+    *,
+    trainer_state: Optional[Dict[str, Any]] = None,
+    schedule: Optional[Dict[str, Any]] = None,
+    metric: Optional[float] = None,
+) -> Path:
+    """Atomically write a v2 checkpoint; returns the normalized path.
+
+    With only ``model`` this is a weight-only checkpoint (what
+    :func:`save_model` writes).  ``trainer_state`` is the payload of
+    :meth:`GroupSATrainer.state_dict`; its optimizer arrays are stored
+    as native ``.npz`` entries and everything else as JSON metadata.
+    """
+    path = _normalize_path(path)
+    payload = _model_payload(model)
+    meta: Dict[str, Any] = {}
+    if trainer_state is not None:
+        optimizer = trainer_state["optimizer"]
+        for key, array in optimizer["arrays"].items():
+            payload[f"optim/{key}"] = array
+        meta["trainer"] = {
+            **{k: v for k, v in trainer_state.items() if k != "optimizer"},
+            "optimizer": {k: v for k, v in optimizer.items() if k != "arrays"},
+        }
+    if schedule is not None:
+        meta["schedule"] = schedule
+    if metric is not None:
+        meta["metric"] = float(metric)
+    if meta:
+        payload["__train_meta__"] = np.array(json.dumps(meta))
+    _atomic_savez(path, payload)
+    return path
+
+
+def load_checkpoint(
+    path: PathLike, model: Optional[GroupSA] = None
+) -> Tuple[GroupSA, Optional[TrainingState]]:
+    """Load a checkpoint; returns ``(model, training_state)``.
+
+    Pass ``model`` to load the weights into an existing instance (the
+    resume path) instead of constructing a fresh one from the stored
+    config.  ``training_state`` is ``None`` for weight-only checkpoints
+    (including every v1 archive).
+    """
+    path = _normalize_path(path)
+    with np.load(path, allow_pickle=False) as archive:
+        _check_version(archive)
+        config = _decode_config(str(archive["__config__"]))
+        num_users = int(archive["__num_users__"])
+        num_items = int(archive["__num_items__"])
+        if model is None:
+            model = GroupSA(num_users, num_items, config)
+        elif model.num_users != num_users or model.num_items != num_items:
             raise ValueError(
-                f"unsupported checkpoint version {version} (expected {_FORMAT_VERSION})"
+                f"checkpoint holds a {num_users}x{num_items} world but the "
+                f"model is {model.num_users}x{model.num_items}"
             )
-        raw_config = json.loads(str(archive["__config__"]))
-        raw_config["prediction_hidden"] = tuple(raw_config["prediction_hidden"])
-        raw_config["fusion_hidden"] = tuple(raw_config["fusion_hidden"])
-        config = GroupSAConfig(**raw_config)
-        model = GroupSA(
-            int(archive["__num_users__"]), int(archive["__num_items__"]), config
-        )
         state = {
             name[len("param/") :]: archive[name]
             for name in archive.files
@@ -74,6 +226,33 @@ def load_model(path: PathLike) -> GroupSA:
                     friend_mask=archive["tables/friend_mask"],
                 )
             )
+        training_state = None
+        if "__train_meta__" in archive.files:
+            meta = json.loads(str(archive["__train_meta__"]))
+            trainer = meta.get("trainer")
+            if trainer is not None:
+                trainer["optimizer"]["arrays"] = {
+                    name[len("optim/") :]: archive[name]
+                    for name in archive.files
+                    if name.startswith("optim/")
+                }
+            training_state = TrainingState(
+                trainer=trainer,
+                schedule=meta.get("schedule"),
+                metric=meta.get("metric"),
+            )
+    return model, training_state
+
+
+def save_model(model: GroupSA, path: PathLike) -> None:
+    """Write a weight-only checkpoint of ``model`` to ``path`` (``.npz``)."""
+    save_checkpoint(model, path)
+
+
+def load_model(path: PathLike) -> GroupSA:
+    """Reconstruct a GroupSA model from a checkpoint written by
+    :func:`save_model` or :func:`save_checkpoint` (v1 or v2)."""
+    model, __ = load_checkpoint(path)
     return model
 
 
@@ -88,12 +267,23 @@ def roundtrip_equal(model: GroupSA, other: GroupSA) -> bool:
 
 def checkpoint_info(path: PathLike) -> Tuple[GroupSAConfig, int, int]:
     """Read (config, num_users, num_items) without building the model."""
-    with np.load(Path(path), allow_pickle=False) as archive:
-        raw_config = json.loads(str(archive["__config__"]))
-        raw_config["prediction_hidden"] = tuple(raw_config["prediction_hidden"])
-        raw_config["fusion_hidden"] = tuple(raw_config["fusion_hidden"])
+    with np.load(_normalize_path(path), allow_pickle=False) as archive:
+        _check_version(archive)
         return (
-            GroupSAConfig(**raw_config),
+            _decode_config(str(archive["__config__"])),
             int(archive["__num_users__"]),
             int(archive["__num_items__"]),
         )
+
+
+def checkpoint_metadata(path: PathLike) -> Dict[str, Any]:
+    """Read the JSON training metadata (schedule, metric) of a checkpoint.
+
+    Returns ``{}`` for weight-only checkpoints; the optimizer arrays are
+    not materialized (use :func:`load_checkpoint` for those).
+    """
+    with np.load(_normalize_path(path), allow_pickle=False) as archive:
+        _check_version(archive)
+        if "__train_meta__" not in archive.files:
+            return {}
+        return json.loads(str(archive["__train_meta__"]))

@@ -2,6 +2,7 @@
 
 from repro.training.bpr import bpr_accuracy, bpr_loss
 from repro.training.callbacks import EpochLog, History, print_progress
+from repro.training.checkpointing import CheckpointManager, SchedulePosition
 from repro.training.trainer import GroupSATrainer, TrainingConfig
 from repro.training.two_stage import build_model, fit_groupsa, train_groupsa
 
@@ -11,6 +12,8 @@ __all__ = [
     "EpochLog",
     "History",
     "print_progress",
+    "CheckpointManager",
+    "SchedulePosition",
     "GroupSATrainer",
     "TrainingConfig",
     "build_model",

@@ -2,8 +2,10 @@
 
 from __future__ import annotations
 
+import copy
+import dataclasses
 from dataclasses import dataclass
-from typing import Optional
+from typing import Any, Dict, Optional
 
 import numpy as np
 
@@ -11,6 +13,7 @@ from repro.core.groupsa import GroupSA
 from repro.data.loaders import GroupBatcher
 from repro.data.sampling import NegativeSampler, bpr_triple_batches
 from repro.data.splits import DataSplit
+from repro.nn.dropout import Dropout
 from repro.optim import Adam, SGD, Optimizer
 from repro.training.bpr import bpr_accuracy, bpr_loss
 from repro.training.callbacks import EpochLog, History, ProgressCallback
@@ -95,6 +98,53 @@ class GroupSATrainer:
         self._epoch_counter = {"user": 0, "group": 0}
 
     # ------------------------------------------------------------------
+    # Serialization (checkpoint/resume support)
+    # ------------------------------------------------------------------
+
+    def _dropout_modules(self) -> list:
+        return [m for m in self.model.modules() if isinstance(m, Dropout)]
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Snapshot everything (besides the model weights) needed to
+        resume training bit-exactly: optimizer state, the trainer's RNG
+        bit-generator state, the dropout generators inside the model,
+        epoch counters and the recorded history.
+
+        The negative samplers and the batch shuffler draw from
+        ``self._rng``, so one bit-generator state covers all sampling
+        randomness; dropout layers hold their own generators and are
+        captured per module in traversal order.
+        """
+        return {
+            "optimizer": self.optimizer.state_dict(),
+            "rng": copy.deepcopy(self._rng.bit_generator.state),
+            "model_rng": [
+                copy.deepcopy(module._rng.bit_generator.state)
+                for module in self._dropout_modules()
+            ],
+            "epoch_counters": dict(self._epoch_counter),
+            "history": [dataclasses.asdict(log) for log in self.history.epochs],
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Restore a snapshot produced by :meth:`state_dict`."""
+        self.optimizer.load_state_dict(state["optimizer"])
+        self._rng.bit_generator.state = state["rng"]
+        dropouts = self._dropout_modules()
+        model_rng = state.get("model_rng", [])
+        if len(model_rng) != len(dropouts):
+            raise ValueError(
+                f"checkpoint captured {len(model_rng)} dropout generators "
+                f"but the model has {len(dropouts)}"
+            )
+        for module, rng_state in zip(dropouts, model_rng):
+            module._rng.bit_generator.state = rng_state
+        self._epoch_counter = {
+            task: int(count) for task, count in state["epoch_counters"].items()
+        }
+        self.history = History(epochs=[EpochLog(**log) for log in state["history"]])
+
+    # ------------------------------------------------------------------
 
     def train_user_task(
         self, epochs: Optional[int] = None, callback: Optional[ProgressCallback] = None
@@ -123,6 +173,11 @@ class GroupSATrainer:
     # ------------------------------------------------------------------
 
     def _run_epoch(self, task: str, edges: np.ndarray, step) -> EpochLog:
+        if len(edges) == 0:
+            raise ValueError(
+                f"no training edges for task '{task}'; refusing to log a "
+                "zero-loss epoch over an empty dataset"
+            )
         sampler = self.user_sampler if task == "user" else self.group_sampler
         self._epoch_counter[task] += 1
         epoch = self._epoch_counter[task]
@@ -143,8 +198,8 @@ class GroupSATrainer:
         log = EpochLog(
             task=task,
             epoch=epoch,
-            loss=total_loss / max(batches, 1),
-            pairwise_accuracy=total_accuracy / max(batches, 1),
+            loss=total_loss / batches,
+            pairwise_accuracy=total_accuracy / batches,
         )
         self.history.record(log)
         return log

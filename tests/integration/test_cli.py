@@ -97,3 +97,44 @@ class TestCli:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestCliCheckpointing:
+    def test_train_writes_and_resumes_checkpoints(self, workspace, tmp_path):
+        data, __ = workspace
+        ckpt_dir = tmp_path / "ckpts"
+        out = tmp_path / "model.npz"
+        train_args = [
+            "train",
+            "--data", str(data),
+            "--out", str(out),
+            "--dim", "12",
+            "--user-epochs", "2",
+            "--group-epochs", "2",
+            "--checkpoint-dir", str(ckpt_dir),
+            "--keep-last", "2",
+        ]
+        assert main(train_args) == 0
+        checkpoints = sorted(p.name for p in ckpt_dir.glob("ckpt-*.npz"))
+        assert len(checkpoints) == 2  # keep-last pruning applied
+        assert (ckpt_dir / "best.npz").exists()
+
+        # A completed run resumes as a no-op and still writes --out.
+        out.unlink()
+        assert main(train_args + ["--resume"]) == 0
+        assert out.exists()
+        from repro.persistence import load_model
+
+        assert load_model(out).num_users > 0
+
+    def test_resume_requires_checkpoint_dir(self, workspace, tmp_path):
+        data, __ = workspace
+        code = main(
+            [
+                "train",
+                "--data", str(data),
+                "--out", str(tmp_path / "model.npz"),
+                "--resume",
+            ]
+        )
+        assert code == 2

@@ -1,0 +1,87 @@
+"""Optimizer state_dict/load_state_dict: round-trips and error paths."""
+
+import numpy as np
+import pytest
+
+from repro.nn.module import Parameter
+from repro.optim import Adam, SGD
+
+
+def quadratic_loss(parameter: Parameter, target: float):
+    return ((parameter - target) ** 2).sum()
+
+
+def _run_steps(parameter, optimizer, steps, target=0.0):
+    for __ in range(steps):
+        optimizer.zero_grad()
+        quadratic_loss(parameter, target).backward()
+        optimizer.step()
+
+
+def _make(optimizer_cls, value=5.0, **kwargs):
+    parameter = Parameter(np.array([value, -value]))
+    return parameter, optimizer_cls([parameter], **kwargs)
+
+
+@pytest.mark.parametrize(
+    "optimizer_cls, kwargs",
+    [
+        (Adam, {"lr": 0.05}),
+        (SGD, {"lr": 0.05, "momentum": 0.9}),
+        (SGD, {"lr": 0.05}),
+    ],
+)
+class TestStateRoundtrip:
+    def test_resumed_steps_match_uninterrupted(self, optimizer_cls, kwargs):
+        straight_param, straight_opt = _make(optimizer_cls, **kwargs)
+        _run_steps(straight_param, straight_opt, 10)
+
+        resumed_param, resumed_opt = _make(optimizer_cls, **kwargs)
+        _run_steps(resumed_param, resumed_opt, 4)
+        snapshot = resumed_opt.state_dict()
+        weights = resumed_param.data.copy()
+
+        # "Restart": fresh parameter + optimizer restored from snapshot.
+        restored_param = Parameter(weights)
+        restored_opt = optimizer_cls([restored_param], **kwargs)
+        restored_opt.load_state_dict(snapshot)
+        _run_steps(restored_param, restored_opt, 6)
+        np.testing.assert_array_equal(restored_param.data, straight_param.data)
+
+    def test_snapshot_is_a_copy(self, optimizer_cls, kwargs):
+        parameter, optimizer = _make(optimizer_cls, **kwargs)
+        _run_steps(parameter, optimizer, 2)
+        snapshot = optimizer.state_dict()
+        frozen = {key: value.copy() for key, value in snapshot["arrays"].items()}
+        _run_steps(parameter, optimizer, 2)
+        for key, value in frozen.items():
+            np.testing.assert_array_equal(snapshot["arrays"][key], value)
+
+
+class TestStateErrors:
+    def test_kind_mismatch_rejected(self):
+        param_a, adam = _make(Adam, lr=0.05)
+        __, sgd = _make(SGD, lr=0.05)
+        with pytest.raises(ValueError, match="sgd"):
+            adam.load_state_dict(sgd.state_dict())
+
+    def test_missing_array_rejected(self):
+        parameter, optimizer = _make(Adam, lr=0.05)
+        state = optimizer.state_dict()
+        del state["arrays"]["second_moment/0"]
+        with pytest.raises(KeyError, match="second_moment/0"):
+            optimizer.load_state_dict(state)
+
+    def test_shape_mismatch_rejected(self):
+        parameter, optimizer = _make(Adam, lr=0.05)
+        state = optimizer.state_dict()
+        state["arrays"]["first_moment/0"] = np.zeros(7)
+        with pytest.raises(ValueError, match="shape mismatch"):
+            optimizer.load_state_dict(state)
+
+    def test_adam_restores_step_count(self):
+        parameter, optimizer = _make(Adam, lr=0.05)
+        _run_steps(parameter, optimizer, 5)
+        restored = Adam([Parameter(parameter.data.copy())], lr=0.05)
+        restored.load_state_dict(optimizer.state_dict())
+        assert restored._step_count == 5

@@ -1,0 +1,225 @@
+"""Fault injection: killed runs resume bit-exactly, checkpoints never corrupt.
+
+The acceptance property for the resumable-training subsystem: a run
+killed at any checkpoint boundary (mid-stage-1, between stages,
+mid-stage-2, or mid-epoch) and resumed in a *fresh process* (simulated
+by rebuilding model/trainer from scratch) produces the bit-identical
+final ``state_dict()`` of an uninterrupted run with the same
+``TrainingConfig`` and seed.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.training import TrainingConfig
+from repro.training.trainer import GroupSATrainer
+from repro.training.two_stage import build_model, fit_groupsa
+from tests.conftest import TINY_MODEL_CONFIG
+
+TRAINING = TrainingConfig(
+    user_epochs=2,
+    group_epochs=4,
+    batch_size=16,
+    learning_rate=0.02,
+    seed=11,
+    interleave_user_every=2,
+)
+
+
+class Killed(RuntimeError):
+    """Stands in for SIGKILL: aborts the run at a chosen point."""
+
+
+def _crash_after(task, epoch):
+    def callback(log):
+        if log.task == task and log.epoch == epoch:
+            raise Killed(f"{task} epoch {epoch}")
+
+    return callback
+
+
+def _uninterrupted_weights(tiny_split, config=TINY_MODEL_CONFIG, training=TRAINING):
+    model, batcher = build_model(tiny_split, config)
+    fit_groupsa(model, tiny_split, batcher, training)
+    return model.state_dict()
+
+
+def _resume_and_finish(tiny_split, checkpoint_dir, config=TINY_MODEL_CONFIG,
+                       training=TRAINING):
+    """Fresh process simulation: rebuild everything, then resume."""
+    model, batcher = build_model(tiny_split, config)
+    history = fit_groupsa(
+        model, tiny_split, batcher, training,
+        checkpoint_dir=checkpoint_dir, resume=True,
+    )
+    return model, history
+
+
+def _assert_bit_exact(state, reference):
+    assert set(state) == set(reference)
+    for name in reference:
+        np.testing.assert_array_equal(state[name], reference[name])
+
+
+class TestBitExactResume:
+    def test_killed_mid_stage_two(self, tiny_split, tmp_path):
+        reference = _uninterrupted_weights(tiny_split)
+        model, batcher = build_model(tiny_split, TINY_MODEL_CONFIG)
+        with pytest.raises(Killed):
+            fit_groupsa(
+                model, tiny_split, batcher, TRAINING,
+                callback=_crash_after("group", 3),
+                checkpoint_dir=tmp_path,
+            )
+        resumed, history = _resume_and_finish(tiny_split, tmp_path)
+        _assert_bit_exact(resumed.state_dict(), reference)
+        # The restored history covers the whole schedule, not just the
+        # epochs after the crash.
+        assert len(history.losses("group")) == TRAINING.group_epochs
+
+    def test_killed_mid_stage_one(self, tiny_split, tmp_path):
+        reference = _uninterrupted_weights(tiny_split)
+        model, batcher = build_model(tiny_split, TINY_MODEL_CONFIG)
+        with pytest.raises(Killed):
+            fit_groupsa(
+                model, tiny_split, batcher, TRAINING,
+                callback=_crash_after("user", 2),
+                checkpoint_dir=tmp_path,
+            )
+        resumed, __ = _resume_and_finish(tiny_split, tmp_path)
+        _assert_bit_exact(resumed.state_dict(), reference)
+
+    def test_killed_between_stages(self, tiny_split, tmp_path):
+        """Crash on the first group epoch: the run restarts after the
+        stage boundary and must not redo stage 1 or the tower transfer."""
+        reference = _uninterrupted_weights(tiny_split)
+        model, batcher = build_model(tiny_split, TINY_MODEL_CONFIG)
+        with pytest.raises(Killed):
+            fit_groupsa(
+                model, tiny_split, batcher, TRAINING,
+                callback=_crash_after("group", 1),
+                checkpoint_dir=tmp_path,
+            )
+        resumed, __ = _resume_and_finish(tiny_split, tmp_path)
+        _assert_bit_exact(resumed.state_dict(), reference)
+
+    def test_killed_mid_epoch(self, tiny_split, tmp_path, monkeypatch):
+        """Die in the middle of a gradient step, not at an epoch edge."""
+        reference = _uninterrupted_weights(tiny_split)
+        model, batcher = build_model(tiny_split, TINY_MODEL_CONFIG)
+        real_step = GroupSATrainer._group_step
+        calls = {"count": 0}
+
+        def dying_step(self, *args):
+            calls["count"] += 1
+            if calls["count"] == 4:
+                raise Killed("mid group epoch")
+            return real_step(self, *args)
+
+        monkeypatch.setattr(GroupSATrainer, "_group_step", dying_step)
+        with pytest.raises(Killed):
+            fit_groupsa(
+                model, tiny_split, batcher, TRAINING, checkpoint_dir=tmp_path
+            )
+        monkeypatch.undo()
+        assert calls["count"] == 4  # died mid-run, after some progress
+        resumed, __ = _resume_and_finish(tiny_split, tmp_path)
+        _assert_bit_exact(resumed.state_dict(), reference)
+
+    def test_bit_exact_with_dropout(self, tiny_split, tmp_path):
+        """Dropout draws from per-module generators; resume must restore
+        them too for the masks to replay identically."""
+        config = dataclasses.replace(TINY_MODEL_CONFIG, dropout=0.2)
+        reference = _uninterrupted_weights(tiny_split, config=config)
+        model, batcher = build_model(tiny_split, config)
+        with pytest.raises(Killed):
+            fit_groupsa(
+                model, tiny_split, batcher, TRAINING,
+                callback=_crash_after("group", 2),
+                checkpoint_dir=tmp_path,
+            )
+        resumed, __ = _resume_and_finish(tiny_split, tmp_path, config=config)
+        _assert_bit_exact(resumed.state_dict(), reference)
+
+    def test_checkpointing_does_not_perturb_training(self, tiny_split, tmp_path):
+        """Writing checkpoints must not consume randomness: a checkpointed
+        run matches a plain one exactly."""
+        reference = _uninterrupted_weights(tiny_split)
+        model, batcher = build_model(tiny_split, TINY_MODEL_CONFIG)
+        fit_groupsa(
+            model, tiny_split, batcher, TRAINING,
+            checkpoint_dir=tmp_path, checkpoint_every=2,
+        )
+        _assert_bit_exact(model.state_dict(), reference)
+
+    def test_resume_of_finished_run_is_stable(self, tiny_split, tmp_path):
+        model, batcher = build_model(tiny_split, TINY_MODEL_CONFIG)
+        fit_groupsa(model, tiny_split, batcher, TRAINING, checkpoint_dir=tmp_path)
+        resumed, history = _resume_and_finish(tiny_split, tmp_path)
+        _assert_bit_exact(resumed.state_dict(), model.state_dict())
+        assert len(history.losses("group")) == TRAINING.group_epochs
+
+
+class TestResumeGuards:
+    def test_resume_requires_checkpoint_dir(self, tiny_split):
+        model, batcher = build_model(tiny_split, TINY_MODEL_CONFIG)
+        with pytest.raises(ValueError, match="checkpoint_dir"):
+            fit_groupsa(model, tiny_split, batcher, TRAINING, resume=True)
+
+    def test_resume_rejects_changed_training_config(self, tiny_split, tmp_path):
+        model, batcher = build_model(tiny_split, TINY_MODEL_CONFIG)
+        with pytest.raises(Killed):
+            fit_groupsa(
+                model, tiny_split, batcher, TRAINING,
+                callback=_crash_after("group", 2),
+                checkpoint_dir=tmp_path,
+            )
+        other = dataclasses.replace(TRAINING, learning_rate=0.5)
+        fresh, fresh_batcher = build_model(tiny_split, TINY_MODEL_CONFIG)
+        with pytest.raises(ValueError, match="TrainingConfig"):
+            fit_groupsa(
+                fresh, tiny_split, fresh_batcher, other,
+                checkpoint_dir=tmp_path, resume=True,
+            )
+
+    def test_resume_rejects_weight_only_checkpoint(self, tiny_split, tmp_path):
+        from repro.persistence import save_model
+
+        model, batcher = build_model(tiny_split, TINY_MODEL_CONFIG)
+        save_model(model, tmp_path / "ckpt-000001.npz")
+        with pytest.raises(ValueError, match="weight-only"):
+            fit_groupsa(
+                model, tiny_split, batcher, TRAINING,
+                checkpoint_dir=tmp_path, resume=True,
+            )
+
+    def test_resume_with_empty_directory_trains_from_scratch(
+        self, tiny_split, tmp_path
+    ):
+        reference = _uninterrupted_weights(tiny_split)
+        resumed, __ = _resume_and_finish(tiny_split, tmp_path)
+        _assert_bit_exact(resumed.state_dict(), reference)
+
+    def test_invalid_checkpoint_every(self, tiny_split, tmp_path):
+        model, batcher = build_model(tiny_split, TINY_MODEL_CONFIG)
+        with pytest.raises(ValueError, match="checkpoint_every"):
+            fit_groupsa(
+                model, tiny_split, batcher, TRAINING,
+                checkpoint_dir=tmp_path, checkpoint_every=0,
+            )
+
+
+class TestEmptyTaskGuard:
+    def test_raises_instead_of_logging_zero_loss(self, tiny_split):
+        model, batcher = build_model(tiny_split, TINY_MODEL_CONFIG)
+        trainer = GroupSATrainer(model, tiny_split, batcher, TRAINING)
+        empty = np.empty((0, 2), dtype=np.int64)
+        with pytest.raises(ValueError, match="task 'user'"):
+            trainer._run_epoch("user", empty, trainer._user_step)
+        with pytest.raises(ValueError, match="task 'group'"):
+            trainer._run_epoch("group", empty, trainer._group_step)
+        # Nothing was recorded for the refused epochs.
+        assert not trainer.history.epochs
+        assert trainer._epoch_counter == {"user": 0, "group": 0}

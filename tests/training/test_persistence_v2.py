@@ -1,0 +1,185 @@
+"""Checkpoint format v2: atomic writes, path normalization, forward
+compatibility, v1 back-compat, and error paths."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import persistence
+from repro.persistence import (
+    checkpoint_info,
+    checkpoint_metadata,
+    load_checkpoint,
+    load_model,
+    roundtrip_equal,
+    save_checkpoint,
+    save_model,
+)
+
+
+def _rewrite(path, **overrides):
+    """Rewrite an existing archive with some entries replaced/removed."""
+    data = dict(np.load(path, allow_pickle=False))
+    for key, value in overrides.items():
+        if value is None:
+            data.pop(key, None)
+        else:
+            data[key] = value
+    np.savez_compressed(path, **data)
+
+
+class TestPathNormalization:
+    def test_suffixless_save_then_load(self, trained_tiny_model, tmp_path):
+        """Regression: np.savez silently appends .npz, so a suffix-less
+        save followed by a suffix-less load used to FileNotFoundError."""
+        model, __, __h = trained_tiny_model
+        target = tmp_path / "ckpt"
+        save_model(model, target)
+        assert (tmp_path / "ckpt.npz").exists()
+        assert roundtrip_equal(model, load_model(target))
+
+    def test_suffixless_checkpoint_info_roundtrip(self, trained_tiny_model, tmp_path):
+        model, __, __h = trained_tiny_model
+        save_model(model, tmp_path / "ckpt")
+        config, num_users, num_items = checkpoint_info(tmp_path / "ckpt")
+        assert config == model.config
+        assert (num_users, num_items) == (model.num_users, model.num_items)
+
+    def test_explicit_npz_suffix_unchanged(self, trained_tiny_model, tmp_path):
+        model, __, __h = trained_tiny_model
+        save_model(model, tmp_path / "model.npz")
+        assert (tmp_path / "model.npz").exists()
+        assert not (tmp_path / "model.npz.npz").exists()
+
+
+class TestForwardCompatibility:
+    def _with_extra_config_key(self, model, path):
+        save_model(model, path)
+        raw = json.loads(str(np.load(path)["__config__"]))
+        raw["a_future_knob"] = 123
+        _rewrite(path, __config__=np.array(json.dumps(raw)))
+
+    def test_load_model_drops_unknown_config_keys(self, trained_tiny_model, tmp_path):
+        model, __, __h = trained_tiny_model
+        path = tmp_path / "model.npz"
+        self._with_extra_config_key(model, path)
+        with pytest.warns(RuntimeWarning, match="a_future_knob"):
+            loaded = load_model(path)
+        assert loaded.config == model.config
+        assert roundtrip_equal(model, loaded)
+
+    def test_checkpoint_info_drops_unknown_config_keys(
+        self, trained_tiny_model, tmp_path
+    ):
+        model, __, __h = trained_tiny_model
+        path = tmp_path / "model.npz"
+        self._with_extra_config_key(model, path)
+        with pytest.warns(RuntimeWarning, match="a_future_knob"):
+            config, __, __i = checkpoint_info(path)
+        assert config == model.config
+
+
+class TestVersions:
+    def test_v1_weight_only_still_loads(self, trained_tiny_model, tmp_path):
+        model, __, __h = trained_tiny_model
+        path = tmp_path / "model.npz"
+        save_model(model, path)
+        _rewrite(path, __version__=np.array(1))
+        loaded, state = load_checkpoint(path)
+        assert roundtrip_equal(model, loaded)
+        assert state is None
+
+    def test_future_version_rejected_everywhere(self, trained_tiny_model, tmp_path):
+        model, __, __h = trained_tiny_model
+        path = tmp_path / "model.npz"
+        save_model(model, path)
+        _rewrite(path, __version__=np.array(99))
+        for reader in (load_model, checkpoint_info, checkpoint_metadata):
+            with pytest.raises(ValueError, match="version 99"):
+                reader(path)
+
+    def test_missing_param_key_rejected(self, trained_tiny_model, tmp_path):
+        model, __, __h = trained_tiny_model
+        path = tmp_path / "model.npz"
+        save_model(model, path)
+        name = next(iter(model.state_dict()))
+        _rewrite(path, **{f"param/{name}": None})
+        with pytest.raises(KeyError, match="missing"):
+            load_model(path)
+
+
+class TestAtomicWrites:
+    def test_failed_serialization_preserves_existing(
+        self, trained_tiny_model, tmp_path, monkeypatch
+    ):
+        model, __, __h = trained_tiny_model
+        path = tmp_path / "model.npz"
+        save_model(model, path)
+        reference = model.state_dict()
+
+        def exploding_savez(handle, **payload):
+            handle.write(b"partial garbage that must never reach the target")
+            raise IOError("disk full")
+
+        monkeypatch.setattr(np, "savez_compressed", exploding_savez)
+        with pytest.raises(IOError, match="disk full"):
+            save_model(model, path)
+        monkeypatch.undo()
+        survivor = load_model(path)
+        for name, weights in survivor.state_dict().items():
+            np.testing.assert_array_equal(weights, reference[name])
+        # The aborted attempt must not leave temporary files behind.
+        assert [p.name for p in tmp_path.iterdir()] == ["model.npz"]
+
+    def test_failed_replace_preserves_existing(
+        self, trained_tiny_model, tmp_path, monkeypatch
+    ):
+        model, __, __h = trained_tiny_model
+        path = tmp_path / "model.npz"
+        save_model(model, path)
+        reference = model.state_dict()
+
+        def exploding_replace(src, dst):
+            raise OSError("crash between write and rename")
+
+        monkeypatch.setattr(persistence.os, "replace", exploding_replace)
+        with pytest.raises(OSError, match="crash between"):
+            save_model(model, path)
+        monkeypatch.undo()
+        survivor = load_model(path)
+        for name, weights in survivor.state_dict().items():
+            np.testing.assert_array_equal(weights, reference[name])
+        assert [p.name for p in tmp_path.iterdir()] == ["model.npz"]
+
+
+class TestTrainingStatePayload:
+    def test_weight_only_checkpoint_has_no_state(self, trained_tiny_model, tmp_path):
+        model, __, __h = trained_tiny_model
+        save_model(model, tmp_path / "model.npz")
+        __, state = load_checkpoint(tmp_path / "model.npz")
+        assert state is None
+        assert checkpoint_metadata(tmp_path / "model.npz") == {}
+
+    def test_schedule_and_metric_roundtrip(self, trained_tiny_model, tmp_path):
+        model, __, __h = trained_tiny_model
+        path = save_checkpoint(
+            model,
+            tmp_path / "model.npz",
+            schedule={"position": {"group_epochs_done": 7}},
+            metric=0.25,
+        )
+        __, state = load_checkpoint(path)
+        assert state.schedule == {"position": {"group_epochs_done": 7}}
+        assert state.metric == 0.25
+        assert checkpoint_metadata(path)["metric"] == 0.25
+
+    def test_wrong_world_size_rejected(self, trained_tiny_model, tmp_path):
+        from repro.core import GroupSA
+
+        model, __, __h = trained_tiny_model
+        path = tmp_path / "model.npz"
+        save_model(model, path)
+        other = GroupSA(model.num_users + 1, model.num_items, model.config)
+        with pytest.raises(ValueError, match="world"):
+            load_checkpoint(path, model=other)
