@@ -1,0 +1,95 @@
+"""Profiled reference run: top ops, totals, and profiler overhead.
+
+Writes the machine-readable ``BENCH_profile.json`` (unified
+``repro.obs`` report envelope) that anchors the perf trajectory: which
+ops dominate a GroupSA training epoch, how much wall time the profiler
+itself costs when enabled, and — by construction — that the disabled
+path is untouched (nothing is patched outside the context manager).
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_profile.py -s
+"""
+
+import json
+import os
+import time
+
+from repro.core import GroupSAConfig
+from repro.data import split_interactions, yelp_like
+from repro.obs import (
+    OpProfiler,
+    attach_scopes,
+    format_top_table,
+    make_report,
+    stats_payload,
+    write_report,
+)
+from repro.training import TrainingConfig
+from repro.training.two_stage import build_model, fit_groupsa
+
+REPORT_PATH = os.environ.get("BENCH_PROFILE_JSON", "results/BENCH_profile.json")
+
+WORLD = {"preset": "yelp_like", "scale": 0.005}
+TRAINING = TrainingConfig(user_epochs=2, group_epochs=2, seed=0)
+
+
+def _run(split, config, profiler=None):
+    model, batcher = build_model(split, config)
+    started = time.perf_counter()
+    if profiler is None:
+        fit_groupsa(model, split, batcher, TRAINING)
+    else:
+        attach_scopes(model, root="groupsa")
+        with profiler:
+            fit_groupsa(model, split, batcher, TRAINING)
+    return time.perf_counter() - started
+
+
+def test_bench_profile():
+    world = yelp_like(scale=WORLD["scale"])
+    split = split_interactions(world.dataset, rng=0)
+    config = GroupSAConfig()
+
+    _run(split, config)  # warm caches so both timed runs are comparable
+    unprofiled_s = _run(split, config)
+    profiler = OpProfiler()
+    profiled_s = _run(split, config, profiler=profiler)
+
+    stats = profiler.stats()
+    totals = profiler.totals()
+    overhead = {
+        "unprofiled_s": unprofiled_s,
+        "profiled_s": profiled_s,
+        "enabled_overhead_ratio": profiled_s / unprofiled_s,
+    }
+    report = make_report(
+        "op_profile",
+        {"totals": totals, "overhead": overhead, **stats_payload(stats, top_k=25)},
+        meta={"world": WORLD, "training": {"user_epochs": TRAINING.user_epochs,
+                                           "group_epochs": TRAINING.group_epochs}},
+    )
+    os.makedirs(os.path.dirname(REPORT_PATH) or ".", exist_ok=True)
+    write_report(report, REPORT_PATH)
+
+    print("\n" + format_top_table(stats, k=12))
+    print(
+        f"\nunprofiled {unprofiled_s:.2f}s  profiled {profiled_s:.2f}s  "
+        f"(x{overhead['enabled_overhead_ratio']:.2f} enabled overhead)  "
+        f"report: {REPORT_PATH}"
+    )
+
+    # Acceptance: attention/matmul work is attributed to module scopes.
+    matmuls = [s for s in stats if s.name == "matmul" and s.cat == "op"]
+    assert matmuls, "no matmul ops recorded in a training run"
+    assert any("attention" in s.scope for s in matmuls), (
+        "matmul ops were not attributed to attention module scopes"
+    )
+    assert totals["flops"] > 0
+    # Enabled overhead should stay within an order of magnitude; the
+    # measured ratio itself is what the JSON tracks over time.
+    assert overhead["enabled_overhead_ratio"] < 10.0
+
+    report_back = json.load(open(REPORT_PATH))
+    assert report_back["schema"] == "repro.obs/v1"
+    assert report_back["kind"] == "op_profile"

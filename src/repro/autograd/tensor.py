@@ -518,7 +518,7 @@ def as_tensor(value: ArrayLike, requires_grad: bool = False) -> Tensor:
     return Tensor(value, requires_grad=requires_grad)
 
 
-def concatenate(tensors: Iterable[Tensor], axis: int = -1) -> Tensor:
+def _concatenate_impl(tensors: Iterable[Tensor], axis: int = -1) -> Tensor:
     """Differentiable concatenation along ``axis``."""
     tensors = list(tensors)
     data = np.concatenate([t.data for t in tensors], axis=axis)
@@ -535,7 +535,7 @@ def concatenate(tensors: Iterable[Tensor], axis: int = -1) -> Tensor:
     return Tensor._from_op(data, tuple(tensors), backward)
 
 
-def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
+def _stack_impl(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
     """Differentiable ``np.stack``."""
     tensors = list(tensors)
     data = np.stack([t.data for t in tensors], axis=axis)
@@ -548,7 +548,7 @@ def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
     return Tensor._from_op(data, tuple(tensors), backward)
 
 
-def where(condition: np.ndarray, on_true: Tensor, on_false: Tensor) -> Tensor:
+def _where_impl(condition: np.ndarray, on_true: Tensor, on_false: Tensor) -> Tensor:
     """Differentiable selection; ``condition`` is a plain boolean array."""
     condition = np.asarray(condition, dtype=bool)
     data = np.where(condition, on_true.data, on_false.data)
@@ -560,3 +560,27 @@ def where(condition: np.ndarray, on_true: Tensor, on_false: Tensor) -> Tensor:
             on_false._accumulate(_unbroadcast(grad * ~condition, on_false.shape))
 
     return Tensor._from_op(data, (on_true, on_false), backward)
+
+
+# The implementations live as class attributes so instrumentation (the
+# op profiler in :mod:`repro.obs`) can intercept them by patching the
+# class, reaching every call site regardless of how the free functions
+# below were imported.
+Tensor._concatenate = staticmethod(_concatenate_impl)
+Tensor._stack = staticmethod(_stack_impl)
+Tensor._where = staticmethod(_where_impl)
+
+
+def concatenate(tensors: Iterable[Tensor], axis: int = -1) -> Tensor:
+    """Differentiable concatenation along ``axis``."""
+    return Tensor._concatenate(tensors, axis)
+
+
+def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
+    """Differentiable ``np.stack``."""
+    return Tensor._stack(tensors, axis)
+
+
+def where(condition: np.ndarray, on_true: Tensor, on_false: Tensor) -> Tensor:
+    """Differentiable selection; ``condition`` is a plain boolean array."""
+    return Tensor._where(condition, on_true, on_false)

@@ -6,9 +6,13 @@ Examples::
     python -m repro.cli train --data world.npz --out model.npz --group-epochs 30
     python -m repro.cli train --data world.npz --out model.npz \
         --checkpoint-dir ckpts --resume
+    python -m repro.cli train --data world.npz --out model.npz \
+        --metrics-out run.jsonl --grad-health raise
     python -m repro.cli evaluate --data world.npz --model model.npz --task group
     python -m repro.cli recommend --data world.npz --model model.npz --group 3 -k 5
     python -m repro.cli serve-bench --data world.npz --model model.npz --requests 200
+    python -m repro.cli profile --preset yelp --scale 0.01 \
+        --trace-out trace.json --report-out profile.json
 """
 
 from __future__ import annotations
@@ -29,8 +33,9 @@ from repro.data.stats import table1_statistics
 from repro.evaluation.protocol import evaluate, prepare_task
 from repro.evaluation.ranking import top_k_items
 from repro.persistence import load_model, save_model
+from repro.training.callbacks import print_progress
 from repro.training.trainer import TrainingConfig
-from repro.training.two_stage import train_groupsa
+from repro.training.two_stage import build_model, fit_groupsa, train_groupsa
 
 
 def _command_generate(args: argparse.Namespace) -> int:
@@ -61,15 +66,35 @@ def _command_train(args: argparse.Namespace) -> int:
         learning_rate=args.lr,
         seed=args.seed,
     )
-    model, __, history = train_groupsa(
-        split,
-        config,
-        training,
-        checkpoint_dir=args.checkpoint_dir,
-        resume=args.resume,
-        checkpoint_every=args.checkpoint_every,
-        keep_last=args.keep_last,
-    )
+    monitor = None
+    if args.grad_health != "off":
+        from repro.obs import GradientHealthMonitor
+
+        monitor = GradientHealthMonitor(on_nonfinite=args.grad_health)
+    callback = print_progress if args.progress else None
+    metrics = None
+    if args.metrics_out:
+        from repro.obs import RunMetrics
+
+        metrics = RunMetrics(args.metrics_out, chain=callback, grad_monitor=monitor)
+        callback = metrics
+    try:
+        model, __, history = train_groupsa(
+            split,
+            config,
+            training,
+            callback=callback,
+            checkpoint_dir=args.checkpoint_dir,
+            resume=args.resume,
+            checkpoint_every=args.checkpoint_every,
+            keep_last=args.keep_last,
+            grad_monitor=monitor,
+        )
+    finally:
+        if metrics is not None:
+            metrics.close()
+    if metrics is not None:
+        print(f"wrote {args.metrics_out} ({len(metrics.records)} epoch records)")
     save_model(model, args.out)
     print(
         f"wrote {args.out} "
@@ -166,6 +191,78 @@ def _command_serve_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_profile(args: argparse.Namespace) -> int:
+    from repro.obs import (
+        OpProfiler,
+        attach_scopes,
+        format_top_table,
+        make_report,
+        stats_payload,
+        write_chrome_trace,
+        write_report,
+    )
+
+    if args.data:
+        dataset = load_dataset(args.data)
+        world_meta = {"data": args.data}
+    else:
+        presets = {"yelp": yelp_like, "douban": douban_like}
+        dataset = presets[args.preset](scale=args.scale, seed=args.seed).dataset
+        world_meta = {"preset": args.preset, "scale": args.scale}
+    split = split_interactions(dataset, rng=args.seed)
+    config = GroupSAConfig(
+        embedding_dim=args.dim,
+        num_attention_layers=args.layers,
+        top_h=args.top_h,
+    )
+    training = TrainingConfig(
+        user_epochs=args.user_epochs,
+        group_epochs=args.group_epochs,
+        seed=args.seed,
+    )
+    model, batcher = build_model(split, config)
+    attach_scopes(model, root="groupsa")
+
+    with OpProfiler() as profiler:
+        with profiler.scope("train"):
+            fit_groupsa(model, split, batcher, training)
+        with profiler.scope("forward"):
+            count = min(args.forward_groups, split.train.num_groups)
+            groups = np.arange(count)
+            items = np.arange(count) % dataset.num_items
+            model.score_group_items(batcher.batch(groups), items)
+
+    stats = profiler.stats()
+    totals = profiler.totals()
+    print(format_top_table(stats, k=args.top))
+    print(
+        f"\n{totals['op_calls']} forward ops in {totals['op_time_s'] * 1e3:.1f} ms, "
+        f"{totals['backward_calls']} backward closures in "
+        f"{totals['backward_time_s'] * 1e3:.1f} ms, "
+        f"~{totals['flops'] / 1e9:.3f} GFLOP "
+        f"(wall {totals['wall_s']:.2f} s)",
+        flush=True,
+    )
+    if args.trace_out:
+        written = write_chrome_trace(profiler, args.trace_out)
+        print(f"wrote {args.trace_out} ({written} trace events)")
+    if args.report_out:
+        meta = {
+            "world": world_meta,
+            "user_epochs": args.user_epochs,
+            "group_epochs": args.group_epochs,
+            "embedding_dim": args.dim,
+        }
+        report = make_report(
+            "op_profile",
+            {"totals": totals, **stats_payload(stats, top_k=args.top)},
+            meta=meta,
+        )
+        write_report(report, args.report_out)
+        print(f"wrote {args.report_out}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     commands = parser.add_subparsers(dest="command", required=True)
@@ -210,6 +307,23 @@ def build_parser() -> argparse.ArgumentParser:
         default=3,
         help="retain the newest N checkpoints (best-by-loss kept separately)",
     )
+    train.add_argument(
+        "--metrics-out",
+        default=None,
+        help="stream per-epoch run metrics (loss, grad norm, timing, RSS) "
+        "to this JSONL file",
+    )
+    train.add_argument(
+        "--grad-health",
+        choices=("off", "warn", "raise"),
+        default="off",
+        help="check every step's gradients for NaN/Inf and warn or abort",
+    )
+    train.add_argument(
+        "--progress",
+        action="store_true",
+        help="print a progress line per epoch",
+    )
     train.set_defaults(handler=_command_train)
 
     evaluate_cmd = commands.add_parser("evaluate", help="evaluate a checkpoint")
@@ -242,6 +356,35 @@ def build_parser() -> argparse.ArgumentParser:
     serve_bench.add_argument("--seed", type=int, default=0)
     serve_bench.add_argument("--json", default=None, help="write the report here")
     serve_bench.set_defaults(handler=_command_serve_bench)
+
+    profile = commands.add_parser(
+        "profile",
+        help="profile a short training run + forward pass; emit a Chrome "
+        "trace and a per-op table",
+    )
+    profile.add_argument("--data", default=None, help="saved dataset (.npz)")
+    profile.add_argument("--preset", choices=("yelp", "douban"), default="yelp")
+    profile.add_argument("--scale", type=float, default=0.01)
+    profile.add_argument("--seed", type=int, default=0)
+    profile.add_argument("--dim", type=int, default=32)
+    profile.add_argument("--layers", type=int, default=1)
+    profile.add_argument("--top-h", type=int, default=4)
+    profile.add_argument("--user-epochs", type=int, default=2)
+    profile.add_argument("--group-epochs", type=int, default=2)
+    profile.add_argument(
+        "--forward-groups",
+        type=int,
+        default=32,
+        help="groups scored in the standalone profiled forward pass",
+    )
+    profile.add_argument("--top", type=int, default=15, help="table rows")
+    profile.add_argument(
+        "--trace-out", default=None, help="write chrome://tracing JSON here"
+    )
+    profile.add_argument(
+        "--report-out", default=None, help="write the JSON op-profile report here"
+    )
+    profile.set_defaults(handler=_command_profile)
 
     return parser
 

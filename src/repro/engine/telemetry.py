@@ -138,3 +138,11 @@ class Telemetry:
 
     def to_json(self, indent: int | None = None) -> str:
         return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def report(self, meta: dict | None = None) -> dict:
+        """The snapshot wrapped in the unified ``repro.obs`` envelope,
+        so serving telemetry and training observability artifacts share
+        one top-level JSON shape."""
+        from repro.obs.report import make_report
+
+        return make_report("serving_telemetry", self.snapshot(), meta=meta)

@@ -70,6 +70,34 @@ class Module:
         for module in self._modules.values():
             yield from module.modules()
 
+    def named_modules(self, prefix: str = "") -> Iterator[Tuple[str, "Module"]]:
+        """Yield ``(qualified_name, module)`` pairs, root first.
+
+        The root's name is ``prefix`` (empty by default); children append
+        their attribute names with ``.`` separators, mirroring
+        :meth:`named_parameters`.
+        """
+        yield prefix, self
+        for name, module in self._modules.items():
+            child = f"{prefix}.{name}" if prefix else name
+            yield from module.named_modules(prefix=child)
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+
+    def scope_name(self) -> str:
+        """Label used by the op profiler for work inside this module.
+
+        Defaults to the class name; :func:`repro.obs.attach_scopes`
+        overrides it with the qualified attribute path (for example,
+        ``groupsa.voting.layers.0.attention``).
+        """
+        return getattr(self, "_obs_scope", None) or type(self).__name__
+
+    def set_scope_name(self, name: str) -> None:
+        object.__setattr__(self, "_obs_scope", name)
+
     def zero_grad(self) -> None:
         for parameter in self.parameters():
             parameter.zero_grad()

@@ -1,0 +1,61 @@
+"""repro.obs — the observability subsystem.
+
+Cross-cutting measurement for the training stack, mirroring what
+:mod:`repro.engine.telemetry` provides for serving:
+
+- :class:`OpProfiler` — context-manager autograd op profiler (per-op
+  wall time, bytes, FLOP estimates, module-scope attribution; zero
+  overhead when inactive);
+- :func:`write_chrome_trace` / :func:`format_top_table` — export a
+  profile as a ``chrome://tracing`` timeline or a top-K text table;
+- :class:`RunMetrics` — per-epoch JSONL training metrics (loss,
+  accuracy, epoch wall time, gradient norm, update/param ratios, RSS
+  high-water mark);
+- :class:`GradientHealthMonitor` — NaN/Inf/vanishing gradient checks
+  that raise or warn;
+- :func:`make_report` — the unified JSON report envelope shared by
+  profiles, run metrics and the serving telemetry snapshot.
+
+CLI entry points: ``repro profile`` and ``repro train --metrics-out``.
+"""
+
+from repro.obs.grad_health import (
+    GradientHealthError,
+    GradientHealthMonitor,
+    GradIssue,
+)
+from repro.obs.profiler import (
+    OpProfiler,
+    OpStat,
+    attach_scopes,
+    get_active_profiler,
+)
+from repro.obs.report import REPORT_SCHEMA, is_report, make_report, write_report
+from repro.obs.run_metrics import RECORD_SCHEMA, RunMetrics, rss_high_water_mb
+from repro.obs.trace import (
+    chrome_trace_events,
+    format_top_table,
+    stats_payload,
+    write_chrome_trace,
+)
+
+__all__ = [
+    "OpProfiler",
+    "OpStat",
+    "attach_scopes",
+    "get_active_profiler",
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "format_top_table",
+    "stats_payload",
+    "RunMetrics",
+    "rss_high_water_mb",
+    "RECORD_SCHEMA",
+    "GradientHealthMonitor",
+    "GradientHealthError",
+    "GradIssue",
+    "REPORT_SCHEMA",
+    "make_report",
+    "is_report",
+    "write_report",
+]

@@ -1,0 +1,84 @@
+"""FLOP estimates for autograd ops, keyed by profiler op name.
+
+These are *estimates* in the conventional sense used by profiler
+tooling: a fused multiply-add counts as 2 FLOPs, elementwise transcen-
+dentals as a small constant per element, and pure data-movement ops
+(reshape, transpose, gather, concatenate) as 0.  The point is relative
+attribution — which matmul dominates a voting-layer forward — not
+cycle-accurate accounting.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+#: Per-output-element cost of elementwise / reduction ops.
+_ELEMENTWISE_COST = {
+    "add": 1,
+    "sub": 1,
+    "mul": 1,
+    "div": 1,
+    "neg": 1,
+    "pow": 2,
+    "exp": 1,
+    "log": 1,
+    "sqrt": 1,
+    "sigmoid": 4,
+    "tanh": 4,
+    "relu": 1,
+    "softplus": 4,
+    "sum": 1,
+    "mean": 1,
+    "max": 1,
+    "var": 3,
+    # A stable softmax is max + subtract + exp + sum + divide.
+    "softmax": 5,
+    "log_softmax": 5,
+    "where": 1,
+}
+
+
+def matmul_flops(a_shape: Tuple[int, ...], out_shape: Tuple[int, ...]) -> int:
+    """FLOPs of ``a @ b`` given the left operand and output shapes.
+
+    For ``(..., m, k) @ (..., k, n) -> (..., m, n)`` the count is
+    ``2 * k`` per output element (k multiplies + k adds), summed over
+    every batched output element — broadcasting is then handled for
+    free by using the *output* batch dimensions.
+    """
+    k = a_shape[-1]
+    out_elements = int(np.prod(out_shape)) if out_shape else 1
+    return 2 * k * out_elements
+
+
+def estimate_flops(
+    name: str,
+    operand_shapes: Tuple[Tuple[int, ...], ...],
+    out_shape: Optional[Tuple[int, ...]],
+) -> int:
+    """Estimated forward FLOPs for one recorded op call.
+
+    ``operand_shapes`` are the shapes of the Tensor operands in call
+    order (the left matmul operand first); unknown ops cost 0.
+    """
+    if out_shape is None:
+        return 0
+    if name == "matmul":
+        if not operand_shapes:
+            return 0
+        return matmul_flops(operand_shapes[0], out_shape)
+    cost = _ELEMENTWISE_COST.get(name)
+    if cost is None:
+        return 0
+    # Reductions touch every *input* element; elementwise ops write
+    # every output element.  Use whichever is larger so both read
+    # naturally (sum over an (N,) input is N FLOPs, broadcast add over
+    # an (N, M) output is N*M).
+    out_elements = int(np.prod(out_shape)) if out_shape else 1
+    in_elements = max(
+        (int(np.prod(shape)) if shape else 1 for shape in operand_shapes),
+        default=out_elements,
+    )
+    return cost * max(out_elements, in_elements)

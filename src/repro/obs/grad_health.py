@@ -1,0 +1,123 @@
+"""Gradient health checks: NaN / Inf / vanishing gradient detection.
+
+Attach a :class:`GradientHealthMonitor` to a trainer (via
+``fit_groupsa(..., grad_monitor=...)`` or ``trainer.grad_monitor``) and
+it inspects every parameter gradient after each backward pass, *before*
+the optimizer consumes it — so a poisoned update is caught at the step
+that produced it, not epochs later as a NaN loss.
+
+Each anomaly class has a configurable action: ``"raise"`` (abort the
+run with :class:`GradientHealthError`), ``"warn"`` (emit a
+``RuntimeWarning`` and keep going) or ``"ignore"``.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Tuple
+
+import numpy as np
+
+_ACTIONS = ("raise", "warn", "ignore")
+
+
+class GradientHealthError(RuntimeError):
+    """Raised when a monitored gradient fails a health check."""
+
+
+@dataclass(frozen=True)
+class GradIssue:
+    """One detected anomaly for one parameter at one check."""
+
+    kind: str  # "nan" | "inf" | "vanishing"
+    parameter: str
+    value: float  # max |grad| observed (nan/inf for non-finite kinds)
+    context: str
+
+    def describe(self) -> str:
+        return (
+            f"{self.kind} gradient in '{self.parameter}' "
+            f"(max |g| = {self.value:g}){' during ' + self.context if self.context else ''}"
+        )
+
+
+class GradientHealthMonitor:
+    """Flags non-finite and vanishing gradients.
+
+    Parameters
+    ----------
+    on_nonfinite:
+        Action for NaN/Inf gradients (default ``"raise"`` — a
+        non-finite gradient irreversibly poisons Adam's moments).
+    on_vanishing:
+        Action for vanishing gradients (default ``"warn"``).
+    vanish_threshold:
+        A gradient whose max \\|g\\| is *strictly below* this is
+        "vanishing".  The default 0.0 disables the check (parameters
+        outside the current task's graph legitimately get no signal);
+        set e.g. ``1e-10`` to enable.
+    """
+
+    def __init__(
+        self,
+        on_nonfinite: str = "raise",
+        on_vanishing: str = "warn",
+        vanish_threshold: float = 0.0,
+    ) -> None:
+        for action in (on_nonfinite, on_vanishing):
+            if action not in _ACTIONS:
+                raise ValueError(f"action must be one of {_ACTIONS}, got {action!r}")
+        if vanish_threshold < 0:
+            raise ValueError("vanish_threshold must be non-negative")
+        self.on_nonfinite = on_nonfinite
+        self.on_vanishing = on_vanishing
+        self.vanish_threshold = vanish_threshold
+        self.checks = 0
+        self.counts: Dict[str, int] = {"nan": 0, "inf": 0, "vanishing": 0}
+        self.issues: List[GradIssue] = []
+
+    def check(
+        self,
+        named_parameters: Iterable[Tuple[str, Any]],
+        context: str = "",
+    ) -> List[GradIssue]:
+        """Inspect gradients; returns the issues found at this check.
+
+        ``named_parameters`` yields ``(name, parameter)`` pairs (as from
+        ``Module.named_parameters()``); parameters with ``grad is None``
+        are skipped — absent is different from vanishing.
+        """
+        self.checks += 1
+        found: List[GradIssue] = []
+        for name, parameter in named_parameters:
+            grad = getattr(parameter, "grad", None)
+            if grad is None:
+                continue
+            if np.isnan(grad).any():
+                found.append(GradIssue("nan", name, float("nan"), context))
+                continue
+            peak = float(np.abs(grad).max()) if grad.size else 0.0
+            if np.isinf(peak):
+                found.append(GradIssue("inf", name, peak, context))
+            elif self.vanish_threshold > 0.0 and peak < self.vanish_threshold:
+                found.append(GradIssue("vanishing", name, peak, context))
+        for issue in found:
+            self.counts[issue.kind] += 1
+            self.issues.append(issue)
+            action = (
+                self.on_vanishing if issue.kind == "vanishing" else self.on_nonfinite
+            )
+            if action == "raise":
+                raise GradientHealthError(issue.describe())
+            if action == "warn":
+                warnings.warn(issue.describe(), RuntimeWarning, stacklevel=2)
+        return found
+
+    def summary(self) -> Dict[str, Any]:
+        """JSON-ready roll-up for run reports."""
+        return {
+            "checks": self.checks,
+            "counts": dict(self.counts),
+            "last_issues": [issue.describe() for issue in self.issues[-5:]],
+        }

@@ -1,0 +1,404 @@
+"""Autograd op profiler: per-op wall time, bytes, FLOPs, module scopes.
+
+The profiler is context-manager activated and works by *patching the
+classes* — ``Tensor``'s op methods and ``Module.__call__`` are replaced
+with timing wrappers on ``__enter__`` and restored on ``__exit__``.
+When no profiler is active the original methods are bound, so disabled
+overhead is exactly zero: no flag checks on the op hot path, no wrapper
+frames, nothing.
+
+Profiling never touches tensor *data*: wrappers call the original
+implementation with unmodified arguments and only record timestamps and
+shapes, so a profiled training run produces bit-identical weights to an
+unprofiled one (asserted by ``tests/obs``).
+
+Usage::
+
+    from repro.obs import OpProfiler, attach_scopes
+
+    attach_scopes(model, root="groupsa")   # qualified module scope names
+    with OpProfiler() as prof:
+        with prof.scope("train"):
+            fit_groupsa(model, split, batcher, training)
+    print(format_top_table(prof.stats()))
+    write_chrome_trace(prof, "trace.json")
+
+Single-process, single-thread instrumentation: the patches are global
+to the interpreter, so do not run concurrent model work (for example,
+the serving engine's worker thread) inside a profiling block.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+from contextlib import contextmanager
+
+from repro.autograd.tensor import Tensor
+from repro.nn.module import Module
+from repro.obs.flops import estimate_flops
+
+#: ``Tensor`` instance methods to instrument, mapped to profiler op
+#: names.  ``mean``/``var``/``log_sigmoid`` are deliberately absent:
+#: they are pure compositions of ops below, which would double-count
+#: time and FLOPs in aggregate views.
+_METHOD_OPS: Dict[str, str] = {
+    "__add__": "add",
+    "__sub__": "sub",
+    "__mul__": "mul",
+    "__truediv__": "div",
+    "__neg__": "neg",
+    "__pow__": "pow",
+    "__matmul__": "matmul",
+    "exp": "exp",
+    "log": "log",
+    "sqrt": "sqrt",
+    "sigmoid": "sigmoid",
+    "tanh": "tanh",
+    "relu": "relu",
+    "softplus": "softplus",
+    "sum": "sum",
+    "max": "max",
+    "reshape": "reshape",
+    "transpose": "transpose",
+    "permute": "permute",
+    "__getitem__": "gather",
+    "softmax": "softmax",
+    "log_softmax": "log_softmax",
+}
+
+#: ``Tensor`` staticmethods (the class-attribute implementations behind
+#: the module-level ``concatenate``/``stack``/``where`` functions).
+_STATIC_OPS: Dict[str, str] = {
+    "_concatenate": "concatenate",
+    "_stack": "stack",
+    "_where": "where",
+}
+
+#: Default cap on retained per-call events (aggregated stats stay exact
+#: beyond it; the Chrome trace simply truncates).
+DEFAULT_MAX_EVENTS = 1_000_000
+
+_ACTIVE: Optional["OpProfiler"] = None
+
+
+def get_active_profiler() -> Optional["OpProfiler"]:
+    """The profiler currently patched in, if any."""
+    return _ACTIVE
+
+
+@dataclass
+class OpEvent:
+    """One recorded op call (or backward closure, or module scope)."""
+
+    __slots__ = ("name", "cat", "scope", "start", "duration", "self_time",
+                 "bytes_in", "bytes_out", "flops")
+
+    name: str
+    cat: str  # "op" | "backward" | "scope"
+    scope: str
+    start: float
+    duration: float
+    self_time: float
+    bytes_in: int
+    bytes_out: int
+    flops: int
+
+
+@dataclass
+class OpStat:
+    """Aggregate over all calls of one op within one scope."""
+
+    name: str
+    cat: str
+    scope: str
+    calls: int = 0
+    total_s: float = 0.0
+    self_s: float = 0.0
+    bytes_in: int = 0
+    bytes_out: int = 0
+    flops: int = 0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "op": self.name,
+            "cat": self.cat,
+            "scope": self.scope,
+            "calls": self.calls,
+            "total_s": self.total_s,
+            "self_s": self.self_s,
+            "bytes_in": self.bytes_in,
+            "bytes_out": self.bytes_out,
+            "flops": self.flops,
+        }
+
+
+class OpProfiler:
+    """Records every autograd op executed while the context is active.
+
+    Parameters
+    ----------
+    record_backward:
+        Also time each op's backward closure (attributed to the scope
+        the op was *created* in, which is where its forward ran).
+    record_events:
+        Keep the per-call event list needed for Chrome trace export.
+        Aggregated :meth:`stats` work either way.
+    max_events:
+        Retention cap for the event list; beyond it, calls still
+        aggregate but individual events are dropped (``dropped_events``
+        counts them).
+    """
+
+    def __init__(
+        self,
+        record_backward: bool = True,
+        record_events: bool = True,
+        max_events: int = DEFAULT_MAX_EVENTS,
+    ) -> None:
+        self.record_backward = record_backward
+        self.record_events = record_events
+        self.max_events = max_events
+        self.events: List[OpEvent] = []
+        self.dropped_events = 0
+        self._aggregate: Dict[Tuple[str, str, str], OpStat] = {}
+        self._scope_stack: List[str] = []
+        self._frames: List[List[float]] = []
+        self._saved: Dict[str, Any] = {}
+        self._saved_call: Optional[Callable] = None
+        self._active = False
+        self._entered_at = 0.0
+        self._exited_at: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # Activation (class patching)
+    # ------------------------------------------------------------------
+
+    def __enter__(self) -> "OpProfiler":
+        global _ACTIVE
+        if _ACTIVE is not None:
+            raise RuntimeError("an OpProfiler is already active; profilers do not nest")
+        _ACTIVE = self
+        self._active = True
+        self._entered_at = time.perf_counter()
+        for attr, op_name in _METHOD_OPS.items():
+            original = getattr(Tensor, attr)
+            self._saved[attr] = original
+            setattr(Tensor, attr, self._wrap_method(op_name, original))
+        for attr, op_name in _STATIC_OPS.items():
+            original = getattr(Tensor, attr)
+            self._saved[attr] = original
+            setattr(Tensor, attr, staticmethod(self._wrap_static(op_name, original)))
+        self._saved_call = Module.__call__
+        profiler = self
+
+        def profiled_call(module: Module, *args: Any, **kwargs: Any) -> Any:
+            with profiler.scope(module.scope_name()):
+                return module.forward(*args, **kwargs)
+
+        Module.__call__ = profiled_call
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        global _ACTIVE
+        for attr, original in self._saved.items():
+            if attr in _STATIC_OPS:
+                setattr(Tensor, attr, staticmethod(original))
+            else:
+                setattr(Tensor, attr, original)
+        Module.__call__ = self._saved_call
+        self._saved.clear()
+        self._saved_call = None
+        self._active = False
+        self._exited_at = time.perf_counter()
+        _ACTIVE = None
+
+    # ------------------------------------------------------------------
+    # Scopes
+    # ------------------------------------------------------------------
+
+    @property
+    def current_scope(self) -> str:
+        return self._scope_stack[-1] if self._scope_stack else ""
+
+    @contextmanager
+    def scope(self, name: str) -> Iterator[None]:
+        """Attribute ops executed inside the block to ``name``.
+
+        Module forwards enter scopes automatically while profiling;
+        use this directly to label phases (``train``, ``forward``).
+        """
+        self._scope_stack.append(name)
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            duration = time.perf_counter() - start
+            self._scope_stack.pop()
+            self._record("scope:" + name, "scope", self.current_scope,
+                         start, duration, duration, 0, 0, 0)
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+
+    def _record(
+        self,
+        name: str,
+        cat: str,
+        scope: str,
+        start: float,
+        duration: float,
+        self_time: float,
+        bytes_in: int,
+        bytes_out: int,
+        flops: int,
+    ) -> None:
+        key = (name, cat, scope)
+        stat = self._aggregate.get(key)
+        if stat is None:
+            stat = self._aggregate[key] = OpStat(name=name, cat=cat, scope=scope)
+        stat.calls += 1
+        stat.total_s += duration
+        stat.self_s += self_time
+        stat.bytes_in += bytes_in
+        stat.bytes_out += bytes_out
+        stat.flops += flops
+        if not self.record_events:
+            return
+        if len(self.events) >= self.max_events:
+            self.dropped_events += 1
+            return
+        self.events.append(OpEvent(name, cat, scope, start, duration,
+                                   self_time, bytes_in, bytes_out, flops))
+
+    def _run(
+        self,
+        name: str,
+        fn: Callable[[], Tensor],
+        operands: Tuple[Tensor, ...],
+    ) -> Tensor:
+        scope = self.current_scope
+        frame = [0.0]
+        self._frames.append(frame)
+        start = time.perf_counter()
+        try:
+            out = fn()
+        finally:
+            duration = time.perf_counter() - start
+            self._frames.pop()
+            if self._frames:
+                self._frames[-1][0] += duration
+        bytes_in = sum(t.data.nbytes for t in operands)
+        shapes = tuple(t.shape for t in operands)
+        if isinstance(out, Tensor):
+            bytes_out = out.data.nbytes
+            flops = estimate_flops(name, shapes, out.shape)
+            if self.record_backward and out._backward is not None:
+                out._backward = self._wrap_backward(name, scope, out._backward)
+        else:  # pragma: no cover - every instrumented op returns a Tensor
+            bytes_out = 0
+            flops = 0
+        self._record(name, "op", scope, start, duration,
+                     duration - frame[0], bytes_in, bytes_out, flops)
+        return out
+
+    def _wrap_method(self, name: str, original: Callable) -> Callable:
+        profiler = self
+
+        def wrapper(tensor: Tensor, *args: Any, **kwargs: Any) -> Tensor:
+            operands = (tensor,) + tuple(a for a in args if isinstance(a, Tensor))
+            return profiler._run(name, lambda: original(tensor, *args, **kwargs), operands)
+
+        wrapper.__name__ = getattr(original, "__name__", name)
+        return wrapper
+
+    def _wrap_static(self, name: str, original: Callable) -> Callable:
+        profiler = self
+
+        def wrapper(*args: Any, **kwargs: Any) -> Tensor:
+            # concatenate/stack take an iterable of tensors which may be
+            # a generator: materialize it once so it can be both counted
+            # and consumed.
+            norm: List[Any] = []
+            operands: List[Tensor] = []
+            for arg in args:
+                if isinstance(arg, Tensor):
+                    operands.append(arg)
+                elif not isinstance(arg, (int, float, str, bytes)) and hasattr(arg, "__iter__") and not hasattr(arg, "shape"):
+                    arg = list(arg)
+                    operands.extend(t for t in arg if isinstance(t, Tensor))
+                norm.append(arg)
+            return profiler._run(name, lambda: original(*norm, **kwargs), tuple(operands))
+
+        wrapper.__name__ = getattr(original, "__name__", name)
+        return wrapper
+
+    def _wrap_backward(
+        self, name: str, scope: str, fn: Callable[[Any], None]
+    ) -> Callable[[Any], None]:
+        profiler = self
+
+        def timed_backward(grad: Any) -> None:
+            if not profiler._active:
+                # The graph outlived the profiling block; run untimed.
+                fn(grad)
+                return
+            frame = [0.0]
+            profiler._frames.append(frame)
+            start = time.perf_counter()
+            try:
+                fn(grad)
+            finally:
+                duration = time.perf_counter() - start
+                profiler._frames.pop()
+                if profiler._frames:
+                    profiler._frames[-1][0] += duration
+                profiler._record(name, "backward", scope, start, duration,
+                                 duration - frame[0], 0, 0, 0)
+
+        return timed_backward
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+
+    def stats(self, include_scopes: bool = False) -> List[OpStat]:
+        """Aggregated per-(op, scope) statistics, busiest self-time first."""
+        rows = [
+            stat for stat in self._aggregate.values()
+            if include_scopes or stat.cat != "scope"
+        ]
+        rows.sort(key=lambda s: s.self_s, reverse=True)
+        return rows
+
+    def totals(self) -> Dict[str, Any]:
+        """Whole-run roll-up used by reports and the bench trajectory."""
+        forward = [s for s in self._aggregate.values() if s.cat == "op"]
+        backward = [s for s in self._aggregate.values() if s.cat == "backward"]
+        end = self._exited_at if self._exited_at is not None else time.perf_counter()
+        return {
+            "wall_s": end - self._entered_at,
+            "op_calls": sum(s.calls for s in forward),
+            "op_time_s": sum(s.self_s for s in forward),
+            "backward_calls": sum(s.calls for s in backward),
+            "backward_time_s": sum(s.self_s for s in backward),
+            "flops": sum(s.flops for s in forward),
+            "bytes_in": sum(s.bytes_in for s in forward),
+            "bytes_out": sum(s.bytes_out for s in forward),
+            "dropped_events": self.dropped_events,
+        }
+
+
+def attach_scopes(model: Module, root: str = "model") -> Module:
+    """Give every submodule its qualified attribute path as scope name.
+
+    After this, profiled ops are attributed to scopes like
+    ``groupsa.voting.layers.0.attention`` instead of bare class names.
+    Returns the model for chaining.
+    """
+    for name, module in model.named_modules():
+        module.set_scope_name(root if not name else f"{root}.{name}")
+    return model

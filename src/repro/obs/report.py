@@ -1,0 +1,59 @@
+"""The unified JSON report envelope every observability surface emits.
+
+Profiles (``repro profile``), training run metrics (``RunMetrics``) and
+the serving engine's telemetry snapshot all serialize as the same
+top-level shape, so downstream tooling (dashboards, CI artifact diffing,
+the bench trajectory files) can dispatch on ``kind`` without per-source
+parsing::
+
+    {
+      "schema": "repro.obs/v1",
+      "kind": "op_profile" | "training_run" | "serving_telemetry" | ...,
+      "meta": {...},     # producer-specific context (world, config, host)
+      "data": {...}      # the payload
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+
+#: Bump when the envelope itself (not a payload) changes shape.
+REPORT_SCHEMA = "repro.obs/v1"
+
+
+def make_report(
+    kind: str,
+    data: Dict[str, Any],
+    meta: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Wrap ``data`` in the standard observability envelope."""
+    if not kind:
+        raise ValueError("report kind must be a non-empty string")
+    return {
+        "schema": REPORT_SCHEMA,
+        "kind": kind,
+        "meta": dict(meta or {}),
+        "data": data,
+    }
+
+
+def is_report(obj: Any) -> bool:
+    """Cheap structural check used by tests and artifact consumers."""
+    return (
+        isinstance(obj, dict)
+        and obj.get("schema") == REPORT_SCHEMA
+        and isinstance(obj.get("kind"), str)
+        and isinstance(obj.get("meta"), dict)
+        and isinstance(obj.get("data"), dict)
+    )
+
+
+def write_report(report: Dict[str, Any], path: str) -> None:
+    """Write a report as stable, human-diffable JSON."""
+    if not is_report(report):
+        raise ValueError("not a repro.obs report envelope")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -1,0 +1,212 @@
+"""Per-epoch training run metrics streamed as JSONL.
+
+:class:`RunMetrics` is a :data:`~repro.training.callbacks.ProgressCallback`
+with an optional ``bind(trainer)`` hook — ``fit_groupsa`` calls it
+automatically, giving the callback access to the optimizer (for the
+global gradient norm) and the model parameters (for per-parameter-group
+update/parameter ratios).  Used unbound it still logs the fields
+carried by the :class:`EpochLog` itself.
+
+Each epoch appends one self-describing JSON line and flushes, so a
+killed run leaves a complete record up to its last finished epoch::
+
+    {"schema": "repro.obs/run-metrics/v1", "task": "group", "epoch": 3,
+     "loss": 0.59, "pairwise_accuracy": 0.71, "duration_s": 0.41,
+     "grad_norm": 1.83, "update_ratio": {"user_embedding": 0.012, ...},
+     "rss_hwm_mb": 212.4, "wall_time_s": 5.02}
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from typing import Any, Dict, IO, List, Optional, Tuple
+
+import numpy as np
+
+from repro.obs.grad_health import GradientHealthMonitor
+from repro.obs.report import make_report
+from repro.training.callbacks import EpochLog, ProgressCallback
+
+try:  # resource is POSIX-only; metrics degrade gracefully without it.
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    resource = None  # type: ignore[assignment]
+
+#: Schema tag written on every JSONL record.
+RECORD_SCHEMA = "repro.obs/run-metrics/v1"
+
+
+def rss_high_water_mb() -> Optional[float]:
+    """Peak resident set size of this process in MiB (None if unknown)."""
+    if resource is None:  # pragma: no cover - non-POSIX platforms
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # ru_maxrss is KiB on Linux, bytes on macOS.
+    import sys
+
+    if sys.platform == "darwin":  # pragma: no cover - linux CI
+        return peak / (1024.0 * 1024.0)
+    return peak / 1024.0
+
+
+class RunMetrics:
+    """Streams one JSON metrics line per training epoch.
+
+    Parameters
+    ----------
+    path:
+        JSONL output file; ``None`` keeps records in memory only
+        (``.records``).
+    chain:
+        Another progress callback (e.g. ``print_progress``) invoked
+        after each record — lets metrics and console progress coexist
+        on the single ``callback`` slot of ``fit_groupsa``.
+    track_update_ratio:
+        Keep a copy of each parameter group's weights between epochs to
+        report ``‖Δθ‖ / ‖θ‖`` per group (costs one extra model copy in
+        memory; disable for very large models).
+    grad_monitor:
+        A :class:`GradientHealthMonitor` whose summary is folded into
+        :meth:`report` (the monitor itself is attached to the trainer
+        separately).
+    """
+
+    def __init__(
+        self,
+        path: Optional[str] = None,
+        *,
+        chain: Optional[ProgressCallback] = None,
+        track_update_ratio: bool = True,
+        grad_monitor: Optional[GradientHealthMonitor] = None,
+    ) -> None:
+        self.path = path
+        self.chain = chain
+        self.track_update_ratio = track_update_ratio
+        self.grad_monitor = grad_monitor
+        self.records: List[Dict[str, Any]] = []
+        self._handle: Optional[IO[str]] = None
+        self._trainer: Any = None
+        self._groups: Dict[str, List[Tuple[str, Any]]] = {}
+        self._previous: Dict[str, np.ndarray] = {}
+        self._started = time.perf_counter()
+
+    # ------------------------------------------------------------------
+    # Trainer attachment (called by fit_groupsa)
+    # ------------------------------------------------------------------
+
+    def bind(self, trainer: Any) -> None:
+        """Attach to a :class:`~repro.training.trainer.GroupSATrainer`."""
+        self._trainer = trainer
+        self._groups = {}
+        for name, parameter in trainer.model.named_parameters():
+            group = name.split(".", 1)[0]
+            self._groups.setdefault(group, []).append((name, parameter))
+        if self.track_update_ratio:
+            self._previous = {
+                group: self._flatten(params) for group, params in self._groups.items()
+            }
+        self._started = time.perf_counter()
+
+    @staticmethod
+    def _flatten(params: List[Tuple[str, Any]]) -> np.ndarray:
+        return np.concatenate([p.data.ravel() for __, p in params])
+
+    # ------------------------------------------------------------------
+    # Metric computation
+    # ------------------------------------------------------------------
+
+    def _grad_norm(self) -> Optional[float]:
+        if self._trainer is None:
+            return None
+        total = 0.0
+        seen = False
+        for parameter in self._trainer.optimizer.parameters:
+            grad = parameter.grad
+            if grad is None:
+                continue
+            seen = True
+            total += float(np.square(grad).sum())
+        return math.sqrt(total) if seen else None
+
+    def _update_ratios(self) -> Optional[Dict[str, float]]:
+        if self._trainer is None or not self.track_update_ratio:
+            return None
+        ratios: Dict[str, float] = {}
+        for group, params in self._groups.items():
+            current = self._flatten(params)
+            previous = self._previous[group]
+            denom = float(np.linalg.norm(previous))
+            delta = float(np.linalg.norm(current - previous))
+            ratios[group] = delta / denom if denom > 0.0 else delta
+            self._previous[group] = current
+        return ratios
+
+    # ------------------------------------------------------------------
+    # Callback protocol
+    # ------------------------------------------------------------------
+
+    def __call__(self, log: EpochLog) -> None:
+        record: Dict[str, Any] = {
+            "schema": RECORD_SCHEMA,
+            "task": log.task,
+            "epoch": log.epoch,
+            "loss": log.loss,
+            "pairwise_accuracy": log.pairwise_accuracy,
+            "duration_s": log.duration_s,
+            "grad_norm": self._grad_norm(),
+            "update_ratio": self._update_ratios(),
+            "rss_hwm_mb": rss_high_water_mb(),
+            "wall_time_s": time.perf_counter() - self._started,
+        }
+        self.records.append(record)
+        if self.path is not None:
+            if self._handle is None:
+                self._handle = open(self.path, "w", encoding="utf-8")
+            self._handle.write(json.dumps(record) + "\n")
+            self._handle.flush()
+        if self.chain is not None:
+            self.chain(log)
+
+    # ------------------------------------------------------------------
+    # Lifecycle / reporting
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "RunMetrics":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def report(self, meta: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        """Whole-run summary in the unified observability envelope."""
+        by_task: Dict[str, List[Dict[str, Any]]] = {}
+        for record in self.records:
+            by_task.setdefault(record["task"], []).append(record)
+        tasks = {
+            task: {
+                "epochs": len(records),
+                "final_loss": records[-1]["loss"],
+                "final_pairwise_accuracy": records[-1]["pairwise_accuracy"],
+                "total_duration_s": sum(r["duration_s"] for r in records),
+            }
+            for task, records in by_task.items()
+        }
+        grad_norms = [r["grad_norm"] for r in self.records if r["grad_norm"] is not None]
+        data: Dict[str, Any] = {
+            "record_schema": RECORD_SCHEMA,
+            "epochs_logged": len(self.records),
+            "tasks": tasks,
+            "max_grad_norm": max(grad_norms) if grad_norms else None,
+            "rss_hwm_mb": rss_high_water_mb(),
+            "wall_time_s": time.perf_counter() - self._started,
+        }
+        if self.grad_monitor is not None:
+            data["grad_health"] = self.grad_monitor.summary()
+        return make_report("training_run", data, meta=meta)

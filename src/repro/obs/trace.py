@@ -1,0 +1,103 @@
+"""Profile rendering: Chrome trace JSON and the human top-K table.
+
+The Chrome format is the ``chrome://tracing`` / Perfetto "JSON Array"
+flavor: a ``traceEvents`` list of complete ("X") events with
+microsecond timestamps.  Load the file via chrome://tracing ("Load") or
+https://ui.perfetto.dev to see the op timeline nested under module
+scopes.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Sequence
+
+from repro.obs.profiler import OpProfiler, OpStat
+
+#: tid layout: scopes on one row, forward ops on another, backward on a
+#: third, so the three layers stack visually in the viewer.
+_TRACK_IDS = {"scope": 0, "op": 1, "backward": 2}
+
+
+def chrome_trace_events(profiler: OpProfiler) -> List[Dict[str, Any]]:
+    """Convert recorded events into Chrome trace dicts."""
+    events = profiler.events
+    if not events:
+        return []
+    origin = min(event.start for event in events)
+    rows: List[Dict[str, Any]] = []
+    for event in events:
+        args: Dict[str, Any] = {"scope": event.scope}
+        if event.cat == "op":
+            args.update(
+                bytes_in=event.bytes_in,
+                bytes_out=event.bytes_out,
+                flops=event.flops,
+            )
+        rows.append(
+            {
+                "name": event.name,
+                "cat": event.cat,
+                "ph": "X",
+                "ts": (event.start - origin) * 1e6,
+                "dur": event.duration * 1e6,
+                "pid": 0,
+                "tid": _TRACK_IDS.get(event.cat, 3),
+                "args": args,
+            }
+        )
+    return rows
+
+
+def write_chrome_trace(profiler: OpProfiler, path: str) -> int:
+    """Write the trace file; returns the number of events written."""
+    rows = chrome_trace_events(profiler)
+    document = {
+        "traceEvents": rows,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "producer": "repro.obs",
+            "dropped_events": profiler.dropped_events,
+        },
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle)
+    return len(rows)
+
+
+def format_top_table(
+    stats: Sequence[OpStat],
+    k: int = 15,
+    sort_by: str = "self_s",
+) -> str:
+    """Render the top-``k`` (op, scope) rows as an aligned text table.
+
+    ``sort_by`` is any numeric :class:`OpStat` field (``self_s``,
+    ``total_s``, ``calls``, ``flops``, ``bytes_in``...).
+    """
+    rows = sorted(stats, key=lambda s: getattr(s, sort_by), reverse=True)[:k]
+    total_self = sum(s.self_s for s in stats) or 1.0
+    header = (
+        f"{'op':<14} {'cat':<8} {'scope':<44} {'calls':>7} "
+        f"{'total_ms':>9} {'self_ms':>9} {'%self':>6} {'MFLOP':>8} {'MB_in':>8} {'MB_out':>8}"
+    )
+    lines = [header, "-" * len(header)]
+    for stat in rows:
+        scope = stat.scope if len(stat.scope) <= 44 else "…" + stat.scope[-43:]
+        lines.append(
+            f"{stat.name:<14} {stat.cat:<8} {scope:<44} {stat.calls:>7d} "
+            f"{stat.total_s * 1e3:>9.2f} {stat.self_s * 1e3:>9.2f} "
+            f"{100.0 * stat.self_s / total_self:>6.1f} "
+            f"{stat.flops / 1e6:>8.2f} "
+            f"{stat.bytes_in / 1e6:>8.2f} {stat.bytes_out / 1e6:>8.2f}"
+        )
+    return "\n".join(lines)
+
+
+def stats_payload(stats: Iterable[OpStat], top_k: int = 25) -> Dict[str, Any]:
+    """JSON-ready view of aggregated stats for the unified report."""
+    ordered = sorted(stats, key=lambda s: s.self_s, reverse=True)
+    return {
+        "top_ops": [stat.as_dict() for stat in ordered[:top_k]],
+        "num_distinct_ops": len(ordered),
+    }

@@ -8,12 +8,18 @@ from typing import Callable, List, Optional
 
 @dataclass
 class EpochLog:
-    """One epoch's summary for one task."""
+    """One epoch's summary for one task.
+
+    ``duration_s`` is the epoch's wall time as measured by the trainer
+    (0.0 in logs restored from checkpoints written before the field
+    existed).
+    """
 
     task: str
     epoch: int
     loss: float
     pairwise_accuracy: float
+    duration_s: float = 0.0
 
 
 @dataclass
@@ -39,8 +45,14 @@ ProgressCallback = Callable[[EpochLog], None]
 
 
 def print_progress(log: EpochLog) -> None:
-    """Simple stdout progress callback for examples and scripts."""
+    """Simple stdout progress callback for examples and scripts.
+
+    Flushes every line: progress must reach piped consumers (``tee``,
+    CI log streaming) as epochs finish, not when the buffer fills.
+    """
     print(
         f"[{log.task}] epoch {log.epoch:>3}  "
-        f"loss {log.loss:.4f}  pair-acc {log.pairwise_accuracy:.3f}"
+        f"loss {log.loss:.4f}  pair-acc {log.pairwise_accuracy:.3f}  "
+        f"{log.duration_s:.2f}s",
+        flush=True,
     )

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import copy
 import dataclasses
+import time
 from dataclasses import dataclass
 from typing import Any, Dict, Optional
 
@@ -96,6 +97,9 @@ class GroupSATrainer:
         self.optimizer = config.build_optimizer(model)
         self.history = History()
         self._epoch_counter = {"user": 0, "group": 0}
+        #: Optional :class:`repro.obs.GradientHealthMonitor`; when set,
+        #: every step's gradients are checked right after ``backward``.
+        self.grad_monitor: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # Serialization (checkpoint/resume support)
@@ -181,6 +185,7 @@ class GroupSATrainer:
         sampler = self.user_sampler if task == "user" else self.group_sampler
         self._epoch_counter[task] += 1
         epoch = self._epoch_counter[task]
+        started = time.perf_counter()
         total_loss = 0.0
         total_accuracy = 0.0
         batches = 0
@@ -200,6 +205,7 @@ class GroupSATrainer:
             epoch=epoch,
             loss=total_loss / batches,
             pairwise_accuracy=total_accuracy / batches,
+            duration_s=time.perf_counter() - started,
         )
         self.history.record(log)
         return log
@@ -221,6 +227,7 @@ class GroupSATrainer:
             # are trained at full strength regardless of w^u.
             loss = loss + bpr_loss(positive_embedding, negative_embedding)
         loss.backward()
+        self._check_gradients("user")
         self._clip()
         self.optimizer.step()
         return loss.item(), bpr_accuracy(positive_scores, negative_scores)
@@ -234,9 +241,16 @@ class GroupSATrainer:
         negative_scores = self.model.group_scores(batch, negatives)
         loss = bpr_loss(positive_scores, negative_scores)
         loss.backward()
+        self._check_gradients("group")
         self._clip()
         self.optimizer.step()
         return loss.item(), bpr_accuracy(positive_scores, negative_scores)
+
+    def _check_gradients(self, task: str) -> None:
+        if self.grad_monitor is not None:
+            self.grad_monitor.check(
+                self.model.named_parameters(), context=f"{task} step"
+            )
 
     def _clip(self) -> None:
         if self.config.grad_clip > 0:

@@ -89,6 +89,7 @@ def fit_groupsa(
     resume: bool = False,
     checkpoint_every: int = 1,
     keep_last: int = 3,
+    grad_monitor: Optional[object] = None,
 ) -> History:
     """Run the two-stage training schedule and return the history.
 
@@ -99,10 +100,20 @@ def fit_groupsa(
     ``resume=True`` the newest checkpoint in that directory is loaded
     and the schedule continues where it stopped; a resumed run produces
     the same final weights, bit for bit, as an uninterrupted one.
+
+    Observability hooks: a ``callback`` exposing a ``bind`` method (such
+    as :class:`repro.obs.RunMetrics`) is bound to the trainer before the
+    first epoch, and ``grad_monitor`` (a
+    :class:`repro.obs.GradientHealthMonitor`) checks gradients after
+    every backward pass.  Neither perturbs training.
     """
     if checkpoint_every < 1:
         raise ValueError("checkpoint_every must be at least 1")
     trainer = GroupSATrainer(model, split, batcher, training)
+    trainer.grad_monitor = grad_monitor
+    bind = getattr(callback, "bind", None)
+    if callable(bind):
+        bind(trainer)
     manager = (
         CheckpointManager(checkpoint_dir, keep_last=keep_last, mode="min")
         if checkpoint_dir is not None
@@ -169,6 +180,7 @@ def train_groupsa(
     resume: bool = False,
     checkpoint_every: int = 1,
     keep_last: int = 3,
+    grad_monitor: Optional[object] = None,
 ) -> tuple[GroupSA, GroupBatcher, History]:
     """Convenience: build + fit in one call.
 
@@ -189,5 +201,6 @@ def train_groupsa(
         resume=resume,
         checkpoint_every=checkpoint_every,
         keep_last=keep_last,
+        grad_monitor=grad_monitor,
     )
     return model, batcher, history

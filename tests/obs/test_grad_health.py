@@ -1,0 +1,106 @@
+"""Gradient health monitor: detection, actions, trainer integration."""
+
+import numpy as np
+import pytest
+
+from repro.nn.module import Parameter
+from repro.obs import GradientHealthError, GradientHealthMonitor
+from repro.training import TrainingConfig
+from repro.training.two_stage import build_model, fit_groupsa
+from tests.conftest import TINY_MODEL_CONFIG
+
+
+def _param(grad):
+    parameter = Parameter(np.zeros_like(grad, dtype=float))
+    parameter.grad = np.asarray(grad, dtype=float)
+    return parameter
+
+
+class TestDetection:
+    def test_nan_raises_by_default(self):
+        monitor = GradientHealthMonitor()
+        with pytest.raises(GradientHealthError, match="nan gradient in 'w'"):
+            monitor.check([("w", _param([1.0, np.nan]))], context="unit")
+        assert monitor.counts["nan"] == 1
+
+    def test_inf_raises_by_default(self):
+        monitor = GradientHealthMonitor()
+        with pytest.raises(GradientHealthError, match="inf gradient"):
+            monitor.check([("w", _param([np.inf, 0.0]))])
+
+    def test_warn_action(self):
+        monitor = GradientHealthMonitor(on_nonfinite="warn")
+        with pytest.warns(RuntimeWarning, match="nan gradient"):
+            issues = monitor.check([("w", _param([np.nan]))])
+        assert [issue.kind for issue in issues] == ["nan"]
+
+    def test_ignore_action_only_counts(self):
+        monitor = GradientHealthMonitor(on_nonfinite="ignore")
+        monitor.check([("w", _param([np.nan]))])
+        assert monitor.counts["nan"] == 1
+        assert monitor.issues[0].parameter == "w"
+
+    def test_vanishing_threshold(self):
+        monitor = GradientHealthMonitor(
+            on_vanishing="warn", vanish_threshold=1e-6
+        )
+        with pytest.warns(RuntimeWarning, match="vanishing gradient"):
+            monitor.check([("tiny", _param([1e-9])), ("ok", _param([0.1]))])
+        assert monitor.counts["vanishing"] == 1
+
+    def test_vanishing_disabled_by_default(self):
+        monitor = GradientHealthMonitor()
+        assert monitor.check([("zero", _param([0.0]))]) == []
+
+    def test_absent_gradient_is_not_vanishing(self):
+        monitor = GradientHealthMonitor(
+            on_vanishing="raise", vanish_threshold=1e-3
+        )
+        parameter = Parameter(np.zeros(3))
+        assert parameter.grad is None
+        assert monitor.check([("unused", parameter)]) == []
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ValueError):
+            GradientHealthMonitor(on_nonfinite="explode")
+        with pytest.raises(ValueError):
+            GradientHealthMonitor(vanish_threshold=-1.0)
+
+    def test_summary_rolls_up(self):
+        monitor = GradientHealthMonitor(on_nonfinite="ignore")
+        monitor.check([("a", _param([np.nan])), ("b", _param([0.5]))])
+        summary = monitor.summary()
+        assert summary["checks"] == 1
+        assert summary["counts"]["nan"] == 1
+        assert "a" in summary["last_issues"][0]
+
+
+class TestTrainerIntegration:
+    def test_healthy_run_checks_every_step(self, tiny_split):
+        monitor = GradientHealthMonitor()
+        training = TrainingConfig(
+            user_epochs=1, group_epochs=1, batch_size=64, seed=5
+        )
+        model, batcher = build_model(tiny_split, TINY_MODEL_CONFIG)
+        fit_groupsa(
+            model, tiny_split, batcher, training, grad_monitor=monitor
+        )
+        assert monitor.checks > 0
+        assert monitor.issues == []
+
+    @pytest.mark.filterwarnings("ignore::RuntimeWarning")
+    def test_poisoned_weights_abort_the_run(self, tiny_split):
+        training = TrainingConfig(
+            user_epochs=1, group_epochs=1, batch_size=64, seed=5
+        )
+        model, batcher = build_model(tiny_split, TINY_MODEL_CONFIG)
+        # NaN weights propagate into every gradient they touch.
+        model.item_embedding.weight.data[...] = np.nan
+        with pytest.raises(GradientHealthError):
+            fit_groupsa(
+                model,
+                tiny_split,
+                batcher,
+                training,
+                grad_monitor=GradientHealthMonitor(),
+            )

@@ -1,0 +1,249 @@
+"""OpProfiler unit tests: patching lifecycle, scopes, FLOPs, traces."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.autograd.tensor import Tensor, concatenate, stack, where
+from repro.nn.linear import Linear
+from repro.nn.module import Module
+from repro.obs import OpProfiler, attach_scopes
+from repro.obs.flops import estimate_flops, matmul_flops
+from repro.obs.trace import chrome_trace_events, format_top_table, write_chrome_trace
+
+
+def _stat(profiler, name, cat="op", scope=None):
+    rows = [
+        s
+        for s in profiler.stats()
+        if s.name == name and s.cat == cat and (scope is None or s.scope == scope)
+    ]
+    assert rows, f"no {cat} stat recorded for '{name}' (scope={scope})"
+    assert len(rows) == 1
+    return rows[0]
+
+
+class TestPatchingLifecycle:
+    def test_methods_untouched_when_inactive(self):
+        """Zero disabled overhead: the class holds the original functions."""
+        originals = {
+            "__matmul__": Tensor.__matmul__,
+            "__add__": Tensor.__add__,
+            "softmax": Tensor.softmax,
+            "_concatenate": Tensor.__dict__["_concatenate"].__func__,
+        }
+        call_original = Module.__call__
+        with OpProfiler():
+            assert Tensor.__matmul__ is not originals["__matmul__"]
+            assert Module.__call__ is not call_original
+        assert Tensor.__matmul__ is originals["__matmul__"]
+        assert Tensor.__add__ is originals["__add__"]
+        assert Tensor.softmax is originals["softmax"]
+        assert Tensor.__dict__["_concatenate"].__func__ is originals["_concatenate"]
+        assert Module.__call__ is call_original
+
+    def test_restored_after_exception(self):
+        original = Tensor.__matmul__
+        with pytest.raises(RuntimeError, match="boom"):
+            with OpProfiler():
+                raise RuntimeError("boom")
+        assert Tensor.__matmul__ is original
+
+    def test_profilers_do_not_nest(self):
+        with OpProfiler():
+            with pytest.raises(RuntimeError, match="already active"):
+                OpProfiler().__enter__()
+
+    def test_nothing_recorded_outside_context(self):
+        profiler = OpProfiler()
+        with profiler:
+            pass
+        a = Tensor(np.ones((3, 3)), requires_grad=True)
+        (a @ a).sum().backward()
+        assert profiler.stats() == []
+
+
+class TestRecording:
+    def test_counts_and_bytes(self):
+        a = Tensor(np.ones((8, 4)))
+        b = Tensor(np.ones((4, 8)))
+        with OpProfiler() as prof:
+            out = a @ b
+            out = out + 1.0
+        stat = _stat(prof, "matmul")
+        assert stat.calls == 1
+        assert stat.bytes_in == a.data.nbytes + b.data.nbytes
+        assert stat.bytes_out == out.data.nbytes
+        assert stat.total_s > 0.0
+        assert _stat(prof, "add").calls == 1
+
+    def test_free_functions_recorded_via_any_import_site(self):
+        a = Tensor(np.ones((2, 3)))
+        b = Tensor(np.ones((2, 3)))
+        with OpProfiler() as prof:
+            concatenate([a, b], axis=0)
+            stack((t for t in (a, b)), axis=0)  # generator argument
+            where(np.ones((2, 3), dtype=bool), a, b)
+        assert _stat(prof, "concatenate").calls == 1
+        stacked = _stat(prof, "stack")
+        assert stacked.calls == 1
+        assert stacked.bytes_in == a.data.nbytes + b.data.nbytes
+        assert _stat(prof, "where").calls == 1
+
+    def test_gather_recorded(self):
+        table = Tensor(np.ones((10, 4)), requires_grad=True)
+        with OpProfiler() as prof:
+            table[np.array([1, 2, 2])]
+        assert _stat(prof, "gather").calls == 1
+
+    def test_backward_closures_timed(self):
+        a = Tensor(np.ones((4, 4)), requires_grad=True)
+        with OpProfiler() as prof:
+            (a @ a).relu().sum().backward()
+        assert _stat(prof, "matmul", cat="backward").calls == 1
+        assert _stat(prof, "relu", cat="backward").calls == 1
+
+    def test_record_backward_off(self):
+        a = Tensor(np.ones((4, 4)), requires_grad=True)
+        with OpProfiler(record_backward=False) as prof:
+            (a @ a).sum().backward()
+        assert all(s.cat != "backward" for s in prof.stats())
+
+    def test_self_time_excludes_nested_ops(self):
+        """``mean`` is composite (sum + div): its children are recorded
+        and the parent op totals never lose time to double counting."""
+        a = Tensor(np.ones((64, 64)))
+        with OpProfiler() as prof:
+            a.mean(axis=0)
+        # mean is not instrumented itself; its constituents are.
+        assert _stat(prof, "sum").calls == 1
+        assert _stat(prof, "div").calls == 1
+        for stat in prof.stats():
+            assert stat.self_s <= stat.total_s + 1e-12
+
+    def test_event_cap_keeps_aggregate_exact(self):
+        a = Tensor(np.ones(4))
+        with OpProfiler(max_events=5) as prof:
+            for __ in range(20):
+                a + 1.0
+        assert len(prof.events) == 5
+        assert prof.dropped_events == 15
+        assert _stat(prof, "add").calls == 20
+        assert prof.totals()["dropped_events"] == 15
+
+
+class TestScopes:
+    def test_explicit_scope_nesting(self):
+        a = Tensor(np.ones((2, 2)))
+        with OpProfiler() as prof:
+            with prof.scope("outer"):
+                a + 1.0
+                with prof.scope("inner"):
+                    a * 2.0
+                a - 1.0
+            a / 2.0
+        assert _stat(prof, "add").scope == "outer"
+        assert _stat(prof, "mul").scope == "inner"
+        assert _stat(prof, "sub").scope == "outer"
+        assert _stat(prof, "div").scope == ""
+
+    def test_module_calls_enter_scopes(self):
+        layer = Linear(4, 2, rng=np.random.default_rng(0))
+        x = Tensor(np.ones((3, 4)))
+        with OpProfiler() as prof:
+            layer(x)
+        matmul = _stat(prof, "matmul")
+        assert matmul.scope == "Linear"
+
+    def test_attach_scopes_qualifies_names(self):
+        class Block(Module):
+            def __init__(self):
+                super().__init__()
+                self.proj = Linear(4, 4, rng=np.random.default_rng(0))
+
+            def forward(self, x):
+                return self.proj(x)
+
+        class Net(Module):
+            def __init__(self):
+                super().__init__()
+                self.block = Block()
+
+            def forward(self, x):
+                return self.block(x)
+
+        net = Net()
+        attach_scopes(net, root="net")
+        assert net.scope_name() == "net"
+        assert net.block.proj.scope_name() == "net.block.proj"
+        with OpProfiler() as prof:
+            net(Tensor(np.ones((2, 4))))
+        assert _stat(prof, "matmul").scope == "net.block.proj"
+
+    def test_backward_attributed_to_creation_scope(self):
+        a = Tensor(np.ones((4, 4)), requires_grad=True)
+        with OpProfiler() as prof:
+            with prof.scope("fw"):
+                out = (a @ a).sum()
+            out.backward()  # outside the scope
+        assert _stat(prof, "matmul", cat="backward").scope == "fw"
+
+
+class TestFlops:
+    def test_matmul_known_shapes(self):
+        assert matmul_flops((4, 8), (4, 16)) == 2 * 4 * 8 * 16
+        # batched with broadcast: (3, 5, 7) @ (7, 2) -> (3, 5, 2)
+        assert matmul_flops((3, 5, 7), (3, 5, 2)) == 2 * 7 * 3 * 5 * 2
+
+    def test_matmul_recorded_flops(self):
+        a = Tensor(np.ones((4, 8)))
+        b = Tensor(np.ones((8, 16)))
+        with OpProfiler() as prof:
+            a @ b
+        assert _stat(prof, "matmul").flops == 2 * 4 * 8 * 16
+
+    def test_softmax_estimate(self):
+        assert estimate_flops("softmax", ((32, 10),), (32, 10)) == 5 * 320
+
+    def test_data_movement_is_free(self):
+        assert estimate_flops("reshape", ((4, 4),), (16,)) == 0
+        assert estimate_flops("gather", ((100, 8),), (5, 8)) == 0
+        assert estimate_flops("unknown_op", ((4,),), (4,)) == 0
+
+
+class TestExport:
+    def test_chrome_trace_round_trip(self, tmp_path):
+        a = Tensor(np.ones((4, 4)), requires_grad=True)
+        with OpProfiler() as prof:
+            with prof.scope("phase"):
+                (a @ a).softmax().sum().backward()
+        path = tmp_path / "trace.json"
+        written = write_chrome_trace(prof, str(path))
+        document = json.loads(path.read_text())
+        events = document["traceEvents"]
+        assert written == len(events) > 0
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["ts"] >= 0.0
+            assert event["dur"] >= 0.0
+        names = {event["name"] for event in events}
+        assert {"matmul", "softmax", "scope:phase"} <= names
+        cats = {event["cat"] for event in events}
+        assert {"op", "backward", "scope"} <= cats
+
+    def test_empty_profile_exports_empty_trace(self):
+        profiler = OpProfiler()
+        with profiler:
+            pass
+        assert chrome_trace_events(profiler) == []
+
+    def test_top_table_mentions_ops_and_scopes(self):
+        a = Tensor(np.ones((16, 16)))
+        with OpProfiler() as prof:
+            with prof.scope("hot"):
+                a @ a
+        table = format_top_table(prof.stats(), k=5)
+        assert "matmul" in table
+        assert "hot" in table
+        assert "self_ms" in table.splitlines()[0]
