@@ -15,8 +15,15 @@ The public surface mirrors the familiar torch idioms::
     x.grad  # numpy array with d(y)/d(x)
 """
 
-from repro.autograd.context import is_grad_enabled, no_grad
+from repro.autograd.context import (
+    is_grad_enabled,
+    no_grad,
+    set_sparse_grads,
+    sparse_grads,
+    sparse_grads_enabled,
+)
 from repro.autograd.grad_check import gradcheck, numerical_gradient
+from repro.autograd.sparse import RowSparseGrad
 from repro.autograd.tensor import Tensor, as_tensor
 
 __all__ = [
@@ -24,6 +31,10 @@ __all__ = [
     "as_tensor",
     "no_grad",
     "is_grad_enabled",
+    "sparse_grads",
+    "sparse_grads_enabled",
+    "set_sparse_grads",
+    "RowSparseGrad",
     "gradcheck",
     "numerical_gradient",
 ]

@@ -1,8 +1,15 @@
-"""Global gradient-recording switch.
+"""Global gradient-recording switches.
 
 Mirrors ``torch.no_grad``: inside a ``no_grad()`` block no computation
 graph is recorded, which makes evaluation loops cheap and guards against
 accidentally training through the metric code.
+
+A second, independent switch gates *row-sparse* gather gradients: when
+enabled, integer-index gathers from tensors that opted in (embedding
+tables) emit a :class:`~repro.autograd.sparse.RowSparseGrad` instead of
+a dense ``zeros_like(table)`` scatter.  Off by default so ad-hoc
+autograd code keeps plain ndarray gradients; the trainer turns it on
+per step (``TrainingConfig.sparse_grads``).
 """
 
 from __future__ import annotations
@@ -11,6 +18,7 @@ import contextlib
 from typing import Iterator
 
 _GRAD_ENABLED = True
+_SPARSE_GRADS = False
 
 
 def is_grad_enabled() -> bool:
@@ -40,3 +48,31 @@ def enable_grad() -> Iterator[None]:
         yield
     finally:
         _GRAD_ENABLED = previous
+
+
+def sparse_grads_enabled() -> bool:
+    """Return whether opted-in gathers emit row-sparse gradients."""
+    return _SPARSE_GRADS
+
+
+def set_sparse_grads(enabled: bool) -> bool:
+    """Set the row-sparse gather switch; returns the previous value."""
+    global _SPARSE_GRADS
+    previous = _SPARSE_GRADS
+    _SPARSE_GRADS = bool(enabled)
+    return previous
+
+
+@contextlib.contextmanager
+def sparse_grads(enabled: bool = True) -> Iterator[None]:
+    """Scope the row-sparse gather switch (the opt-out knob).
+
+    The flag is read when a gather records its backward closure, so it
+    must wrap the *forward* pass of the ops whose gradients should be
+    row-sparse.
+    """
+    previous = set_sparse_grads(enabled)
+    try:
+        yield
+    finally:
+        set_sparse_grads(previous)

@@ -1,0 +1,163 @@
+"""Row-sparse gradients for embedding-style parameters.
+
+A mini-batch gathers ``O(batch)`` rows out of an embedding table with
+millions of rows; the adjoint of that gather is a scatter-add that is
+zero everywhere except those rows.  Materializing it as a dense
+``zeros_like(table)`` array makes every training step pay
+``O(rows * dim)`` regardless of the batch — :class:`RowSparseGrad`
+stores just the touched row indices and their gradient rows instead, so
+backward cost scales with the batch.
+
+Bit-exactness contract
+----------------------
+Every operation here reproduces the floating-point *operation order* of
+the dense path it replaces:
+
+- construction coalesces duplicate indices with ``np.add.at`` over the
+  original gather sequence — the same per-destination accumulation
+  order ``np.add.at(full, index, grad)`` uses;
+- sparse + sparse accumulation adds the incoming coalesced row onto the
+  existing one with a single elementwise add, exactly like ``dense +=
+  dense`` adds the two scatter results;
+- sparse + dense accumulation scatters the coalesced rows with one add
+  per element.
+
+Together with the lazy optimizer fast paths (:mod:`repro.optim`), a
+training run with row-sparse gradients produces final weights identical
+to the dense run (up to the sign of exact zeros, which ``==`` ignores).
+
+Gathers opt in per tensor (``tensor._sparse_grad = True``; the
+:class:`~repro.nn.embedding.Embedding` layer marks its table) and the
+path is globally gated by
+:func:`repro.autograd.context.sparse_grads_enabled` — the opt-out knob.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+class RowSparseGrad:
+    """Gradient of shape ``shape`` that is non-zero only on some rows.
+
+    Attributes
+    ----------
+    indices:
+        ``(k,)`` sorted, unique ``int64`` row indices into axis 0.
+    values:
+        ``(k,) + shape[1:]`` gradient rows aligned with ``indices``.
+    shape:
+        The dense shape this gradient stands in for.
+    """
+
+    __slots__ = ("indices", "values", "shape")
+
+    def __init__(
+        self, indices: np.ndarray, values: np.ndarray, shape: Tuple[int, ...]
+    ) -> None:
+        self.indices = indices
+        self.values = values
+        self.shape = tuple(shape)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_gather(
+        cls, index: np.ndarray, grad: np.ndarray, shape: Tuple[int, ...]
+    ) -> "RowSparseGrad":
+        """Coalesce a gather's output gradient into per-row totals.
+
+        ``index`` may have any shape and repeated entries; ``grad`` has
+        shape ``index.shape + shape[1:]``.  Duplicates accumulate in
+        their original sequence order, matching ``np.add.at`` on a dense
+        buffer bit for bit.
+        """
+        flat_index = np.asarray(index, dtype=np.int64).reshape(-1)
+        rows = np.asarray(grad).reshape((flat_index.size,) + tuple(shape[1:]))
+        unique, inverse = np.unique(flat_index, return_inverse=True)
+        values = np.zeros((unique.size,) + tuple(shape[1:]), dtype=rows.dtype)
+        np.add.at(values, inverse, rows)
+        return cls(unique, values, shape)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.values.dtype
+
+    @property
+    def nnz_rows(self) -> int:
+        """Number of rows carrying gradient."""
+        return int(self.indices.size)
+
+    @property
+    def nbytes(self) -> int:
+        """Actual memory footprint (indices + values)."""
+        return int(self.indices.nbytes + self.values.nbytes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RowSparseGrad(shape={self.shape}, nnz_rows={self.nnz_rows})"
+        )
+
+    # ------------------------------------------------------------------
+    # Accumulation / consumption
+    # ------------------------------------------------------------------
+
+    def add_(self, other: "RowSparseGrad") -> "RowSparseGrad":
+        """In-place ``self += other``; returns self.
+
+        Rows present in both operands get one elementwise add (the same
+        single add the dense ``+=`` would perform); disjoint rows are
+        merged into a re-sorted union.
+        """
+        if self.shape != other.shape:
+            raise ValueError(
+                f"row-sparse shapes differ: {self.shape} vs {other.shape}"
+            )
+        if self.indices.size == other.indices.size and np.array_equal(
+            self.indices, other.indices
+        ):
+            self.values += other.values
+            return self
+        union = np.union1d(self.indices, other.indices)
+        values = np.zeros(
+            (union.size,) + tuple(self.shape[1:]), dtype=self.values.dtype
+        )
+        values[np.searchsorted(union, self.indices)] = self.values
+        values[np.searchsorted(union, other.indices)] += other.values
+        self.indices = union
+        self.values = values
+        return self
+
+    def add_to_dense(self, dense: np.ndarray) -> np.ndarray:
+        """``dense += self`` (indices are unique, so plain ``+=`` works)."""
+        dense[self.indices] += self.values
+        return dense
+
+    def to_dense(self) -> np.ndarray:
+        """Materialize the full dense gradient (zeros off the rows)."""
+        out = np.zeros(self.shape, dtype=self.values.dtype)
+        out[self.indices] = self.values
+        return out
+
+    def __imul__(self, scale: float) -> "RowSparseGrad":
+        """In-place scalar scaling (used by gradient clipping)."""
+        self.values *= scale
+        return self
+
+    def sq_sum(self) -> float:
+        """Sum of squared entries over the touched rows.
+
+        Cheap diagnostic used by run metrics.  For the *canonical* norm
+        that matches the dense path bit for bit (gradient clipping),
+        densify first — numpy's pairwise summation tree differs between
+        a full table and its non-zero rows.
+        """
+        return float(np.square(self.values).sum())

@@ -18,7 +18,8 @@ from typing import Any, Callable, Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.autograd.context import is_grad_enabled
+from repro.autograd.context import is_grad_enabled, sparse_grads_enabled
+from repro.autograd.sparse import RowSparseGrad
 
 ArrayLike = Union["Tensor", np.ndarray, float, int, Sequence[Any]]
 
@@ -58,7 +59,8 @@ class Tensor:
             data = data.data
         self.data = np.asarray(data, dtype=dtype)
         self.requires_grad = bool(requires_grad)
-        self.grad: Optional[np.ndarray] = None
+        #: ``None`` | dense ndarray | :class:`RowSparseGrad` (leaf gathers).
+        self.grad: Optional[Union[np.ndarray, RowSparseGrad]] = None
         self._backward: Optional[Callable[[np.ndarray], None]] = None
         self._parents: Tuple[Tensor, ...] = ()
 
@@ -146,9 +148,29 @@ class Tensor:
     # Backward pass
     # ------------------------------------------------------------------
 
-    def _accumulate(self, grad: np.ndarray) -> None:
-        if self.grad is None:
+    def _accumulate(self, grad: Union[np.ndarray, RowSparseGrad]) -> None:
+        """Add ``grad`` into ``self.grad``, coalescing sparse/dense mixes.
+
+        The accumulation rules preserve the dense path's floating-point
+        operation order: sparse + sparse merges with one elementwise add
+        per shared row, sparse into dense scatter-adds the coalesced
+        rows, and a dense gradient arriving on a sparse accumulator
+        densifies the accumulator first.
+        """
+        if isinstance(grad, RowSparseGrad):
+            if self.grad is None:
+                # The closure built this object for us; no copy needed.
+                self.grad = grad
+            elif isinstance(self.grad, RowSparseGrad):
+                self.grad = self.grad.add_(grad)
+            else:
+                grad.add_to_dense(self.grad)
+        elif self.grad is None:
             self.grad = grad.copy()
+        elif isinstance(self.grad, RowSparseGrad):
+            dense = self.grad.to_dense()
+            dense += grad
+            self.grad = dense
         else:
             self.grad += grad
 
@@ -471,14 +493,36 @@ class Tensor:
     def __getitem__(self, index: Any) -> "Tensor":
         """Slice or gather.  Integer-array indices make this the embedding
         lookup primitive: gradients are scatter-added back with
-        ``np.add.at`` so repeated indices accumulate correctly."""
+        ``np.add.at`` so repeated indices accumulate correctly.
+
+        When row-sparse gradients are enabled (see
+        :func:`repro.autograd.context.sparse_grads`) and this tensor is
+        an opted-in leaf (``_sparse_grad``, set by
+        :class:`~repro.nn.embedding.Embedding`), the backward pass emits
+        a :class:`RowSparseGrad` carrying only the touched rows instead
+        of materializing a dense ``zeros_like`` table."""
         data = self.data[index]
 
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                full = np.zeros_like(self.data)
-                np.add.at(full, index, grad)
-                self._accumulate(full)
+        if (
+            self._backward is None
+            and isinstance(index, np.ndarray)
+            and index.dtype.kind in "iu"
+            and getattr(self, "_sparse_grad", False)
+            and sparse_grads_enabled()
+        ):
+            shape = self.shape
+
+            def backward(grad: np.ndarray) -> None:
+                if self.requires_grad:
+                    self._accumulate(RowSparseGrad.from_gather(index, grad, shape))
+
+        else:
+
+            def backward(grad: np.ndarray) -> None:
+                if self.requires_grad:
+                    full = np.zeros_like(self.data)
+                    np.add.at(full, index, grad)
+                    self._accumulate(full)
 
         return Tensor._from_op(np.asarray(data), (self,), backward)
 

@@ -65,6 +65,7 @@ def _command_train(args: argparse.Namespace) -> int:
         group_epochs=args.group_epochs,
         learning_rate=args.lr,
         seed=args.seed,
+        sparse_grads=not args.dense_grads,
     )
     monitor = None
     if args.grad_health != "off":
@@ -285,6 +286,13 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--group-epochs", type=int, default=30)
     train.add_argument("--lr", type=float, default=0.01)
     train.add_argument("--seed", type=int, default=0)
+    train.add_argument(
+        "--dense-grads",
+        action="store_true",
+        help="force the dense reference gradient path (row-sparse "
+        "embedding gradients are on by default and bit-identical; "
+        "see docs/performance.md)",
+    )
     train.add_argument(
         "--checkpoint-dir",
         default=None,

@@ -62,17 +62,24 @@ class GroupBatcher:
         self._mask = np.zeros((count, length), dtype=bool)
         self._adjacency = np.zeros((count, length, length), dtype=bool)
 
-        friend_sets = dataset.friend_set()
         for group_id, members in enumerate(dataset.group_members):
             kept = members[:length]
             size = kept.size
             self._members[group_id, :size] = kept
             self._mask[group_id, :size] = True
-            if closeness is None:
-                local = _local_adjacency(kept, friend_sets)
-            else:
+        if closeness is None:
+            self._adjacency = _pairwise_adjacency(
+                self._members,
+                self._mask,
+                dataset.friend_set(),
+                dataset.num_users,
+            )
+        else:
+            for group_id, members in enumerate(dataset.group_members):
+                kept = members[:length]
+                size = kept.size
                 local = np.asarray(closeness(kept), dtype=bool)
-            self._adjacency[group_id, :size, :size] = local
+                self._adjacency[group_id, :size, :size] = local
 
     def batch(self, group_ids: Sequence[int]) -> GroupBatch:
         ids = np.asarray(group_ids, dtype=np.int64)
@@ -87,7 +94,56 @@ class GroupBatcher:
         return self.batch(np.arange(len(self._members)))
 
 
+def _pairwise_adjacency(
+    members: np.ndarray,
+    mask: np.ndarray,
+    friend_sets: List[Set[int]],
+    num_users: int,
+    chunk_groups: int = 512,
+) -> np.ndarray:
+    """Vectorized batch version of :func:`_local_adjacency`.
+
+    Friendship edges are encoded as ``u * num_users + v`` and probed with
+    a single sorted-membership test over all padded member pairs at once
+    (chunked over groups to bound the ``chunk × L × L`` temporaries).
+    Like the reference, only the upper triangle is *checked* — the
+    ``row < col`` direction of a possibly asymmetric friend relation —
+    and the result is symmetrized.
+    """
+    count, length = members.shape
+    total = sum(len(friends) for friends in friend_sets)
+    codes = np.empty(total, dtype=np.int64)
+    position = 0
+    for user, friends in enumerate(friend_sets):
+        if friends:
+            ids = np.fromiter(friends, dtype=np.int64, count=len(friends))
+            codes[position : position + ids.size] = user * num_users + ids
+            position += ids.size
+    codes.sort()
+    adjacency = np.zeros((count, length, length), dtype=bool)
+    if total == 0:
+        return adjacency
+    upper_triangle = np.triu(np.ones((length, length), dtype=bool), k=1)
+    for start in range(0, count, chunk_groups):
+        block = members[start : start + chunk_groups]
+        valid = mask[start : start + chunk_groups]
+        pair_codes = block[:, :, None] * num_users + block[:, None, :]
+        connected = np.isin(pair_codes, codes)
+        directed = (
+            connected & valid[:, :, None] & valid[:, None, :] & upper_triangle
+        )
+        adjacency[start : start + chunk_groups] = directed | directed.transpose(
+            0, 2, 1
+        )
+    return adjacency
+
+
 def _local_adjacency(members: np.ndarray, friend_sets: List[Set[int]]) -> np.ndarray:
+    """Reference single-group adjacency builder.
+
+    Kept as the readable specification (and test oracle) for
+    :func:`_pairwise_adjacency`, which must reproduce it bit for bit.
+    """
     size = members.size
     adjacency = np.zeros((size, size), dtype=bool)
     for row, user in enumerate(members):

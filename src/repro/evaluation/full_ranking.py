@@ -9,12 +9,31 @@ entity has never interacted with.
 
 from __future__ import annotations
 
-from typing import Sequence, Set, Tuple
+from typing import Dict, Sequence, Set, Tuple
 
 import numpy as np
 
 from repro.evaluation.metrics import summarize
 from repro.evaluation.protocol import RankingResult, ScoreFn
+
+
+def _seen_mask(
+    cache: Dict[int, np.ndarray],
+    interacted: Sequence[Set[int]],
+    entity: int,
+    num_items: int,
+) -> np.ndarray:
+    """Boolean "entity has interacted with item" mask, built once per
+    entity (test edges repeat entities, and a vectorized mask lookup
+    replaces the per-item Python set probes of the naive loop)."""
+    mask = cache.get(entity)
+    if mask is None:
+        mask = np.zeros(num_items, dtype=bool)
+        seen = interacted[entity]
+        if seen:
+            mask[np.fromiter(seen, dtype=np.int64, count=len(seen))] = True
+        cache[entity] = mask
+    return mask
 
 
 def evaluate_full_ranking(
@@ -35,10 +54,11 @@ def evaluate_full_ranking(
     count = len(test_edges)
     ranks = np.empty(count, dtype=float)
     all_items = np.arange(num_items, dtype=np.int64)
+    mask_cache: Dict[int, np.ndarray] = {}
     for position, (entity, positive) in enumerate(test_edges):
         entity = int(entity)
         positive = int(positive)
-        seen = interacted[entity]
+        seen_mask = _seen_mask(mask_cache, interacted, entity, num_items)
         positive_score = float(
             score_fn(np.array([entity]), np.array([positive]))[0]
         )
@@ -47,9 +67,11 @@ def evaluate_full_ranking(
         for start in range(0, num_items, chunk_items):
             items = all_items[start : start + chunk_items]
             scores = score_fn(np.full(items.size, entity, dtype=np.int64), items)
-            keep = np.array(
-                [item not in seen and item != positive for item in items]
-            )
+            # ``~`` allocates a fresh array, so the positive's slot can
+            # be cleared in place without touching the cached mask.
+            keep = ~seen_mask[start : start + items.size]
+            if start <= positive < start + items.size:
+                keep[positive - start] = False
             kept_scores = scores[keep]
             stronger += float((kept_scores > positive_score).sum())
             ties += float((kept_scores == positive_score).sum())

@@ -35,6 +35,10 @@ class Embedding(Module):
         else:
             raise ValueError(f"unknown weight_init '{weight_init}'")
         self.weight = Parameter(weight)
+        # Embedding tables are the row-gather workload the sparse
+        # gradient path exists for; mark the table as eligible (the
+        # global sparse_grads switch still gates actual emission).
+        self.weight._sparse_grad = True
 
     def forward(self, indices: np.ndarray) -> Tensor:
         """Gather embeddings; output shape is ``indices.shape + (dim,)``."""
@@ -43,4 +47,10 @@ class Embedding(Module):
             raise IndexError(
                 f"embedding index out of range [0, {self.num_embeddings})"
             )
+        hook = self.weight._gather_hook
+        if hook is not None:
+            # Lazy optimizers defer updates for untouched rows; give
+            # them a chance to bring the rows we are about to read up
+            # to date, so the forward pass sees dense-path weights.
+            hook(indices)
         return self.weight[indices]

@@ -10,12 +10,25 @@ from repro.autograd.tensor import Tensor
 
 
 class Parameter(Tensor):
-    """A tensor registered as a trainable weight of a :class:`Module`."""
+    """A tensor registered as a trainable weight of a :class:`Module`.
 
-    __slots__ = ()
+    Two extra slots support the row-sparse gradient path for
+    embedding-style tables:
+
+    - ``_sparse_grad``: opt-in flag read by the gather backward — when
+      set (and sparse gradients are globally enabled), integer-index
+      gathers emit a :class:`~repro.autograd.sparse.RowSparseGrad`;
+    - ``_gather_hook``: optional pre-read callback, installed by lazy
+      optimizers, invoked with the gather indices *before* the rows are
+      read so lazily deferred updates can be applied first.
+    """
+
+    __slots__ = ("_sparse_grad", "_gather_hook")
 
     def __init__(self, data: Any) -> None:
         super().__init__(data, requires_grad=True)
+        self._sparse_grad = False
+        self._gather_hook = None
 
 
 class Module:

@@ -19,6 +19,8 @@ from typing import Any, Dict, Iterable, List, Tuple
 
 import numpy as np
 
+from repro.autograd.sparse import RowSparseGrad
+
 _ACTIONS = ("raise", "warn", "ignore")
 
 
@@ -94,6 +96,12 @@ class GradientHealthMonitor:
             grad = getattr(parameter, "grad", None)
             if grad is None:
                 continue
+            if isinstance(grad, RowSparseGrad):
+                # Inspect just the touched rows — the implicit rows are
+                # exact zeros (finite by construction), so checking the
+                # values is equivalent to checking the dense gradient
+                # without materializing it.
+                grad = grad.values
             if np.isnan(grad).any():
                 found.append(GradIssue("nan", name, float("nan"), context))
                 continue

@@ -25,6 +25,7 @@ from typing import Any, Dict, IO, List, Optional, Tuple
 
 import numpy as np
 
+from repro.autograd.sparse import RowSparseGrad
 from repro.obs.grad_health import GradientHealthMonitor
 from repro.obs.report import make_report
 from repro.training.callbacks import EpochLog, ProgressCallback
@@ -127,7 +128,12 @@ class RunMetrics:
             if grad is None:
                 continue
             seen = True
-            total += float(np.square(grad).sum())
+            if isinstance(grad, RowSparseGrad):
+                # Diagnostic norm over the touched rows; the implicit
+                # rows contribute exactly zero, no densification needed.
+                total += grad.sq_sum()
+            else:
+                total += float(np.square(grad).sum())
         return math.sqrt(total) if seen else None
 
     def _update_ratios(self) -> Optional[Dict[str, float]]:

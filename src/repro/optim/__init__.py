@@ -2,6 +2,7 @@
 
 from repro.optim.adam import Adam
 from repro.optim.clipping import clip_grad_norm, global_grad_norm
+from repro.optim.lazy import LazyRowState
 from repro.optim.optimizer import Optimizer
 from repro.optim.schedulers import ConstantSchedule, StepDecay
 from repro.optim.sgd import SGD
@@ -12,6 +13,7 @@ __all__ = [
     "Adam",
     "StepDecay",
     "ConstantSchedule",
+    "LazyRowState",
     "clip_grad_norm",
     "global_grad_norm",
 ]

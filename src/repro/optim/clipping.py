@@ -6,15 +6,27 @@ from typing import Iterable
 
 import numpy as np
 
+from repro.autograd.sparse import RowSparseGrad
 from repro.nn.module import Parameter
 
 
 def global_grad_norm(parameters: Iterable[Parameter]) -> float:
-    """L2 norm of all gradients concatenated."""
+    """L2 norm of all gradients concatenated.
+
+    Row-sparse gradients are densified for the reduction: numpy's
+    pairwise summation tree depends on the array length, so summing
+    squares over just the touched rows would differ from the dense norm
+    in the last bits — and the clip scale derived from it would break
+    the sparse path's bit-for-bit equivalence with dense training.
+    """
     total = 0.0
     for parameter in parameters:
-        if parameter.grad is not None:
-            total += float((parameter.grad**2).sum())
+        grad = parameter.grad
+        if grad is None:
+            continue
+        if isinstance(grad, RowSparseGrad):
+            grad = grad.to_dense()
+        total += float((grad**2).sum())
     return float(np.sqrt(total))
 
 

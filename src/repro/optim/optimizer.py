@@ -35,6 +35,13 @@ class Optimizer:
     def step(self) -> None:
         raise NotImplementedError
 
+    def sync(self) -> None:
+        """Apply any deferred (lazily skipped) updates.
+
+        Optimizers with a row-sparse fast path override this; for plain
+        eager optimizers every step is already fully applied.
+        """
+
     # ------------------------------------------------------------------
     # Serialization (checkpoint/resume support)
     # ------------------------------------------------------------------

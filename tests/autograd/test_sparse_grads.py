@@ -1,0 +1,184 @@
+"""Unit tests for :class:`repro.autograd.sparse.RowSparseGrad` and the
+gather backward that emits it."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import (
+    RowSparseGrad,
+    Tensor,
+    set_sparse_grads,
+    sparse_grads,
+    sparse_grads_enabled,
+)
+from repro.nn.embedding import Embedding
+from repro.nn.module import Parameter
+
+
+def _leaf(rows=6, dim=3, seed=0):
+    """An opted-in leaf table (``Parameter`` carries the opt-in slot)."""
+    data = np.random.default_rng(seed).normal(size=(rows, dim))
+    parameter = Parameter(data)
+    parameter._sparse_grad = True
+    return parameter
+
+
+class TestGatherBackward:
+    def test_emits_row_sparse_grad_when_enabled(self):
+        leaf = _leaf()
+        index = np.array([4, 1, 4, 0])
+        with sparse_grads():
+            out = leaf[index]
+            out.backward(np.ones(out.shape))
+        assert isinstance(leaf.grad, RowSparseGrad)
+        np.testing.assert_array_equal(leaf.grad.indices, [0, 1, 4])
+        assert leaf.grad.shape == leaf.shape
+
+    def test_coalescing_matches_dense_scatter_bitwise(self):
+        leaf = _leaf(rows=8)
+        index = np.array([[5, 2, 5], [5, 0, 2]])
+        upstream = np.random.default_rng(1).normal(size=(2, 3, 3))
+
+        with sparse_grads():
+            out = leaf[index]
+            out.backward(upstream)
+        sparse = leaf.grad
+
+        dense_leaf = _leaf(rows=8)
+        out = dense_leaf[index]
+        out.backward(upstream)
+        dense = dense_leaf.grad
+
+        assert isinstance(sparse, RowSparseGrad)
+        assert isinstance(dense, np.ndarray)
+        np.testing.assert_array_equal(sparse.to_dense(), dense)
+        assert sparse.to_dense().tobytes() == dense.tobytes()
+
+    def test_disabled_by_default(self):
+        leaf = _leaf()
+        assert not sparse_grads_enabled()
+        out = leaf[np.array([1, 2])]
+        out.backward(np.ones(out.shape))
+        assert isinstance(leaf.grad, np.ndarray)
+
+    def test_opt_out_per_tensor(self):
+        plain = Tensor(np.ones((4, 2)), requires_grad=True)  # no _sparse_grad
+        with sparse_grads():
+            out = plain[np.array([0, 3])]
+            out.backward(np.ones(out.shape))
+        assert isinstance(plain.grad, np.ndarray)
+
+    def test_opt_out_restores_previous_state(self):
+        previous = set_sparse_grads(True)
+        try:
+            assert sparse_grads_enabled()
+            with sparse_grads(False):
+                assert not sparse_grads_enabled()
+            assert sparse_grads_enabled()
+        finally:
+            set_sparse_grads(previous)
+
+    def test_non_leaf_gather_stays_dense(self):
+        """Gathers from computed tensors (which carry no opt-in slot)
+        keep the dense scatter backward."""
+        leaf = _leaf()
+        with sparse_grads():
+            doubled = leaf * 2.0
+            out = doubled[np.array([0, 1])]
+            out.backward(np.ones(out.shape))
+        assert isinstance(leaf.grad, np.ndarray)
+
+    def test_slice_indexing_stays_dense(self):
+        leaf = _leaf()
+        with sparse_grads():
+            out = leaf[1:3]
+            out.backward(np.ones(out.shape))
+        assert isinstance(leaf.grad, np.ndarray)
+
+
+class TestAccumulation:
+    def _sparse(self, index, rows=6, dim=2, seed=0):
+        grad = np.random.default_rng(seed).normal(
+            size=(len(index),) + (dim,)
+        )
+        return (
+            RowSparseGrad.from_gather(np.asarray(index), grad, (rows, dim)),
+            grad,
+        )
+
+    def test_sparse_plus_sparse_same_rows(self):
+        a, __ = self._sparse([1, 3], seed=1)
+        b, __ = self._sparse([1, 3], seed=2)
+        expected = a.to_dense() + b.to_dense()
+        a.add_(b)
+        np.testing.assert_array_equal(a.to_dense(), expected)
+
+    def test_sparse_plus_sparse_disjoint_rows(self):
+        a, __ = self._sparse([0, 2], seed=1)
+        b, __ = self._sparse([1, 5], seed=2)
+        expected = a.to_dense() + b.to_dense()
+        a.add_(b)
+        np.testing.assert_array_equal(a.indices, [0, 1, 2, 5])
+        np.testing.assert_array_equal(a.to_dense(), expected)
+
+    def test_sparse_plus_sparse_overlapping_rows(self):
+        a, __ = self._sparse([0, 2, 4], seed=1)
+        b, __ = self._sparse([2, 3], seed=2)
+        expected = a.to_dense() + b.to_dense()
+        a.add_(b)
+        np.testing.assert_array_equal(a.to_dense(), expected)
+
+    def test_sparse_into_dense(self):
+        sparse, __ = self._sparse([1, 4], seed=3)
+        dense = np.random.default_rng(4).normal(size=(6, 2))
+        expected = dense + sparse.to_dense()
+        sparse.add_to_dense(dense)
+        np.testing.assert_array_equal(dense, expected)
+
+    def test_mixed_graph_accumulation(self):
+        """A leaf consumed by both a gather and a dense op ends up with
+        a correct dense gradient."""
+        leaf = _leaf(rows=4, dim=2)
+        with sparse_grads():
+            gathered = leaf[np.array([0, 2])]
+            loss = (gathered * gathered).sum() + (leaf * leaf).sum()
+            loss.backward()
+        assert isinstance(leaf.grad, np.ndarray)
+        expected = 2.0 * leaf.data.copy()
+        expected[[0, 2]] += 2.0 * leaf.data[[0, 2]]
+        np.testing.assert_allclose(leaf.grad, expected)
+
+    def test_shape_mismatch_rejected(self):
+        a, __ = self._sparse([0], rows=6)
+        b, __ = self._sparse([0], rows=7)
+        with pytest.raises(ValueError, match="shapes differ"):
+            a.add_(b)
+
+
+class TestRowSparseGradOps:
+    def test_scaling_matches_dense(self):
+        grad = RowSparseGrad.from_gather(
+            np.array([0, 3]), np.ones((2, 2)), (5, 2)
+        )
+        dense = grad.to_dense()
+        grad *= 0.25
+        dense *= 0.25
+        np.testing.assert_array_equal(grad.to_dense(), dense)
+
+    def test_sq_sum(self):
+        grad = RowSparseGrad.from_gather(
+            np.array([0, 3]), np.full((2, 2), 2.0), (50, 2)
+        )
+        assert grad.sq_sum() == pytest.approx(16.0)
+
+    def test_nbytes_scales_with_rows_not_table(self):
+        small = RowSparseGrad.from_gather(
+            np.array([0, 1]), np.ones((2, 4)), (10_000, 4)
+        )
+        assert small.nbytes < 1_000
+        assert small.nnz_rows == 2
+
+    def test_embedding_marks_weight(self):
+        table = Embedding(5, 3, rng=np.random.default_rng(0))
+        assert table.weight._sparse_grad is True
+        assert table.weight._gather_hook is None

@@ -1,0 +1,114 @@
+"""Pin the vectorized GroupBatcher adjacency to the per-group reference.
+
+``_pairwise_adjacency`` must reproduce ``_local_adjacency`` — including
+its quirk of checking only the ``row < col`` direction of a possibly
+asymmetric friend relation before symmetrizing — bit for bit on the
+padded (B, L, L) blocks."""
+
+import numpy as np
+
+from repro.data.loaders import GroupBatcher, _local_adjacency, _pairwise_adjacency
+from repro.data.synthetic import generate
+from tests.conftest import TINY_CONFIG
+
+
+def _reference_batcher_arrays(dataset, length):
+    """Replicate the pre-vectorization __init__ loop."""
+    count = dataset.num_groups
+    members = np.zeros((count, length), dtype=np.int64)
+    mask = np.zeros((count, length), dtype=bool)
+    adjacency = np.zeros((count, length, length), dtype=bool)
+    friend_sets = dataset.friend_set()
+    for group_id, group_members in enumerate(dataset.group_members):
+        kept = group_members[:length]
+        size = kept.size
+        members[group_id, :size] = kept
+        mask[group_id, :size] = True
+        adjacency[group_id, :size, :size] = _local_adjacency(kept, friend_sets)
+    return members, mask, adjacency
+
+
+def _assert_batcher_matches_reference(dataset, max_members=None):
+    batcher = GroupBatcher(dataset, max_members=max_members)
+    members, mask, adjacency = _reference_batcher_arrays(
+        dataset, batcher.max_members
+    )
+    np.testing.assert_array_equal(batcher._members, members)
+    np.testing.assert_array_equal(batcher._mask, mask)
+    np.testing.assert_array_equal(batcher._adjacency, adjacency)
+
+
+def test_tiny_world_bit_identical():
+    world = generate(TINY_CONFIG)
+    _assert_batcher_matches_reference(world.dataset)
+
+
+def test_truncated_groups_bit_identical():
+    """max_members below the natural maximum truncates member lists and
+    with them the adjacency blocks."""
+    world = generate(TINY_CONFIG)
+    _assert_batcher_matches_reference(world.dataset, max_members=2)
+
+
+def test_asymmetric_friendship_quirk_preserved():
+    """u considers v a friend but not vice versa: the reference only
+    consults the row<col direction, so the pair connects iff the
+    *earlier-positioned* member holds the edge."""
+    friend_sets = [set() for _ in range(4)]
+    friend_sets[0] = {1}  # 0 -> 1 only
+    friend_sets[2] = set()  # 3 -> 2 exists but 2 -> 3 does not
+    friend_sets[3] = {2}
+
+    members = np.array([[0, 1, 0, 0], [2, 3, 0, 0]], dtype=np.int64)
+    mask = np.array(
+        [[True, True, False, False], [True, True, False, False]]
+    )
+    fast = _pairwise_adjacency(members, mask, friend_sets, num_users=4)
+    for group in range(2):
+        size = int(mask[group].sum())
+        reference = _local_adjacency(members[group, :size], friend_sets)
+        np.testing.assert_array_equal(fast[group, :size, :size], reference)
+    # Group 0: 0->1 held by the earlier member => connected.
+    assert fast[0, 0, 1] and fast[0, 1, 0]
+    # Group 1: only 3->2 exists, but 2 sits first and holds no edge.
+    assert not fast[1].any()
+
+
+def test_no_friendships_at_all():
+    friend_sets = [set(), set()]
+    members = np.array([[0, 1]], dtype=np.int64)
+    mask = np.ones((1, 2), dtype=bool)
+    fast = _pairwise_adjacency(members, mask, friend_sets, num_users=2)
+    assert not fast.any()
+
+
+def test_padding_rows_never_connect():
+    """Padded slots reuse user id 0; the mask must keep phantom pairs
+    out of the adjacency even when user 0 has many friends."""
+    friend_sets = [{1, 2}, {0}, {0}]
+    members = np.array([[1, 2, 0, 0]], dtype=np.int64)  # two padded slots
+    mask = np.array([[True, True, False, False]])
+    fast = _pairwise_adjacency(members, mask, friend_sets, num_users=3)
+    assert not fast[0, :, 2:].any()
+    assert not fast[0, 2:, :].any()
+
+
+def test_chunking_invariant():
+    world = generate(TINY_CONFIG)
+    dataset = world.dataset
+    batcher = GroupBatcher(dataset)
+    one_chunk = _pairwise_adjacency(
+        batcher._members,
+        batcher._mask,
+        dataset.friend_set(),
+        dataset.num_users,
+        chunk_groups=10_000,
+    )
+    tiny_chunks = _pairwise_adjacency(
+        batcher._members,
+        batcher._mask,
+        dataset.friend_set(),
+        dataset.num_users,
+        chunk_groups=3,
+    )
+    np.testing.assert_array_equal(one_chunk, tiny_chunks)

@@ -1,0 +1,95 @@
+"""Pin the vectorized full-ranking exclusion masks to the reference.
+
+The old implementation probed Python sets item by item; the new one
+slices a precomputed per-entity boolean mask.  Identical kept-item sets
+mean identical ranks — asserted here against a reimplementation of the
+original per-item loop."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.full_ranking import evaluate_full_ranking
+from repro.evaluation.metrics import summarize
+from repro.evaluation.protocol import RankingResult
+
+
+def _reference_full_ranking(score_fn, test_edges, interacted, num_items,
+                            ks=(5, 10), chunk_items=2048):
+    """The pre-vectorization algorithm, kept verbatim as the oracle."""
+    test_edges = np.asarray(test_edges, dtype=np.int64)
+    ranks = np.empty(len(test_edges), dtype=float)
+    all_items = np.arange(num_items, dtype=np.int64)
+    for position, (entity, positive) in enumerate(test_edges):
+        entity = int(entity)
+        positive = int(positive)
+        seen = interacted[entity]
+        positive_score = float(
+            score_fn(np.array([entity]), np.array([positive]))[0]
+        )
+        stronger = 0.0
+        ties = 0.0
+        for start in range(0, num_items, chunk_items):
+            items = all_items[start : start + chunk_items]
+            scores = score_fn(np.full(items.size, entity, dtype=np.int64), items)
+            keep = np.array(
+                [item not in seen and item != positive for item in items]
+            )
+            kept = scores[keep]
+            stronger += float((kept > positive_score).sum())
+            ties += float((kept == positive_score).sum())
+        ranks[position] = stronger + 0.5 * ties
+    return RankingResult(
+        ranks=ranks, entities=test_edges[:, 0], metrics=summarize(ranks, ks)
+    )
+
+
+def _world(num_entities=7, num_items=40, seed=0):
+    rng = np.random.default_rng(seed)
+    table = rng.normal(size=(num_entities, num_items))
+    # Deliberate ties: quantize some scores.
+    table[:, ::5] = np.round(table[:, ::5])
+
+    def score_fn(entities, items):
+        return table[entities, items]
+
+    interacted = [
+        set(rng.choice(num_items, size=rng.integers(0, 12), replace=False).tolist())
+        for _ in range(num_entities)
+    ]
+    edges = []
+    for entity in range(num_entities):
+        for _ in range(3):
+            edges.append((entity, int(rng.integers(0, num_items))))
+    return score_fn, np.array(edges, dtype=np.int64), interacted
+
+
+@pytest.mark.parametrize("chunk_items", [7, 16, 2048])
+def test_ranks_identical_to_reference(chunk_items):
+    score_fn, edges, interacted = _world()
+    fast = evaluate_full_ranking(
+        score_fn, edges, interacted, num_items=40, chunk_items=chunk_items
+    )
+    slow = _reference_full_ranking(
+        score_fn, edges, interacted, num_items=40, chunk_items=chunk_items
+    )
+    np.testing.assert_array_equal(fast.ranks, slow.ranks)
+    assert fast.metrics == slow.metrics
+
+
+def test_positive_inside_seen_set():
+    """The positive being in the interacted set must not be double
+    excluded (the old boolean logic already handled this; pin it)."""
+    score_fn, edges, interacted = _world(seed=3)
+    for entity, positive in edges:
+        interacted[int(entity)].add(int(positive))
+    fast = evaluate_full_ranking(score_fn, edges, interacted, num_items=40)
+    slow = _reference_full_ranking(score_fn, edges, interacted, num_items=40)
+    np.testing.assert_array_equal(fast.ranks, slow.ranks)
+
+
+def test_entity_with_empty_history():
+    score_fn, edges, interacted = _world(seed=5)
+    interacted[0] = set()
+    fast = evaluate_full_ranking(score_fn, edges, interacted, num_items=40)
+    slow = _reference_full_ranking(score_fn, edges, interacted, num_items=40)
+    np.testing.assert_array_equal(fast.ranks, slow.ranks)

@@ -1,0 +1,110 @@
+"""Observability × row-sparse gradients.
+
+The contract: monitors and profilers must understand
+:class:`RowSparseGrad` *without* materializing the dense table — the
+whole point of the sparse path is that nothing on the hot loop is
+O(table rows).
+"""
+
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.autograd import RowSparseGrad, sparse_grads
+from repro.nn.embedding import Embedding
+from repro.obs import GradientHealthMonitor, OpProfiler
+from repro.obs.grad_health import GradientHealthError
+from repro.obs.run_metrics import RunMetrics
+
+
+@pytest.fixture
+def no_densify(monkeypatch):
+    """Make any accidental densification inside obs code an error."""
+
+    def boom(self):
+        raise AssertionError("observability densified a RowSparseGrad")
+
+    monkeypatch.setattr(RowSparseGrad, "to_dense", boom)
+
+
+def _param_with_sparse_grad(values):
+    values = np.asarray(values, dtype=float)
+    param = SimpleNamespace(
+        grad=RowSparseGrad(
+            indices=np.arange(len(values), dtype=np.int64),
+            values=values,
+            shape=(1000, values.shape[1]),
+        )
+    )
+    return param
+
+
+class TestGradHealth:
+    def test_clean_sparse_grad_passes(self, no_densify):
+        monitor = GradientHealthMonitor()
+        param = _param_with_sparse_grad([[0.5, -0.25]])
+        assert monitor.check([("table", param)]) == []
+
+    def test_nan_in_sparse_rows_detected(self, no_densify):
+        monitor = GradientHealthMonitor(on_nonfinite="raise")
+        param = _param_with_sparse_grad([[0.5, float("nan")]])
+        with pytest.raises(GradientHealthError, match="nan"):
+            monitor.check([("table", param)])
+
+    def test_inf_in_sparse_rows_detected(self, no_densify):
+        monitor = GradientHealthMonitor(on_nonfinite="warn")
+        param = _param_with_sparse_grad([[float("inf"), 1.0]])
+        with pytest.warns(RuntimeWarning, match="inf"):
+            issues = monitor.check([("table", param)])
+        assert [issue.kind for issue in issues] == ["inf"]
+
+    def test_vanishing_judged_on_touched_rows(self, no_densify):
+        """The implicit zero rows must NOT count as vanishing signal."""
+        monitor = GradientHealthMonitor(
+            on_vanishing="warn", vanish_threshold=1e-6
+        )
+        param = _param_with_sparse_grad([[0.5, 0.5]])
+        assert monitor.check([("table", param)]) == []
+
+
+class TestRunMetricsGradNorm:
+    def test_sparse_norm_uses_touched_rows_only(self, no_densify):
+        metrics = RunMetrics(track_update_ratio=False)
+        sparse = _param_with_sparse_grad([[3.0, 4.0]])
+        dense = SimpleNamespace(grad=np.array([2.0]))
+        metrics._trainer = SimpleNamespace(
+            optimizer=SimpleNamespace(parameters=[sparse, dense])
+        )
+        norm = metrics._grad_norm()
+        assert norm == pytest.approx(np.sqrt(3.0**2 + 4.0**2 + 2.0**2))
+
+
+class TestProfilerSeesSparseGathers:
+    def test_gather_and_sparse_backward_attributed(self):
+        table = Embedding(500, 8, rng=np.random.default_rng(0))
+        with OpProfiler() as profiler:
+            with profiler.scope("train"):
+                with sparse_grads():
+                    out = table(np.array([3, 7, 3]))
+                    (out * out).sum().backward()
+        assert isinstance(table.weight.grad, RowSparseGrad)
+        stats = {(s.name, s.cat) for s in profiler.stats()}
+        assert ("gather", "op") in stats
+        # The sparse scatter (gather's backward closure) is timed and
+        # attributed like any other backward.
+        assert ("gather", "backward") in stats
+
+    def test_profiled_sparse_grad_identical_to_unprofiled(self):
+        def grad_once():
+            table = Embedding(50, 4, rng=np.random.default_rng(1))
+            with sparse_grads():
+                out = table(np.array([1, 2, 1]))
+                (out * out).sum().backward()
+            return table.weight.grad
+
+        plain = grad_once()
+        with OpProfiler():
+            profiled = grad_once()
+        np.testing.assert_array_equal(profiled.indices, plain.indices)
+        np.testing.assert_array_equal(profiled.values, plain.values)

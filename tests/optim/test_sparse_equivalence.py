@@ -1,0 +1,226 @@
+"""Sparse fast path ≡ dense reference, bit for bit.
+
+The acceptance property for row-sparse gradients: a training run with
+``sparse_grads=True`` — dropout on, gradient clipping on, weight decay
+on, and a kill/resume in the middle — produces final weights and
+optimizer moments identical (``np.testing.assert_array_equal``, which
+treats ±0.0 as equal) to the dense run.  Plus optimizer-level property
+tests hammering the lazy replay with adversarial gather patterns: long
+stale gaps, repeated indices, disjoint then overlapping batches, and
+reads between updates.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, sparse_grads
+from repro.nn.embedding import Embedding
+from repro.optim import SGD, Adam
+from repro.training import TrainingConfig
+from repro.training.two_stage import build_model, fit_groupsa
+from tests.conftest import TINY_MODEL_CONFIG
+
+TRAINING = TrainingConfig(
+    user_epochs=2,
+    group_epochs=3,
+    batch_size=16,
+    learning_rate=0.02,
+    weight_decay=1e-4,
+    grad_clip=1.0,
+    seed=11,
+    interleave_user_every=2,
+    sparse_grads=True,
+)
+
+#: The hard mode: dropout randomness + clipping + weight decay together.
+MODEL_CONFIG = dataclasses.replace(TINY_MODEL_CONFIG, dropout=0.2)
+
+
+def _train(tiny_split, training, model_config=MODEL_CONFIG, **fit_kwargs):
+    model, batcher = build_model(tiny_split, model_config)
+    fit_groupsa(model, tiny_split, batcher, training, **fit_kwargs)
+    return model
+
+
+def _assert_bit_exact(state, reference):
+    assert set(state) == set(reference)
+    for name in reference:
+        np.testing.assert_array_equal(state[name], reference[name])
+
+
+class TestTwoStageEquivalence:
+    def test_sparse_matches_dense_with_dropout_clip_and_decay(self, tiny_split):
+        dense = _train(
+            tiny_split, dataclasses.replace(TRAINING, sparse_grads=False)
+        )
+        sparse = _train(tiny_split, TRAINING)
+        _assert_bit_exact(sparse.state_dict(), dense.state_dict())
+
+    def test_optimizer_moments_match_dense(self, tiny_split):
+        """Not just the weights: Adam's first/second moments and step
+        count must agree, or the equivalence would decay after resume."""
+        from repro.training.trainer import GroupSATrainer
+
+        states = {}
+        for flag in (False, True):
+            training = dataclasses.replace(TRAINING, sparse_grads=flag)
+            model, batcher = build_model(tiny_split, MODEL_CONFIG)
+            trainer = GroupSATrainer(model, tiny_split, batcher, training)
+            trainer.train_user_task(epochs=2)
+            trainer.train_group_task(epochs=2)
+            states[flag] = trainer.state_dict()["optimizer"]
+        assert (
+            states[True]["scalars"]["step_count"]
+            == states[False]["scalars"]["step_count"]
+        )
+        dense_arrays = states[False]["arrays"]
+        sparse_arrays = states[True]["arrays"]
+        assert set(dense_arrays) == set(sparse_arrays)
+        for key in dense_arrays:
+            np.testing.assert_array_equal(sparse_arrays[key], dense_arrays[key])
+
+    def test_kill_and_resume_matches_uninterrupted_dense(
+        self, tiny_split, tmp_path
+    ):
+        """Sparse run killed mid-stage-2 and resumed in a fresh process
+        still lands on the dense uninterrupted run's exact weights."""
+
+        class Killed(RuntimeError):
+            pass
+
+        def crash(log):
+            if log.task == "group" and log.epoch == 2:
+                raise Killed
+
+        reference = _train(
+            tiny_split, dataclasses.replace(TRAINING, sparse_grads=False)
+        )
+        model, batcher = build_model(tiny_split, MODEL_CONFIG)
+        with pytest.raises(Killed):
+            fit_groupsa(
+                model, tiny_split, batcher, TRAINING,
+                callback=crash, checkpoint_dir=tmp_path,
+            )
+        resumed, resumed_batcher = build_model(tiny_split, MODEL_CONFIG)
+        fit_groupsa(
+            resumed, tiny_split, resumed_batcher, TRAINING,
+            checkpoint_dir=tmp_path, resume=True,
+        )
+        _assert_bit_exact(resumed.state_dict(), reference.state_dict())
+
+
+def _adversarial_batches(rng, rows, steps):
+    """Gather index streams that stress the lazy bookkeeping: hot rows
+    every step, cold rows with long gaps, duplicate indices, and the
+    occasional near-full batch."""
+    for step in range(steps):
+        kind = step % 4
+        if kind == 0:
+            yield rng.integers(0, max(2, rows // 10), size=12)  # hot head
+        elif kind == 1:
+            yield rng.integers(0, rows, size=6)  # uniform
+        elif kind == 2:
+            base = rng.integers(0, rows, size=4)
+            yield np.concatenate([base, base, base[:2]])  # duplicates
+        else:
+            yield rng.permutation(rows)[: max(2, rows - 3)]  # near-full
+
+
+def _run_optimizer(opt_factory, sparse, rows=40, dim=5, steps=37, seed=3):
+    rng = np.random.default_rng(seed)
+    table = Embedding(rows, dim, rng=np.random.default_rng(7))
+    dense_weight = Tensor(
+        np.random.default_rng(8).normal(size=(dim, dim)), requires_grad=True
+    )
+    optimizer = opt_factory([table.weight, dense_weight])
+    with sparse_grads(sparse):
+        for index, batch in enumerate(_adversarial_batches(rng, rows, steps)):
+            gathered = table(batch)  # (n, dim): batches are 1-D
+            out = gathered @ dense_weight
+            loss = (out * out).sum()
+            if index % 5 == 4:
+                # A read-only forward between updates: the catch-up hook
+                # must deliver dense-current rows mid-stream, not just at
+                # sync points.
+                probe = table(rng.integers(0, rows, size=3))
+                loss = loss + (probe * probe).sum() * 0.0
+            loss.backward()
+            optimizer.step()
+            optimizer.zero_grad()
+    optimizer.sync()
+    return table.weight.data.copy(), dense_weight.data.copy(), optimizer
+
+
+OPTIMIZER_GRID = [
+    pytest.param(lambda ps: Adam(ps, lr=0.01), id="adam"),
+    pytest.param(lambda ps: Adam(ps, lr=0.01, weight_decay=1e-3), id="adam-wd"),
+    pytest.param(lambda ps: SGD(ps, lr=0.01), id="sgd"),
+    pytest.param(lambda ps: SGD(ps, lr=0.01, weight_decay=1e-3), id="sgd-wd"),
+    pytest.param(lambda ps: SGD(ps, lr=0.01, momentum=0.9), id="sgd-momentum"),
+    pytest.param(
+        lambda ps: SGD(ps, lr=0.01, momentum=0.9, weight_decay=1e-3),
+        id="sgd-momentum-wd",
+    ),
+]
+
+
+class TestOptimizerProperty:
+    @pytest.mark.parametrize("opt_factory", OPTIMIZER_GRID)
+    @pytest.mark.parametrize("seed", [3, 17, 92])
+    def test_sparse_bit_identical_to_dense(self, opt_factory, seed):
+        table_dense, weight_dense, _ = _run_optimizer(
+            opt_factory, sparse=False, seed=seed
+        )
+        table_sparse, weight_sparse, _ = _run_optimizer(
+            opt_factory, sparse=True, seed=seed
+        )
+        np.testing.assert_array_equal(table_sparse, table_dense)
+        np.testing.assert_array_equal(weight_sparse, weight_dense)
+
+    @pytest.mark.parametrize("opt_factory", OPTIMIZER_GRID)
+    def test_optimizer_state_round_trips_through_checkpoint(self, opt_factory):
+        """state_dict → fresh optimizer → load → keep training: the
+        continuation is bit-identical to never having checkpointed."""
+        rng_seed = 23
+
+        def run(split_at):
+            rng = np.random.default_rng(rng_seed)
+            table = Embedding(30, 4, rng=np.random.default_rng(1))
+            optimizer = opt_factory([table.weight])
+            for step in range(24):
+                if step == split_at:
+                    snapshot = optimizer.state_dict()
+                    weights = table.weight.data.copy()
+                    table = Embedding(30, 4, rng=np.random.default_rng(1))
+                    table.weight.data[...] = weights
+                    optimizer = opt_factory([table.weight])
+                    optimizer.load_state_dict(snapshot)
+                with sparse_grads(True):
+                    out = table(rng.integers(0, 30, size=5))
+                    (out * out).sum().backward()
+                optimizer.step()
+                optimizer.zero_grad()
+            optimizer.sync()
+            return table.weight.data.copy()
+
+        np.testing.assert_array_equal(run(split_at=None), run(split_at=13))
+
+    def test_state_dict_syncs_pending_rows(self):
+        """A checkpoint taken mid-stream must not freeze stale rows."""
+        table = Embedding(20, 3, rng=np.random.default_rng(1))
+        optimizer = Adam([table.weight], lr=0.1, weight_decay=1e-3)
+        with sparse_grads(True):
+            for _ in range(4):
+                out = table(np.array([0, 1]))
+                (out * out).sum().backward()
+                optimizer.step()
+                optimizer.zero_grad()
+        before = table.weight.data.copy()
+        optimizer.state_dict()
+        # Rows 2..19 were lazily deferred (weight decay drifts them every
+        # step); state_dict must have caught them up.
+        assert not np.array_equal(table.weight.data[2:], before[2:])
+        assert optimizer._lazy[0] is not None
+        assert not optimizer._lazy[0].ranges
