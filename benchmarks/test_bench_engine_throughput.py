@@ -13,6 +13,7 @@ Run with::
 
 import json
 import os
+import time
 
 import numpy as np
 
@@ -20,6 +21,7 @@ from repro.core import GroupSA, GroupSAConfig
 from repro.data import split_interactions, yelp_like
 from repro.engine import EngineConfig, InferenceEngine, benchmark_user_serving
 from repro.graphs import tfidf_top_neighbours
+from repro.obs.spans import span, tracing_enabled
 from repro.serving import RecommendationService
 
 REPORT_PATH = os.environ.get("ENGINE_BENCH_JSON", "results/engine_throughput.json")
@@ -67,4 +69,32 @@ def test_bench_engine_throughput():
     assert report["speedup_rps"] >= 5.0, (
         f"engine-backed serving only {report['speedup_rps']:.1f}x faster "
         f"than direct (acceptance floor is 5x)"
+    )
+
+
+def test_bench_disabled_tracing_is_noop():
+    """With no tracer installed, ``span()`` must stay off the hot path.
+
+    The instrumented serving code calls ``span(...)`` several times per
+    request; the disabled path hands back a shared no-op singleton, so
+    its amortised cost must be small change against a ~1ms request.
+    The 2µs/call ceiling is ~100x the measured cost on CI hardware —
+    loose enough to dodge scheduler noise, tight enough to catch any
+    accidental allocation or lock on the disabled path.
+    """
+    assert not tracing_enabled()
+    iterations = 200_000
+    # Warm up (bytecode caches, branch predictors).
+    for __ in range(1000):
+        with span("warmup", batch_size=1):
+            pass
+    start = time.perf_counter()
+    for __ in range(iterations):
+        with span("bench.noop", batch_size=1):
+            pass
+    per_call_us = (time.perf_counter() - start) / iterations * 1e6
+    print(f"\ndisabled span() cost: {per_call_us:.3f} us/call", end="")
+    assert per_call_us < 2.0, (
+        f"disabled tracing costs {per_call_us:.3f} us/call — the no-op "
+        "path is no longer free"
     )

@@ -11,6 +11,9 @@ Examples::
     python -m repro.cli evaluate --data world.npz --model model.npz --task group
     python -m repro.cli recommend --data world.npz --model model.npz --group 3 -k 5
     python -m repro.cli serve-bench --data world.npz --model model.npz --requests 200
+    python -m repro.cli serve-bench --data world.npz --model model.npz \
+        --trace-out spans_trace.json --span-log spans.jsonl \
+        --metrics-out metrics.prom --slow-ms 50 --sample-rate 0.1
     python -m repro.cli profile --preset yelp --scale 0.01 \
         --trace-out trace.json --report-out profile.json
 """
@@ -157,6 +160,8 @@ def _command_recommend(args: argparse.Namespace) -> int:
 
 def _command_serve_bench(args: argparse.Namespace) -> int:
     from repro.engine import EngineConfig, InferenceEngine, benchmark_user_serving
+    from repro.obs.spans import Tracer
+    from repro.obs.trace import write_span_chrome_trace
     from repro.serving import RecommendationService
 
     dataset = load_dataset(args.data)
@@ -170,6 +175,13 @@ def _command_serve_bench(args: argparse.Namespace) -> int:
             score_cache_budget_mb=args.cache_mb,
         ),
     )
+    tracer = None
+    if args.trace_out or args.span_log:
+        tracer = Tracer(
+            sample_rate=args.sample_rate,
+            slow_ms=args.slow_ms,
+            jsonl_path=args.span_log,
+        ).install()
     rng = np.random.default_rng(args.seed)
     users = rng.integers(0, dataset.num_users, size=args.requests)
     try:
@@ -177,6 +189,8 @@ def _command_serve_bench(args: argparse.Namespace) -> int:
             service, engine, users, k=args.k, clients=args.clients
         )
     finally:
+        if tracer is not None:
+            tracer.uninstall()
         engine.close()
     for mode in ("direct", "engine"):
         side = report[mode]
@@ -185,6 +199,24 @@ def _command_serve_bench(args: argparse.Namespace) -> int:
             f"p50 {side['p50_ms']:8.3f} ms   p99 {side['p99_ms']:8.3f} ms"
         )
     print(f"speedup  {report['speedup_rps']:10.1f}x (requests/second)")
+    if tracer is not None:
+        report["tracing"] = tracer.summary()
+        kept = report["tracing"]["traces_kept"]
+        print(
+            f"tracing  kept {kept}/{report['tracing']['traces_started']} traces "
+            f"({report['tracing']['kept_slow']} slow, "
+            f"{report['tracing']['kept_error']} errored)"
+        )
+        if args.trace_out:
+            written = write_span_chrome_trace(tracer, args.trace_out)
+            print(f"wrote {args.trace_out} ({written} span events)")
+        if args.span_log:
+            tracer.close()
+            print(f"wrote {args.span_log}")
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            handle.write(engine.telemetry.exposition())
+        print(f"wrote {args.metrics_out}")
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(report, handle, indent=2, sort_keys=True)
@@ -363,6 +395,36 @@ def build_parser() -> argparse.ArgumentParser:
     serve_bench.add_argument("--cache-mb", type=float, default=None)
     serve_bench.add_argument("--seed", type=int, default=0)
     serve_bench.add_argument("--json", default=None, help="write the report here")
+    serve_bench.add_argument(
+        "--trace-out",
+        default=None,
+        help="enable request tracing and write sampled span trees as a "
+        "chrome://tracing JSON timeline",
+    )
+    serve_bench.add_argument(
+        "--span-log",
+        default=None,
+        help="enable request tracing and append kept spans to this JSONL file",
+    )
+    serve_bench.add_argument(
+        "--metrics-out",
+        default=None,
+        help="write the engine's Prometheus text exposition here",
+    )
+    serve_bench.add_argument(
+        "--slow-ms",
+        type=float,
+        default=None,
+        help="always keep traces whose root is slower than this many "
+        "milliseconds, regardless of --sample-rate",
+    )
+    serve_bench.add_argument(
+        "--sample-rate",
+        type=float,
+        default=1.0,
+        help="head-sampling probability for request traces (slow and "
+        "errored requests are always kept)",
+    )
     serve_bench.set_defaults(handler=_command_serve_bench)
 
     profile = commands.add_parser(

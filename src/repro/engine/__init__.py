@@ -7,7 +7,9 @@ Layered between a trained :class:`~repro.core.groupsa.GroupSA` and the
   (the Section II-F fast path) plus a generic LRU cache;
 - :mod:`repro.engine.batching` — request micro-batching queue;
 - :mod:`repro.engine.topk` — vectorized Top-K selection kernels;
-- :mod:`repro.engine.telemetry` — latency/counter/occupancy metrics;
+- :mod:`repro.engine.telemetry` — latency/counter/occupancy metrics
+  backed by :mod:`repro.obs.metrics_registry` (exact histograms,
+  Prometheus exposition); request tracing via :mod:`repro.obs.spans`;
 - :mod:`repro.engine.service` — the engine tying the stages together;
 - :mod:`repro.engine.bench` — direct-vs-engine benchmark harness.
 """

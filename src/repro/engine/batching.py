@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Sequence
 
 from repro.engine.telemetry import Telemetry
+from repro.obs.spans import capture_context, record_span, span, use_span
 
 # Handler contract: payloads in, one result per payload, same order.
 BatchHandler = Callable[[Sequence[Any]], Sequence[Any]]
@@ -35,6 +36,9 @@ class _Request:
     payload: Any
     future: Future = field(default_factory=Future)
     enqueued_at: float = field(default_factory=time.perf_counter)
+    # Submitting thread's span, captured so worker-side spans re-parent
+    # onto the request's trace (None when tracing is off).
+    span: Any = field(default_factory=capture_context)
 
 
 class MicroBatcher:
@@ -139,6 +143,18 @@ class MicroBatcher:
             batch.append(item)
         return batch
 
+    def _handle(self, batch: List[_Request], batch_parent: Any) -> Sequence[Any]:
+        """Run the handler under the flush's span (no-op when untraced)."""
+        payloads = [r.payload for r in batch]
+        if batch_parent is None:
+            return self.handler(payloads)
+        with use_span(batch_parent):
+            with span("batch.execute", batch_size=len(batch)) as flush_span:
+                if flush_span is not None:
+                    traces = {r.span.trace_id for r in batch if r.span is not None}
+                    flush_span.set_attr("traces", sorted(traces))
+                return self.handler(payloads)
+
     def _run(self) -> None:
         while True:
             batch = self._collect()
@@ -153,12 +169,27 @@ class MicroBatcher:
                     self.telemetry.record_latency(
                         "batch.queue_wait", now - request.enqueued_at
                     )
+            # Per-request queue-wait spans, parented onto each request's
+            # captured trace context; the shared flush span is parented
+            # onto the first traced request and carries the full trace
+            # list so the other participants stay correlated.
+            batch_parent = None
+            for request in batch:
+                if request.span is not None:
+                    if batch_parent is None:
+                        batch_parent = request.span
+                    record_span(
+                        "microbatch.wait",
+                        request.span,
+                        request.enqueued_at,
+                        now - request.enqueued_at,
+                    )
             try:
                 if self.telemetry:
                     with self.telemetry.time("batch.execute"):
-                        results = self.handler([r.payload for r in batch])
+                        results = self._handle(batch, batch_parent)
                 else:
-                    results = self.handler([r.payload for r in batch])
+                    results = self._handle(batch, batch_parent)
                 if len(results) != len(batch):
                     raise RuntimeError(
                         f"handler returned {len(results)} results "

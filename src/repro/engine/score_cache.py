@@ -23,6 +23,7 @@ from typing import Callable, Hashable, Optional
 import numpy as np
 
 from repro.engine.telemetry import Telemetry
+from repro.obs.spans import span
 
 ScoreFn = Callable[[np.ndarray, np.ndarray], np.ndarray]
 
@@ -163,11 +164,12 @@ class ScoreCache:
                     np.full(self.num_items, user, dtype=np.int64), items
                 )
 
-        if self.telemetry:
-            with self.telemetry.time("score_cache.block_compute"):
+        with span("score_cache.block_compute", block=block_id, rows=stop - start):
+            if self.telemetry:
+                with self.telemetry.time("score_cache.block_compute"):
+                    fill()
+            else:
                 fill()
-        else:
-            fill()
         return rows
 
     def _get_block(self, block_id: int) -> np.ndarray:
@@ -199,11 +201,18 @@ class ScoreCache:
             return np.empty((0, self.num_items))
         if users.min() < 0 or users.max() >= self.num_users:
             raise IndexError(f"user ids out of range [0, {self.num_users})")
-        out = np.empty((users.size, self.num_items))
-        for block_id in np.unique(users // self.block_rows):
-            block = self._get_block(int(block_id))
-            rows = np.nonzero(users // self.block_rows == block_id)[0]
-            out[rows] = block[users[rows] - int(block_id) * self.block_rows]
+        with span("score_cache.lookup", rows=int(users.size)) as lookup:
+            out = np.empty((users.size, self.num_items))
+            misses = 0
+            for block_id in np.unique(users // self.block_rows):
+                if lookup is not None and self._blocks.peek(int(block_id)) is None:
+                    misses += 1
+                block = self._get_block(int(block_id))
+                rows = np.nonzero(users // self.block_rows == block_id)[0]
+                out[rows] = block[users[rows] - int(block_id) * self.block_rows]
+            if lookup is not None:
+                lookup.set_attr("hit", misses == 0)
+                lookup.set_attr("blocks_missed", misses)
         return out
 
     def warm(self, users: Optional[np.ndarray] = None) -> None:

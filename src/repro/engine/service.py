@@ -33,6 +33,7 @@ from repro.engine.batching import MicroBatcher
 from repro.engine.score_cache import LRUCache, ScoreCache
 from repro.engine.telemetry import Telemetry
 from repro.engine.topk import exclusion_mask, topk_indices
+from repro.obs.spans import span
 
 TopK = Tuple[np.ndarray, np.ndarray]  # (item ids, scores), best first
 
@@ -185,15 +186,20 @@ class InferenceEngine:
 
     def topk_user(self, user: int, k: int = 10) -> TopK:
         with self.telemetry.time("engine.request"):
-            return self.submit_user(user, k).result()
+            with span("engine.submit", kind="user", user=int(user), k=k):
+                return self.submit_user(user, k).result()
 
     def topk_group(self, group: int, k: int = 10) -> TopK:
         with self.telemetry.time("engine.request"):
-            return self.submit_group(group, k).result()
+            with span("engine.submit", kind="group", group=int(group), k=k):
+                return self.submit_group(group, k).result()
 
     def topk_members(self, members: Sequence[int], k: int = 10) -> TopK:
         with self.telemetry.time("engine.request"):
-            return self.submit_members(members, k).result()
+            with span(
+                "engine.submit", kind="adhoc", member_count=len(members), k=k
+            ):
+                return self.submit_members(members, k).result()
 
     @staticmethod
     def canonical_members(members: Sequence[int]) -> Tuple[int, ...]:
@@ -219,13 +225,16 @@ class InferenceEngine:
             by_kind[payload[0]].append(index)
         if by_kind["user"]:
             with self.telemetry.time("engine.user_stage"):
-                self._execute_users(payloads, by_kind["user"], results)
+                with span("engine.user_stage", requests=len(by_kind["user"])):
+                    self._execute_users(payloads, by_kind["user"], results)
         if by_kind["group"]:
             with self.telemetry.time("engine.group_stage"):
-                self._execute_groups(payloads, by_kind["group"], results)
+                with span("engine.group_stage", requests=len(by_kind["group"])):
+                    self._execute_groups(payloads, by_kind["group"], results)
         if by_kind["adhoc"]:
             with self.telemetry.time("engine.adhoc_stage"):
-                self._execute_adhoc(payloads, by_kind["adhoc"], results)
+                with span("engine.adhoc_stage", requests=len(by_kind["adhoc"])):
+                    self._execute_adhoc(payloads, by_kind["adhoc"], results)
         return results  # type: ignore[return-value]
 
     def _execute_users(
@@ -233,11 +242,12 @@ class InferenceEngine:
     ) -> None:
         users = np.array([payloads[i][1] for i in indices], dtype=np.int64)
         rows = self.score_cache.scores_for_users(users)
-        for row, index in zip(rows, indices):
-            __, user, k = payloads[index]
-            mask = exclusion_mask(self.dataset.num_items, self._user_items[user])
-            items = topk_indices(row, k, mask)
-            results[index] = (items, row[items])
+        with span("topk", requests=len(indices)):
+            for row, index in zip(rows, indices):
+                __, user, k = payloads[index]
+                mask = exclusion_mask(self.dataset.num_items, self._user_items[user])
+                items = topk_indices(row, k, mask)
+                results[index] = (items, row[items])
 
     def _execute_groups(
         self, payloads: Sequence[tuple], indices: List[int], results: List
@@ -260,23 +270,28 @@ class InferenceEngine:
             item_chunks.append(keep)
         groups_flat = np.concatenate(group_chunks)
         items_flat = np.concatenate(item_chunks)
-        scores_flat = self.model.score_group_items(
-            self._batcher.batch(groups_flat), items_flat
-        )
-        offset = 0
-        for index, candidates in zip(indices, candidate_sets):
-            __, __g, k = payloads[index]
-            scores = scores_flat[offset : offset + candidates.size]
-            offset += candidates.size
-            chosen = topk_indices(scores, k)
-            results[index] = (candidates[chosen], scores[chosen])
+        with span("forward", rows=int(items_flat.size), requests=len(indices)):
+            scores_flat = self.model.score_group_items(
+                self._batcher.batch(groups_flat), items_flat
+            )
+        with span("topk", requests=len(indices)):
+            offset = 0
+            for index, candidates in zip(indices, candidate_sets):
+                __, __g, k = payloads[index]
+                scores = scores_flat[offset : offset + candidates.size]
+                offset += candidates.size
+                chosen = topk_indices(scores, k)
+                results[index] = (candidates[chosen], scores[chosen])
 
     def _execute_adhoc(
         self, payloads: Sequence[tuple], indices: List[int], results: List
     ) -> None:
         for index in indices:
             __, key, k = payloads[index]
-            entry = self._adhoc_entry(key)
+            with span("adhoc_cache.lookup", member_count=len(key)) as lookup:
+                entry, cached = self._adhoc_entry(key)
+                if lookup is not None:
+                    lookup.set_attr("hit", cached)
             mask = exclusion_mask(self.dataset.num_items, entry.exclude)
             candidates = (
                 np.nonzero(~mask)[0]
@@ -296,22 +311,30 @@ class InferenceEngine:
                 mask=np.repeat(single.mask, candidates.size, axis=0),
                 adjacency=np.repeat(single.adjacency, candidates.size, axis=0),
             )
-            scores = self.model.score_group_items(repeated, candidates)
-            chosen = topk_indices(scores, k)
+            with span(
+                "forward",
+                member_count=len(key),
+                candidates=int(candidates.size),
+            ):
+                scores = self.model.score_group_items(repeated, candidates)
+            with span("topk"):
+                chosen = topk_indices(scores, k)
             results[index] = (candidates[chosen], scores[chosen])
 
-    def _adhoc_entry(self, key: Tuple[int, ...]) -> _AdhocEntry:
+    def _adhoc_entry(self, key: Tuple[int, ...]) -> Tuple[_AdhocEntry, bool]:
+        """The cached entry for ``key`` plus whether it was a cache hit."""
         entry = self._adhoc_entries.get(key)
         if entry is not None:
-            return entry
+            return entry, True
         with self._adhoc_lock:
             entry = self._adhoc_entries.peek(key)
             if entry is None:
                 with self.telemetry.time("engine.adhoc_build"):
-                    batch = build_adhoc_batch([list(key)], self._friend_sets)
-                    exclude: set = set()
-                    for member in key:
-                        exclude |= self._user_items[member]
-                    entry = _AdhocEntry(batch=batch, exclude=frozenset(exclude))
+                    with span("engine.adhoc_build", member_count=len(key)):
+                        batch = build_adhoc_batch([list(key)], self._friend_sets)
+                        exclude: set = set()
+                        for member in key:
+                            exclude |= self._user_items[member]
+                        entry = _AdhocEntry(batch=batch, exclude=frozenset(exclude))
                 self._adhoc_entries.put(key, entry)
-        return entry
+        return entry, False

@@ -4,56 +4,52 @@ Every engine stage records into a shared :class:`Telemetry` instance,
 which exports a JSON-serializable snapshot — the observability surface
 an operator would scrape.  All methods are thread-safe; the micro-batch
 worker and request threads record concurrently.
+
+Since PR 5 the storage is a
+:class:`~repro.obs.metrics_registry.MetricsRegistry`: stage latencies
+and batch occupancy live in fixed-log-bucket histograms (full history,
+no reservoir bias — ``p50/p90/p99`` are exact to within one bucket's
+relative error however much traffic flows), counters are plain
+registry counters, and the same data additionally exports as
+Prometheus text via :meth:`Telemetry.exposition`.  The ``snapshot()``
+shape is unchanged from the reservoir era.
 """
 
 from __future__ import annotations
 
 import json
-import threading
 import time
-from collections import defaultdict, deque
 from contextlib import contextmanager
-from typing import Deque, Dict, Iterator
+from typing import Dict, Iterator, Optional
 
-# Retain at most this many recent samples per stage for percentiles;
-# count/sum/max are exact over the full history.
+from repro.obs.metrics_registry import Histogram, MetricsRegistry
+
+#: Kept for backward compatibility with the reservoir-era constructor
+#: signature; log-bucket histograms retain the *full* history, so the
+#: value is accepted and ignored.
 DEFAULT_MAX_SAMPLES = 8192
 
+#: Registry-name prefix for latency stages; occupancy gets its own name
+#: so it never collides with a stage called "occupancy".
+_STAGE_PREFIX = "stage."
+_OCCUPANCY = "batch.occupancy"
 
-def _percentile(samples: list, q: float) -> float:
-    """Nearest-rank percentile of a non-empty sorted list."""
-    rank = min(len(samples) - 1, max(0, int(round(q / 100.0 * (len(samples) - 1)))))
-    return samples[rank]
+#: Occupancy histogram layout: batch sizes are small integers, so a
+#: fine grid from 1 up keeps every size in its own bucket.
+_OCCUPANCY_LO = 0.5
+_OCCUPANCY_HI = 1e5
 
 
-class _StageStats:
-    """Latency accumulator for one named stage."""
-
-    __slots__ = ("count", "total", "max", "samples")
-
-    def __init__(self, max_samples: int) -> None:
-        self.count = 0
-        self.total = 0.0
-        self.max = 0.0
-        self.samples: Deque[float] = deque(maxlen=max_samples)
-
-    def record(self, seconds: float) -> None:
-        self.count += 1
-        self.total += seconds
-        self.max = max(self.max, seconds)
-        self.samples.append(seconds)
-
-    def summary(self) -> Dict[str, float]:
-        ordered = sorted(self.samples)
-        to_ms = 1000.0
-        return {
-            "count": self.count,
-            "mean_ms": (self.total / self.count) * to_ms,
-            "p50_ms": _percentile(ordered, 50) * to_ms,
-            "p90_ms": _percentile(ordered, 90) * to_ms,
-            "p99_ms": _percentile(ordered, 99) * to_ms,
-            "max_ms": self.max * to_ms,
-        }
+def _stage_summary(histogram: Histogram) -> Dict[str, float]:
+    to_ms = 1000.0
+    return {
+        "count": histogram.count,
+        "mean_ms": histogram.mean() * to_ms,
+        "p50_ms": histogram.percentile(50) * to_ms,
+        "p90_ms": histogram.percentile(90) * to_ms,
+        "p99_ms": histogram.percentile(99) * to_ms,
+        "max_ms": histogram.max * to_ms,
+    }
 
 
 class Telemetry:
@@ -61,21 +57,30 @@ class Telemetry:
 
     Three primitive kinds:
 
-    - **latency stages** (``time`` / ``record_latency``): histograms
-      summarized as mean/p50/p90/p99/max milliseconds;
+    - **latency stages** (``time`` / ``record_latency``): log-bucket
+      histograms summarized as mean/p50/p90/p99/max milliseconds over
+      the full history;
     - **counters** (``increment``): monotonically increasing integers;
       a ``<name>.hit`` / ``<name>.miss`` pair additionally yields a
       derived ``<name>.hit_rate`` in the snapshot;
     - **batch occupancy** (``record_batch``): sizes of flushed
       micro-batches, summarized as count/mean/max.
+
+    The underlying :class:`MetricsRegistry` is exposed as
+    :attr:`registry` (shareable with other components, mergeable
+    across workers) and as Prometheus text via :meth:`exposition`.
     """
 
-    def __init__(self, max_samples: int = DEFAULT_MAX_SAMPLES) -> None:
-        self._lock = threading.Lock()
-        self._max_samples = max_samples
-        self._stages: Dict[str, _StageStats] = {}
-        self._counters: Dict[str, int] = defaultdict(int)
-        self._batch_sizes = _StageStats(max_samples)
+    def __init__(
+        self,
+        max_samples: int = DEFAULT_MAX_SAMPLES,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        del max_samples  # reservoir-era knob; full history is now kept
+        self.registry = registry or MetricsRegistry()
+        self._occupancy = self.registry.histogram(
+            _OCCUPANCY, lo=_OCCUPANCY_LO, hi=_OCCUPANCY_HI
+        )
 
     # -- recording ------------------------------------------------------
 
@@ -89,37 +94,36 @@ class Telemetry:
             self.record_latency(stage, time.perf_counter() - start)
 
     def record_latency(self, stage: str, seconds: float) -> None:
-        with self._lock:
-            stats = self._stages.get(stage)
-            if stats is None:
-                stats = self._stages[stage] = _StageStats(self._max_samples)
-            stats.record(seconds)
+        self.registry.histogram(_STAGE_PREFIX + stage).observe(seconds)
 
     def increment(self, counter: str, amount: int = 1) -> None:
-        with self._lock:
-            self._counters[counter] += amount
+        self.registry.counter(counter).inc(amount)
 
     def record_batch(self, size: int) -> None:
-        with self._lock:
-            self._batch_sizes.record(float(size))
+        self._occupancy.observe(float(size))
 
     # -- reading --------------------------------------------------------
 
     def counter(self, name: str) -> int:
-        with self._lock:
-            return self._counters.get(name, 0)
+        instrument = self.registry.counters().get(name)
+        return instrument.value if instrument is not None else 0
 
     def snapshot(self) -> dict:
         """JSON-serializable view of everything recorded so far."""
-        with self._lock:
-            stages = {name: stats.summary() for name, stats in self._stages.items()}
-            counters = dict(self._counters)
-            batches = self._batch_sizes
-            batch_summary = {
-                "count": batches.count,
-                "mean_occupancy": (batches.total / batches.count) if batches.count else 0.0,
-                "max_occupancy": batches.max,
-            }
+        stages = {
+            name[len(_STAGE_PREFIX):]: _stage_summary(histogram)
+            for name, histogram in self.registry.histograms().items()
+            if name.startswith(_STAGE_PREFIX)
+        }
+        counters = {
+            name: instrument.value
+            for name, instrument in self.registry.counters().items()
+        }
+        batch_summary = {
+            "count": self._occupancy.count,
+            "mean_occupancy": self._occupancy.mean(),
+            "max_occupancy": self._occupancy.max,
+        }
         derived: Dict[str, float] = {}
         for name in list(counters):
             if name.endswith(".hit"):
@@ -138,6 +142,10 @@ class Telemetry:
 
     def to_json(self, indent: int | None = None) -> str:
         return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def exposition(self) -> str:
+        """Prometheus text exposition of the underlying registry."""
+        return self.registry.exposition()
 
     def report(self, meta: dict | None = None) -> dict:
         """The snapshot wrapped in the unified ``repro.obs`` envelope,

@@ -13,10 +13,19 @@ Cross-cutting measurement for the training stack, mirroring what
   high-water mark);
 - :class:`GradientHealthMonitor` — NaN/Inf/vanishing gradient checks
   that raise or warn;
+- :class:`Tracer` / :func:`span` — request-scoped serving trace spans
+  with contextvars propagation, head + slow/error sampling, a JSONL
+  span log and Chrome trace export (no-op when no tracer is
+  installed);
+- :class:`MetricsRegistry` — thread-safe counters, gauges and
+  mergeable fixed-log-bucket histograms with Prometheus text
+  exposition (the storage behind the engine's ``Telemetry``);
 - :func:`make_report` — the unified JSON report envelope shared by
-  profiles, run metrics and the serving telemetry snapshot.
+  profiles, run metrics and the serving telemetry snapshot
+  (:func:`make_serving_report` bundles the whole serving surface).
 
-CLI entry points: ``repro profile`` and ``repro train --metrics-out``.
+CLI entry points: ``repro profile``, ``repro train --metrics-out`` and
+``repro serve-bench --trace-out/--metrics-out/--slow-ms``.
 """
 
 from repro.obs.grad_health import (
@@ -24,19 +33,43 @@ from repro.obs.grad_health import (
     GradientHealthMonitor,
     GradIssue,
 )
+from repro.obs.metrics_registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    merge_histograms,
+)
 from repro.obs.profiler import (
     OpProfiler,
     OpStat,
     attach_scopes,
     get_active_profiler,
 )
-from repro.obs.report import REPORT_SCHEMA, is_report, make_report, write_report
+from repro.obs.report import (
+    REPORT_SCHEMA,
+    is_report,
+    make_report,
+    make_serving_report,
+    write_report,
+)
 from repro.obs.run_metrics import RECORD_SCHEMA, RunMetrics, rss_high_water_mb
+from repro.obs.spans import (
+    SPAN_SCHEMA,
+    Span,
+    Tracer,
+    current_span,
+    get_active_tracer,
+    span,
+    tracing_enabled,
+)
 from repro.obs.trace import (
     chrome_trace_events,
     format_top_table,
+    span_chrome_events,
     stats_payload,
     write_chrome_trace,
+    write_span_chrome_trace,
 )
 
 __all__ = [
@@ -56,6 +89,21 @@ __all__ = [
     "GradIssue",
     "REPORT_SCHEMA",
     "make_report",
+    "make_serving_report",
     "is_report",
     "write_report",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "merge_histograms",
+    "SPAN_SCHEMA",
+    "Span",
+    "Tracer",
+    "span",
+    "current_span",
+    "get_active_tracer",
+    "tracing_enabled",
+    "span_chrome_events",
+    "write_span_chrome_trace",
 ]

@@ -39,6 +39,33 @@ def make_report(
     }
 
 
+def make_serving_report(
+    telemetry: Optional[Any] = None,
+    registry: Optional[Any] = None,
+    tracer: Optional[Any] = None,
+    meta: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """One ``kind="serving"`` envelope for the whole serving surface.
+
+    Bundles whichever serving observability sources exist — the
+    engine's :class:`~repro.engine.telemetry.Telemetry` snapshot, a
+    :class:`~repro.obs.metrics_registry.MetricsRegistry` payload plus
+    its Prometheus exposition, and a
+    :class:`~repro.obs.spans.Tracer` sampling summary — so one artifact
+    answers "what did this worker serve and how" without stitching
+    three files.  Omitted sources simply leave their section out.
+    """
+    data: Dict[str, Any] = {}
+    if telemetry is not None:
+        data["telemetry"] = telemetry.snapshot()
+    if registry is not None:
+        data["metrics"] = registry.payload()
+        data["exposition"] = registry.exposition()
+    if tracer is not None:
+        data["spans"] = tracer.summary()
+    return make_report("serving", data, meta=meta)
+
+
 def is_report(obj: Any) -> bool:
     """Cheap structural check used by tests and artifact consumers."""
     return (

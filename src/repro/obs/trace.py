@@ -5,14 +5,21 @@ flavor: a ``traceEvents`` list of complete ("X") events with
 microsecond timestamps.  Load the file via chrome://tracing ("Load") or
 https://ui.perfetto.dev to see the op timeline nested under module
 scopes.
+
+Two producers share the format: the autograd :class:`OpProfiler`
+(:func:`write_chrome_trace`) and the serving-side request tracer
+(:func:`write_span_chrome_trace` — each kept trace gets its own track,
+spans nest by wall time so the service → engine → batcher → forward
+tree reads directly off the timeline).
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, Iterable, List, Sequence
+from typing import Any, Dict, Iterable, List, Sequence, Union
 
 from repro.obs.profiler import OpProfiler, OpStat
+from repro.obs.spans import Span, Tracer
 
 #: tid layout: scopes on one row, forward ops on another, backward on a
 #: third, so the three layers stack visually in the viewer.
@@ -59,6 +66,58 @@ def write_chrome_trace(profiler: OpProfiler, path: str) -> int:
             "producer": "repro.obs",
             "dropped_events": profiler.dropped_events,
         },
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle)
+    return len(rows)
+
+
+def span_chrome_events(spans: Sequence[Span]) -> List[Dict[str, Any]]:
+    """Convert request spans into Chrome trace dicts.
+
+    Traces map to tracks (``tid``) in order of first appearance, so
+    concurrent requests stack as parallel rows in the viewer; span
+    attributes, ids and status land in the ``args`` panel.
+    """
+    if not spans:
+        return []
+    origin = min(item.start for item in spans)
+    track_by_trace: Dict[str, int] = {}
+    rows: List[Dict[str, Any]] = []
+    for item in sorted(spans, key=lambda entry: entry.start):
+        track = track_by_trace.setdefault(item.trace_id, len(track_by_trace))
+        rows.append(
+            {
+                "name": item.name,
+                "cat": "span" if item.status == "ok" else "span,error",
+                "ph": "X",
+                "ts": (item.start - origin) * 1e6,
+                "dur": item.duration * 1e6,
+                "pid": 0,
+                "tid": track,
+                "args": {
+                    "trace_id": item.trace_id,
+                    "span_id": item.span_id,
+                    "parent_id": item.parent_id,
+                    "status": item.status,
+                    "thread": item.thread,
+                    **item.attrs,
+                },
+            }
+        )
+    return rows
+
+
+def write_span_chrome_trace(
+    source: Union[Tracer, Sequence[Span]], path: str
+) -> int:
+    """Write kept request spans as a Chrome trace; returns event count."""
+    spans = source.finished_spans() if isinstance(source, Tracer) else source
+    rows = span_chrome_events(spans)
+    document = {
+        "traceEvents": rows,
+        "displayTimeUnit": "ms",
+        "otherData": {"producer": "repro.obs.spans"},
     }
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(document, handle)

@@ -29,17 +29,24 @@ from repro.data.loaders import GroupBatcher
 from repro.engine.service import EngineConfig, InferenceEngine
 from repro.engine.telemetry import Telemetry
 from repro.evaluation.ranking import top_k_items
+from repro.obs.spans import span
 from repro.persistence import load_model
 
 
 @dataclass
 class Recommendation:
-    """One ranked recommendation list plus its explanation."""
+    """One ranked recommendation list plus its explanation.
+
+    ``trace_id`` correlates the response with the request's span tree
+    in the tracer's span log; it is ``None`` whenever tracing is off
+    (see docs/observability.md, "Serving observability").
+    """
 
     entity: str
     items: List[int]
     scores: List[float]
     voting_weights: Optional[Dict[int, float]] = None
+    trace_id: Optional[str] = None
 
 
 @dataclass
@@ -119,44 +126,62 @@ class RecommendationService:
         """Top-K items for an individual user (seen items excluded)."""
         self._check_user(user)
         self._check_k(k)
-        if self.engine is not None:
-            items, scores = self.engine.topk_user(user, k)
-        else:
-            exclude = self.dataset.user_items()[user]
-            items = top_k_items(
-                self.model.score_user_items, user, self.dataset.num_items, k, exclude
+        with span(
+            "service.recommend_for_user", mode=self._mode(), user=int(user), k=k
+        ) as root:
+            if self.engine is not None:
+                items, scores = self.engine.topk_user(user, k)
+            else:
+                exclude = self.dataset.user_items()[user]
+                with span("direct.score"):
+                    items = top_k_items(
+                        self.model.score_user_items,
+                        user,
+                        self.dataset.num_items,
+                        k,
+                        exclude,
+                    )
+                    scores = self.model.score_user_items(
+                        np.full(items.size, user, dtype=np.int64), items
+                    )
+            return Recommendation(
+                entity=f"user:{user}",
+                items=items.tolist(),
+                scores=scores.tolist(),
+                trace_id=root.trace_id if root is not None else None,
             )
-            scores = self.model.score_user_items(
-                np.full(items.size, user, dtype=np.int64), items
-            )
-        return Recommendation(
-            entity=f"user:{user}", items=items.tolist(), scores=scores.tolist()
-        )
 
     def recommend_for_group(self, group: int, k: int = 10) -> Recommendation:
         """Top-K items for a dataset group, with voting explanation."""
         if not 0 <= group < self.dataset.num_groups:
             raise IndexError(f"group {group} out of range [0, {self.dataset.num_groups})")
         self._check_k(k)
-        if self.engine is not None:
-            items, scores = self.engine.topk_group(group, k)
-        else:
-            exclude = self.dataset.group_items()[group]
+        with span(
+            "service.recommend_for_group", mode=self._mode(), group=int(group), k=k
+        ) as root:
+            if self.engine is not None:
+                items, scores = self.engine.topk_group(group, k)
+            else:
+                exclude = self.dataset.group_items()[group]
 
-            def scorer(groups, target_items):
-                return self.model.score_group_items(
-                    self._batcher.batch(groups), target_items
-                )
+                def scorer(groups, target_items):
+                    return self.model.score_group_items(
+                        self._batcher.batch(groups), target_items
+                    )
 
-            items = top_k_items(scorer, group, self.dataset.num_items, k, exclude)
-            scores = scorer(np.full(items.size, group, dtype=np.int64), items)
-        weights = self._explain(group, int(items[0])) if items.size else None
-        return Recommendation(
-            entity=f"group:{group}",
-            items=items.tolist(),
-            scores=scores.tolist(),
-            voting_weights=weights,
-        )
+                with span("direct.score"):
+                    items = top_k_items(
+                        scorer, group, self.dataset.num_items, k, exclude
+                    )
+                    scores = scorer(np.full(items.size, group, dtype=np.int64), items)
+            weights = self._explain(group, int(items[0])) if items.size else None
+            return Recommendation(
+                entity=f"group:{group}",
+                items=items.tolist(),
+                scores=scores.tolist(),
+                voting_weights=weights,
+                trace_id=root.trace_id if root is not None else None,
+            )
 
     def recommend_for_members(
         self, members: Sequence[int], k: int = 10
@@ -174,25 +199,38 @@ class RecommendationService:
             self._check_user(int(member))
         self._check_k(k)
         canonical = self._adhoc.canonical_members(members)
-        if self.engine is not None:
-            items, scores = self.engine.topk_members(members, k)
-        else:
-            items = self._adhoc.recommend(members, k=k)
-            scores = self._adhoc.score(members, items) if items.size else np.empty(0)
-        weights = None
-        if items.size:
-            gamma = self._adhoc.voting_weights(members, int(items[0]))
-            # gamma rows follow the ad-hoc batch's member axis, which is
-            # exactly `canonical`; zip them explicitly.
-            weights = {int(m): float(w) for m, w in zip(canonical, gamma)}
-        return Recommendation(
-            entity=f"adhoc:{','.join(str(m) for m in members)}",
-            items=items.tolist(),
-            scores=scores.tolist(),
-            voting_weights=weights,
-        )
+        with span(
+            "service.recommend_for_members",
+            mode=self._mode(),
+            member_count=len(canonical),
+            k=k,
+        ) as root:
+            if self.engine is not None:
+                items, scores = self.engine.topk_members(members, k)
+            else:
+                with span("direct.score"):
+                    items = self._adhoc.recommend(members, k=k)
+                    scores = (
+                        self._adhoc.score(members, items) if items.size else np.empty(0)
+                    )
+            weights = None
+            if items.size:
+                gamma = self._adhoc.voting_weights(members, int(items[0]))
+                # gamma rows follow the ad-hoc batch's member axis, which is
+                # exactly `canonical`; zip them explicitly.
+                weights = {int(m): float(w) for m, w in zip(canonical, gamma)}
+            return Recommendation(
+                entity=f"adhoc:{','.join(str(m) for m in members)}",
+                items=items.tolist(),
+                scores=scores.tolist(),
+                voting_weights=weights,
+                trace_id=root.trace_id if root is not None else None,
+            )
 
     # ------------------------------------------------------------------
+
+    def _mode(self) -> str:
+        return "engine" if self.engine is not None else "direct"
 
     def _explain(self, group: int, item: int) -> Dict[int, float]:
         members = self.dataset.group_members[group]

@@ -27,13 +27,46 @@ class TestStages:
         assert summary["count"] == 1
         assert summary["max_ms"] >= 10.0
 
-    def test_sample_cap_keeps_exact_counts(self):
+    def test_full_history_percentiles(self):
+        # The reservoir era kept only the most recent max_samples, so
+        # percentiles silently forgot old samples; the log-bucket
+        # histograms keep the full history (max_samples is accepted for
+        # compatibility and ignored).
         telemetry = Telemetry(max_samples=4)
         for index in range(10):
             telemetry.record_latency("stage", float(index))
         summary = telemetry.snapshot()["stages"]["stage"]
         assert summary["count"] == 10           # exact over full history
-        assert summary["p50_ms"] >= 6000.0      # percentiles over recent window
+        assert summary["p50_ms"] == 4000.0      # nearest rank over ALL samples
+        assert summary["max_ms"] == 9000.0
+
+    def test_percentiles_unbiased_under_load(self):
+        # Regression for the reservoir bias: 100k heavily skewed samples
+        # would have overflowed the old deque(maxlen=8192) and skewed
+        # p99 toward whatever arrived last.  The histogram's p99 must
+        # stay within one bucket's relative error of the exact order
+        # statistic regardless of volume or arrival order.
+        import numpy as np
+
+        telemetry = Telemetry()
+        rng = np.random.default_rng(7)
+        samples = rng.lognormal(mean=-6.0, sigma=2.0, size=100_000)
+        # Adversarial ordering: ascending, so a recency window would
+        # only ever see the largest samples.
+        for value in np.sort(samples):
+            telemetry.record_latency("stage", float(value))
+        summary = telemetry.snapshot()["stages"]["stage"]
+        assert summary["count"] == 100_000
+        relative_error = (
+            telemetry.registry.histogram("stage.stage").relative_error
+        )
+        for q in (50, 90, 99):
+            rank = int(round(q / 100.0 * (samples.size - 1)))
+            exact_ms = float(np.sort(samples)[rank]) * 1000.0
+            got_ms = summary[f"p{q}_ms"]
+            assert abs(got_ms - exact_ms) <= exact_ms * relative_error + 1e-9, (
+                f"p{q}: got {got_ms}, exact {exact_ms}"
+            )
 
 
 class TestCountersAndRates:
@@ -86,6 +119,16 @@ class TestBatchesAndExport:
         assert snapshot["stages"] == {}
         assert snapshot["batches"]["count"] == 0
         assert snapshot["batches"]["mean_occupancy"] == 0.0
+
+    def test_prometheus_exposition(self):
+        telemetry = Telemetry()
+        telemetry.increment("cache.hit", 3)
+        telemetry.record_latency("stage", 0.001)
+        text = telemetry.exposition()
+        assert "# TYPE repro_cache_hit_total counter" in text
+        assert "repro_cache_hit_total 3" in text
+        assert "# TYPE repro_stage_stage histogram" in text
+        assert "repro_stage_stage_count 1" in text
 
     def test_json_roundtrip(self):
         telemetry = Telemetry()
