@@ -12,6 +12,8 @@ Examples::
     python -m repro.cli recommend --data world.npz --model model.npz --group 3 -k 5
     python -m repro.cli serve-bench --data world.npz --model model.npz --requests 200
     python -m repro.cli serve-bench --data world.npz --model model.npz \
+        --workers 1,2,4 --shards 4 --json report.json
+    python -m repro.cli serve-bench --data world.npz --model model.npz \
         --trace-out spans_trace.json --span-log spans.jsonl \
         --metrics-out metrics.prom --slow-ms 50 --sample-rate 0.1
     python -m repro.cli profile --preset yelp --scale 0.01 \
@@ -199,6 +201,28 @@ def _command_serve_bench(args: argparse.Namespace) -> int:
             f"p50 {side['p50_ms']:8.3f} ms   p99 {side['p99_ms']:8.3f} ms"
         )
     print(f"speedup  {report['speedup_rps']:10.1f}x (requests/second)")
+    if args.workers:
+        from repro.cluster import benchmark_sharded_scaling
+
+        worker_counts = [int(w) for w in args.workers.split(",") if w.strip()]
+        scaling = benchmark_sharded_scaling(
+            service.model,
+            dataset,
+            users,
+            worker_counts,
+            k=args.k,
+            num_shards=args.shards,
+            clients=args.clients,
+            dataset_path=args.data,
+        )
+        report["sharded_scaling"] = scaling
+        for point in scaling["points"]:
+            print(
+                f"workers={point['workers']:<3d} shards={point['shards']:<3d} "
+                f"{point['rps']:10.1f} req/s   "
+                f"p50 {point['p50_ms']:8.3f} ms   p99 {point['p99_ms']:8.3f} ms   "
+                f"x{point['speedup_vs_first']:.2f} vs {scaling['points'][0]['workers']} worker(s)"
+            )
     if tracer is not None:
         report["tracing"] = tracer.summary()
         kept = report["tracing"]["traces_kept"]
@@ -383,7 +407,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     serve_bench = commands.add_parser(
         "serve-bench",
-        help="benchmark direct vs engine-backed user Top-K serving",
+        help="benchmark direct vs engine-backed (and, with --workers, "
+        "sharded multi-process) user Top-K serving",
     )
     serve_bench.add_argument("--data", required=True)
     serve_bench.add_argument("--model", required=True)
@@ -395,6 +420,18 @@ def build_parser() -> argparse.ArgumentParser:
     serve_bench.add_argument("--cache-mb", type=float, default=None)
     serve_bench.add_argument("--seed", type=int, default=0)
     serve_bench.add_argument("--json", default=None, help="write the report here")
+    serve_bench.add_argument(
+        "--workers",
+        default=None,
+        help="also benchmark sharded multi-process serving at these "
+        "worker counts (comma-separated, e.g. 1,2,4)",
+    )
+    serve_bench.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="shard count for --workers runs (default: one shard per worker)",
+    )
     serve_bench.add_argument(
         "--trace-out",
         default=None,

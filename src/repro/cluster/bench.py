@@ -1,0 +1,81 @@
+"""Sharded-serving benchmark: rps/p99 scaling vs worker count.
+
+Spins up a fresh cluster per worker count, drives a closed request
+loop through the router, and reports one scaling point per
+configuration — the curve ``repro serve-bench --workers 1,2,4``
+prints and ``results/engine_throughput.json`` records.
+
+Setup cost (store write, spawn, readiness pings) is excluded from the
+timed window; a short warmup pages the mapped tables in before
+measurement so the first requests do not charge cold page faults to
+the curve.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.cluster.router import ClusterConfig, ShardRouter
+from repro.engine.bench import run_closed_loop
+
+
+def benchmark_sharded_scaling(
+    model,
+    dataset,
+    users: Sequence[int],
+    worker_counts: Sequence[int],
+    k: int = 10,
+    num_shards: Optional[int] = None,
+    strategy: str = "contiguous",
+    clients: int = 1,
+    warmup_requests: int = 5,
+    dataset_path=None,
+) -> dict:
+    """One scaling point per entry of ``worker_counts``.
+
+    ``num_shards`` defaults to the worker count of each point (one
+    shard per worker); pass an explicit value to hold the partition
+    fixed while varying the pool size.  ``dataset_path`` skips the
+    per-point dataset re-save when the world is already on disk.
+    """
+    users = [int(u) for u in users]
+    if not users:
+        raise ValueError("need at least one user request")
+    points = []
+    for workers in worker_counts:
+        config = ClusterConfig(
+            num_workers=int(workers),
+            num_shards=num_shards,
+            strategy=strategy,
+        )
+        router = ShardRouter.launch(
+            model, dataset, config=config, dataset_path=dataset_path
+        )
+        try:
+            for index in range(min(warmup_requests, len(users))):
+                router.topk_user(users[index], k=k)
+            summary = run_closed_loop(
+                lambda i: router.topk_user(users[i], k=k),
+                len(users),
+                clients=clients,
+            )
+            points.append(
+                {
+                    "workers": int(workers),
+                    "shards": router.plan.num_shards,
+                    "strategy": strategy,
+                    **summary,
+                }
+            )
+        finally:
+            router.close()
+    baseline = points[0]["rps"] if points else 0.0
+    for point in points:
+        point["speedup_vs_first"] = point["rps"] / baseline if baseline else 0.0
+    return {
+        "k": k,
+        "clients": clients,
+        "requests": len(users),
+        "worker_counts": [int(w) for w in worker_counts],
+        "points": points,
+    }

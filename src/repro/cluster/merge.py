@@ -1,0 +1,51 @@
+"""Exact cross-shard Top-K merge.
+
+The single-process kernel (:func:`repro.engine.topk.topk_indices`)
+orders by descending score with ties broken by ascending item index.
+Each shard returns its local Top-K already under that contract *within
+its slice*; merging is then a straight selection over the union of
+candidates by ``(-score, global item id)``.  Because every shard
+contributes its best ``min(k, local candidates)`` items, the global
+Top-K is guaranteed to be inside the union — the merge is exact, not
+approximate.
+
+Shared by the router (merging worker replies) and by workers that host
+several shards (merging their own scorers' slices before replying).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+import numpy as np
+
+TopK = Tuple[np.ndarray, np.ndarray]  # (global item ids, scores), best first
+
+
+def merge_topk(parts: Iterable[TopK], k: int) -> TopK:
+    """Merge per-shard ``(global ids, scores)`` lists into one Top-K.
+
+    Ordering contract: descending score, ties by ascending *global*
+    item id — bit-identical to running ``topk_indices`` over the full
+    concatenated score vector.
+    """
+    id_chunks = []
+    score_chunks = []
+    for ids, scores in parts:
+        ids = np.asarray(ids, dtype=np.int64)
+        scores = np.asarray(scores, dtype=np.float64)
+        if ids.shape != scores.shape:
+            raise ValueError(
+                f"ids/scores length mismatch: {ids.shape} vs {scores.shape}"
+            )
+        if ids.size:
+            id_chunks.append(ids)
+            score_chunks.append(scores)
+    if not id_chunks:
+        return np.empty(0, dtype=np.int64), np.empty(0)
+    all_ids = np.concatenate(id_chunks)
+    all_scores = np.concatenate(score_chunks)
+    # lexsort keys are least-significant first: primary -score,
+    # secondary ascending global id.
+    order = np.lexsort((all_ids, -all_scores))[: max(k, 0)]
+    return all_ids[order], all_scores[order]

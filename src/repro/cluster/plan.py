@@ -1,0 +1,165 @@
+"""Shard planning: how the item catalog is split across workers.
+
+A :class:`ShardPlan` is the single source of truth for which worker
+owns which items and how global item ids map to a worker's local slice.
+Both sides of the cluster hold the same plan — the router uses it to
+reason about shard sizes and the workers use it to materialize their
+owned item ids — so the mapping can never drift between them.
+
+Two partition strategies:
+
+- ``contiguous`` (default): shard ``s`` owns one dense range of item
+  ids.  Sizes differ by at most one (the first ``num_items %
+  num_shards`` shards get the extra item).  Contiguous ranges keep a
+  worker's rows of the item-embedding table adjacent on disk, which is
+  what the mmap-backed weight store wants for page locality.
+- ``modulo``: shard ``s`` owns every item with ``item % num_shards ==
+  s``.  This round-robin layout spreads popularity-correlated id
+  ranges (real catalogs often cluster hot items) evenly across shards
+  at the cost of strided table access.
+
+In both strategies a shard's owned items, listed in ascending global
+order, define its *local* index space (``local 0`` is the smallest
+owned global id), which is exactly the order the worker's score slice
+uses — so local Top-K tie-breaks by local position agree with global
+tie-breaks by item id.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Union
+
+import numpy as np
+
+STRATEGIES = ("contiguous", "modulo")
+
+IntArray = Union[int, Sequence[int], np.ndarray]
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """Partition of ``num_items`` catalog items into ``num_shards``.
+
+    Empty shards are legal (``num_shards > num_items``); they simply
+    never contribute candidates.
+    """
+
+    num_items: int
+    num_shards: int
+    strategy: str = "contiguous"
+
+    def __post_init__(self) -> None:
+        if self.num_items < 1:
+            raise ValueError(f"num_items must be >= 1, got {self.num_items}")
+        if self.num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {self.num_shards}")
+        if self.strategy not in STRATEGIES:
+            raise ValueError(
+                f"unknown strategy '{self.strategy}' (choose from {STRATEGIES})"
+            )
+
+    # -- sizes and ownership -------------------------------------------
+
+    @property
+    def shard_sizes(self) -> np.ndarray:
+        """Number of items each shard owns, indexed by shard id."""
+        base, extra = divmod(self.num_items, self.num_shards)
+        sizes = np.full(self.num_shards, base, dtype=np.int64)
+        sizes[:extra] += 1
+        return sizes
+
+    def _starts(self) -> np.ndarray:
+        """Contiguous-strategy range starts (start of shard ``s``)."""
+        starts = np.zeros(self.num_shards, dtype=np.int64)
+        np.cumsum(self.shard_sizes[:-1], out=starts[1:])
+        return starts
+
+    def global_items(self, shard: int) -> np.ndarray:
+        """Global item ids owned by ``shard``, ascending.
+
+        The position of an id in this array is its *local* index.
+        """
+        self._check_shard(shard)
+        if self.strategy == "modulo":
+            return np.arange(shard, self.num_items, self.num_shards, dtype=np.int64)
+        start = int(self._starts()[shard])
+        stop = start + int(self.shard_sizes[shard])
+        return np.arange(start, stop, dtype=np.int64)
+
+    def shard_of(self, items: IntArray) -> np.ndarray:
+        """Owning shard id for each global item id."""
+        items = self._check_items(items)
+        if self.strategy == "modulo":
+            return items % self.num_shards
+        base, extra = divmod(self.num_items, self.num_shards)
+        boundary = extra * (base + 1)
+        wide = np.minimum(items, boundary - 1) // (base + 1) if extra else 0
+        if base == 0:
+            # More shards than items: everything lives in the first
+            # ``extra`` (== num_items) one-item shards.
+            return items.astype(np.int64)
+        narrow = extra + np.maximum(items - boundary, 0) // base
+        return np.where(items < boundary, wide, narrow).astype(np.int64)
+
+    # -- index mapping ---------------------------------------------------
+
+    def to_local(self, shard: int, items: IntArray) -> np.ndarray:
+        """Local indices of global ``items`` within ``shard``.
+
+        Raises ``ValueError`` when an item is not owned by ``shard``.
+        """
+        self._check_shard(shard)
+        items = self._check_items(items)
+        if not np.all(self.shard_of(items) == shard):
+            foreign = items[self.shard_of(items) != shard]
+            raise ValueError(
+                f"items {foreign.tolist()} are not owned by shard {shard}"
+            )
+        if self.strategy == "modulo":
+            return (items - shard) // self.num_shards
+        return items - int(self._starts()[shard])
+
+    def to_global(self, shard: int, local: IntArray) -> np.ndarray:
+        """Global item ids for local indices of ``shard``."""
+        self._check_shard(shard)
+        local = np.atleast_1d(np.asarray(local, dtype=np.int64))
+        size = int(self.shard_sizes[shard])
+        if local.size and (local.min() < 0 or local.max() >= size):
+            raise ValueError(
+                f"local index out of range [0, {size}) for shard {shard}"
+            )
+        if self.strategy == "modulo":
+            return shard + local * self.num_shards
+        return int(self._starts()[shard]) + local
+
+    # -- serialization ---------------------------------------------------
+
+    def payload(self) -> Dict:
+        """JSON-serializable description (also the wire format)."""
+        return {
+            "num_items": self.num_items,
+            "num_shards": self.num_shards,
+            "strategy": self.strategy,
+            "shard_sizes": self.shard_sizes.tolist(),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict) -> "ShardPlan":
+        return cls(
+            num_items=int(payload["num_items"]),
+            num_shards=int(payload["num_shards"]),
+            strategy=str(payload["strategy"]),
+        )
+
+    # -- validation ------------------------------------------------------
+
+    def _check_shard(self, shard: int) -> None:
+        if not 0 <= shard < self.num_shards:
+            raise IndexError(f"shard {shard} out of range [0, {self.num_shards})")
+
+    def _check_items(self, items: IntArray) -> np.ndarray:
+        items = np.atleast_1d(np.asarray(items, dtype=np.int64))
+        if items.size and (items.min() < 0 or items.max() >= self.num_items):
+            raise ValueError(f"item id out of range [0, {self.num_items})")
+        return items

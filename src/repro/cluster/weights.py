@@ -1,0 +1,219 @@
+"""Shared weight store: one on-disk copy of the model, N memmap views.
+
+A cluster of worker processes must not hold N private copies of the
+embedding tables — at millions-of-users scale the tables *are* the
+memory footprint.  :class:`SharedWeightStore` writes every model array
+once into a single binary blob (64-byte aligned, described by a JSON
+manifest) and lets any number of processes attach read-only
+``np.memmap`` views.  The OS page cache backs all views with the same
+physical pages, so worker RSS grows only with the rows a worker
+actually touches, and attach time is O(1) regardless of table size.
+
+Layout of a store directory::
+
+    store/
+      manifest.json   # {"arrays": {name: {dtype, shape, offset}}, "meta": ...}
+      weights.bin     # raw little-endian array bytes, 64-byte aligned
+
+The manifest is written last (atomically via ``os.replace``), so a
+partially written store is never attachable.
+
+On top of the generic store sit two model-shaped helpers:
+:func:`write_model_store` serializes a trained
+:class:`~repro.core.groupsa.GroupSA` (parameters + Top-H neighbour
+tables + config), and :func:`attach_shared_model` rebuilds a model
+whose parameters *are* the read-only mapped arrays — forward passes
+gather rows out of the shared pages without ever copying a table.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Mapping, Optional, Union
+
+import numpy as np
+
+PathLike = Union[str, Path]
+
+MANIFEST_NAME = "manifest.json"
+DATA_NAME = "weights.bin"
+_ALIGNMENT = 64
+_FORMAT = "repro.cluster.weights/v1"
+
+
+def _align(offset: int) -> int:
+    return (offset + _ALIGNMENT - 1) // _ALIGNMENT * _ALIGNMENT
+
+
+class SharedWeightStore:
+    """Read-only mapped view over a store directory.
+
+    Build one with :meth:`create` (writer side) or :meth:`attach`
+    (worker side); access arrays with ``store[name]``.  Every array is
+    an ``np.memmap`` opened mode ``"r"`` — attempting to write raises,
+    which is exactly the contract serving workers want.
+    """
+
+    def __init__(self, directory: PathLike) -> None:
+        self.directory = Path(directory)
+        manifest_path = self.directory / MANIFEST_NAME
+        if not manifest_path.exists():
+            raise FileNotFoundError(
+                f"no weight-store manifest at {manifest_path} "
+                "(create one with SharedWeightStore.create)"
+            )
+        with open(manifest_path, "r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+        if manifest.get("format") != _FORMAT:
+            raise ValueError(
+                f"unsupported weight-store format {manifest.get('format')!r}"
+            )
+        self.meta: Dict = manifest.get("meta", {})
+        self._entries: Dict[str, Dict] = manifest["arrays"]
+        data_path = self.directory / DATA_NAME
+        self._arrays: Dict[str, np.memmap] = {}
+        for name, entry in self._entries.items():
+            self._arrays[name] = np.memmap(
+                data_path,
+                dtype=np.dtype(entry["dtype"]),
+                mode="r",
+                offset=int(entry["offset"]),
+                shape=tuple(entry["shape"]),
+            )
+
+    # -- construction ----------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        directory: PathLike,
+        arrays: Mapping[str, np.ndarray],
+        meta: Optional[Dict] = None,
+    ) -> "SharedWeightStore":
+        """Write ``arrays`` into ``directory`` and attach to the result."""
+        if not arrays:
+            raise ValueError("refusing to create an empty weight store")
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        entries: Dict[str, Dict] = {}
+        offset = 0
+        data_path = directory / DATA_NAME
+        with open(data_path, "wb") as handle:
+            for name, array in arrays.items():
+                array = np.ascontiguousarray(array)
+                offset = _align(offset)
+                handle.seek(offset)
+                handle.write(array.tobytes())
+                entries[name] = {
+                    "dtype": array.dtype.str,
+                    "shape": list(array.shape),
+                    "offset": offset,
+                }
+                offset += array.nbytes
+            handle.flush()
+            os.fsync(handle.fileno())
+        manifest = {"format": _FORMAT, "arrays": entries, "meta": meta or {}}
+        # Manifest last, atomically: attach() can never see a half store.
+        fd, tmp_name = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(manifest, handle, indent=2, sort_keys=True)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_name, directory / MANIFEST_NAME)
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.unlink(tmp_name)
+            raise
+        return cls.attach(directory)
+
+    @classmethod
+    def attach(cls, directory: PathLike) -> "SharedWeightStore":
+        """Map an existing store read-only (any number of processes)."""
+        return cls(directory)
+
+    # -- access ----------------------------------------------------------
+
+    def names(self) -> list:
+        return list(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._arrays
+
+    def __getitem__(self, name: str) -> np.memmap:
+        return self._arrays[name]
+
+    @property
+    def nbytes(self) -> int:
+        """Total mapped bytes (one physical copy however many attach)."""
+        return sum(array.nbytes for array in self._arrays.values())
+
+
+# ----------------------------------------------------------------------
+# GroupSA-shaped store
+# ----------------------------------------------------------------------
+
+_PARAM_PREFIX = "param/"
+_TABLE_PREFIX = "tables/"
+
+
+def write_model_store(model, directory: PathLike) -> SharedWeightStore:
+    """Serialize a trained GroupSA into a shared weight store."""
+    arrays: Dict[str, np.ndarray] = {
+        _PARAM_PREFIX + name: weights for name, weights in model.state_dict().items()
+    }
+    tables = model.top_neighbours
+    if tables is not None:
+        arrays[_TABLE_PREFIX + "items"] = tables.items
+        arrays[_TABLE_PREFIX + "item_mask"] = tables.item_mask
+        arrays[_TABLE_PREFIX + "friends"] = tables.friends
+        arrays[_TABLE_PREFIX + "friend_mask"] = tables.friend_mask
+    meta = {
+        "config": json.dumps(dataclasses.asdict(model.config)),
+        "num_users": model.num_users,
+        "num_items": model.num_items,
+    }
+    return SharedWeightStore.create(directory, arrays, meta=meta)
+
+
+def attach_shared_model(directory: PathLike):
+    """Rebuild a GroupSA whose parameters are the store's mapped arrays.
+
+    The returned model is read-only in the only sense that matters for
+    serving: each :class:`~repro.nn.module.Parameter`'s ``data`` is a
+    mode-``"r"`` memmap, so forward passes gather shared pages and any
+    accidental in-place write raises immediately.
+    """
+    from repro.core.groupsa import GroupSA
+    from repro.data.loaders import TopNeighbours
+    from repro.persistence import _decode_config
+
+    store = SharedWeightStore.attach(directory)
+    config = _decode_config(store.meta["config"])
+    model = GroupSA(int(store.meta["num_users"]), int(store.meta["num_items"]), config)
+    for name, parameter in model.named_parameters():
+        mapped = store[_PARAM_PREFIX + name]
+        if parameter.data.shape != mapped.shape:
+            raise ValueError(
+                f"shape mismatch for '{name}': "
+                f"{parameter.data.shape} vs {mapped.shape}"
+            )
+        # Replace the freshly initialized array outright (assignment,
+        # not copy) so the table never exists as private memory.
+        parameter.data = mapped
+    if _TABLE_PREFIX + "items" in store:
+        model.set_top_neighbours(
+            TopNeighbours(
+                items=store[_TABLE_PREFIX + "items"],
+                item_mask=store[_TABLE_PREFIX + "item_mask"],
+                friends=store[_TABLE_PREFIX + "friends"],
+                friend_mask=store[_TABLE_PREFIX + "friend_mask"],
+            )
+        )
+    model.eval()
+    return model

@@ -1,0 +1,209 @@
+"""Shard worker: one process, one or more item slices, the Top-K kernel.
+
+A worker attaches the shared weight store (read-only memmap — no table
+copy), loads the dataset for exclusion sets and group membership, and
+answers scatter requests over a multiprocessing pipe.  Every request
+kind reduces to the same loop the single-process engine runs — score a
+set of candidate items, run :func:`repro.engine.topk.topk_indices` —
+restricted to the items the worker's shards own.  Replies carry
+*global* item ids, so the router's merge never touches the local index
+space.
+
+Because a shard's owned items are listed in ascending global order,
+``topk_indices``'s tie-break (ascending position) is exactly ascending
+global item id within the shard; a worker hosting several shards folds
+them together with the same exact merge the router uses, so however
+shards are assigned to workers the final list is bit-identical to a
+single-process Top-K.
+
+:class:`ShardScorer` holds the in-process scoring logic for one shard
+and is used directly by tests; :func:`worker_main` is the process
+entry point wrapping scorers in the pipe protocol and a per-worker
+:class:`~repro.obs.metrics_registry.MetricsRegistry` whose lossless
+snapshots the router merges fleet-wide.
+
+Wire protocol (parent → worker, tuples)::
+
+    ("score", req_id, kind, payload, k)   kind in {user, group, adhoc}
+    ("metrics", req_id)
+    ("ping", req_id)
+    ("stop",)
+
+and worker → parent::
+
+    ("ok", req_id, global_item_ids, scores)
+    ("error", req_id, exception_type_name, message)
+    ("metrics", req_id, registry_state)
+    ("pong", req_id, worker_id)
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.cluster.merge import merge_topk
+from repro.cluster.plan import ShardPlan
+from repro.cluster.weights import attach_shared_model
+from repro.core.adhoc import build_adhoc_batch
+from repro.data.io import load_dataset
+from repro.data.loaders import GroupBatch, GroupBatcher
+from repro.engine.topk import exclusion_mask, topk_indices
+from repro.obs.metrics_registry import MetricsRegistry
+
+TopK = Tuple[np.ndarray, np.ndarray]  # (global item ids, scores), best first
+
+
+@dataclass(frozen=True)
+class WorkerSpec:
+    """Everything a worker process needs to boot, picklable for spawn."""
+
+    worker_id: int
+    shards: Tuple[int, ...]
+    plan: ShardPlan
+    store_dir: str
+    dataset_path: str
+
+
+class ShardScorer:
+    """Scores one shard's item slice for user/group/ad-hoc requests.
+
+    ``model`` and ``dataset`` are shared across a worker's scorers (and
+    may be plain in-memory objects in tests — nothing here requires the
+    mmap-backed store).
+    """
+
+    def __init__(self, shard: int, plan: ShardPlan, model, dataset) -> None:
+        if dataset.num_items != plan.num_items:
+            raise ValueError(
+                f"plan covers {plan.num_items} items but the dataset "
+                f"has {dataset.num_items}"
+            )
+        self.shard = shard
+        self.plan = plan
+        self.model = model
+        self.dataset = dataset
+        #: Owned global item ids, ascending — local index i is owned[i].
+        self.owned = plan.global_items(shard)
+        self._user_items = dataset.user_items()
+        self._group_items = dataset.group_items()
+        self._friend_sets = dataset.friend_set()
+        self._batcher = GroupBatcher(dataset)
+
+    def score(self, kind: str, payload, k: int) -> TopK:
+        """Local Top-K (global ids) for one scatter request."""
+        if kind == "user":
+            return self._score_user(int(payload), k)
+        if kind == "group":
+            return self._score_group(int(payload), k)
+        if kind == "adhoc":
+            return self._score_adhoc(tuple(int(m) for m in payload), k)
+        raise ValueError(f"unknown request kind '{kind}'")
+
+    # -- per-kind scoring ------------------------------------------------
+
+    def _local_mask(self, exclude) -> Optional[np.ndarray]:
+        """This shard's slice of the global exclusion mask."""
+        mask = exclusion_mask(self.dataset.num_items, exclude)
+        return None if mask is None else mask[self.owned]
+
+    def _score_user(self, user: int, k: int) -> TopK:
+        if self.owned.size == 0:
+            return np.empty(0, dtype=np.int64), np.empty(0)
+        scores = self.model.score_user_items(
+            np.full(self.owned.size, user, dtype=np.int64), self.owned
+        )
+        chosen = topk_indices(scores, k, self._local_mask(self._user_items[user]))
+        return self.owned[chosen], scores[chosen]
+
+    def _score_group(self, group: int, k: int) -> TopK:
+        candidates = self._candidates(self._group_items[group])
+        if candidates.size == 0:
+            return np.empty(0, dtype=np.int64), np.empty(0)
+        scores = self.model.score_group_items(
+            self._batcher.batch(np.full(candidates.size, group, dtype=np.int64)),
+            candidates,
+        )
+        chosen = topk_indices(scores, k)
+        return candidates[chosen], scores[chosen]
+
+    def _score_adhoc(self, members: Tuple[int, ...], k: int) -> TopK:
+        single = build_adhoc_batch([list(members)], self._friend_sets)
+        exclude: set = set()
+        for member in members:
+            exclude |= self._user_items[member]
+        candidates = self._candidates(exclude)
+        if candidates.size == 0:
+            return np.empty(0, dtype=np.int64), np.empty(0)
+        repeated = GroupBatch(
+            group_ids=np.full(candidates.size, -1, dtype=np.int64),
+            members=np.repeat(single.members, candidates.size, axis=0),
+            mask=np.repeat(single.mask, candidates.size, axis=0),
+            adjacency=np.repeat(single.adjacency, candidates.size, axis=0),
+        )
+        scores = self.model.score_group_items(repeated, candidates)
+        chosen = topk_indices(scores, k)
+        return candidates[chosen], scores[chosen]
+
+    def _candidates(self, exclude) -> np.ndarray:
+        mask = self._local_mask(exclude)
+        if mask is None:
+            return self.owned
+        return self.owned[~mask]
+
+
+def worker_main(conn, spec: WorkerSpec) -> None:
+    """Process entry point: serve scatter requests until ``stop``/EOF."""
+    registry = MetricsRegistry()
+    try:
+        model = attach_shared_model(spec.store_dir)
+        dataset = load_dataset(spec.dataset_path)
+        scorers = [
+            ShardScorer(shard, spec.plan, model, dataset) for shard in spec.shards
+        ]
+    except BaseException as error:  # boot failure: report, then bail
+        try:
+            conn.send(("error", -1, type(error).__name__, str(error)))
+        finally:
+            conn.close()
+        return
+    owned_items = sum(scorer.owned.size for scorer in scorers)
+    registry.gauge("shard.items").set(float(owned_items))
+    registry.gauge("shard.count").set(float(len(scorers)))
+    latency = registry.histogram("shard.request")
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except EOFError:
+                break
+            op = message[0]
+            if op == "stop":
+                break
+            if op == "ping":
+                conn.send(("pong", message[1], spec.worker_id))
+                continue
+            if op == "metrics":
+                conn.send(("metrics", message[1], registry.state()))
+                continue
+            if op == "score":
+                __, req_id, kind, payload, k = message
+                start = time.perf_counter()
+                try:
+                    parts = [scorer.score(kind, payload, int(k)) for scorer in scorers]
+                    items, scores = merge_topk(parts, int(k))
+                except BaseException as error:
+                    registry.counter("shard.errors").inc()
+                    conn.send(("error", req_id, type(error).__name__, str(error)))
+                    continue
+                latency.observe(time.perf_counter() - start)
+                registry.counter(f"shard.requests.{kind}").inc()
+                conn.send(("ok", req_id, items, scores))
+                continue
+            conn.send(("error", message[1] if len(message) > 1 else -1,
+                       "ValueError", f"unknown op '{op}'"))
+    finally:
+        conn.close()

@@ -31,7 +31,10 @@ def topk_indices(
     Parameters
     ----------
     scores:
-        1-D array of finite scores, one per candidate position.
+        1-D array of scores, one per candidate position.  NaN entries
+        are rejected with ``ValueError``: NaN compares false against
+        everything, so it would silently corrupt both the partition
+        threshold and the tie-break ordering instead of failing loudly.
     k:
         Number of positions to return; fewer when the candidate pool
         (after exclusion) is smaller.
@@ -42,6 +45,8 @@ def topk_indices(
     scores = np.asarray(scores, dtype=np.float64)
     if scores.ndim != 1:
         raise ValueError(f"scores must be 1-D, got shape {scores.shape}")
+    if np.isnan(scores).any():
+        raise ValueError("scores must not contain NaN")
     size = scores.size
     if k <= 0 or size == 0:
         return np.empty(0, dtype=np.int64)

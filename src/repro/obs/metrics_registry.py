@@ -225,6 +225,53 @@ class Histogram:
                     return self._bucket_max[index]
             return self._max  # unreachable, counts always sum to _count
 
+    def state(self) -> Dict:
+        """Lossless, JSON-serializable snapshot of the full history.
+
+        Round-trips through :meth:`from_state`, so a histogram can
+        cross a process boundary (worker → router pipe) and still
+        :meth:`merge` exactly — the cluster scatter-gather path relies
+        on this.
+        """
+        with self._lock:
+            return {
+                "name": self.name,
+                "lo": self.lo,
+                "hi": self.hi,
+                "buckets_per_decade": self.buckets_per_decade,
+                "counts": list(self._counts),
+                "bucket_max": list(self._bucket_max),
+                "count": self._count,
+                "sum": self._sum,
+                "max": self._max,
+                # inf is not JSON-representable; empty histograms carry None.
+                "min": self._min if self._count else None,
+            }
+
+    @classmethod
+    def from_state(cls, state: Dict) -> "Histogram":
+        """Reconstruct a histogram from a :meth:`state` snapshot."""
+        histogram = cls(
+            state["name"],
+            lo=state["lo"],
+            hi=state["hi"],
+            buckets_per_decade=state["buckets_per_decade"],
+        )
+        counts = [int(c) for c in state["counts"]]
+        if len(counts) != len(histogram._counts):
+            raise ValueError(
+                f"bucket count mismatch for '{state['name']}': "
+                f"{len(counts)} vs {len(histogram._counts)}"
+            )
+        histogram._counts = counts
+        histogram._bucket_max = [float(m) for m in state["bucket_max"]]
+        histogram._count = int(state["count"])
+        histogram._sum = float(state["sum"])
+        histogram._max = float(state["max"])
+        minimum = state["min"]
+        histogram._min = math.inf if minimum is None else float(minimum)
+        return histogram
+
     def merge(self, other: "Histogram") -> None:
         """Fold ``other``'s history into this histogram (same layout)."""
         if (
@@ -355,6 +402,36 @@ class MetricsRegistry:
                 hi=histogram.hi,
                 buckets_per_decade=histogram.buckets_per_decade,
             ).merge(histogram)
+
+    def state(self) -> dict:
+        """Lossless, JSON-serializable snapshot of every instrument.
+
+        Unlike :meth:`payload` (a human-facing summary), this is the
+        wire format for cross-process aggregation: a worker sends its
+        registry state over a pipe, the receiver rebuilds it with
+        :meth:`from_state` and folds it in with :meth:`merge` — exact
+        counts, sums and bucket histories survive the hop.
+        """
+        return {
+            "namespace": self.namespace,
+            "counters": {n: c.value for n, c in self.counters().items()},
+            "gauges": {n: g.value for n, g in self.gauges().items()},
+            "histograms": {n: h.state() for n, h in self.histograms().items()},
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "MetricsRegistry":
+        """Reconstruct a registry from a :meth:`state` snapshot."""
+        registry = cls(namespace=state.get("namespace", "repro"))
+        for name, value in state.get("counters", {}).items():
+            registry.counter(name).inc(int(value))
+        for name, value in state.get("gauges", {}).items():
+            registry.gauge(name).set(float(value))
+        for name, histogram_state in state.get("histograms", {}).items():
+            restored = Histogram.from_state(histogram_state)
+            with registry._lock:
+                registry._histograms[name] = restored
+        return registry
 
     # -- export ---------------------------------------------------------
 

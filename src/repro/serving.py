@@ -5,7 +5,7 @@ Top-K for users, dataset groups and ad-hoc member lists, with
 explanation payloads (voting weights) and basic input validation —
 the surface an application would actually integrate against.
 
-Two execution modes share this surface:
+Three execution modes share this surface:
 
 - **direct** (the default): every request runs its own forward pass;
 - **engine-backed**: requests route through an
@@ -13,12 +13,19 @@ Two execution modes share this surface:
   caches, micro-batched forward passes and serving telemetry — and
   return the same recommendation lists.  Enable with
   :meth:`RecommendationService.enable_engine`.
+- **cluster-backed**: Top-K computation scatters across a pool of
+  shard worker processes through a
+  :class:`~repro.cluster.router.ShardRouter` (shared mmap-backed
+  weights, exact cross-shard merge) and returns the same
+  recommendation lists.  Enable with
+  :meth:`RecommendationService.enable_cluster`; explanations stay
+  in-process.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -31,6 +38,9 @@ from repro.engine.telemetry import Telemetry
 from repro.evaluation.ranking import top_k_items
 from repro.obs.spans import span
 from repro.persistence import load_model
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard only
+    from repro.cluster.router import ClusterConfig, ShardRouter
 
 
 @dataclass
@@ -60,13 +70,15 @@ class RecommendationService:
         service.recommend_for_members([1, 2, 3], k=5)
 
     Call :meth:`enable_engine` to route Top-K computation through the
-    batched inference engine; explanations and payload shapes are
-    unchanged.
+    batched inference engine, or :meth:`enable_cluster` to scatter it
+    across shard worker processes; explanations and payload shapes
+    are unchanged either way.
     """
 
     model: GroupSA
     dataset: GroupRecommendationDataset
     engine: Optional[InferenceEngine] = None
+    router: Optional["ShardRouter"] = None
     _batcher: GroupBatcher = field(init=False, repr=False)
     _adhoc: AdhocGroupRecommender = field(init=False, repr=False)
 
@@ -110,11 +122,41 @@ class RecommendationService:
             )
         return self.engine
 
+    def enable_cluster(
+        self,
+        config: Optional["ClusterConfig"] = None,
+        workdir=None,
+        dataset_path=None,
+    ) -> "ShardRouter":
+        """Switch to cluster-backed serving; returns the router.
+
+        Launches a pool of shard worker processes sharing one
+        mmap-backed weight store (see docs/serving.md, "Sharded
+        multi-process serving").  Top-K computation scatters across
+        the pool; explanation payloads (voting weights) are still
+        computed in-process from ``self.model``.  When both an engine
+        and a router are enabled, the router takes precedence.
+        """
+        if self.router is None:
+            from repro.cluster.router import ShardRouter
+
+            self.router = ShardRouter.launch(
+                self.model,
+                self.dataset,
+                config=config,
+                workdir=workdir,
+                dataset_path=dataset_path,
+            )
+        return self.router
+
     def close(self) -> None:
-        """Stop the engine worker, if one is attached."""
+        """Stop the engine worker and/or shard workers, if attached."""
         if self.engine is not None:
             self.engine.close()
             self.engine = None
+        if self.router is not None:
+            self.router.close()
+            self.router = None
 
     def telemetry_snapshot(self) -> Optional[dict]:
         """The engine's telemetry snapshot (None in direct mode)."""
@@ -129,7 +171,9 @@ class RecommendationService:
         with span(
             "service.recommend_for_user", mode=self._mode(), user=int(user), k=k
         ) as root:
-            if self.engine is not None:
+            if self.router is not None:
+                items, scores = self.router.topk_user(user, k=k)
+            elif self.engine is not None:
                 items, scores = self.engine.topk_user(user, k)
             else:
                 exclude = self.dataset.user_items()[user]
@@ -159,7 +203,9 @@ class RecommendationService:
         with span(
             "service.recommend_for_group", mode=self._mode(), group=int(group), k=k
         ) as root:
-            if self.engine is not None:
+            if self.router is not None:
+                items, scores = self.router.topk_group(group, k=k)
+            elif self.engine is not None:
                 items, scores = self.engine.topk_group(group, k)
             else:
                 exclude = self.dataset.group_items()[group]
@@ -205,7 +251,9 @@ class RecommendationService:
             member_count=len(canonical),
             k=k,
         ) as root:
-            if self.engine is not None:
+            if self.router is not None:
+                items, scores = self.router.topk_members(members, k=k)
+            elif self.engine is not None:
                 items, scores = self.engine.topk_members(members, k)
             else:
                 with span("direct.score"):
@@ -230,6 +278,8 @@ class RecommendationService:
     # ------------------------------------------------------------------
 
     def _mode(self) -> str:
+        if self.router is not None:
+            return "cluster"
         return "engine" if self.engine is not None else "direct"
 
     def _explain(self, group: int, item: int) -> Dict[int, float]:

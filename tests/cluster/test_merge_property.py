@@ -1,0 +1,98 @@
+"""S3: sharded merge is bit-identical to the single-process kernel.
+
+The property under test is pure selection math — no model, no
+processes: slice a score vector by a ShardPlan, run ``topk_indices``
+per shard exactly as a worker would, merge with ``merge_topk``, and
+the result must equal ``topk_indices`` over the full vector, item ids
+and scores both.  Scores are quantized to a handful of distinct values
+so nearly every Top-K boundary is a tie, exercising the (descending
+score, ascending global id) contract hard.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ShardPlan, merge_topk
+from repro.cluster.plan import STRATEGIES
+from repro.engine.topk import exclusion_mask, topk_indices
+
+
+def sharded_topk(scores, plan, k, exclude=None):
+    """What worker+router do, minus the processes."""
+    mask = exclusion_mask(scores.size, exclude)
+    parts = []
+    for shard in range(plan.num_shards):
+        owned = plan.global_items(shard)
+        local_scores = scores[owned]
+        local_mask = None if mask is None else mask[owned]
+        chosen = topk_indices(local_scores, k, local_mask)
+        parts.append((owned[chosen], local_scores[chosen]))
+    return merge_topk(parts, k)
+
+
+def single_process_topk(scores, k, exclude=None):
+    chosen = topk_indices(scores, k, exclusion_mask(scores.size, exclude))
+    return chosen, scores[chosen]
+
+
+GRID = [
+    (num_items, num_shards, strategy)
+    for num_items in (1, 7, 50)
+    for num_shards in (1, 2, 3, 7)
+    for strategy in STRATEGIES
+]
+
+
+class TestMergeMatchesKernel:
+    @pytest.mark.parametrize("num_items,num_shards,strategy", GRID)
+    def test_seeded_grid_with_dense_ties(self, num_items, num_shards, strategy):
+        rng = np.random.default_rng(1000 * num_items + 10 * num_shards)
+        plan = ShardPlan(num_items, num_shards, strategy=strategy)
+        for trial in range(40):
+            # Quantized scores: with <= 4 distinct values over up to 50
+            # items, Top-K boundaries are almost always tied.
+            scores = rng.integers(0, 4, size=num_items).astype(float)
+            k = int(rng.integers(1, num_items + 5))  # includes k > shard size
+            exclude = None
+            if rng.random() < 0.5:
+                exclude = set(
+                    np.flatnonzero(rng.random(num_items) < 0.3).tolist()
+                )
+            expected_items, expected_scores = single_process_topk(scores, k, exclude)
+            items, merged_scores = sharded_topk(scores, plan, k, exclude)
+            assert np.array_equal(items, expected_items), (
+                strategy, num_shards, k, scores, exclude,
+            )
+            assert np.array_equal(merged_scores, expected_scores)
+
+    def test_k_larger_than_every_shard(self):
+        # k exceeds each shard's size; every shard must surrender its
+        # whole slice and the merge must still be exact.
+        scores = np.array([2.0, 1.0, 2.0, 0.0, 2.0, 1.0, 0.0])
+        plan = ShardPlan(7, 3)
+        items, merged = sharded_topk(scores, plan, 7)
+        assert items.tolist() == [0, 2, 4, 1, 5, 3, 6]
+        assert merged.tolist() == [2.0, 2.0, 2.0, 1.0, 1.0, 0.0, 0.0]
+
+    def test_all_items_excluded(self):
+        scores = np.arange(6, dtype=float)
+        plan = ShardPlan(6, 2)
+        items, merged = sharded_topk(scores, plan, 3, exclude=set(range(6)))
+        assert items.size == 0 and merged.size == 0
+
+    def test_empty_parts_and_validation(self):
+        items, scores = merge_topk([], 5)
+        assert items.size == 0 and scores.size == 0
+        empty = (np.empty(0, dtype=np.int64), np.empty(0))
+        items, scores = merge_topk([empty, empty], 3)
+        assert items.size == 0
+        with pytest.raises(ValueError, match="mismatch"):
+            merge_topk([(np.array([1, 2]), np.array([0.5]))], 1)
+
+    def test_merge_tie_break_is_global_id(self):
+        # Two shards report the same score; ascending *global* id wins
+        # regardless of which part listed it first.
+        part_hi = (np.array([9]), np.array([1.0]))
+        part_lo = (np.array([2]), np.array([1.0]))
+        items, __ = merge_topk([part_hi, part_lo], 2)
+        assert items.tolist() == [2, 9]

@@ -1,0 +1,104 @@
+"""ShardPlan: exact catalog coverage and index-mapping round trips."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ShardPlan
+from repro.cluster.plan import STRATEGIES
+
+
+GRID = [
+    (num_items, num_shards, strategy)
+    for num_items in (1, 7, 50, 64)
+    for num_shards in (1, 2, 3, 7)
+    for strategy in STRATEGIES
+]
+
+
+class TestCoverage:
+    @pytest.mark.parametrize("num_items,num_shards,strategy", GRID)
+    def test_partition_is_exact(self, num_items, num_shards, strategy):
+        plan = ShardPlan(num_items, num_shards, strategy=strategy)
+        owned = [plan.global_items(shard) for shard in range(num_shards)]
+        union = np.concatenate(owned)
+        assert sorted(union.tolist()) == list(range(num_items))
+        assert sum(plan.shard_sizes) == num_items
+        for items, size in zip(owned, plan.shard_sizes):
+            assert items.size == size
+            # Ascending order is what makes topk_indices' positional
+            # tie-break equal ascending global id within a shard.
+            assert np.array_equal(items, np.sort(items))
+
+    @pytest.mark.parametrize("num_items,num_shards,strategy", GRID)
+    def test_shard_of_matches_ownership(self, num_items, num_shards, strategy):
+        plan = ShardPlan(num_items, num_shards, strategy=strategy)
+        shard_of = plan.shard_of(np.arange(num_items))
+        for shard in range(num_shards):
+            expected = plan.global_items(shard)
+            assert np.array_equal(np.where(shard_of == shard)[0], expected)
+
+    @pytest.mark.parametrize("num_items,num_shards,strategy", GRID)
+    def test_local_global_round_trip(self, num_items, num_shards, strategy):
+        plan = ShardPlan(num_items, num_shards, strategy=strategy)
+        for shard in range(num_shards):
+            owned = plan.global_items(shard)
+            if owned.size == 0:
+                continue
+            local = plan.to_local(shard, owned)
+            assert np.array_equal(local, np.arange(owned.size))
+            assert np.array_equal(plan.to_global(shard, local), owned)
+
+    def test_contiguous_is_contiguous(self):
+        plan = ShardPlan(10, 3)
+        assert plan.global_items(0).tolist() == [0, 1, 2, 3]
+        assert plan.global_items(1).tolist() == [4, 5, 6]
+        assert plan.global_items(2).tolist() == [7, 8, 9]
+
+    def test_modulo_stripes(self):
+        plan = ShardPlan(10, 3, strategy="modulo")
+        assert plan.global_items(0).tolist() == [0, 3, 6, 9]
+        assert plan.global_items(1).tolist() == [1, 4, 7]
+        assert plan.global_items(2).tolist() == [2, 5, 8]
+
+    def test_more_shards_than_items_leaves_empty_shards(self):
+        for strategy in STRATEGIES:
+            plan = ShardPlan(2, 5, strategy=strategy)
+            sizes = [plan.global_items(s).size for s in range(5)]
+            assert sum(sizes) == 2
+            assert sizes.count(0) == 3
+
+
+class TestValidation:
+    def test_rejects_bad_construction(self):
+        with pytest.raises(ValueError):
+            ShardPlan(10, 0)
+        with pytest.raises(ValueError):
+            ShardPlan(-1, 2)
+        with pytest.raises(ValueError):
+            ShardPlan(10, 2, strategy="hash")
+
+    def test_shard_out_of_range(self):
+        plan = ShardPlan(10, 2)
+        with pytest.raises(IndexError):
+            plan.global_items(2)
+        with pytest.raises(IndexError):
+            plan.to_local(-1, [0])
+
+    def test_to_local_rejects_unowned(self):
+        plan = ShardPlan(10, 2)
+        with pytest.raises(ValueError):
+            plan.to_local(0, [7])  # owned by shard 1
+        with pytest.raises(ValueError):
+            plan.to_local(0, [10])  # out of catalog
+
+    def test_to_global_rejects_out_of_range_local(self):
+        plan = ShardPlan(10, 2)
+        with pytest.raises(ValueError):
+            plan.to_global(0, [5])  # shard 0 has 5 items: locals 0..4
+
+    def test_payload_round_trip(self):
+        for strategy in STRATEGIES:
+            plan = ShardPlan(50, 3, strategy=strategy)
+            clone = ShardPlan.from_payload(plan.payload())
+            assert clone == plan
+            assert clone.global_items(1).tolist() == plan.global_items(1).tolist()

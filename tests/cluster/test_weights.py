@@ -1,0 +1,92 @@
+"""SharedWeightStore: round trips, read-only mapping, shared models."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cluster import SharedWeightStore, attach_shared_model, write_model_store
+from repro.cluster.weights import DATA_NAME, MANIFEST_NAME, _ALIGNMENT
+from repro.data.loaders import GroupBatcher
+
+
+class TestStore:
+    def test_round_trip_and_alignment(self, tmp_path, rng):
+        arrays = {
+            "a": rng.standard_normal((7, 3)),
+            "b": rng.integers(0, 100, size=13).astype(np.int64),
+            "c": np.array([[True, False], [False, True]]),
+        }
+        store = SharedWeightStore.create(tmp_path / "store", arrays)
+        attached = SharedWeightStore.attach(tmp_path / "store")
+        for reader in (store, attached):
+            assert sorted(reader.names()) == ["a", "b", "c"]
+            for name, original in arrays.items():
+                assert name in reader
+                view = reader[name]
+                assert view.dtype == original.dtype
+                assert np.array_equal(np.asarray(view), original)
+        manifest = json.loads((tmp_path / "store" / MANIFEST_NAME).read_text())
+        for entry in manifest["arrays"].values():
+            assert entry["offset"] % _ALIGNMENT == 0
+        assert attached.nbytes == sum(a.nbytes for a in arrays.values())
+
+    def test_views_are_read_only(self, tmp_path):
+        store = SharedWeightStore.create(tmp_path / "store", {"w": np.zeros(4)})
+        view = store["w"]
+        with pytest.raises(ValueError):
+            view[0] = 1.0
+
+    def test_attach_requires_manifest(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            SharedWeightStore.attach(tmp_path / "nowhere")
+        # A data file without a manifest (interrupted create) is not
+        # attachable either — the manifest is written last.
+        partial = tmp_path / "partial"
+        partial.mkdir()
+        (partial / DATA_NAME).write_bytes(b"\x00" * 128)
+        with pytest.raises(FileNotFoundError):
+            SharedWeightStore.attach(partial)
+
+    def test_rejects_empty_and_bad_format(self, tmp_path):
+        with pytest.raises(ValueError):
+            SharedWeightStore.create(tmp_path / "empty", {})
+        bad = tmp_path / "bad"
+        bad.mkdir()
+        (bad / DATA_NAME).write_bytes(b"")
+        (bad / MANIFEST_NAME).write_text(json.dumps({"format": "v0", "arrays": {}}))
+        with pytest.raises(ValueError, match="format"):
+            SharedWeightStore.attach(bad)
+
+
+class TestSharedModel:
+    def test_shared_model_scores_match(self, tmp_path, trained_tiny_model, tiny_split):
+        model, __, __ = trained_tiny_model
+        dataset = tiny_split.train
+        write_model_store(model, tmp_path / "store")
+        shared = attach_shared_model(tmp_path / "store")
+        assert shared.num_users == model.num_users
+        assert shared.num_items == model.num_items
+
+        users = np.arange(10, dtype=np.int64)
+        items = np.arange(10, 20, dtype=np.int64)
+        assert np.array_equal(
+            shared.score_user_items(users, items),
+            model.score_user_items(users, items),
+        )
+        batcher = GroupBatcher(dataset)
+        groups = np.array([0, 3, 7], dtype=np.int64)
+        batch = batcher.batch(groups)
+        assert np.array_equal(
+            shared.score_group_items(batch, items[:3]),
+            model.score_group_items(batch, items[:3]),
+        )
+
+    def test_shared_model_parameters_are_immutable(self, tmp_path, trained_tiny_model):
+        model, __, __ = trained_tiny_model
+        write_model_store(model, tmp_path / "store")
+        shared = attach_shared_model(tmp_path / "store")
+        name, parameter = next(iter(shared.named_parameters()))
+        assert isinstance(parameter.data, np.memmap)
+        with pytest.raises(ValueError):
+            parameter.data[...] = 0.0

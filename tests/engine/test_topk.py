@@ -61,6 +61,23 @@ class TestTopkIndices:
     def test_returns_int64(self):
         assert topk_indices(np.array([1.0, 2.0]), 1).dtype == np.int64
 
+    def test_rejects_nan_scores(self):
+        # NaN silently corrupts argpartition's threshold and the
+        # tie-break sort; the kernel refuses rather than mis-rank.
+        with pytest.raises(ValueError, match="NaN"):
+            topk_indices(np.array([1.0, np.nan, 2.0]), 2)
+
+    def test_rejects_nan_even_when_excluded(self):
+        # Rejection is on the raw vector: an excluded NaN is still a
+        # corrupt input, not a silently tolerated one.
+        mask = np.array([False, True, False])
+        with pytest.raises(ValueError, match="NaN"):
+            topk_indices(np.array([1.0, np.nan, 2.0]), 2, mask)
+
+    def test_infinities_are_legal(self):
+        scores = np.array([-np.inf, 0.0, np.inf])
+        assert topk_indices(scores, 3).tolist() == [2, 1, 0]
+
 
 class TestBatchTopk:
     def test_rowwise_parity(self):

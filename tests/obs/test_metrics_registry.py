@@ -164,6 +164,60 @@ class TestExport:
         ]
         assert counts == sorted(counts)
 
+    def test_histogram_state_round_trip(self):
+        original = Histogram("lat")
+        rng = np.random.default_rng(3)
+        for value in rng.lognormal(-5.0, 1.5, size=2000):
+            original.observe(float(value))
+        clone = Histogram.from_state(original.state())
+        assert clone.count == original.count
+        assert clone.sum == original.sum
+        assert clone.max == original.max
+        assert clone.min == original.min
+        for q in (50, 90, 99):
+            assert clone.percentile(q) == original.percentile(q)
+        # A restored histogram keeps observing and merging losslessly —
+        # it is a live instrument, not a frozen snapshot.
+        clone.observe(1.0)
+        assert clone.count == original.count + 1
+
+    def test_empty_histogram_state_round_trip(self):
+        clone = Histogram.from_state(Histogram("lat").state())
+        assert clone.count == 0
+        assert clone.min == Histogram("lat").min
+        clone.observe(0.25)  # still live: first observation sets min
+        assert clone.min == 0.25
+
+    def test_histogram_state_rejects_layout_mismatch(self):
+        state = Histogram("lat").state()
+        state["counts"] = state["counts"][:-1]
+        with pytest.raises(ValueError):
+            Histogram.from_state(state)
+
+    def test_registry_state_round_trip_and_merge(self):
+        # The cluster path: a worker registry crosses a process
+        # boundary as state() and merges into the router's exactly.
+        worker = MetricsRegistry()
+        worker.counter("req").inc(7)
+        worker.gauge("items").set(25.0)
+        for value in (0.001, 0.004, 0.2):
+            worker.histogram("lat").observe(value)
+        state = json.loads(json.dumps(worker.state()))  # wire-safe
+        restored = MetricsRegistry.from_state(state)
+        assert restored.counter("req").value == 7
+        assert restored.gauge("items").value == 25.0
+        assert restored.histogram("lat").count == 3
+        assert restored.histogram("lat").percentile(99) == worker.histogram(
+            "lat"
+        ).percentile(99)
+
+        router = MetricsRegistry()
+        router.counter("req").inc(1)
+        router.histogram("lat").observe(0.5)
+        router.merge(restored)
+        assert router.counter("req").value == 8
+        assert router.histogram("lat").count == 4
+
     def test_registry_merge(self):
         left, right = MetricsRegistry(), MetricsRegistry()
         left.counter("n").inc(2)
