@@ -34,6 +34,12 @@ SHARD_WORKERS = [
     if w.strip()
 ]
 SHARD_REQUESTS = int(os.environ.get("SHARD_BENCH_REQUESTS", "120"))
+ANN_CATALOG_SIZES = [
+    int(s)
+    for s in os.environ.get("ANN_BENCH_SIZES", "2000,8000,32000,128000").split(",")
+    if s.strip()
+]
+ANN_QUERIES = int(os.environ.get("ANN_BENCH_QUERIES", "60"))
 
 
 def _merge_into_report(sections: dict) -> None:
@@ -154,6 +160,51 @@ def test_bench_sharded_scaling():
             f"no multi-worker point reached the 1-worker baseline "
             f"(best {best:.2f}x) — scatter/merge overhead regressed"
         )
+
+
+def test_bench_ann_crossover():
+    """Recall@10 and latency, brute force vs IVF, across catalog sizes.
+
+    Two hard assertions: (a) mean recall@10 stays ≥ 0.95 in every
+    measured cell on both worlds — clustered (trained-table-like) and
+    uniform (structure-free, IVF's worst case); (b) at least one world
+    shows a latency crossover, i.e. a catalog size past which ANN
+    candidates + exact rerank beat the brute-force matvec + exact
+    kernel.  Brute force legitimately wins small catalogs (probing
+    overhead), which is exactly what the recorded curve is for.
+    """
+    from repro.engine import benchmark_ann_crossover
+
+    report = benchmark_ann_crossover(
+        ANN_CATALOG_SIZES, dim=32, k=10, num_queries=ANN_QUERIES
+    )
+    _merge_into_report({"ann_crossover": report})
+
+    print()
+    for mode, points in report["points"].items():
+        for point in points:
+            print(
+                f"{mode:9s} items={point['num_items']:<7d} "
+                f"nlist={point['nlist']:<4d} nprobe={point['nprobe']:<4d} "
+                f"brute {point['brute_ms']:7.3f} ms   ann {point['ann_ms']:7.3f} ms   "
+                f"x{point['speedup']:.2f}   recall {point['recall_at_k']:.3f}"
+            )
+        print(f"{mode:9s} crossover: {report['crossover_items'][mode]} items")
+    print(f"(report: {REPORT_PATH})", end="")
+
+    for mode, points in report["points"].items():
+        for point in points:
+            assert point["recall_at_k"] >= 0.95, (
+                f"{mode} recall@10 fell to {point['recall_at_k']:.3f} at "
+                f"{point['num_items']} items (floor 0.95)"
+            )
+    assert any(
+        size is not None for size in report["crossover_items"].values()
+    ), (
+        f"ANN never beat brute force at any measured size "
+        f"({report['catalog_sizes']}) on any world — sub-linear retrieval "
+        "is not paying for its probes"
+    )
 
 
 def test_bench_disabled_tracing_is_noop():

@@ -175,6 +175,10 @@ def _command_serve_bench(args: argparse.Namespace) -> int:
             max_batch_size=args.max_batch,
             flush_interval=args.flush_ms / 1000.0,
             score_cache_budget_mb=args.cache_mb,
+            retrieval=args.retrieval,
+            ann_nlist=args.nlist,
+            ann_nprobe=args.nprobe,
+            ann_candidates=args.ann_candidates,
         ),
     )
     tracer = None
@@ -190,6 +194,7 @@ def _command_serve_bench(args: argparse.Namespace) -> int:
         report = benchmark_user_serving(
             service, engine, users, k=args.k, clients=args.clients
         )
+        report["retrieval"] = args.retrieval
     finally:
         if tracer is not None:
             tracer.uninstall()
@@ -214,6 +219,10 @@ def _command_serve_bench(args: argparse.Namespace) -> int:
             num_shards=args.shards,
             clients=args.clients,
             dataset_path=args.data,
+            retrieval=args.retrieval,
+            ann_nprobe=args.nprobe,
+            ann_nlist=args.nlist,
+            ann_candidates=args.ann_candidates,
         )
         report["sharded_scaling"] = scaling
         for point in scaling["points"]:
@@ -431,6 +440,32 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="shard count for --workers runs (default: one shard per worker)",
+    )
+    serve_bench.add_argument(
+        "--retrieval",
+        choices=["exhaustive", "ann"],
+        default="exhaustive",
+        help="candidate generation: exhaustive full-catalog scoring "
+        "(default, bit-exact) or IVF ANN candidates + exact rerank",
+    )
+    serve_bench.add_argument(
+        "--nprobe",
+        type=int,
+        default=8,
+        help="ANN: inverted lists probed per query (higher = better "
+        "recall, slower)",
+    )
+    serve_bench.add_argument(
+        "--nlist",
+        type=int,
+        default=None,
+        help="ANN: number of inverted lists (default: ~sqrt(num_items))",
+    )
+    serve_bench.add_argument(
+        "--ann-candidates",
+        type=int,
+        default=256,
+        help="ANN: candidate pool size handed to the exact reranker",
     )
     serve_bench.add_argument(
         "--trace-out",

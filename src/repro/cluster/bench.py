@@ -30,6 +30,10 @@ def benchmark_sharded_scaling(
     clients: int = 1,
     warmup_requests: int = 5,
     dataset_path=None,
+    retrieval: str = "exhaustive",
+    ann_nprobe: int = 8,
+    ann_nlist: Optional[int] = None,
+    ann_candidates: int = 256,
 ) -> dict:
     """One scaling point per entry of ``worker_counts``.
 
@@ -37,6 +41,8 @@ def benchmark_sharded_scaling(
     shard per worker); pass an explicit value to hold the partition
     fixed while varying the pool size.  ``dataset_path`` skips the
     per-point dataset re-save when the world is already on disk.
+    ``retrieval="ann"`` benchmarks IVF candidate generation inside
+    every worker instead of exhaustive slice scans.
     """
     users = [int(u) for u in users]
     if not users:
@@ -47,6 +53,10 @@ def benchmark_sharded_scaling(
             num_workers=int(workers),
             num_shards=num_shards,
             strategy=strategy,
+            retrieval=retrieval,
+            ann_nprobe=ann_nprobe,
+            ann_nlist=ann_nlist,
+            ann_candidates=ann_candidates,
         )
         router = ShardRouter.launch(
             model, dataset, config=config, dataset_path=dataset_path
@@ -64,6 +74,7 @@ def benchmark_sharded_scaling(
                     "workers": int(workers),
                     "shards": router.plan.num_shards,
                     "strategy": strategy,
+                    "retrieval": retrieval,
                     **summary,
                 }
             )

@@ -84,6 +84,14 @@ class ClusterConfig:
     worker_blas_threads:
         BLAS thread cap exported to each worker (None leaves the
         library default, which oversubscribes with many workers).
+    retrieval:
+        ``"exhaustive"`` (default; bit-identical to pre-ANN behavior)
+        or ``"ann"`` — each worker builds an IVF index over its own
+        item slice and scores only generated candidates.
+    ann_nlist, ann_nprobe, ann_candidates, ann_seed:
+        Per-worker :class:`~repro.engine.ann.IVFIndex` knobs (see
+        :class:`~repro.engine.service.EngineConfig`); ``ann_nlist`` is
+        clamped to each shard's slice size.
     """
 
     num_workers: int = 2
@@ -94,6 +102,11 @@ class ClusterConfig:
     start_method: str = "spawn"
     start_timeout_s: float = 120.0
     worker_blas_threads: Optional[int] = 1
+    retrieval: str = "exhaustive"
+    ann_nlist: Optional[int] = None
+    ann_nprobe: int = 8
+    ann_candidates: int = 256
+    ann_seed: int = 0
 
     def resolved_shards(self) -> int:
         shards = self.num_shards if self.num_shards is not None else self.num_workers
@@ -299,6 +312,11 @@ class ShardRouter:
         from repro.data.io import save_dataset
 
         config = config or ClusterConfig()
+        if config.retrieval not in ("exhaustive", "ann"):
+            raise ValueError(
+                f"unknown retrieval mode '{config.retrieval}' "
+                "(choose 'exhaustive' or 'ann')"
+            )
         num_shards = config.resolved_shards()
         plan = ShardPlan(dataset.num_items, num_shards, config.strategy)
         tmpdir = None
@@ -318,6 +336,11 @@ class ShardRouter:
                 plan=plan,
                 store_dir=str(store_dir),
                 dataset_path=str(dataset_path),
+                retrieval=config.retrieval,
+                ann_nlist=config.ann_nlist,
+                ann_nprobe=config.ann_nprobe,
+                ann_candidates=config.ann_candidates,
+                ann_seed=config.ann_seed,
             )
             for worker in range(config.num_workers)
         ]

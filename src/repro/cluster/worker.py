@@ -51,6 +51,7 @@ from repro.cluster.weights import attach_shared_model
 from repro.core.adhoc import build_adhoc_batch
 from repro.data.io import load_dataset
 from repro.data.loaders import GroupBatch, GroupBatcher
+from repro.engine.ann import IVFIndex, default_nlist
 from repro.engine.topk import exclusion_mask, topk_indices
 from repro.obs.metrics_registry import MetricsRegistry
 
@@ -59,13 +60,25 @@ TopK = Tuple[np.ndarray, np.ndarray]  # (global item ids, scores), best first
 
 @dataclass(frozen=True)
 class WorkerSpec:
-    """Everything a worker process needs to boot, picklable for spawn."""
+    """Everything a worker process needs to boot, picklable for spawn.
+
+    ``retrieval``/``ann_*`` mirror the single-process
+    :class:`~repro.engine.service.EngineConfig` knobs; with
+    ``retrieval="ann"`` each scorer builds an IVF index over *its own*
+    item slice, so candidate generation shards along with scoring and
+    the router's merge stays untouched.
+    """
 
     worker_id: int
     shards: Tuple[int, ...]
     plan: ShardPlan
     store_dir: str
     dataset_path: str
+    retrieval: str = "exhaustive"
+    ann_nlist: Optional[int] = None
+    ann_nprobe: int = 8
+    ann_candidates: int = 256
+    ann_seed: int = 0
 
 
 class ShardScorer:
@@ -74,13 +87,36 @@ class ShardScorer:
     ``model`` and ``dataset`` are shared across a worker's scorers (and
     may be plain in-memory objects in tests — nothing here requires the
     mmap-backed store).
+
+    With ``retrieval="ann"`` the scorer owns an
+    :class:`~repro.engine.ann.IVFIndex` over just its item slice; ANN
+    candidates come back as ascending local positions, which map
+    through ``owned`` to ascending *global* ids — so the exact-rerank
+    tie contract (descending score, ascending global id) survives both
+    the shard boundary and the router's merge.
     """
 
-    def __init__(self, shard: int, plan: ShardPlan, model, dataset) -> None:
+    def __init__(
+        self,
+        shard: int,
+        plan: ShardPlan,
+        model,
+        dataset,
+        retrieval: str = "exhaustive",
+        ann_nlist: Optional[int] = None,
+        ann_nprobe: int = 8,
+        ann_candidates: int = 256,
+        ann_seed: int = 0,
+    ) -> None:
         if dataset.num_items != plan.num_items:
             raise ValueError(
                 f"plan covers {plan.num_items} items but the dataset "
                 f"has {dataset.num_items}"
+            )
+        if retrieval not in ("exhaustive", "ann"):
+            raise ValueError(
+                f"unknown retrieval mode '{retrieval}' "
+                "(choose 'exhaustive' or 'ann')"
             )
         self.shard = shard
         self.plan = plan
@@ -92,6 +128,18 @@ class ShardScorer:
         self._group_items = dataset.group_items()
         self._friend_sets = dataset.friend_set()
         self._batcher = GroupBatcher(dataset)
+        self.ann_candidates = int(ann_candidates)
+        self.ann_index: Optional[IVFIndex] = None
+        if retrieval == "ann" and self.owned.size > 0:
+            # nlist is clamped to the slice: a small shard cannot host
+            # more lists than items.
+            nlist = default_nlist(self.owned.size) if ann_nlist is None else ann_nlist
+            self.ann_index = IVFIndex(
+                np.asarray(model.item_embedding.weight.data)[self.owned],
+                nlist=min(int(nlist), self.owned.size),
+                nprobe=ann_nprobe,
+                seed=ann_seed,
+            )
 
     def score(self, kind: str, payload, k: int) -> TopK:
         """Local Top-K (global ids) for one scatter request."""
@@ -110,9 +158,34 @@ class ShardScorer:
         mask = exclusion_mask(self.dataset.num_items, exclude)
         return None if mask is None else mask[self.owned]
 
+    def _user_query(self, user: int) -> np.ndarray:
+        return np.asarray(
+            self.model.user_embedding.weight.data[user], dtype=np.float64
+        )
+
+    def _members_query(self, members) -> np.ndarray:
+        """Mean member embedding — the Section II-F group fast path."""
+        return np.asarray(
+            self.model.user_embedding.weight.data[
+                np.asarray(members, dtype=np.int64)
+            ],
+            dtype=np.float64,
+        ).mean(axis=0)
+
     def _score_user(self, user: int, k: int) -> TopK:
         if self.owned.size == 0:
             return np.empty(0, dtype=np.int64), np.empty(0)
+        if self.ann_index is not None:
+            candidates = self._candidates(
+                self._user_items[user], self._user_query(user), k
+            )
+            if candidates.size == 0:
+                return np.empty(0, dtype=np.int64), np.empty(0)
+            scores = self.model.score_user_items(
+                np.full(candidates.size, user, dtype=np.int64), candidates
+            )
+            chosen = topk_indices(scores, k)
+            return candidates[chosen], scores[chosen]
         scores = self.model.score_user_items(
             np.full(self.owned.size, user, dtype=np.int64), self.owned
         )
@@ -120,7 +193,10 @@ class ShardScorer:
         return self.owned[chosen], scores[chosen]
 
     def _score_group(self, group: int, k: int) -> TopK:
-        candidates = self._candidates(self._group_items[group])
+        query = None
+        if self.ann_index is not None:
+            query = self._members_query(self.dataset.group_members[group])
+        candidates = self._candidates(self._group_items[group], query, k)
         if candidates.size == 0:
             return np.empty(0, dtype=np.int64), np.empty(0)
         scores = self.model.score_group_items(
@@ -135,7 +211,8 @@ class ShardScorer:
         exclude: set = set()
         for member in members:
             exclude |= self._user_items[member]
-        candidates = self._candidates(exclude)
+        query = self._members_query(members) if self.ann_index is not None else None
+        candidates = self._candidates(exclude, query, k)
         if candidates.size == 0:
             return np.empty(0, dtype=np.int64), np.empty(0)
         repeated = GroupBatch(
@@ -148,8 +225,22 @@ class ShardScorer:
         chosen = topk_indices(scores, k)
         return candidates[chosen], scores[chosen]
 
-    def _candidates(self, exclude) -> np.ndarray:
+    def _candidates(
+        self, exclude, query: Optional[np.ndarray] = None, k: int = 0
+    ) -> np.ndarray:
+        """Valid global candidate ids, ascending.
+
+        Exhaustive: all owned items minus exclusions.  ANN: the index's
+        candidate positions (ascending local), mapped through ``owned``
+        — ascending local positions over an ascending ``owned`` array
+        yield ascending global ids, preserving the rerank tie contract.
+        """
         mask = self._local_mask(exclude)
+        if self.ann_index is not None and query is not None:
+            local = self.ann_index.candidates(
+                query, self.ann_candidates, exclude_mask=mask, min_results=k
+            )
+            return self.owned[local]
         if mask is None:
             return self.owned
         return self.owned[~mask]
@@ -162,7 +253,18 @@ def worker_main(conn, spec: WorkerSpec) -> None:
         model = attach_shared_model(spec.store_dir)
         dataset = load_dataset(spec.dataset_path)
         scorers = [
-            ShardScorer(shard, spec.plan, model, dataset) for shard in spec.shards
+            ShardScorer(
+                shard,
+                spec.plan,
+                model,
+                dataset,
+                retrieval=spec.retrieval,
+                ann_nlist=spec.ann_nlist,
+                ann_nprobe=spec.ann_nprobe,
+                ann_candidates=spec.ann_candidates,
+                ann_seed=spec.ann_seed,
+            )
+            for shard in spec.shards
         ]
     except BaseException as error:  # boot failure: report, then bail
         try:

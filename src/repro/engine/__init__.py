@@ -5,6 +5,8 @@ Layered between a trained :class:`~repro.core.groupsa.GroupSA` and the
 
 - :mod:`repro.engine.score_cache` — blocked user×item score matrix
   (the Section II-F fast path) plus a generic LRU cache;
+- :mod:`repro.engine.ann` — IVF approximate-nearest-neighbor candidate
+  generation over item embeddings (``EngineConfig.retrieval="ann"``);
 - :mod:`repro.engine.batching` — request micro-batching queue;
 - :mod:`repro.engine.topk` — vectorized Top-K selection kernels;
 - :mod:`repro.engine.telemetry` — latency/counter/occupancy metrics
@@ -14,15 +16,24 @@ Layered between a trained :class:`~repro.core.groupsa.GroupSA` and the
 - :mod:`repro.engine.bench` — direct-vs-engine benchmark harness.
 """
 
+from repro.engine.ann import IVFIndex, default_nlist, recall_at_k
 from repro.engine.batching import MicroBatcher
-from repro.engine.bench import benchmark_user_serving, run_closed_loop
+from repro.engine.bench import (
+    benchmark_ann_crossover,
+    benchmark_user_serving,
+    run_closed_loop,
+)
 from repro.engine.score_cache import LRUCache, ScoreCache
 from repro.engine.service import EngineConfig, InferenceEngine
 from repro.engine.telemetry import Telemetry
 from repro.engine.topk import batch_topk, exclusion_mask, topk_indices
 
 __all__ = [
+    "IVFIndex",
+    "default_nlist",
+    "recall_at_k",
     "MicroBatcher",
+    "benchmark_ann_crossover",
     "benchmark_user_serving",
     "run_closed_loop",
     "LRUCache",

@@ -1,0 +1,319 @@
+"""IVF approximate-nearest-neighbor retrieval over item embeddings.
+
+The exhaustive serving path scores the *whole* catalog per request —
+O(items) forever, no matter how warm the caches are.  This module is
+the sub-linear alternative: an inverted-file (IVF) index in the style
+of FAISS's ``IndexIVFFlat``, pure numpy.
+
+- A k-means **coarse quantizer** is trained on the item-embedding
+  table; each item is assigned to its nearest centroid (L2), giving
+  one **inverted list** of item positions per centroid.
+- Each list's vectors are stored as a **contiguous block**, so probing
+  a list is one small BLAS matvec — the same per-item cost as the
+  brute-force scan.  Without this, pool gathering via fancy indexing
+  costs 3-4x per item and the index never beats brute force.
+- A query probes the ``nprobe`` lists whose centroids have the highest
+  inner product with the query vector, scores their members, and keeps
+  the best ``num_candidates`` — O((nprobe/nlist)·items·d) instead of
+  O(items·d).
+- The caller reranks the surviving few hundred candidates with the
+  *exact* model scorer and the existing
+  :func:`repro.engine.topk.topk_indices` kernel; candidates are handed
+  over in ascending position order, so the ordering contract
+  (descending score, ascending index among ties) is preserved **on the
+  candidate set**.
+
+The paper's Section II-F fast path reduces a group request to a mean
+over member score vectors, so a single item index serves user, group,
+and ad-hoc traffic alike: the query vector is the user embedding, or
+the mean of the member embeddings.
+
+Determinism: everything is seeded (k-means init and empty-cluster
+reseeding) — two builds over the same table with the same knobs give
+identical lists, which is what the sharded workers rely on.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.engine.topk import topk_indices
+
+__all__ = ["IVFIndex", "default_nlist", "kmeans", "recall_at_k"]
+
+
+def default_nlist(num_vectors: int) -> int:
+    """The usual IVF heuristic: about sqrt(n) coarse centroids."""
+    return max(1, min(num_vectors, int(round(float(np.sqrt(num_vectors))))))
+
+
+def assign_to_centroids(
+    vectors: np.ndarray, centroids: np.ndarray, chunk: int = 8192
+) -> np.ndarray:
+    """Nearest centroid (L2) per vector, chunked so the distance matrix
+    never materializes at full (n, nlist) height on big catalogs."""
+    # |x - c|^2 = |x|^2 - 2 x.c + |c|^2; the |x|^2 term is constant per
+    # row and cannot change the argmin, so it is dropped.
+    c_sq = np.einsum("ij,ij->i", centroids, centroids)
+    labels = np.empty(vectors.shape[0], dtype=np.int64)
+    for start in range(0, vectors.shape[0], chunk):
+        block = vectors[start : start + chunk]
+        distances = c_sq - 2.0 * (block @ centroids.T)
+        labels[start : start + chunk] = np.argmin(distances, axis=1)
+    return labels
+
+
+def kmeans(
+    vectors: np.ndarray,
+    k: int,
+    iters: int = 10,
+    seed: int = 0,
+) -> np.ndarray:
+    """Seeded Lloyd's k-means; returns the (k, d) centroid matrix.
+
+    Initialization samples ``k`` distinct data points; a cluster that
+    empties out is reseeded to a random point so every centroid stays
+    live (an empty inverted list wastes a probe).
+    """
+    vectors = np.asarray(vectors, dtype=np.float64)
+    n = vectors.shape[0]
+    if not 1 <= k <= n:
+        raise ValueError(f"k must be in [1, {n}], got {k}")
+    rng = np.random.default_rng(seed)
+    centroids = vectors[rng.choice(n, size=k, replace=False)].copy()
+    for __ in range(iters):
+        labels = assign_to_centroids(vectors, centroids)
+        for j in range(k):
+            members = labels == j
+            if members.any():
+                centroids[j] = vectors[members].mean(axis=0)
+            else:
+                centroids[j] = vectors[int(rng.integers(n))]
+    return centroids
+
+
+def recall_at_k(approx: np.ndarray, exact: np.ndarray) -> float:
+    """|approx ∩ exact| / |exact| — 1.0 when the ANN list is perfect."""
+    exact = np.asarray(exact)
+    if exact.size == 0:
+        return 1.0
+    return float(np.isin(exact, np.asarray(approx)).sum()) / float(exact.size)
+
+
+class IVFIndex:
+    """Inverted-file index over a fixed (n, d) vector table.
+
+    Memory is one reordered copy of the table (per-list contiguous
+    blocks) plus the position arrays — the input table itself is not
+    retained.
+
+    Parameters
+    ----------
+    vectors:
+        Item vectors, one row per catalog position (memmap-backed
+        tables welcome; rows are copied into the list blocks).
+    nlist:
+        Coarse centroids / inverted lists; default ``~sqrt(n)``.
+    nprobe:
+        Default lists probed per query (overridable per call).
+    seed, kmeans_iters:
+        Quantizer training knobs; same seed => same index.
+    """
+
+    def __init__(
+        self,
+        vectors: np.ndarray,
+        nlist: Optional[int] = None,
+        nprobe: int = 8,
+        seed: int = 0,
+        kmeans_iters: int = 10,
+    ) -> None:
+        vectors = np.ascontiguousarray(np.asarray(vectors, dtype=np.float64))
+        if vectors.ndim != 2:
+            raise ValueError(f"vectors must be 2-D, got shape {vectors.shape}")
+        if vectors.shape[0] == 0:
+            raise ValueError("cannot index an empty vector table")
+        n, dim = vectors.shape
+        if nlist is None:
+            nlist = default_nlist(n)
+        nlist = int(nlist)
+        if not 1 <= nlist <= n:
+            raise ValueError(f"nlist must be in [1, {n}], got {nlist}")
+        if nprobe < 1:
+            raise ValueError(f"nprobe must be >= 1, got {nprobe}")
+        self._num_vectors = n
+        self._dim = dim
+        self.nlist = nlist
+        self.nprobe = int(nprobe)
+        self.centroids = kmeans(vectors, nlist, iters=kmeans_iters, seed=seed)
+        labels = assign_to_centroids(vectors, self.centroids)
+        # np.nonzero yields ascending positions, so each inverted list
+        # is sorted ascending; its block holds the same rows in the
+        # same order, contiguously.
+        self.lists: List[np.ndarray] = []
+        self.blocks: List[np.ndarray] = []
+        for j in range(nlist):
+            members = np.nonzero(labels == j)[0].astype(np.int64)
+            self.lists.append(members)
+            self.blocks.append(np.ascontiguousarray(vectors[members]))
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def num_vectors(self) -> int:
+        return self._num_vectors
+
+    @property
+    def dim(self) -> int:
+        return self._dim
+
+    def list_sizes(self) -> np.ndarray:
+        return np.array([lst.size for lst in self.lists], dtype=np.int64)
+
+    def stats(self) -> dict:
+        sizes = self.list_sizes()
+        return {
+            "num_vectors": self.num_vectors,
+            "dim": self.dim,
+            "nlist": self.nlist,
+            "nprobe": self.nprobe,
+            "list_size_min": int(sizes.min()),
+            "list_size_mean": float(sizes.mean()),
+            "list_size_max": int(sizes.max()),
+        }
+
+    # -- retrieval -------------------------------------------------------
+
+    def probe_order(self, query: np.ndarray) -> np.ndarray:
+        """Centroid ids by descending query·centroid, ties ascending id."""
+        query = self._check_query(query)
+        return topk_indices(self.centroids @ query, self.nlist)
+
+    def _gather(
+        self,
+        query: np.ndarray,
+        nprobe: int,
+        exclude_mask: Optional[np.ndarray],
+        min_results: int,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Scored candidate pool: (positions, inner products), probe order.
+
+        Probes ``nprobe`` lists; when fewer than ``min_results`` valid
+        positions came back (heavy exclusion, tiny lists), keeps
+        probing further lists — up to all of them — so the caller's
+        pool can only be short when the whole catalog is.
+        """
+        order = self.probe_order(query)
+        position_chunks: List[np.ndarray] = []
+        score_chunks: List[np.ndarray] = []
+        gathered = 0
+        probed = 0
+        for centroid in order:
+            if probed >= nprobe and gathered >= min_results:
+                break
+            probed += 1
+            members = self.lists[int(centroid)]
+            if members.size == 0:
+                continue
+            scores = self.blocks[int(centroid)] @ query
+            if exclude_mask is not None:
+                valid = ~exclude_mask[members]
+                if not valid.all():
+                    members = members[valid]
+                    scores = scores[valid]
+            if members.size:
+                position_chunks.append(members)
+                score_chunks.append(scores)
+                gathered += members.size
+        if not position_chunks:
+            return np.empty(0, dtype=np.int64), np.empty(0)
+        return np.concatenate(position_chunks), np.concatenate(score_chunks)
+
+    def candidates(
+        self,
+        query: np.ndarray,
+        num_candidates: int,
+        nprobe: Optional[int] = None,
+        exclude_mask: Optional[np.ndarray] = None,
+        min_results: int = 0,
+    ) -> np.ndarray:
+        """Candidate positions for one query, **ascending**.
+
+        Probes ``nprobe`` lists, drops excluded positions, and keeps
+        the ``num_candidates`` best by inner product.  When the probed
+        pool holds fewer than ``min_results`` valid positions, further
+        lists are probed (up to all of them), so a caller asking for at
+        least ``k`` candidates gets ``min(k, num_valid)`` — the same
+        shrinking-pool contract the exhaustive kernel has.
+
+        The ascending order is deliberate: downstream exact reranking
+        with :func:`~repro.engine.topk.topk_indices` then breaks score
+        ties by ascending position — i.e. ascending (global) item id —
+        exactly like the exhaustive path and the cross-shard merge.
+        (Inner-product ties at the truncation boundary itself resolve
+        in probe order, not position order.)
+        """
+        query = self._check_query(query)
+        nprobe = self._check_retrieval(num_candidates, nprobe, exclude_mask)
+        positions, scores = self._gather(query, nprobe, exclude_mask, min_results)
+        if positions.size > num_candidates:
+            positions = positions[topk_indices(scores, num_candidates)]
+        return np.sort(positions)
+
+    def search(
+        self,
+        query: np.ndarray,
+        k: int,
+        nprobe: Optional[int] = None,
+        exclude_mask: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Approximate inner-product Top-K: (positions, scores), best
+        first, score ties broken by ascending position.
+
+        With ``nprobe == nlist`` every list is probed, making the
+        result the exhaustive inner-product Top-K (identical whenever
+        scores at the boundary are tie-free).
+        """
+        k = int(k)
+        query = self._check_query(query)
+        nprobe = self._check_retrieval(max(k, 1), nprobe, exclude_mask)
+        positions, scores = self._gather(query, nprobe, exclude_mask, min_results=k)
+        if positions.size == 0:
+            return np.empty(0, dtype=np.int64), np.empty(0)
+        if positions.size > k:
+            selected = topk_indices(scores, k)
+            positions, scores = positions[selected], scores[selected]
+        # Re-rank the k survivors in ascending-position order so the
+        # returned ordering honors the ascending-index tie contract.
+        ascending = np.argsort(positions)
+        positions, scores = positions[ascending], scores[ascending]
+        chosen = topk_indices(scores, k)
+        return positions[chosen], scores[chosen]
+
+    # -- validation ------------------------------------------------------
+
+    def _check_query(self, query: np.ndarray) -> np.ndarray:
+        query = np.asarray(query, dtype=np.float64).reshape(-1)
+        if query.shape != (self._dim,):
+            raise ValueError(
+                f"query must have {self._dim} dimensions, got {query.shape}"
+            )
+        return query
+
+    def _check_retrieval(
+        self,
+        num_candidates: int,
+        nprobe: Optional[int],
+        exclude_mask: Optional[np.ndarray],
+    ) -> int:
+        if num_candidates < 1:
+            raise ValueError(f"num_candidates must be >= 1, got {num_candidates}")
+        if exclude_mask is not None and exclude_mask.shape != (self._num_vectors,):
+            raise ValueError(
+                f"exclude_mask shape {exclude_mask.shape} does not match "
+                f"index size ({self._num_vectors},)"
+            )
+        nprobe = self.nprobe if nprobe is None else int(nprobe)
+        return max(1, min(nprobe, self.nlist))

@@ -18,7 +18,7 @@ from __future__ import annotations
 import queue
 import threading
 import time
-from concurrent.futures import Future
+from concurrent.futures import Future, InvalidStateError
 from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Sequence
 
@@ -29,6 +29,23 @@ from repro.obs.spans import capture_context, record_span, span, use_span
 BatchHandler = Callable[[Sequence[Any]], Sequence[Any]]
 
 _SHUTDOWN = object()
+
+
+def _set_result_safe(future: Future, result: Any) -> None:
+    """Resolve without racing close(): a future that was already failed
+    at shutdown absorbs a late worker result instead of crashing the
+    worker thread."""
+    try:
+        future.set_result(result)
+    except InvalidStateError:
+        pass
+
+
+def _set_exception_safe(future: Future, error: BaseException) -> None:
+    try:
+        future.set_exception(error)
+    except InvalidStateError:
+        pass
 
 
 @dataclass
@@ -81,6 +98,9 @@ class MicroBatcher:
         self._queue: "queue.Queue[Any]" = queue.Queue()
         self._worker: Optional[threading.Thread] = None
         self._closed = False
+        # The batch the worker is currently executing; close() fails
+        # these futures when the worker never comes back.
+        self._inflight: Optional[List[_Request]] = None
         if autostart:
             self.start()
 
@@ -103,14 +123,41 @@ class MicroBatcher:
         return request.future
 
     def close(self, timeout: float = 5.0) -> None:
-        """Drain outstanding requests, then stop the worker."""
+        """Drain outstanding requests, then stop the worker.
+
+        A healthy worker finishes its current flush, drains what is
+        queued and exits.  If the worker does not stop within
+        ``timeout`` seconds (a wedged handler), every undrained future
+        — the in-flight batch and everything still queued — is failed
+        with ``RuntimeError`` so no caller blocks forever on
+        ``future.result()``.  The wedged daemon thread itself is
+        abandoned; if its handler ever returns, the already-failed
+        futures absorb the late results harmlessly.
+        """
         if self._closed:
             return
         self._closed = True
-        if self._worker is not None:
-            self._queue.put(_SHUTDOWN)
-            self._worker.join(timeout=timeout)
-            self._worker = None
+        if self._worker is None:
+            return
+        self._queue.put(_SHUTDOWN)
+        self._worker.join(timeout=timeout)
+        if self._worker.is_alive():
+            error = RuntimeError(
+                f"MicroBatcher worker did not stop within {timeout}s; "
+                "request abandoned at shutdown"
+            )
+            inflight = self._inflight
+            if inflight is not None:
+                for request in inflight:
+                    _set_exception_safe(request.future, error)
+            while True:
+                try:
+                    item = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if item is not _SHUTDOWN:
+                    _set_exception_safe(item.future, error)
+        self._worker = None
 
     def __enter__(self) -> "MicroBatcher":
         return self
@@ -184,6 +231,7 @@ class MicroBatcher:
                         request.enqueued_at,
                         now - request.enqueued_at,
                     )
+            self._inflight = batch
             try:
                 if self.telemetry:
                     with self.telemetry.time("batch.execute"):
@@ -197,7 +245,9 @@ class MicroBatcher:
                     )
             except Exception as error:  # noqa: BLE001 — forwarded to futures
                 for request in batch:
-                    request.future.set_exception(error)
+                    _set_exception_safe(request.future, error)
+                self._inflight = None
                 continue
             for request, result in zip(batch, results):
-                request.future.set_result(result)
+                _set_result_safe(request.future, result)
+            self._inflight = None

@@ -29,6 +29,7 @@ from repro.core.adhoc import build_adhoc_batch
 from repro.core.groupsa import GroupSA
 from repro.data.dataset import GroupRecommendationDataset
 from repro.data.loaders import GroupBatch, GroupBatcher
+from repro.engine.ann import IVFIndex
 from repro.engine.batching import MicroBatcher
 from repro.engine.score_cache import LRUCache, ScoreCache
 from repro.engine.telemetry import Telemetry
@@ -36,6 +37,10 @@ from repro.engine.topk import exclusion_mask, topk_indices
 from repro.obs.spans import span
 
 TopK = Tuple[np.ndarray, np.ndarray]  # (item ids, scores), best first
+
+
+#: Legal values for :attr:`EngineConfig.retrieval`.
+RETRIEVAL_MODES = ("exhaustive", "ann")
 
 
 @dataclass
@@ -58,6 +63,21 @@ class EngineConfig:
         LRU capacity for ad-hoc group structures (frozen member tuples).
     warm_on_start:
         Precompute the score cache when the engine is constructed.
+    retrieval:
+        ``"exhaustive"`` (default) scores the full catalog per request,
+        bit-identical to the pre-ANN engine.  ``"ann"`` generates a
+        candidate set from an :class:`~repro.engine.ann.IVFIndex` over
+        the item-embedding table and exact-reranks only those — per
+        request cost O(nlist·d + candidates) instead of O(items), and
+        no O(users × items) score matrix is materialized.
+    ann_nlist:
+        Inverted lists in the IVF coarse quantizer (None = ~sqrt(items)).
+    ann_nprobe:
+        Lists probed per query; the recall/latency dial.
+    ann_candidates:
+        Candidate-set size handed to the exact reranker.
+    ann_seed:
+        K-means seed; same seed + table => identical index.
     """
 
     max_batch_size: int = 64
@@ -66,6 +86,11 @@ class EngineConfig:
     score_cache_budget_mb: Optional[float] = None
     adhoc_cache_size: int = 128
     warm_on_start: bool = False
+    retrieval: str = "exhaustive"
+    ann_nlist: Optional[int] = None
+    ann_nprobe: int = 8
+    ann_candidates: int = 256
+    ann_seed: int = 0
 
 
 @dataclass(frozen=True)
@@ -97,6 +122,20 @@ class InferenceEngine:
         self.dataset = dataset
         self.config = config or EngineConfig()
         self.telemetry = telemetry or Telemetry()
+        if self.config.retrieval not in ("exhaustive", "ann"):
+            raise ValueError(
+                f"unknown retrieval mode '{self.config.retrieval}' "
+                "(choose 'exhaustive' or 'ann')"
+            )
+        self.ann_index: Optional[IVFIndex] = None
+        if self.config.retrieval == "ann":
+            with self.telemetry.time("ann.build"):
+                self.ann_index = IVFIndex(
+                    model.item_embedding.weight.data,
+                    nlist=self.config.ann_nlist,
+                    nprobe=self.config.ann_nprobe,
+                    seed=self.config.ann_seed,
+                )
 
         budget = self.config.score_cache_budget_mb
         self.score_cache = ScoreCache(
@@ -237,9 +276,48 @@ class InferenceEngine:
                     self._execute_adhoc(payloads, by_kind["adhoc"], results)
         return results  # type: ignore[return-value]
 
+    # -- ANN candidate generation --------------------------------------
+
+    def _user_query(self, user: int) -> np.ndarray:
+        """ANN query vector for a user: their embedding row."""
+        return np.asarray(
+            self.model.user_embedding.weight.data[user], dtype=np.float64
+        )
+
+    def _members_query(self, members: Sequence[int]) -> np.ndarray:
+        """ANN query for a member set: the mean member embedding — the
+        Section II-F fast path collapsed into embedding space, so one
+        item index serves group and ad-hoc traffic too."""
+        rows = np.asarray(
+            self.model.user_embedding.weight.data[
+                np.asarray(members, dtype=np.int64)
+            ],
+            dtype=np.float64,
+        )
+        return rows.mean(axis=0)
+
+    def _ann_candidates(
+        self, query: np.ndarray, mask: Optional[np.ndarray], k: int
+    ) -> np.ndarray:
+        """Candidate item ids (ascending) for one query, never excluded."""
+        candidates = self.ann_index.candidates(
+            query,
+            self.config.ann_candidates,
+            exclude_mask=mask,
+            min_results=k,
+        )
+        self.telemetry.increment("ann.queries")
+        self.telemetry.increment("ann.candidates", int(candidates.size))
+        return candidates
+
+    # -- per-kind stages ------------------------------------------------
+
     def _execute_users(
         self, payloads: Sequence[tuple], indices: List[int], results: List
     ) -> None:
+        if self.ann_index is not None:
+            self._execute_users_ann(payloads, indices, results)
+            return
         users = np.array([payloads[i][1] for i in indices], dtype=np.int64)
         rows = self.score_cache.scores_for_users(users)
         with span("topk", requests=len(indices)):
@@ -248,6 +326,39 @@ class InferenceEngine:
                 mask = exclusion_mask(self.dataset.num_items, self._user_items[user])
                 items = topk_indices(row, k, mask)
                 results[index] = (items, row[items])
+
+    def _execute_users_ann(
+        self, payloads: Sequence[tuple], indices: List[int], results: List
+    ) -> None:
+        # Candidate generation per request, then one concatenated exact
+        # scoring pass over every request's candidates.
+        candidate_sets: List[np.ndarray] = []
+        user_chunks: List[np.ndarray] = []
+        with span("ann.candidates", requests=len(indices)):
+            for index in indices:
+                __, user, k = payloads[index]
+                mask = exclusion_mask(
+                    self.dataset.num_items, self._user_items[user]
+                )
+                candidates = self._ann_candidates(self._user_query(user), mask, k)
+                candidate_sets.append(candidates)
+                user_chunks.append(np.full(candidates.size, user, dtype=np.int64))
+        users_flat = np.concatenate(user_chunks)
+        items_flat = np.concatenate(candidate_sets)
+        with span("forward", rows=int(items_flat.size), requests=len(indices)):
+            scores_flat = (
+                self.model.score_user_items(users_flat, items_flat)
+                if items_flat.size
+                else np.empty(0)
+            )
+        with span("topk", requests=len(indices)):
+            offset = 0
+            for index, candidates in zip(indices, candidate_sets):
+                __, __u, k = payloads[index]
+                scores = scores_flat[offset : offset + candidates.size]
+                offset += candidates.size
+                chosen = topk_indices(scores, k)
+                results[index] = (candidates[chosen], scores[chosen])
 
     def _execute_groups(
         self, payloads: Sequence[tuple], indices: List[int], results: List
@@ -258,13 +369,18 @@ class InferenceEngine:
         item_chunks: List[np.ndarray] = []
         candidate_sets: List[np.ndarray] = []
         for index in indices:
-            __, group, __k = payloads[index]
+            __, group, k = payloads[index]
             mask = exclusion_mask(self.dataset.num_items, self._group_items[group])
-            keep = (
-                np.nonzero(~mask)[0]
-                if mask is not None
-                else np.arange(self.dataset.num_items, dtype=np.int64)
-            )
+            if self.ann_index is not None:
+                keep = self._ann_candidates(
+                    self._members_query(self.dataset.group_members[group]),
+                    mask,
+                    k,
+                )
+            elif mask is not None:
+                keep = np.nonzero(~mask)[0]
+            else:
+                keep = np.arange(self.dataset.num_items, dtype=np.int64)
             candidate_sets.append(keep)
             group_chunks.append(np.full(keep.size, group, dtype=np.int64))
             item_chunks.append(keep)
@@ -293,11 +409,14 @@ class InferenceEngine:
                 if lookup is not None:
                     lookup.set_attr("hit", cached)
             mask = exclusion_mask(self.dataset.num_items, entry.exclude)
-            candidates = (
-                np.nonzero(~mask)[0]
-                if mask is not None
-                else np.arange(self.dataset.num_items, dtype=np.int64)
-            )
+            if self.ann_index is not None:
+                candidates = self._ann_candidates(
+                    self._members_query(key), mask, k
+                )
+            elif mask is not None:
+                candidates = np.nonzero(~mask)[0]
+            else:
+                candidates = np.arange(self.dataset.num_items, dtype=np.int64)
             if candidates.size == 0:
                 results[index] = (
                     np.empty(0, dtype=np.int64),

@@ -80,7 +80,14 @@ def topk_indices(
     above = above[np.lexsort((above, -masked[above]))]
     need = keep - above.size
     if need > 0:
-        ties = np.nonzero(masked == threshold)[0][:need]
+        at_threshold = masked == threshold
+        if exclude_mask is not None:
+            # Excluded positions share the -inf sentinel, so when every
+            # valid score is itself -inf the threshold ties would
+            # include excluded items; resolve ties against validity,
+            # not the sentinel value.
+            at_threshold &= ~exclude_mask
+        ties = np.nonzero(at_threshold)[0][:need]
         return np.concatenate([above, ties]).astype(np.int64)
     return above.astype(np.int64)
 
@@ -102,9 +109,18 @@ def batch_topk(
 
 
 def exclusion_mask(num_items: int, exclude) -> Optional[np.ndarray]:
-    """Boolean exclusion mask from an iterable of item ids (None if empty)."""
-    if not exclude:
+    """Boolean exclusion mask from an iterable of item ids (None if empty).
+
+    Accepts any iterable of ids — list, set, tuple, numpy array.  The
+    emptiness check is by element count, never by truthiness: ``if not
+    exclude`` on a multi-element ndarray raises the ambiguous-truth
+    ``ValueError``.
+    """
+    if exclude is None:
+        return None
+    ids = np.fromiter((int(i) for i in exclude), dtype=np.int64)
+    if ids.size == 0:
         return None
     mask = np.zeros(num_items, dtype=bool)
-    mask[np.fromiter((int(i) for i in exclude), dtype=np.int64)] = True
+    mask[ids] = True
     return mask

@@ -1,0 +1,120 @@
+"""Sharded ANN retrieval: per-slice IVF indexes, exact merge parity.
+
+Each ANN-mode scorer indexes only its own item slice and returns
+ascending *global* ids, so :func:`~repro.cluster.merge.merge_topk`
+needs no changes.  With the probe budget covering every list and the
+candidate pool covering each slice, the merged lists must be
+bit-identical to exhaustive sharded scoring — in process, no spawned
+workers, so this runs in milliseconds.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.merge import merge_topk
+from repro.cluster.plan import ShardPlan
+from repro.cluster.router import ClusterConfig, ShardRouter
+from repro.cluster.worker import ShardScorer
+
+ADHOC_CASES = ((0, 1, 2), (9, 3, 1), (17,), (5, 12, 8))
+
+
+def build_scorers(model, dataset, num_shards, strategy, **retrieval):
+    plan = ShardPlan(dataset.num_items, num_shards, strategy)
+    return [
+        ShardScorer(shard, plan, model, dataset, **retrieval)
+        for shard in range(num_shards)
+    ]
+
+
+@pytest.fixture(scope="module")
+def scorer_pairs(trained_tiny_model, tiny_split):
+    """(exhaustive, full-probe ANN) scorer fleets over the same world."""
+    model, __, __h = trained_tiny_model
+    train = tiny_split.train
+    exhaustive = build_scorers(model, train, 3, "contiguous")
+    ann = build_scorers(
+        model,
+        train,
+        3,
+        "contiguous",
+        retrieval="ann",
+        ann_nprobe=10_000,
+        ann_candidates=train.num_items,
+    )
+    return exhaustive, ann
+
+
+class TestShardedAnnParity:
+    def test_user_merge_bit_identical(self, scorer_pairs, tiny_split):
+        exhaustive, ann = scorer_pairs
+        for user in range(tiny_split.train.num_users):
+            expected = merge_topk([s.score("user", user, 7) for s in exhaustive], 7)
+            got = merge_topk([s.score("user", user, 7) for s in ann], 7)
+            assert got[0].tolist() == expected[0].tolist(), user
+            assert np.allclose(got[1], expected[1], rtol=1e-9)
+
+    def test_group_merge_bit_identical(self, scorer_pairs):
+        exhaustive, ann = scorer_pairs
+        for group in range(15):
+            expected = merge_topk([s.score("group", group, 5) for s in exhaustive], 5)
+            got = merge_topk([s.score("group", group, 5) for s in ann], 5)
+            assert got[0].tolist() == expected[0].tolist(), group
+
+    def test_adhoc_merge_bit_identical(self, scorer_pairs):
+        exhaustive, ann = scorer_pairs
+        for members in ADHOC_CASES:
+            expected = merge_topk(
+                [s.score("adhoc", members, 5) for s in exhaustive], 5
+            )
+            got = merge_topk([s.score("adhoc", members, 5) for s in ann], 5)
+            assert got[0].tolist() == expected[0].tolist(), members
+
+
+class TestShardLocalIndex:
+    def test_index_covers_only_owned_slice(self, trained_tiny_model, tiny_split):
+        model, __, __h = trained_tiny_model
+        scorers = build_scorers(
+            model, tiny_split.train, 3, "modulo", retrieval="ann", ann_nprobe=4
+        )
+        for scorer in scorers:
+            assert scorer.ann_index is not None
+            assert scorer.ann_index.num_vectors == scorer.owned.size
+
+    def test_candidates_are_ascending_global_ids(self, scorer_pairs):
+        __, ann = scorer_pairs
+        for scorer in ann:
+            for user in range(10):
+                items, __s = scorer.score("user", user, 5)
+                # Returned best-first; the underlying candidate ids are
+                # owned global ids, so they stay inside the slice.
+                assert np.isin(items, scorer.owned).all()
+
+    def test_excluded_history_never_served(self, trained_tiny_model, tiny_split):
+        model, __, __h = trained_tiny_model
+        train = tiny_split.train
+        scorers = build_scorers(
+            model, train, 2, "contiguous",
+            retrieval="ann", ann_nprobe=2, ann_candidates=16,
+        )
+        histories = train.user_items()
+        for user in range(15):
+            merged_items, __s = merge_topk(
+                [s.score("user", user, 5) for s in scorers], 5
+            )
+            assert not histories[user] & set(merged_items.tolist())
+
+    def test_invalid_retrieval_rejected(self, trained_tiny_model, tiny_split):
+        model, __, __h = trained_tiny_model
+        with pytest.raises(ValueError, match="retrieval"):
+            build_scorers(model, tiny_split.train, 2, "contiguous",
+                          retrieval="hnsw")
+
+    def test_router_config_rejects_unknown_mode(self, trained_tiny_model, tiny_split):
+        model, __, __h = trained_tiny_model
+        with pytest.raises(ValueError, match="retrieval"):
+            ShardRouter.launch(
+                model,
+                tiny_split.train,
+                config=ClusterConfig(num_workers=1, retrieval="hnsw"),
+            )

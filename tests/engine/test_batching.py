@@ -140,3 +140,42 @@ class TestFailure:
             MicroBatcher(echo_handler, max_batch_size=0)
         with pytest.raises(ValueError, match="flush_interval"):
             MicroBatcher(echo_handler, flush_interval=-1.0)
+
+
+class TestWedgedShutdown:
+    """close() must never strand callers on futures that cannot resolve."""
+
+    def test_close_fails_inflight_and_queued_futures(self):
+        wedge = threading.Event()
+        entered = threading.Event()
+
+        def handler(payloads):
+            entered.set()
+            wedge.wait()  # deliberately wedged until the test releases it
+            return list(payloads)
+
+        batcher = MicroBatcher(handler, max_batch_size=1)
+        inflight = batcher.submit("stuck")
+        assert entered.wait(timeout=5)
+        queued = [batcher.submit(i) for i in range(3)]
+
+        start = time.perf_counter()
+        batcher.close(timeout=0.2)
+        assert time.perf_counter() - start < 5.0  # close itself returns
+
+        # Every undrained future fails fast instead of hanging forever.
+        with pytest.raises(RuntimeError, match="did not stop"):
+            inflight.result(timeout=5)
+        for future in queued:
+            with pytest.raises(RuntimeError, match="did not stop"):
+                future.result(timeout=5)
+
+        # Un-wedging must not crash the worker on already-failed futures.
+        wedge.set()
+        time.sleep(0.05)
+
+    def test_close_with_healthy_worker_still_drains(self):
+        batcher = MicroBatcher(echo_handler)
+        futures = [batcher.submit(i) for i in range(5)]
+        batcher.close(timeout=5.0)
+        assert [f.result(timeout=5) for f in futures] == [i * 2 for i in range(5)]

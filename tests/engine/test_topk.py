@@ -78,6 +78,39 @@ class TestTopkIndices:
         scores = np.array([-np.inf, 0.0, np.inf])
         assert topk_indices(scores, 3).tolist() == [2, 1, 0]
 
+    def test_all_valid_scores_neginf_never_returns_excluded(self):
+        # Regression: exclusion uses a -inf sentinel internally; when
+        # every *valid* score is also -inf, the threshold-tie fill used
+        # to hand back excluded positions.
+        scores = np.full(6, -np.inf)
+        mask = np.array([True, False, True, False, True, False])
+        got = topk_indices(scores, 3, mask)
+        assert got.tolist() == [1, 3, 5]
+
+    def test_mixed_neginf_valid_scores_with_exclusions(self):
+        scores = np.array([-np.inf, 5.0, -np.inf, -np.inf, 2.0, -np.inf])
+        mask = np.array([False, False, True, False, False, True])
+        # Valid pool: {0: -inf, 1: 5, 3: -inf, 4: 2}; -inf entries are
+        # genuine scores and must fill the tail in ascending-index
+        # order, never positions 2 or 5.
+        assert topk_indices(scores, 4, mask).tolist() == [1, 4, 0, 3]
+        assert topk_indices(scores, 3, mask).tolist() == [1, 4, 0]
+
+    def test_neginf_parity_with_reference(self):
+        rng = np.random.default_rng(7)
+        for __ in range(300):
+            size = int(rng.integers(2, 40))
+            scores = rng.integers(0, 3, size=size).astype(float)
+            scores[rng.random(size) < 0.4] = -np.inf
+            mask = rng.random(size) < 0.4
+            if mask.all():
+                mask[int(rng.integers(size))] = False
+            k = int(rng.integers(1, size + 2))
+            expected = reference_topk(scores, k, mask)
+            got = topk_indices(scores, k, mask)
+            assert np.array_equal(expected, got), (scores, k, mask)
+            assert not mask[got].any()
+
 
 class TestBatchTopk:
     def test_rowwise_parity(self):
@@ -101,3 +134,24 @@ class TestExclusionMask:
     def test_empty_returns_none(self):
         assert exclusion_mask(5, set()) is None
         assert exclusion_mask(5, None) is None
+
+    def test_accepts_list_set_and_ndarray(self):
+        expected = [False, True, False, True, False]
+        # Regression: a multi-element ndarray used to hit the ambiguous
+        # `if not exclude` truthiness check and raise ValueError.
+        for exclude in ([1, 3], {1, 3}, np.array([1, 3])):
+            mask = exclusion_mask(5, exclude)
+            assert mask.tolist() == expected, type(exclude)
+
+    def test_empty_containers_of_every_kind_return_none(self):
+        for exclude in ([], set(), (), np.empty(0, dtype=np.int64)):
+            assert exclusion_mask(5, exclude) is None, type(exclude)
+
+    def test_single_element_ndarray(self):
+        mask = exclusion_mask(3, np.array([2]))
+        assert mask.tolist() == [False, False, True]
+
+    def test_zero_id_only_ndarray_still_masks(self):
+        # array([0]) is falsy-looking element-wise but non-empty.
+        mask = exclusion_mask(3, np.array([0]))
+        assert mask.tolist() == [True, False, False]
