@@ -15,51 +15,63 @@ per step (``TrainingConfig.sparse_grads``).
 from __future__ import annotations
 
 import contextlib
+import threading
 from typing import Iterator
 
-_GRAD_ENABLED = True
-_SPARSE_GRADS = False
+
+class _ContextState(threading.local):
+    """Per-thread autograd switches.
+
+    Thread-local on purpose: the online subsystem serves (inside
+    ``no_grad()`` scoring blocks) and trains (forward passes that must
+    record a graph) concurrently in one process, so a serving thread's
+    ``no_grad()`` must never leak into the trainer thread's forward.
+    """
+
+    def __init__(self) -> None:
+        self.grad_enabled = True
+        self.sparse_grads = False
+
+
+_STATE = _ContextState()
 
 
 def is_grad_enabled() -> bool:
     """Return whether operations currently record a backward graph."""
-    return _GRAD_ENABLED
+    return _STATE.grad_enabled
 
 
 @contextlib.contextmanager
 def no_grad() -> Iterator[None]:
     """Context manager that disables graph recording within its scope."""
-    global _GRAD_ENABLED
-    previous = _GRAD_ENABLED
-    _GRAD_ENABLED = False
+    previous = _STATE.grad_enabled
+    _STATE.grad_enabled = False
     try:
         yield
     finally:
-        _GRAD_ENABLED = previous
+        _STATE.grad_enabled = previous
 
 
 @contextlib.contextmanager
 def enable_grad() -> Iterator[None]:
     """Context manager that re-enables graph recording within its scope."""
-    global _GRAD_ENABLED
-    previous = _GRAD_ENABLED
-    _GRAD_ENABLED = True
+    previous = _STATE.grad_enabled
+    _STATE.grad_enabled = True
     try:
         yield
     finally:
-        _GRAD_ENABLED = previous
+        _STATE.grad_enabled = previous
 
 
 def sparse_grads_enabled() -> bool:
     """Return whether opted-in gathers emit row-sparse gradients."""
-    return _SPARSE_GRADS
+    return _STATE.sparse_grads
 
 
 def set_sparse_grads(enabled: bool) -> bool:
     """Set the row-sparse gather switch; returns the previous value."""
-    global _SPARSE_GRADS
-    previous = _SPARSE_GRADS
-    _SPARSE_GRADS = bool(enabled)
+    previous = _STATE.sparse_grads
+    _STATE.sparse_grads = bool(enabled)
     return previous
 
 

@@ -257,6 +257,59 @@ def _command_serve_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_online_bench(args: argparse.Namespace) -> int:
+    import tempfile
+
+    from repro.online.bench import run_online_swap_bench
+    from repro.training.two_stage import build_model as build_groupsa
+
+    if args.data:
+        dataset = load_dataset(args.data)
+    else:
+        presets = {"yelp": yelp_like, "douban": douban_like}
+        dataset = presets[args.preset](scale=args.scale, seed=args.seed).dataset
+    split = split_interactions(dataset, rng=args.seed)
+    if args.model:
+        model = load_model(args.model)
+    else:
+        model, __ = build_groupsa(split, GroupSAConfig(embedding_dim=args.dim))
+    workdir = args.workdir or tempfile.mkdtemp(prefix="repro-online-bench-")
+    report = run_online_swap_bench(
+        model,
+        dataset,
+        workdir,
+        num_requests=args.requests,
+        clients=args.clients,
+        k=args.k,
+        num_events=args.events,
+        events_per_version=args.events_per_version,
+        batch_size=args.batch_size,
+        keep_last=args.keep_last,
+        poll_interval=args.poll_ms / 1000.0,
+        seed=args.seed,
+    )
+    for side in ("baseline_idle", "baseline", "with_swaps"):
+        summary = report[side]
+        print(
+            f"{side:10s} {summary['rps']:10.1f} req/s   "
+            f"p50 {summary['p50_ms']:8.3f} ms   p99 {summary['p99_ms']:8.3f} ms"
+        )
+    print(
+        f"p99 ratio  {report['p99_ratio']:.2f}x   "
+        f"swaps applied {report['swaps_applied']}   "
+        f"versions published {report['versions_published']}   "
+        f"failed requests {len(report['failed_requests'])}"
+    )
+    if args.json:
+        import os
+
+        os.makedirs(os.path.dirname(args.json) or ".", exist_ok=True)
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+        print(f"wrote {args.json}")
+    return 0
+
+
 def _command_profile(args: argparse.Namespace) -> int:
     from repro.obs import (
         OpProfiler,
@@ -498,6 +551,45 @@ def build_parser() -> argparse.ArgumentParser:
         "errored requests are always kept)",
     )
     serve_bench.set_defaults(handler=_command_serve_bench)
+
+    online_bench = commands.add_parser(
+        "online-bench",
+        help="measure serving p99 during continuous hot-swaps vs a "
+        "no-swap baseline (streaming trainer publishing versions, "
+        "ModelSwapper applying them under live traffic)",
+    )
+    online_bench.add_argument("--data", default=None, help="saved dataset (.npz)")
+    online_bench.add_argument("--preset", choices=("yelp", "douban"), default="yelp")
+    online_bench.add_argument("--scale", type=float, default=0.02)
+    online_bench.add_argument(
+        "--model", default=None, help="checkpoint to stream-train (default: fresh)"
+    )
+    online_bench.add_argument("--dim", type=int, default=32)
+    online_bench.add_argument("--requests", type=int, default=400)
+    online_bench.add_argument("-k", type=int, default=10)
+    online_bench.add_argument("--clients", type=int, default=4)
+    online_bench.add_argument("--events", type=int, default=2000)
+    online_bench.add_argument(
+        "--events-per-version",
+        type=int,
+        default=32,
+        help="events consumed per published version (lower = more swap "
+        "pressure)",
+    )
+    online_bench.add_argument("--batch-size", type=int, default=16)
+    online_bench.add_argument("--keep-last", type=int, default=3)
+    online_bench.add_argument(
+        "--poll-ms",
+        type=float,
+        default=10.0,
+        help="ModelSwapper poll interval in milliseconds",
+    )
+    online_bench.add_argument("--seed", type=int, default=0)
+    online_bench.add_argument(
+        "--workdir", default=None, help="event log + snapshots go here"
+    )
+    online_bench.add_argument("--json", default=None, help="write the report here")
+    online_bench.set_defaults(handler=_command_online_bench)
 
     profile = commands.add_parser(
         "profile",

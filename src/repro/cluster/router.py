@@ -29,6 +29,7 @@ thread never steals another thread's reply.
 from __future__ import annotations
 
 import contextlib
+import dataclasses
 import itertools
 import os
 import tempfile
@@ -42,11 +43,16 @@ import numpy as np
 
 from repro.cluster.merge import merge_topk
 from repro.cluster.plan import ShardPlan
-from repro.cluster.weights import write_model_store
+from repro.cluster.weights import (
+    VersionedStoreGC,
+    versioned_store_dir,
+    write_model_store,
+)
 from repro.cluster.worker import WorkerSpec, worker_main
 from repro.obs.metrics_registry import MetricsRegistry
 
 TopK = Tuple[np.ndarray, np.ndarray]  # (global item ids, scores), best first
+VersionedTopK = Tuple[np.ndarray, np.ndarray, int]  # + min version served
 
 #: Environment knobs pinned in worker processes so N workers do not
 #: oversubscribe the machine with N full BLAS thread pools.
@@ -71,6 +77,9 @@ class ClusterConfig:
         it (shards are assigned round-robin), never be below it.
     strategy:
         :class:`~repro.cluster.plan.ShardPlan` partition strategy.
+    keep_last_stores:
+        Versioned weight-store directories retained after a hot-swap
+        (older ones are garbage-collected once no worker is attached).
     request_timeout_s:
         Gather deadline per request before a worker is declared dead.
     max_restarts_per_request:
@@ -97,6 +106,7 @@ class ClusterConfig:
     num_workers: int = 2
     num_shards: Optional[int] = None
     strategy: str = "contiguous"
+    keep_last_stores: int = 2
     request_timeout_s: float = 30.0
     max_restarts_per_request: int = 1
     start_method: str = "spawn"
@@ -279,6 +289,8 @@ class ShardRouter:
         num_groups: int,
         registry: Optional[MetricsRegistry] = None,
         tmpdir: Optional[tempfile.TemporaryDirectory] = None,
+        workdir: Optional[Union[str, Path]] = None,
+        model_version: int = 0,
     ) -> None:
         self.plan = plan
         self.config = config
@@ -288,6 +300,12 @@ class ShardRouter:
         self._handles = handles
         self._ids = itertools.count()
         self._tmpdir = tmpdir
+        self._workdir = None if workdir is None else Path(workdir)
+        self._version = int(model_version)
+        self._swap_lock = threading.Lock()
+        self._gc = VersionedStoreGC(keep_last=config.keep_last_stores)
+        for handle in handles:
+            self._gc.confirm(handle.spec.worker_id, handle.spec.model_version)
         self._closed = False
 
     # -- lifecycle -------------------------------------------------------
@@ -324,7 +342,7 @@ class ShardRouter:
             tmpdir = tempfile.TemporaryDirectory(prefix="repro-cluster-")
             workdir = tmpdir.name
         workdir = Path(workdir)
-        store_dir = workdir / "store"
+        store_dir = versioned_store_dir(workdir, 0)
         write_model_store(model, store_dir)
         if dataset_path is None:
             dataset_path = workdir / "dataset.npz"
@@ -353,7 +371,9 @@ class ShardRouter:
             num_users=dataset.num_users,
             num_groups=dataset.num_groups,
             tmpdir=tmpdir,
+            workdir=workdir,
         )
+        router._gc.register(0, store_dir)
         saved_env = {name: os.environ.get(name) for name in _BLAS_ENV}
         try:
             if config.worker_blas_threads is not None:
@@ -396,6 +416,11 @@ class ShardRouter:
         return len(self._handles)
 
     @property
+    def model_version(self) -> int:
+        """Most recently published model version."""
+        return self._version
+
+    @property
     def worker_restarts(self) -> int:
         """Lifetime restarts across the pool."""
         return sum(handle.restarts for handle in self._handles)
@@ -406,20 +431,36 @@ class ShardRouter:
     # -- request surface -------------------------------------------------
 
     def topk_user(self, user: int, k: int = 10) -> TopK:
+        return self.topk_user_versioned(user, k)[:2]
+
+    def topk_group(self, group: int, k: int = 10) -> TopK:
+        return self.topk_group_versioned(group, k)[:2]
+
+    def topk_members(self, members: Sequence[int], k: int = 10) -> TopK:
+        return self.topk_members_versioned(members, k)[:2]
+
+    # Versioned variants: the third element is the *minimum* model
+    # version any contributing worker served — during a rolling swap the
+    # fleet is briefly mixed, and the oldest contributor bounds how
+    # stale the merged list can be.
+
+    def topk_user_versioned(self, user: int, k: int = 10) -> VersionedTopK:
         user = int(user)
         if not 0 <= user < self.num_users:
             raise IndexError(f"user {user} out of range [0, {self.num_users})")
         self._check_k(k)
         return self._scatter("user", user, k)
 
-    def topk_group(self, group: int, k: int = 10) -> TopK:
+    def topk_group_versioned(self, group: int, k: int = 10) -> VersionedTopK:
         group = int(group)
         if not 0 <= group < self.num_groups:
             raise IndexError(f"group {group} out of range [0, {self.num_groups})")
         self._check_k(k)
         return self._scatter("group", group, k)
 
-    def topk_members(self, members: Sequence[int], k: int = 10) -> TopK:
+    def topk_members_versioned(
+        self, members: Sequence[int], k: int = 10
+    ) -> VersionedTopK:
         if len(members) == 0:
             raise ValueError("members must be a non-empty sequence of user ids")
         for member in members:
@@ -438,9 +479,92 @@ class ShardRouter:
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
 
+    # -- hot-swap ----------------------------------------------------------
+
+    def swap_model(self, model, version: Optional[int] = None) -> int:
+        """Roll the fleet onto ``model`` one worker at a time.
+
+        Writes a new versioned weight store, then re-attaches each
+        worker in turn (the others keep serving the old version, so the
+        pool never goes dark).  A worker whose swap op fails is killed
+        and restarted directly against the new store.  Old store
+        directories are garbage-collected once outside the
+        ``keep_last_stores`` window *and* no worker is attached.
+
+        Returns the new version; versions must be strictly increasing.
+        """
+        if self._closed:
+            raise ClusterError("router is closed")
+        if self._workdir is None:
+            raise ClusterError(
+                "router has no workdir to publish versioned stores into"
+            )
+        with self._swap_lock:
+            version = self._version + 1 if version is None else int(version)
+            if version <= self._version:
+                raise ValueError(
+                    f"model_version must increase: {version} <= {self._version}"
+                )
+            start = time.perf_counter()
+            store_dir = versioned_store_dir(self._workdir, version)
+            write_model_store(model, store_dir)
+            self._gc.register(version, store_dir)
+            for handle in self._handles:
+                self._swap_worker(handle, store_dir, version)
+                self._gc.confirm(handle.spec.worker_id, version)
+            self._version = version
+            self.registry.counter("router.swaps").inc()
+            self.registry.histogram("router.swap").observe(
+                time.perf_counter() - start
+            )
+            self.registry.gauge("router.model_version").set(float(version))
+            self._gc.collect()
+        return version
+
+    def _swap_worker(self, handle: _WorkerHandle, store_dir: Path, version: int) -> None:
+        """Move one worker to ``store_dir``; restart it if the op fails."""
+        deadline = time.monotonic() + (
+            self.config.request_timeout_s + self.config.start_timeout_s
+        )
+        new_spec = dataclasses.replace(
+            handle.spec, store_dir=str(store_dir), model_version=version
+        )
+        req_id = next(self._ids)
+        try:
+            generation = handle.send(("swap", req_id, str(store_dir), version))
+            reply = handle.recv(req_id, generation, deadline)
+            if reply[0] == "error":
+                raise _WorkerDied(
+                    f"swap failed: {reply[2]}: {reply[3]}", generation
+                )
+        except _WorkerDied as died:
+            # Fall back to a restart straight onto the new store: spec
+            # update first so the fresh process boots the new version.
+            handle.spec = new_spec
+            if handle.restart(died.generation):
+                self.registry.counter("router.worker_restarts").inc()
+            ping_id = next(self._ids)
+            try:
+                generation = handle.send(("ping", ping_id))
+                reply = handle.recv(ping_id, generation, deadline)
+            except _WorkerDied as died_again:
+                raise ClusterError(
+                    f"worker {handle.spec.worker_id} failed to re-attach to "
+                    f"model version {version}: {died_again.reason}"
+                ) from died_again
+            if reply[0] == "error":
+                raise ClusterError(
+                    f"worker {handle.spec.worker_id} failed to boot on "
+                    f"model version {version}: {reply[2]}: {reply[3]}"
+                )
+            return
+        # Swap confirmed in-process: future restarts must boot the new
+        # store, so the spec follows the confirm.
+        handle.spec = new_spec
+
     # -- scatter-gather core ---------------------------------------------
 
-    def _scatter(self, kind: str, payload, k: int) -> TopK:
+    def _scatter(self, kind: str, payload, k: int) -> VersionedTopK:
         if self._closed:
             raise ClusterError("router is closed")
         req_id = next(self._ids)
@@ -458,6 +582,7 @@ class ShardRouter:
         # Phase 2: gather, restarting a failed worker at most
         # ``max_restarts_per_request`` times before giving up.
         parts = []
+        versions: List[int] = []
         for handle in self._handles:
             state = sent[handle]
             attempts = 0
@@ -491,12 +616,13 @@ class ShardRouter:
                     f"request: {reply[2]}: {reply[3]}"
                 )
             parts.append((reply[2], reply[3]))
+            versions.append(int(reply[4]) if len(reply) > 4 else 0)
         merged = merge_topk(parts, k)
         self.registry.counter(f"router.requests.{kind}").inc()
         self.registry.histogram("router.request").observe(
             time.perf_counter() - start
         )
-        return merged
+        return merged + (min(versions),)
 
     # -- metrics ---------------------------------------------------------
 

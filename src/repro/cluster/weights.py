@@ -33,6 +33,7 @@ import dataclasses
 import json
 import os
 import tempfile
+import threading
 from pathlib import Path
 from typing import Dict, Mapping, Optional, Union
 
@@ -152,6 +153,81 @@ class SharedWeightStore:
     def nbytes(self) -> int:
         """Total mapped bytes (one physical copy however many attach)."""
         return sum(array.nbytes for array in self._arrays.values())
+
+
+# ----------------------------------------------------------------------
+# Versioned stores
+# ----------------------------------------------------------------------
+
+
+def versioned_store_dir(root: PathLike, version: int) -> Path:
+    """Canonical directory for one model version's weight store."""
+    return Path(root) / f"store-v{int(version):06d}"
+
+
+class VersionedStoreGC:
+    """Keep-last-N garbage collector over versioned store directories.
+
+    The hot-swap router publishes one store directory per model version
+    and rolls workers onto it one at a time.  A version directory may
+    only be deleted once (a) it has fallen out of the keep-last-N
+    window **and** (b) no tracked worker is still attached to it — a
+    worker mid-roll (or one that failed its swap and is still serving
+    an old version) keeps that version's mmap pages live, and deleting
+    the backing file under an active ``np.memmap`` is undefined.
+
+    Thread-safe; ``collect()`` is idempotent.
+    """
+
+    def __init__(self, keep_last: int = 2) -> None:
+        if keep_last < 1:
+            raise ValueError(f"keep_last must be >= 1, got {keep_last}")
+        self.keep_last = int(keep_last)
+        self._lock = threading.Lock()
+        self._versions: Dict[int, Path] = {}
+        self._attached: Dict[int, int] = {}  # worker id -> confirmed version
+
+    def register(self, version: int, directory: PathLike) -> None:
+        """Record a published store directory for ``version``."""
+        with self._lock:
+            self._versions[int(version)] = Path(directory)
+
+    def confirm(self, worker_id: int, version: int) -> None:
+        """Record that ``worker_id`` now serves from ``version``."""
+        with self._lock:
+            self._attached[int(worker_id)] = int(version)
+
+    def attached_versions(self) -> Dict[int, int]:
+        with self._lock:
+            return dict(self._attached)
+
+    def registered_versions(self) -> list:
+        with self._lock:
+            return sorted(self._versions)
+
+    def collect(self) -> list:
+        """Delete every collectable version directory; returns the paths.
+
+        Collectable = outside the ``keep_last`` newest registered
+        versions and not confirmed-attached by any tracked worker.
+        """
+        import shutil
+
+        with self._lock:
+            keep = set(sorted(self._versions)[-self.keep_last :])
+            live = set(self._attached.values())
+            doomed = [
+                version
+                for version in sorted(self._versions)
+                if version not in keep and version not in live
+            ]
+            removed = []
+            for version in doomed:
+                directory = self._versions.pop(version)
+                removed.append(directory)
+        for directory in removed:
+            shutil.rmtree(directory, ignore_errors=True)
+        return removed
 
 
 # ----------------------------------------------------------------------

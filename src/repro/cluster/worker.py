@@ -25,16 +25,25 @@ snapshots the router merges fleet-wide.
 Wire protocol (parent → worker, tuples)::
 
     ("score", req_id, kind, payload, k)   kind in {user, group, adhoc}
+    ("swap", req_id, store_dir, model_version)
     ("metrics", req_id)
     ("ping", req_id)
     ("stop",)
 
 and worker → parent::
 
-    ("ok", req_id, global_item_ids, scores)
+    ("ok", req_id, global_item_ids, scores, model_version)
+    ("swapped", req_id, worker_id, model_version)
     ("error", req_id, exception_type_name, message)
     ("metrics", req_id, registry_state)
     ("pong", req_id, worker_id)
+
+The ``swap`` op re-attaches the worker to a new versioned weight-store
+directory and rebuilds its scorers (including per-shard IVF indexes)
+against the new tables; requests arriving after the ``swapped`` reply
+are served by the new model.  A swap failure leaves the old scorers
+serving and reports ``error`` — the router then falls back to a
+restart against the new store.
 """
 
 from __future__ import annotations
@@ -79,6 +88,9 @@ class WorkerSpec:
     ann_nprobe: int = 8
     ann_candidates: int = 256
     ann_seed: int = 0
+    #: Version of the store at ``store_dir``; replies echo the version
+    #: actually served so the router can stamp merged results.
+    model_version: int = 0
 
 
 class ShardScorer:
@@ -246,26 +258,32 @@ class ShardScorer:
         return self.owned[~mask]
 
 
+def _build_scorers(spec: WorkerSpec, store_dir: str, dataset) -> list:
+    """Attach ``store_dir`` and rebuild every shard scorer against it."""
+    model = attach_shared_model(store_dir)
+    return [
+        ShardScorer(
+            shard,
+            spec.plan,
+            model,
+            dataset,
+            retrieval=spec.retrieval,
+            ann_nlist=spec.ann_nlist,
+            ann_nprobe=spec.ann_nprobe,
+            ann_candidates=spec.ann_candidates,
+            ann_seed=spec.ann_seed,
+        )
+        for shard in spec.shards
+    ]
+
+
 def worker_main(conn, spec: WorkerSpec) -> None:
     """Process entry point: serve scatter requests until ``stop``/EOF."""
     registry = MetricsRegistry()
     try:
-        model = attach_shared_model(spec.store_dir)
         dataset = load_dataset(spec.dataset_path)
-        scorers = [
-            ShardScorer(
-                shard,
-                spec.plan,
-                model,
-                dataset,
-                retrieval=spec.retrieval,
-                ann_nlist=spec.ann_nlist,
-                ann_nprobe=spec.ann_nprobe,
-                ann_candidates=spec.ann_candidates,
-                ann_seed=spec.ann_seed,
-            )
-            for shard in spec.shards
-        ]
+        scorers = _build_scorers(spec, spec.store_dir, dataset)
+        model_version = int(spec.model_version)
     except BaseException as error:  # boot failure: report, then bail
         try:
             conn.send(("error", -1, type(error).__name__, str(error)))
@@ -275,7 +293,9 @@ def worker_main(conn, spec: WorkerSpec) -> None:
     owned_items = sum(scorer.owned.size for scorer in scorers)
     registry.gauge("shard.items").set(float(owned_items))
     registry.gauge("shard.count").set(float(len(scorers)))
+    registry.gauge("shard.model_version").set(float(model_version))
     latency = registry.histogram("shard.request")
+    swap_latency = registry.histogram("shard.swap")
     try:
         while True:
             try:
@@ -291,6 +311,24 @@ def worker_main(conn, spec: WorkerSpec) -> None:
             if op == "metrics":
                 conn.send(("metrics", message[1], registry.state()))
                 continue
+            if op == "swap":
+                __, req_id, store_dir, new_version = message
+                start = time.perf_counter()
+                try:
+                    # Build against the new store first; the old scorers
+                    # keep serving if anything goes wrong.
+                    fresh = _build_scorers(spec, str(store_dir), dataset)
+                except BaseException as error:
+                    registry.counter("shard.swap_errors").inc()
+                    conn.send(("error", req_id, type(error).__name__, str(error)))
+                    continue
+                scorers = fresh
+                model_version = int(new_version)
+                swap_latency.observe(time.perf_counter() - start)
+                registry.counter("shard.swaps").inc()
+                registry.gauge("shard.model_version").set(float(model_version))
+                conn.send(("swapped", req_id, spec.worker_id, model_version))
+                continue
             if op == "score":
                 __, req_id, kind, payload, k = message
                 start = time.perf_counter()
@@ -303,7 +341,7 @@ def worker_main(conn, spec: WorkerSpec) -> None:
                     continue
                 latency.observe(time.perf_counter() - start)
                 registry.counter(f"shard.requests.{kind}").inc()
-                conn.send(("ok", req_id, items, scores))
+                conn.send(("ok", req_id, items, scores, model_version))
                 continue
             conn.send(("error", message[1] if len(message) > 1 else -1,
                        "ValueError", f"unknown op '{op}'"))

@@ -136,6 +136,7 @@ class IVFIndex:
         if vectors.shape[0] == 0:
             raise ValueError("cannot index an empty vector table")
         n, dim = vectors.shape
+        nlist_was_default = nlist is None
         if nlist is None:
             nlist = default_nlist(n)
         nlist = int(nlist)
@@ -147,6 +148,10 @@ class IVFIndex:
         self._dim = dim
         self.nlist = nlist
         self.nprobe = int(nprobe)
+        # Build-time knobs retained so rebuild() reproduces the config.
+        self._requested_nlist = None if nlist_was_default else nlist
+        self._seed = int(seed)
+        self._kmeans_iters = int(kmeans_iters)
         self.centroids = kmeans(vectors, nlist, iters=kmeans_iters, seed=seed)
         labels = assign_to_centroids(vectors, self.centroids)
         # np.nonzero yields ascending positions, so each inverted list
@@ -158,6 +163,28 @@ class IVFIndex:
             members = np.nonzero(labels == j)[0].astype(np.int64)
             self.lists.append(members)
             self.blocks.append(np.ascontiguousarray(vectors[members]))
+
+    # -- refresh ---------------------------------------------------------
+
+    def rebuild(self, vectors: np.ndarray) -> "IVFIndex":
+        """A fresh index over ``vectors`` with this index's config/seed.
+
+        Returns a *new* :class:`IVFIndex` — this one is untouched and
+        keeps serving until the caller swaps the reference, which is
+        what lets hot-swap rebuild off-thread.  An explicit ``nlist``
+        is carried over (clamped to the new table size); a defaulted
+        one is re-derived as ``~sqrt(n)`` for the new catalog.
+        """
+        requested = self._requested_nlist
+        if requested is not None:
+            requested = min(requested, int(np.asarray(vectors).shape[0]))
+        return IVFIndex(
+            vectors,
+            nlist=requested,
+            nprobe=self.nprobe,
+            seed=self._seed,
+            kmeans_iters=self._kmeans_iters,
+        )
 
     # -- introspection ---------------------------------------------------
 

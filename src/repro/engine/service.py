@@ -37,6 +37,7 @@ from repro.engine.topk import exclusion_mask, topk_indices
 from repro.obs.spans import span
 
 TopK = Tuple[np.ndarray, np.ndarray]  # (item ids, scores), best first
+VersionedTopK = Tuple[np.ndarray, np.ndarray, int]  # + model_version served
 
 
 #: Legal values for :attr:`EngineConfig.retrieval`.
@@ -101,6 +102,23 @@ class _AdhocEntry:
     exclude: frozenset  # union of member interaction histories
 
 
+@dataclass(frozen=True)
+class _EngineState:
+    """Everything a batch needs that changes on a model hot-swap.
+
+    The worker captures ``engine._state`` exactly once per batch, so a
+    concurrent :meth:`InferenceEngine.swap_model` (one reference
+    assignment) can never hand a batch a model from one version and a
+    score cache or ANN index from another — the whole bundle is
+    immutable and swapped atomically.
+    """
+
+    version: int
+    model: GroupSA
+    score_cache: ScoreCache
+    ann_index: Optional[IVFIndex]
+
+
 class InferenceEngine:
     """Request-oriented batched inference over a trained model.
 
@@ -117,8 +135,8 @@ class InferenceEngine:
         config: Optional[EngineConfig] = None,
         telemetry: Optional[Telemetry] = None,
         autostart: bool = True,
+        model_version: int = 0,
     ) -> None:
-        self.model = model
         self.dataset = dataset
         self.config = config or EngineConfig()
         self.telemetry = telemetry or Telemetry()
@@ -127,24 +145,23 @@ class InferenceEngine:
                 f"unknown retrieval mode '{self.config.retrieval}' "
                 "(choose 'exhaustive' or 'ann')"
             )
-        self.ann_index: Optional[IVFIndex] = None
+        ann_index: Optional[IVFIndex] = None
         if self.config.retrieval == "ann":
             with self.telemetry.time("ann.build"):
-                self.ann_index = IVFIndex(
+                ann_index = IVFIndex(
                     model.item_embedding.weight.data,
                     nlist=self.config.ann_nlist,
                     nprobe=self.config.ann_nprobe,
                     seed=self.config.ann_seed,
                 )
-
-        budget = self.config.score_cache_budget_mb
-        self.score_cache = ScoreCache(
-            model.score_user_items,
-            num_users=dataset.num_users,
-            num_items=dataset.num_items,
-            block_rows=self.config.score_block_rows,
-            memory_budget_bytes=None if budget is None else int(budget * 2**20),
-            telemetry=self.telemetry,
+        self._state = _EngineState(
+            version=int(model_version),
+            model=model,
+            score_cache=self._build_score_cache(model, int(model_version)),
+            ann_index=ann_index,
+        )
+        self.telemetry.registry.gauge("engine.model_version").set(
+            int(model_version)
         )
         self._user_items = dataset.user_items()
         self._group_items = dataset.group_items()
@@ -165,6 +182,94 @@ class InferenceEngine:
         )
         if self.config.warm_on_start:
             self.warm()
+
+    def _build_score_cache(self, model: GroupSA, version: int) -> ScoreCache:
+        budget = self.config.score_cache_budget_mb
+        return ScoreCache(
+            model.score_user_items,
+            num_users=self.dataset.num_users,
+            num_items=self.dataset.num_items,
+            block_rows=self.config.score_block_rows,
+            memory_budget_bytes=None if budget is None else int(budget * 2**20),
+            telemetry=self.telemetry,
+            model_version=version,
+        )
+
+    # -- hot-swap state -------------------------------------------------
+
+    @property
+    def model(self) -> GroupSA:
+        return self._state.model
+
+    @property
+    def score_cache(self) -> ScoreCache:
+        return self._state.score_cache
+
+    @property
+    def ann_index(self) -> Optional[IVFIndex]:
+        return self._state.ann_index
+
+    @property
+    def model_version(self) -> int:
+        return self._state.version
+
+    def swap_model(
+        self,
+        model: GroupSA,
+        version: Optional[int] = None,
+        ann_index: Optional[IVFIndex] = None,
+    ) -> int:
+        """Atomically route all future batches to ``model``.
+
+        Builds the new serving bundle (fresh version-keyed score cache,
+        and — in ANN mode — a rebuilt IVF index unless a prebuilt
+        ``ann_index`` is supplied) and then publishes it as a single
+        reference assignment.  In-flight batches captured the previous
+        bundle and finish on it; no request is dropped or blocked.
+
+        Returns the new version (``version`` or previous + 1); versions
+        must be strictly increasing.
+        """
+        old = self._state
+        version = old.version + 1 if version is None else int(version)
+        if version <= old.version:
+            raise ValueError(
+                f"model_version must increase: {version} <= {old.version}"
+            )
+        with self.telemetry.time("engine.swap"):
+            with span("engine.swap", version=version):
+                if self.config.retrieval == "ann" and ann_index is None:
+                    with span("engine.swap.ann_rebuild"):
+                        with self.telemetry.time("ann.build"):
+                            table = model.item_embedding.weight.data
+                            ann_index = (
+                                old.ann_index.rebuild(table)
+                                if old.ann_index is not None
+                                else IVFIndex(
+                                    table,
+                                    nlist=self.config.ann_nlist,
+                                    nprobe=self.config.ann_nprobe,
+                                    seed=self.config.ann_seed,
+                                )
+                            )
+                elif self.config.retrieval != "ann":
+                    ann_index = None
+                with span("engine.swap.score_cache", version=version):
+                    cache = self._build_score_cache(model, version)
+                with span("engine.swap.publish", version=version):
+                    self._state = _EngineState(
+                        version=version,
+                        model=model,
+                        score_cache=cache,
+                        ann_index=ann_index,
+                    )
+                # Eagerly free the superseded blocks — in-flight batches
+                # holding the old bundle recompute on demand (same model,
+                # same version key), so this only costs them latency.
+                old.score_cache.invalidate_version(old.version)
+        self.telemetry.increment("engine.swaps")
+        self.telemetry.registry.gauge("engine.model_version").set(version)
+        return version
 
     # -- lifecycle ------------------------------------------------------
 
@@ -190,7 +295,9 @@ class InferenceEngine:
 
     # -- submission -----------------------------------------------------
 
-    def submit_user(self, user: int, k: int = 10) -> "Future[TopK]":
+    def submit_user(
+        self, user: int, k: int = 10, versioned: bool = False
+    ) -> "Future[TopK]":
         user = int(user)
         if not 0 <= user < self.dataset.num_users:
             raise IndexError(
@@ -198,9 +305,11 @@ class InferenceEngine:
             )
         self._check_k(k)
         self.telemetry.increment("requests.user")
-        return self._batcher_queue.submit(("user", user, k))
+        return self._batcher_queue.submit(("user", user, k, bool(versioned)))
 
-    def submit_group(self, group: int, k: int = 10) -> "Future[TopK]":
+    def submit_group(
+        self, group: int, k: int = 10, versioned: bool = False
+    ) -> "Future[TopK]":
         group = int(group)
         if not 0 <= group < self.dataset.num_groups:
             raise IndexError(
@@ -208,9 +317,11 @@ class InferenceEngine:
             )
         self._check_k(k)
         self.telemetry.increment("requests.group")
-        return self._batcher_queue.submit(("group", group, k))
+        return self._batcher_queue.submit(("group", group, k, bool(versioned)))
 
-    def submit_members(self, members: Sequence[int], k: int = 10) -> "Future[TopK]":
+    def submit_members(
+        self, members: Sequence[int], k: int = 10, versioned: bool = False
+    ) -> "Future[TopK]":
         if len(members) == 0:
             raise ValueError("members must be a non-empty sequence of user ids")
         for member in members:
@@ -221,7 +332,7 @@ class InferenceEngine:
         self._check_k(k)
         self.telemetry.increment("requests.adhoc")
         key = self.canonical_members(members)
-        return self._batcher_queue.submit(("adhoc", key, k))
+        return self._batcher_queue.submit(("adhoc", key, k, bool(versioned)))
 
     def topk_user(self, user: int, k: int = 10) -> TopK:
         with self.telemetry.time("engine.request"):
@@ -239,6 +350,28 @@ class InferenceEngine:
                 "engine.submit", kind="adhoc", member_count=len(members), k=k
             ):
                 return self.submit_members(members, k).result()
+
+    # Versioned variants: same lists, plus the model version the batch
+    # actually executed against (captured atomically with the scores).
+
+    def topk_user_versioned(self, user: int, k: int = 10) -> VersionedTopK:
+        with self.telemetry.time("engine.request"):
+            with span("engine.submit", kind="user", user=int(user), k=k):
+                return self.submit_user(user, k, versioned=True).result()
+
+    def topk_group_versioned(self, group: int, k: int = 10) -> VersionedTopK:
+        with self.telemetry.time("engine.request"):
+            with span("engine.submit", kind="group", group=int(group), k=k):
+                return self.submit_group(group, k, versioned=True).result()
+
+    def topk_members_versioned(
+        self, members: Sequence[int], k: int = 10
+    ) -> VersionedTopK:
+        with self.telemetry.time("engine.request"):
+            with span(
+                "engine.submit", kind="adhoc", member_count=len(members), k=k
+            ):
+                return self.submit_members(members, k, versioned=True).result()
 
     @staticmethod
     def canonical_members(members: Sequence[int]) -> Tuple[int, ...]:
@@ -258,6 +391,10 @@ class InferenceEngine:
     # -- execution (worker thread) -------------------------------------
 
     def _execute(self, payloads: Sequence[tuple]) -> List[TopK]:
+        # One atomic read: every request in this batch is answered by a
+        # single consistent (model, cache, index, version) bundle, even
+        # if swap_model() publishes a new one mid-batch.
+        state = self._state
         results: List[Optional[TopK]] = [None] * len(payloads)
         by_kind: Dict[str, List[int]] = {"user": [], "group": [], "adhoc": []}
         for index, payload in enumerate(payloads):
@@ -265,31 +402,36 @@ class InferenceEngine:
         if by_kind["user"]:
             with self.telemetry.time("engine.user_stage"):
                 with span("engine.user_stage", requests=len(by_kind["user"])):
-                    self._execute_users(payloads, by_kind["user"], results)
+                    self._execute_users(state, payloads, by_kind["user"], results)
         if by_kind["group"]:
             with self.telemetry.time("engine.group_stage"):
                 with span("engine.group_stage", requests=len(by_kind["group"])):
-                    self._execute_groups(payloads, by_kind["group"], results)
+                    self._execute_groups(state, payloads, by_kind["group"], results)
         if by_kind["adhoc"]:
             with self.telemetry.time("engine.adhoc_stage"):
                 with span("engine.adhoc_stage", requests=len(by_kind["adhoc"])):
-                    self._execute_adhoc(payloads, by_kind["adhoc"], results)
-        return results  # type: ignore[return-value]
+                    self._execute_adhoc(state, payloads, by_kind["adhoc"], results)
+        return [
+            result + (state.version,) if payload[3] else result
+            for payload, result in zip(payloads, results)
+        ]  # type: ignore[return-value]
 
     # -- ANN candidate generation --------------------------------------
 
-    def _user_query(self, user: int) -> np.ndarray:
+    @staticmethod
+    def _user_query(state: _EngineState, user: int) -> np.ndarray:
         """ANN query vector for a user: their embedding row."""
         return np.asarray(
-            self.model.user_embedding.weight.data[user], dtype=np.float64
+            state.model.user_embedding.weight.data[user], dtype=np.float64
         )
 
-    def _members_query(self, members: Sequence[int]) -> np.ndarray:
+    @staticmethod
+    def _members_query(state: _EngineState, members: Sequence[int]) -> np.ndarray:
         """ANN query for a member set: the mean member embedding — the
         Section II-F fast path collapsed into embedding space, so one
         item index serves group and ad-hoc traffic too."""
         rows = np.asarray(
-            self.model.user_embedding.weight.data[
+            state.model.user_embedding.weight.data[
                 np.asarray(members, dtype=np.int64)
             ],
             dtype=np.float64,
@@ -297,10 +439,14 @@ class InferenceEngine:
         return rows.mean(axis=0)
 
     def _ann_candidates(
-        self, query: np.ndarray, mask: Optional[np.ndarray], k: int
+        self,
+        state: _EngineState,
+        query: np.ndarray,
+        mask: Optional[np.ndarray],
+        k: int,
     ) -> np.ndarray:
         """Candidate item ids (ascending) for one query, never excluded."""
-        candidates = self.ann_index.candidates(
+        candidates = state.ann_index.candidates(
             query,
             self.config.ann_candidates,
             exclude_mask=mask,
@@ -313,22 +459,30 @@ class InferenceEngine:
     # -- per-kind stages ------------------------------------------------
 
     def _execute_users(
-        self, payloads: Sequence[tuple], indices: List[int], results: List
+        self,
+        state: _EngineState,
+        payloads: Sequence[tuple],
+        indices: List[int],
+        results: List,
     ) -> None:
-        if self.ann_index is not None:
-            self._execute_users_ann(payloads, indices, results)
+        if state.ann_index is not None:
+            self._execute_users_ann(state, payloads, indices, results)
             return
         users = np.array([payloads[i][1] for i in indices], dtype=np.int64)
-        rows = self.score_cache.scores_for_users(users)
+        rows = state.score_cache.scores_for_users(users)
         with span("topk", requests=len(indices)):
             for row, index in zip(rows, indices):
-                __, user, k = payloads[index]
+                __, user, k, __v = payloads[index]
                 mask = exclusion_mask(self.dataset.num_items, self._user_items[user])
                 items = topk_indices(row, k, mask)
                 results[index] = (items, row[items])
 
     def _execute_users_ann(
-        self, payloads: Sequence[tuple], indices: List[int], results: List
+        self,
+        state: _EngineState,
+        payloads: Sequence[tuple],
+        indices: List[int],
+        results: List,
     ) -> None:
         # Candidate generation per request, then one concatenated exact
         # scoring pass over every request's candidates.
@@ -336,32 +490,38 @@ class InferenceEngine:
         user_chunks: List[np.ndarray] = []
         with span("ann.candidates", requests=len(indices)):
             for index in indices:
-                __, user, k = payloads[index]
+                __, user, k, __v = payloads[index]
                 mask = exclusion_mask(
                     self.dataset.num_items, self._user_items[user]
                 )
-                candidates = self._ann_candidates(self._user_query(user), mask, k)
+                candidates = self._ann_candidates(
+                    state, self._user_query(state, user), mask, k
+                )
                 candidate_sets.append(candidates)
                 user_chunks.append(np.full(candidates.size, user, dtype=np.int64))
         users_flat = np.concatenate(user_chunks)
         items_flat = np.concatenate(candidate_sets)
         with span("forward", rows=int(items_flat.size), requests=len(indices)):
             scores_flat = (
-                self.model.score_user_items(users_flat, items_flat)
+                state.model.score_user_items(users_flat, items_flat)
                 if items_flat.size
                 else np.empty(0)
             )
         with span("topk", requests=len(indices)):
             offset = 0
             for index, candidates in zip(indices, candidate_sets):
-                __, __u, k = payloads[index]
+                __, __u, k, __v = payloads[index]
                 scores = scores_flat[offset : offset + candidates.size]
                 offset += candidates.size
                 chosen = topk_indices(scores, k)
                 results[index] = (candidates[chosen], scores[chosen])
 
     def _execute_groups(
-        self, payloads: Sequence[tuple], indices: List[int], results: List
+        self,
+        state: _EngineState,
+        payloads: Sequence[tuple],
+        indices: List[int],
+        results: List,
     ) -> None:
         # Concatenate every request's candidate set into one chunked
         # group-forward pass, then split and rank per request.
@@ -369,11 +529,12 @@ class InferenceEngine:
         item_chunks: List[np.ndarray] = []
         candidate_sets: List[np.ndarray] = []
         for index in indices:
-            __, group, k = payloads[index]
+            __, group, k, __v = payloads[index]
             mask = exclusion_mask(self.dataset.num_items, self._group_items[group])
-            if self.ann_index is not None:
+            if state.ann_index is not None:
                 keep = self._ann_candidates(
-                    self._members_query(self.dataset.group_members[group]),
+                    state,
+                    self._members_query(state, self.dataset.group_members[group]),
                     mask,
                     k,
                 )
@@ -387,31 +548,35 @@ class InferenceEngine:
         groups_flat = np.concatenate(group_chunks)
         items_flat = np.concatenate(item_chunks)
         with span("forward", rows=int(items_flat.size), requests=len(indices)):
-            scores_flat = self.model.score_group_items(
+            scores_flat = state.model.score_group_items(
                 self._batcher.batch(groups_flat), items_flat
             )
         with span("topk", requests=len(indices)):
             offset = 0
             for index, candidates in zip(indices, candidate_sets):
-                __, __g, k = payloads[index]
+                __, __g, k, __v = payloads[index]
                 scores = scores_flat[offset : offset + candidates.size]
                 offset += candidates.size
                 chosen = topk_indices(scores, k)
                 results[index] = (candidates[chosen], scores[chosen])
 
     def _execute_adhoc(
-        self, payloads: Sequence[tuple], indices: List[int], results: List
+        self,
+        state: _EngineState,
+        payloads: Sequence[tuple],
+        indices: List[int],
+        results: List,
     ) -> None:
         for index in indices:
-            __, key, k = payloads[index]
+            __, key, k, __v = payloads[index]
             with span("adhoc_cache.lookup", member_count=len(key)) as lookup:
                 entry, cached = self._adhoc_entry(key)
                 if lookup is not None:
                     lookup.set_attr("hit", cached)
             mask = exclusion_mask(self.dataset.num_items, entry.exclude)
-            if self.ann_index is not None:
+            if state.ann_index is not None:
                 candidates = self._ann_candidates(
-                    self._members_query(key), mask, k
+                    state, self._members_query(state, key), mask, k
                 )
             elif mask is not None:
                 candidates = np.nonzero(~mask)[0]
@@ -435,7 +600,7 @@ class InferenceEngine:
                 member_count=len(key),
                 candidates=int(candidates.size),
             ):
-                scores = self.model.score_group_items(repeated, candidates)
+                scores = state.model.score_group_items(repeated, candidates)
             with span("topk"):
                 chosen = topk_indices(scores, k)
             results[index] = (candidates[chosen], scores[chosen])

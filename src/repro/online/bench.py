@@ -1,0 +1,295 @@
+"""Online-serving benchmark: p99 under continuous hot-swaps vs baseline.
+
+The zero-downtime claim in docs/online.md is measured, not asserted:
+:func:`run_online_swap_bench` serves the same request stream three
+times through an engine-backed
+:class:`~repro.serving.RecommendationService`:
+
+1. **idle** — model frozen, nothing else running (floor);
+2. **baseline** — a streaming
+   :class:`~repro.online.trainer.OnlineTrainer` trains in-process but
+   publishes nothing (the no-swap control: same CPU/GIL load);
+3. **with_swaps** — the trainer publishes version after version and a
+   :class:`~repro.online.swap.ModelSwapper` applies each one under the
+   traffic.
+
+``p99_ratio`` compares phase 3 against phase 2, isolating what
+hot-swapping itself costs; a ratio near 1 means swaps are invisible to
+the tail (the acceptance bar is 2x).  ``p99_ratio_vs_idle`` shows the
+cost of co-locating a trainer at all.
+
+Every response's ``model_version`` is collected, so the report also
+shows which versions actually served traffic and that no request
+failed or returned an unversioned response mid-swap.
+
+Used by the ``repro online-bench`` CLI command; the committed
+``results/online_swap.json`` is one run of it.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from pathlib import Path
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.core.groupsa import GroupSA
+from repro.data.dataset import GroupRecommendationDataset
+from repro.engine.bench import latency_summary
+from repro.engine.service import EngineConfig
+from repro.obs.metrics_registry import MetricsRegistry
+from repro.online.events import EventLogReader, generate_events, write_event_log
+from repro.online.snapshots import SnapshotPublisher
+from repro.online.swap import ModelSwapper
+from repro.online.trainer import OnlineTrainer, OnlineTrainerConfig
+from repro.persistence import load_checkpoint
+from repro.serving import RecommendationService
+
+
+def _publish_loop(
+    trainer: OnlineTrainer,
+    reader: EventLogReader,
+    stop: threading.Event,
+    events_per_version: int,
+    publish_interval_s: float,
+    publish: bool = True,
+) -> None:
+    """Keep training (and, with ``publish``, publishing) until stopped.
+
+    Consumes ``events_per_version`` events per cycle; recycles the log
+    from the top when it runs dry so the load stays constant for as
+    long as the request phase lasts.  ``publish_interval_s`` paces the
+    cycles the way a real producer would.  ``publish=False`` is the
+    control: identical streaming-training load, no versions published —
+    the no-swap baseline that isolates what hot-swapping itself costs
+    (as opposed to what sharing a process with a trainer costs).
+    """
+    while not stop.is_set():
+        consumed = 0
+        while consumed < events_per_version and not stop.is_set():
+            batch = reader.read_batch(1)
+            if not batch:
+                reader.seek(0)
+                break
+            trainer.ingest(batch[0])
+            consumed += 1
+        trainer.step_partial()
+        if publish:
+            trainer.publish()
+        stop.wait(publish_interval_s)
+
+
+def _drive(
+    request: Callable[[int], None],
+    clients: int,
+    should_stop: Callable[[int], bool],
+) -> dict:
+    """Closed-loop driver with a dynamic stop condition.
+
+    Unlike :func:`repro.engine.bench.run_closed_loop` the request count
+    is open-ended: each client thread pulls the next global index until
+    ``should_stop(index)`` says the phase is over — which lets the swap
+    phase keep the traffic up until enough swaps actually landed under
+    it.
+    """
+    counter = itertools.count()
+    lock = threading.Lock()
+    latencies: list = []
+
+    def worker() -> None:
+        local = []
+        while True:
+            index = next(counter)
+            if should_stop(index):
+                break
+            started = time.perf_counter()
+            request(index)
+            local.append(time.perf_counter() - started)
+        with lock:
+            latencies.extend(local)
+
+    wall_start = time.perf_counter()
+    threads = [
+        threading.Thread(target=worker, name=f"repro-bench-{i}", daemon=True)
+        for i in range(max(1, clients))
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - wall_start
+    return latency_summary(latencies, elapsed)
+
+
+def run_online_swap_bench(
+    model: GroupSA,
+    dataset: GroupRecommendationDataset,
+    workdir,
+    num_requests: int = 300,
+    clients: int = 4,
+    k: int = 10,
+    num_events: int = 1500,
+    events_per_version: int = 64,
+    batch_size: int = 16,
+    keep_last: int = 3,
+    poll_interval: float = 0.01,
+    seed: int = 0,
+    min_swaps: int = 3,
+    publish_interval_s: float = 0.25,
+    deadline_s: float = 120.0,
+    engine_config: Optional[EngineConfig] = None,
+) -> dict:
+    """Measure serving p99 with and without continuous hot-swaps.
+
+    ``model`` is the *trainer's* model; serving always runs on a fresh
+    copy loaded from the first published snapshot, so streaming updates
+    never mutate weights mid-request — only whole-version swaps reach
+    the serving path (the invariant the subsystem exists to provide).
+
+    Both phases serve at least ``num_requests`` requests after a
+    warm-up pass; the swap phase additionally keeps the traffic up
+    until ``min_swaps`` hot-swaps have landed under it (bounded by
+    ``deadline_s``), so the reported tail latency genuinely overlaps
+    swapping.
+    """
+    workdir = Path(workdir)
+    registry = MetricsRegistry()
+    publisher = SnapshotPublisher(workdir / "snapshots", keep_last=keep_last)
+    trainer = OnlineTrainer(
+        model,
+        dataset,
+        publisher,
+        config=OnlineTrainerConfig(batch_size=batch_size, keep_last=keep_last),
+        registry=registry,
+    )
+    initial = trainer.publish()
+
+    log_path = workdir / "events.jsonl"
+    events = generate_events(
+        dataset, num_events, rng=np.random.default_rng(seed)
+    )
+    write_event_log(log_path, events)
+
+    serving_model, __ = load_checkpoint(initial.path)
+    service = RecommendationService(
+        model=serving_model, dataset=dataset, model_version=initial.version
+    )
+    service.enable_engine(engine_config)
+
+    request_rng = np.random.default_rng(seed + 1)
+    users = request_rng.integers(0, dataset.num_users, size=max(1, num_requests))
+    served_versions: list = []
+    failures: list = []
+
+    def request(index: int) -> None:
+        try:
+            response = service.recommend_for_user(
+                int(users[index % users.size]), k=k
+            )
+            served_versions.append(response.model_version)
+        except BaseException as error:  # the bar is *zero* failed requests
+            failures.append(repr(error))
+
+    try:
+        # Warm-up: touch every distinct user once so neither phase pays
+        # engine start-up or cold score-cache blocks in its tail.
+        for user in sorted({int(u) for u in users}):
+            service.recommend_for_user(user, k=k)
+        served_versions.clear()
+
+        idle = _drive(request, clients, lambda i: i >= num_requests)
+        baseline_versions = sorted({v for v in served_versions})
+        served_versions.clear()
+
+        # No-swap baseline: the *same* streaming-training load runs in
+        # the process, but no version is published and nothing swaps.
+        # Comparing the swap phase's tail against this (rather than the
+        # idle phase's) isolates what hot-swapping itself costs; the
+        # idle numbers are reported too, so the cost of co-locating a
+        # trainer at all is also visible.
+        control_stop = threading.Event()
+        control_thread = threading.Thread(
+            target=_publish_loop,
+            args=(
+                trainer, EventLogReader(log_path), control_stop,
+                events_per_version, publish_interval_s, False,
+            ),
+            name="repro-online-control",
+            daemon=True,
+        )
+        control_thread.start()
+        try:
+            baseline = _drive(request, clients, lambda i: i >= num_requests)
+        finally:
+            control_stop.set()
+            control_thread.join(timeout=60)
+        served_versions.clear()
+
+        swapper = ModelSwapper(
+            service, workdir / "snapshots",
+            poll_interval=poll_interval, registry=registry,
+        )
+        swapper.current = initial
+        stop = threading.Event()
+        reader = EventLogReader(log_path)
+        publisher_thread = threading.Thread(
+            target=_publish_loop,
+            args=(trainer, reader, stop, events_per_version, publish_interval_s),
+            name="repro-online-publisher",
+            daemon=True,
+        )
+        swaps_applied = registry.counter("swap.applied")
+        deadline = time.monotonic() + deadline_s
+
+        def swap_phase_done(index: int) -> bool:
+            if index < num_requests:
+                return False
+            if swaps_applied.value >= min_swaps:
+                return True
+            return time.monotonic() > deadline
+
+        with swapper:
+            publisher_thread.start()
+            try:
+                with_swaps = _drive(request, clients, swap_phase_done)
+            finally:
+                stop.set()
+                publisher_thread.join(timeout=60)
+        staleness = swapper.staleness_seconds
+    finally:
+        service.close()
+
+    swap_summary = registry.histogram("swap.apply").summary()
+    baseline_p99 = baseline["p99_ms"]
+    swap_p99 = with_swaps["p99_ms"]
+    return {
+        "requests": int(num_requests),
+        "clients": int(clients),
+        "k": int(k),
+        "events_per_version": int(events_per_version),
+        "batch_size": int(batch_size),
+        "min_swaps": int(min_swaps),
+        "publish_interval_s": float(publish_interval_s),
+        "baseline_idle": idle,
+        "baseline": baseline,
+        "with_swaps": with_swaps,
+        "p99_ratio": swap_p99 / baseline_p99 if baseline_p99 else 0.0,
+        "p99_ratio_vs_idle": (
+            swap_p99 / idle["p99_ms"] if idle["p99_ms"] else 0.0
+        ),
+        "swaps_applied": registry.counter("swap.applied").value,
+        "versions_published": trainer.model_version,
+        "versions_served_baseline": baseline_versions,
+        "versions_served_during_swaps": sorted(
+            {v for v in served_versions}
+        ),
+        "unversioned_responses": sum(1 for v in served_versions if v is None),
+        "failed_requests": failures,
+        "swap_apply_s": swap_summary,
+        "staleness_seconds": staleness,
+        "online_steps": trainer.steps,
+        "events_ingested": trainer.events_ingested,
+    }

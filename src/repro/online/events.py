@@ -1,0 +1,239 @@
+"""Append-only JSONL interaction log + seeded synthetic event stream.
+
+The streaming subsystem's source of truth is a plain JSONL file: one
+interaction event per line, strictly append-only, so a log can be
+tailed by a trainer while a producer keeps appending.  Offsets are
+**byte** offsets of line starts — a single integer fully identifies a
+resume position, survives process death, and is insensitive to how
+many bytes the producer appended since.
+
+Event schema (one JSON object per line)::
+
+    {"seq": 17, "ts": 3.25, "kind": "user",  "entity": 4, "item": 92}
+    {"seq": 18, "ts": 3.31, "kind": "group", "entity": 1, "item": 7}
+
+``seq`` is the producer's running sequence number, ``ts`` a float
+timestamp in days since the stream epoch, ``kind`` selects the BPR
+task (user-item or group-item), ``entity`` the user/group id and
+``item`` the positive item.
+
+:func:`generate_events` synthesizes a seeded drifting stream with the
+same timestamp machinery as :func:`repro.data.temporal.attach_timestamps`
+(per-item activity centres drawn from a recency-biased beta, Gaussian
+event windows): early events favour one half of the catalog's activity
+centres, late events the other, so a model trained on the stream's
+head is measurably stale by its tail — exactly the situation online
+learning exists for.
+
+:class:`EventLogReader` replays a log from any byte offset, tolerates
+a torn final line (a producer killed mid-append), and exposes the
+offset *after the last fully consumed line* for checkpointing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Iterator, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.data.dataset import GroupRecommendationDataset
+from repro.utils import RngLike, ensure_rng
+
+PathLike = Union[str, Path]
+
+EVENT_KINDS = ("user", "group")
+
+
+@dataclass(frozen=True)
+class InteractionEvent:
+    """One observed interaction: an entity accepted an item at a time."""
+
+    seq: int
+    ts: float
+    kind: str  # "user" | "group"
+    entity: int
+    item: int
+
+    def validate(self) -> None:
+        if self.kind not in EVENT_KINDS:
+            raise ValueError(f"unknown event kind '{self.kind}'")
+        if self.entity < 0 or self.item < 0:
+            raise ValueError(f"negative id in event {self}")
+
+
+def generate_events(
+    dataset: GroupRecommendationDataset,
+    num_events: int,
+    horizon_days: float = 30.0,
+    recency_bias: float = 1.5,
+    group_fraction: float = 0.15,
+    drift: float = 0.75,
+    rng: RngLike = None,
+) -> List[InteractionEvent]:
+    """Synthesize a time-ordered drifting event stream over ``dataset``.
+
+    Item activity centres come from the same recency-biased beta the
+    temporal-split machinery uses; each event picks its item from a
+    Gaussian window around "items active now", so item popularity
+    *drifts* across the stream: ``drift`` in [0, 1] scales how strongly
+    the active set moves (0 = stationary popularity, 1 = fully
+    time-locked).  Entities are drawn uniformly; ``group_fraction`` of
+    events are group-item interactions.
+
+    Deterministic for a fixed ``rng`` seed.
+    """
+    if num_events < 0:
+        raise ValueError(f"num_events must be >= 0, got {num_events}")
+    if horizon_days <= 0:
+        raise ValueError("horizon_days must be positive")
+    if not 0.0 <= group_fraction <= 1.0:
+        raise ValueError("group_fraction must be in [0, 1]")
+    if not 0.0 <= drift <= 1.0:
+        raise ValueError("drift must be in [0, 1]")
+    generator = ensure_rng(rng)
+    # Per-item activity centres, exactly like attach_timestamps.
+    centres = (
+        generator.beta(recency_bias, 1.0, size=dataset.num_items) * horizon_days
+    )
+    spread = horizon_days * 0.05
+    times = np.sort(
+        generator.beta(recency_bias, 1.0, size=num_events) * horizon_days
+    )
+    kinds = generator.random(num_events) < group_fraction
+    users = generator.integers(0, dataset.num_users, size=num_events)
+    groups = generator.integers(0, max(1, dataset.num_groups), size=num_events)
+    events: List[InteractionEvent] = []
+    for seq in range(num_events):
+        now = float(times[seq])
+        # Affinity of each item for "now": a Gaussian window over the
+        # activity centres, flattened toward uniform by (1 - drift).
+        window = np.exp(-0.5 * ((centres - now) / max(spread, 1e-9)) ** 2)
+        weights = drift * window + (1.0 - drift)
+        total = float(weights.sum())
+        if total <= 0.0:
+            weights = np.full(dataset.num_items, 1.0 / dataset.num_items)
+        else:
+            weights = weights / total
+        item = int(generator.choice(dataset.num_items, p=weights))
+        kind = "group" if (kinds[seq] and dataset.num_groups > 0) else "user"
+        entity = int(groups[seq]) if kind == "group" else int(users[seq])
+        events.append(
+            InteractionEvent(seq=seq, ts=now, kind=kind, entity=entity, item=item)
+        )
+    return events
+
+
+# ----------------------------------------------------------------------
+# Log I/O
+# ----------------------------------------------------------------------
+
+
+def append_events(path: PathLike, events: Sequence[InteractionEvent]) -> int:
+    """Append ``events`` as JSONL lines; returns the end byte offset.
+
+    Lines are written in one buffered pass and fsynced, so a reader
+    polling the log sees either none or all of this batch's complete
+    lines (plus, worst case under kill -9, one torn final line — which
+    :class:`EventLogReader` skips until it is completed).
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "a", encoding="utf-8") as handle:
+        for event in events:
+            event.validate()
+            handle.write(json.dumps(asdict(event), sort_keys=True))
+            handle.write("\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+        return handle.tell()
+
+
+def write_event_log(path: PathLike, events: Sequence[InteractionEvent]) -> int:
+    """Write a fresh log (truncating any existing file)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8"):
+        pass
+    return append_events(path, events)
+
+
+class EventLogReader:
+    """Replayable reader over an append-only JSONL event log.
+
+    ``offset`` is the byte position after the last *fully consumed*
+    line — checkpoint it, and a new reader constructed with it resumes
+    exactly where this one stopped, even across process death.  A
+    torn final line (producer killed mid-write) is never yielded; the
+    reader simply stops before it and picks the line up once the
+    producer completes it.
+    """
+
+    def __init__(self, path: PathLike, offset: int = 0) -> None:
+        self.path = Path(path)
+        if offset < 0:
+            raise ValueError(f"offset must be >= 0, got {offset}")
+        self._offset = int(offset)
+
+    @property
+    def offset(self) -> int:
+        return self._offset
+
+    def seek(self, offset: int) -> None:
+        if offset < 0:
+            raise ValueError(f"offset must be >= 0, got {offset}")
+        self._offset = int(offset)
+
+    def read_batch(self, max_events: int) -> List[InteractionEvent]:
+        """Up to ``max_events`` complete events from the current offset."""
+        if max_events < 1:
+            raise ValueError(f"max_events must be >= 1, got {max_events}")
+        events: List[InteractionEvent] = []
+        if not self.path.exists():
+            return events
+        with open(self.path, "r", encoding="utf-8") as handle:
+            handle.seek(self._offset)
+            while len(events) < max_events:
+                line = handle.readline()
+                if not line or not line.endswith("\n"):
+                    break  # end of log, or a torn line still being written
+                stripped = line.strip()
+                if stripped:
+                    events.append(self._decode(stripped))
+                self._offset += len(line.encode("utf-8"))
+        return events
+
+    def __iter__(self) -> Iterator[InteractionEvent]:
+        """Drain every complete event currently in the log."""
+        while True:
+            batch = self.read_batch(1024)
+            if not batch:
+                return
+            for event in batch:
+                yield event
+
+    @staticmethod
+    def _decode(line: str) -> InteractionEvent:
+        payload = json.loads(line)
+        event = InteractionEvent(
+            seq=int(payload["seq"]),
+            ts=float(payload["ts"]),
+            kind=str(payload["kind"]),
+            entity=int(payload["entity"]),
+            item=int(payload["item"]),
+        )
+        event.validate()
+        return event
+
+
+def read_events(
+    path: PathLike, offset: int = 0, limit: Optional[int] = None
+) -> List[InteractionEvent]:
+    """Convenience: all (or the first ``limit``) events from ``offset``."""
+    reader = EventLogReader(path, offset=offset)
+    if limit is None:
+        return list(reader)
+    return reader.read_batch(limit)

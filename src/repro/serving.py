@@ -50,6 +50,11 @@ class Recommendation:
     ``trace_id`` correlates the response with the request's span tree
     in the tracer's span log; it is ``None`` whenever tracing is off
     (see docs/observability.md, "Serving observability").
+
+    ``model_version`` is the version of the model that actually scored
+    this request — captured atomically with the scores, so during a
+    hot-swap it names the exact snapshot served (see docs/online.md).
+    It is ``None`` when the service has never been given a version.
     """
 
     entity: str
@@ -57,6 +62,7 @@ class Recommendation:
     scores: List[float]
     voting_weights: Optional[Dict[int, float]] = None
     trace_id: Optional[str] = None
+    model_version: Optional[int] = None
 
 
 @dataclass
@@ -79,6 +85,7 @@ class RecommendationService:
     dataset: GroupRecommendationDataset
     engine: Optional[InferenceEngine] = None
     router: Optional["ShardRouter"] = None
+    model_version: Optional[int] = None
     _batcher: GroupBatcher = field(init=False, repr=False)
     _adhoc: AdhocGroupRecommender = field(init=False, repr=False)
 
@@ -118,7 +125,11 @@ class RecommendationService:
         """Switch to engine-backed serving; returns the engine."""
         if self.engine is None:
             self.engine = InferenceEngine(
-                self.model, self.dataset, config=config, telemetry=telemetry
+                self.model,
+                self.dataset,
+                config=config,
+                telemetry=telemetry,
+                model_version=self.model_version or 0,
             )
         return self.engine
 
@@ -149,6 +160,33 @@ class RecommendationService:
             )
         return self.router
 
+    def apply_model(
+        self,
+        model: GroupSA,
+        version: int,
+        ann_index=None,
+    ) -> int:
+        """Hot-swap the service onto ``model`` at ``version``.
+
+        Propagates the swap through whichever execution mode is live:
+        the engine gets :meth:`InferenceEngine.swap_model` (atomic
+        bundle swap, in-flight batches unaffected), the cluster router
+        gets :meth:`ShardRouter.swap_model` (rolling per-worker store
+        re-attach), and direct mode simply rebinds ``self.model`` and
+        the ad-hoc recommender.  Explanations always follow the new
+        model.  Returns ``version``.
+        """
+        version = int(version)
+        with span("service.apply_model", mode=self._mode(), version=version):
+            if self.engine is not None:
+                self.engine.swap_model(model, version=version, ann_index=ann_index)
+            if self.router is not None:
+                self.router.swap_model(model, version=version)
+            self.model = model
+            self._adhoc = AdhocGroupRecommender(model, self.dataset)
+            self.model_version = version
+        return version
+
     def close(self) -> None:
         """Stop the engine worker and/or shard workers, if attached."""
         if self.engine is not None:
@@ -171,10 +209,11 @@ class RecommendationService:
         with span(
             "service.recommend_for_user", mode=self._mode(), user=int(user), k=k
         ) as root:
+            version = self.model_version
             if self.router is not None:
-                items, scores = self.router.topk_user(user, k=k)
+                items, scores, version = self.router.topk_user_versioned(user, k=k)
             elif self.engine is not None:
-                items, scores = self.engine.topk_user(user, k)
+                items, scores, version = self.engine.topk_user_versioned(user, k)
             else:
                 exclude = self.dataset.user_items()[user]
                 with span("direct.score"):
@@ -193,6 +232,7 @@ class RecommendationService:
                 items=items.tolist(),
                 scores=scores.tolist(),
                 trace_id=root.trace_id if root is not None else None,
+                model_version=version,
             )
 
     def recommend_for_group(self, group: int, k: int = 10) -> Recommendation:
@@ -203,10 +243,11 @@ class RecommendationService:
         with span(
             "service.recommend_for_group", mode=self._mode(), group=int(group), k=k
         ) as root:
+            version = self.model_version
             if self.router is not None:
-                items, scores = self.router.topk_group(group, k=k)
+                items, scores, version = self.router.topk_group_versioned(group, k=k)
             elif self.engine is not None:
-                items, scores = self.engine.topk_group(group, k)
+                items, scores, version = self.engine.topk_group_versioned(group, k)
             else:
                 exclude = self.dataset.group_items()[group]
 
@@ -227,6 +268,7 @@ class RecommendationService:
                 scores=scores.tolist(),
                 voting_weights=weights,
                 trace_id=root.trace_id if root is not None else None,
+                model_version=version,
             )
 
     def recommend_for_members(
@@ -251,10 +293,15 @@ class RecommendationService:
             member_count=len(canonical),
             k=k,
         ) as root:
+            version = self.model_version
             if self.router is not None:
-                items, scores = self.router.topk_members(members, k=k)
+                items, scores, version = self.router.topk_members_versioned(
+                    members, k=k
+                )
             elif self.engine is not None:
-                items, scores = self.engine.topk_members(members, k)
+                items, scores, version = self.engine.topk_members_versioned(
+                    members, k
+                )
             else:
                 with span("direct.score"):
                     items = self._adhoc.recommend(members, k=k)
@@ -273,6 +320,7 @@ class RecommendationService:
                 scores=scores.tolist(),
                 voting_weights=weights,
                 trace_id=root.trace_id if root is not None else None,
+                model_version=version,
             )
 
     # ------------------------------------------------------------------

@@ -106,6 +106,11 @@ class CheckpointManager:
     def best_value(self) -> Optional[float]:
         return self._best_value
 
+    @property
+    def next_index(self) -> int:
+        """Index the next :meth:`save` will write (current counter + 1)."""
+        return self._counter + 1
+
     # ------------------------------------------------------------------
     # Writing
     # ------------------------------------------------------------------

@@ -1,0 +1,171 @@
+"""Cluster hot-swap: versioned store GC and rolling worker re-attach.
+
+The mmap-safety contract under test: a versioned store directory is
+only ever deleted when (a) it has fallen out of the keep-last-N window
+AND (b) no worker is confirmed-attached to it — deleting the backing
+file under a live ``np.memmap`` is undefined behavior, so a worker
+mid-roll (or stuck on an old version after a failed swap) must pin its
+store on disk indefinitely.
+"""
+
+import copy
+import threading
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterConfig, ShardRouter
+from repro.cluster.weights import VersionedStoreGC, versioned_store_dir
+from repro.engine import InferenceEngine
+
+
+def _make_dirs(tmp_path, versions):
+    paths = {}
+    for version in versions:
+        path = versioned_store_dir(tmp_path, version)
+        path.mkdir(parents=True)
+        (path / "manifest.json").write_text("{}")
+        paths[version] = path
+    return paths
+
+
+class TestVersionedStoreGC:
+    def test_keep_last_window_survives(self, tmp_path):
+        gc = VersionedStoreGC(keep_last=2)
+        paths = _make_dirs(tmp_path, [0, 1, 2, 3])
+        for version, path in paths.items():
+            gc.register(version, path)
+        removed = gc.collect()
+        assert sorted(p.name for p in removed) == ["store-v000000", "store-v000001"]
+        assert not paths[0].exists() and not paths[1].exists()
+        assert paths[2].exists() and paths[3].exists()
+        assert gc.registered_versions() == [2, 3]
+
+    def test_attached_version_is_never_deleted(self, tmp_path):
+        """The satellite's worker-still-attached case: version 0 is
+        outside the keep window but worker 1 never confirmed the roll,
+        so its store must stay on disk."""
+        gc = VersionedStoreGC(keep_last=1)
+        paths = _make_dirs(tmp_path, [0, 1, 2])
+        for version, path in paths.items():
+            gc.register(version, path)
+        gc.confirm(worker_id=0, version=2)
+        gc.confirm(worker_id=1, version=0)  # stuck mid-roll
+
+        removed = gc.collect()
+        assert [p.name for p in removed] == ["store-v000001"]
+        assert paths[0].exists()  # pinned by worker 1's mmap
+        assert paths[2].exists()  # in the keep window
+
+        # Once the straggler confirms the new version, the old store
+        # becomes collectable.
+        gc.confirm(worker_id=1, version=2)
+        removed = gc.collect()
+        assert [p.name for p in removed] == ["store-v000000"]
+        assert not paths[0].exists()
+
+    def test_collect_is_idempotent(self, tmp_path):
+        gc = VersionedStoreGC(keep_last=1)
+        paths = _make_dirs(tmp_path, [0, 1])
+        for version, path in paths.items():
+            gc.register(version, path)
+        assert len(gc.collect()) == 1
+        assert gc.collect() == []
+
+    def test_attached_versions_tracks_latest_confirm(self):
+        gc = VersionedStoreGC()
+        gc.confirm(0, 1)
+        gc.confirm(0, 2)
+        assert gc.attached_versions() == {0: 2}
+
+    def test_rejects_bad_keep_last(self):
+        with pytest.raises(ValueError):
+            VersionedStoreGC(keep_last=0)
+
+
+@pytest.mark.slow
+class TestRollingSwap:
+    def test_rolling_swap_serves_new_model_without_downtime(
+        self, trained_tiny_model, tiny_split, tmp_path
+    ):
+        model, __, __h = trained_tiny_model
+        dataset = tiny_split.train
+        new_model = copy.deepcopy(model)
+        rng = np.random.default_rng(9)
+        for __name, parameter in new_model.named_parameters():
+            parameter.data += 0.1 * rng.standard_normal(parameter.data.shape)
+
+        config = ClusterConfig(num_workers=2, num_shards=2, keep_last_stores=2)
+        workdir = tmp_path / "cluster"
+        with ShardRouter.launch(
+            model, dataset, config=config, workdir=workdir
+        ) as router:
+            assert router.model_version == 0
+            items, __s, version = router.topk_user_versioned(0, k=5)
+            assert version == 0
+
+            # Hammer the router from client threads while the fleet
+            # rolls: every reply must succeed and carry a version that
+            # is live (old or new, never anything else).
+            failures = []
+            versions_seen = set()
+            stop = threading.Event()
+
+            def hammer():
+                user = 0
+                while not stop.is_set():
+                    try:
+                        __i, __sc, v = router.topk_user_versioned(
+                            user % dataset.num_users, k=5
+                        )
+                    except BaseException as error:  # pragma: no cover
+                        failures.append(repr(error))
+                        return
+                    versions_seen.add(v)
+                    user += 1
+
+            threads = [
+                threading.Thread(target=hammer, daemon=True) for __i in range(2)
+            ]
+            for thread in threads:
+                thread.start()
+            try:
+                assert router.swap_model(new_model) == 1
+            finally:
+                stop.set()
+                for thread in threads:
+                    thread.join(timeout=30)
+
+            assert failures == []
+            assert versions_seen <= {0, 1}
+            assert router.model_version == 1
+
+            # Post-roll parity: the pool now answers with the NEW model,
+            # bit-identical to a single-process engine over it.
+            engine = InferenceEngine(new_model, dataset)
+            try:
+                for user in range(10):
+                    items, scores, version = router.topk_user_versioned(user, k=7)
+                    assert version == 1
+                    expected, __e = engine.topk_user(user, 7)
+                    assert items.tolist() == expected.tolist(), user
+                for group in range(5):
+                    items, __s, version = router.topk_group_versioned(group, k=5)
+                    assert version == 1
+                    expected, __e = engine.topk_group(group, 5)
+                    assert items.tolist() == expected.tolist(), group
+            finally:
+                engine.close()
+
+            # Store retention: two more swaps push v0/v1 out of the
+            # keep-last-2 window; all workers confirmed v3, so the old
+            # directories are gone while v2/v3 remain.
+            assert router.swap_model(new_model, version=2) == 2
+            assert router.swap_model(new_model, version=3) == 3
+            assert not versioned_store_dir(workdir, 0).exists()
+            assert not versioned_store_dir(workdir, 1).exists()
+            assert versioned_store_dir(workdir, 2).exists()
+            assert versioned_store_dir(workdir, 3).exists()
+
+            with pytest.raises(ValueError):
+                router.swap_model(new_model, version=3)

@@ -1,0 +1,82 @@
+"""Version-keyed ScoreCache: stale blocks never serve old-model scores."""
+
+import numpy as np
+import pytest
+
+from repro.engine.score_cache import ScoreCache
+
+
+def _version_scorer(tag):
+    """A scorer whose output encodes which model version computed it."""
+
+    def score(users, items):
+        return tag * 1000.0 + users * 10.0 + items
+
+    return score
+
+
+@pytest.fixture
+def cache():
+    return ScoreCache(
+        _version_scorer(0), num_users=12, num_items=6, block_rows=4
+    )
+
+
+class TestVersionKeying:
+    def test_blocks_carry_the_current_version(self, cache):
+        cache.warm()
+        assert cache.resident_blocks == 3
+        assert cache.model_version == 0
+
+    def test_stale_blocks_never_serve_after_bump(self, cache):
+        """The regression the satellite demands: after a swap, a block
+        computed under the old model must be unreachable even though it
+        was resident a moment ago."""
+        before = cache.scores_for_user(5)
+        assert before[0] == pytest.approx(50.0)  # version-0 scorer
+
+        cache.bump_model_version(1, score_fn=_version_scorer(1))
+        after = cache.scores_for_user(5)
+        assert after[0] == pytest.approx(1050.0)  # recomputed, new scorer
+        assert not np.array_equal(before, after)
+
+        # Every row, not just the touched one, reflects the new model.
+        rows = cache.scores_for_users(np.arange(12))
+        assert np.all(rows >= 1000.0)
+
+    def test_bump_eagerly_drops_old_blocks(self, cache):
+        cache.warm()
+        assert cache.resident_blocks == 3
+        cache.bump_model_version(7, score_fn=_version_scorer(7))
+        assert cache.resident_blocks == 0  # old-version blocks dropped
+
+    def test_bump_without_new_scorer_still_invalidates(self, cache):
+        cache.warm()
+        first = cache.scores_for_user(0).copy()
+        # The scorer object is swapped externally (e.g. the engine built
+        # a new cache-less scorer); even without rebinding, old blocks
+        # must be recomputed rather than served.
+        cache.score_fn = _version_scorer(9)
+        cache.bump_model_version(1)
+        assert cache.scores_for_user(0)[0] == pytest.approx(9000.0)
+        assert first[0] == pytest.approx(0.0)
+
+    def test_version_must_strictly_increase(self, cache):
+        cache.bump_model_version(3)
+        with pytest.raises(ValueError):
+            cache.bump_model_version(3)
+        with pytest.raises(ValueError):
+            cache.bump_model_version(2)
+
+    def test_invalidate_version_counts_drops(self, cache):
+        cache.warm()
+        assert cache.invalidate_version(0) == 3
+        assert cache.invalidate_version(0) == 0  # idempotent
+
+    def test_initial_version_is_configurable(self):
+        cache = ScoreCache(
+            _version_scorer(4), num_users=4, num_items=3, model_version=4
+        )
+        assert cache.model_version == 4
+        with pytest.raises(ValueError):
+            cache.bump_model_version(4)
