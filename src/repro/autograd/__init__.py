@@ -3,7 +3,8 @@
 This subpackage is the substrate that replaces PyTorch in this
 reproduction: a small but complete tensor library with broadcasting-aware
 gradients, batched matrix multiplication, stable softmax/log-sigmoid
-primitives and the masking operations the GroupSA attention stack needs.
+primitives, the masking operations the GroupSA attention stack needs,
+and fused attention/MLP kernels with a global floating dtype policy.
 
 The public surface mirrors the familiar torch idioms::
 
@@ -16,13 +17,33 @@ The public surface mirrors the familiar torch idioms::
 """
 
 from repro.autograd.context import (
+    fused_ops,
+    fused_ops_enabled,
     is_grad_enabled,
     no_grad,
+    set_fused_ops,
     set_sparse_grads,
     sparse_grads,
     sparse_grads_enabled,
 )
+from repro.autograd.dtype import (
+    default_dtype,
+    dtype_policy,
+    resolve_dtype,
+    set_default_dtype,
+)
+from repro.autograd.fused import (
+    fused_linear_relu,
+    fused_masked_attention,
+    fused_pairwise_logits,
+)
 from repro.autograd.grad_check import gradcheck, numerical_gradient
+from repro.autograd.pool import (
+    clear_scratch_pool,
+    scratch_lease,
+    scratch_pool_stats,
+    set_scratch_pool,
+)
 from repro.autograd.sparse import RowSparseGrad
 from repro.autograd.tensor import Tensor, as_tensor
 
@@ -34,6 +55,20 @@ __all__ = [
     "sparse_grads",
     "sparse_grads_enabled",
     "set_sparse_grads",
+    "fused_ops",
+    "fused_ops_enabled",
+    "set_fused_ops",
+    "fused_linear_relu",
+    "fused_masked_attention",
+    "fused_pairwise_logits",
+    "default_dtype",
+    "dtype_policy",
+    "resolve_dtype",
+    "set_default_dtype",
+    "scratch_lease",
+    "set_scratch_pool",
+    "clear_scratch_pool",
+    "scratch_pool_stats",
     "RowSparseGrad",
     "gradcheck",
     "numerical_gradient",

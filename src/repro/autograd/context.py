@@ -10,6 +10,13 @@ tables) emit a :class:`~repro.autograd.sparse.RowSparseGrad` instead of
 a dense ``zeros_like(table)`` scatter.  Off by default so ad-hoc
 autograd code keeps plain ndarray gradients; the trainer turns it on
 per step (``TrainingConfig.sparse_grads``).
+
+A third switch gates the *fused composite ops* of
+:mod:`repro.autograd.fused` (masked softmax attention, linear+relu,
+pairwise-attention logits).  On by default because the fused paths are
+bit-identical to the op-by-op graphs in float64; turn it off to force
+the reference unfused graphs (``TrainingConfig.fused_ops=False``, or
+the :func:`fused_ops` context below).
 """
 
 from __future__ import annotations
@@ -31,6 +38,7 @@ class _ContextState(threading.local):
     def __init__(self) -> None:
         self.grad_enabled = True
         self.sparse_grads = False
+        self.fused_ops = True
 
 
 _STATE = _ContextState()
@@ -88,3 +96,30 @@ def sparse_grads(enabled: bool = True) -> Iterator[None]:
         yield
     finally:
         set_sparse_grads(previous)
+
+
+def fused_ops_enabled() -> bool:
+    """Return whether modules should dispatch to the fused composite ops."""
+    return _STATE.fused_ops
+
+
+def set_fused_ops(enabled: bool) -> bool:
+    """Set the fused-op switch; returns the previous value."""
+    previous = _STATE.fused_ops
+    _STATE.fused_ops = bool(enabled)
+    return previous
+
+
+@contextlib.contextmanager
+def fused_ops(enabled: bool = True) -> Iterator[None]:
+    """Scope the fused-op switch (pass ``False`` for the reference path).
+
+    Like :func:`sparse_grads` this is read at *forward* time, when a
+    module decides which graph to record, so it must wrap the forward
+    pass of the ops whose implementation it selects.
+    """
+    previous = set_fused_ops(enabled)
+    try:
+        yield
+    finally:
+        set_fused_ops(previous)

@@ -1,0 +1,79 @@
+"""Global floating-point dtype policy for tensors and parameters.
+
+The engine historically forced ``float64`` everywhere.  At serving and
+training scale that is twice the memory traffic the hardware needs to
+move — attention-heavy steps are bandwidth-bound, so ``float32`` tables
+and activations buy real throughput.  The policy here decides what
+dtype *new* tensors and freshly initialized parameters get when the
+caller does not say otherwise:
+
+- the process default stays ``float64`` so every legacy bit-exactness
+  guarantee (sparse-vs-dense training, checkpoint resume, profiled
+  runs) is untouched;
+- ``float32`` is a first-class opt-in, threaded through model
+  construction via ``GroupSAConfig.dtype`` and scoped via
+  :func:`dtype_policy`.
+
+The state is thread-local for the same reason the autograd switches in
+:mod:`repro.autograd.context` are: the online subsystem builds/serves
+models on concurrent threads and one thread's policy must never leak
+into another's.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from typing import Iterator, Union
+
+import numpy as np
+
+DtypeLike = Union[str, type, np.dtype]
+
+#: The two supported policies.  Anything narrower than float32 breaks
+#: the softmax/BPR numerics; anything wider than float64 is pointless
+#: on this hardware.
+_SUPPORTED = (np.dtype(np.float32), np.dtype(np.float64))
+
+
+def resolve_dtype(dtype: DtypeLike) -> np.dtype:
+    """Normalize ``'float32'`` / ``np.float64`` / dtype objects, validating."""
+    resolved = np.dtype(dtype)
+    if resolved not in _SUPPORTED:
+        supported = ", ".join(d.name for d in _SUPPORTED)
+        raise ValueError(f"unsupported dtype policy '{resolved.name}' (supported: {supported})")
+    return resolved
+
+
+class _DtypeState(threading.local):
+    def __init__(self) -> None:
+        self.default = np.dtype(np.float64)
+
+
+_STATE = _DtypeState()
+
+
+def default_dtype() -> np.dtype:
+    """The dtype new tensors/parameters get absent an explicit request."""
+    return _STATE.default
+
+
+def set_default_dtype(dtype: DtypeLike) -> np.dtype:
+    """Set the policy dtype; returns the previous one."""
+    previous = _STATE.default
+    _STATE.default = resolve_dtype(dtype)
+    return previous
+
+
+@contextlib.contextmanager
+def dtype_policy(dtype: DtypeLike) -> Iterator[None]:
+    """Scope the default dtype (the way model construction uses it)::
+
+        with dtype_policy("float32"):
+            model = GroupSA(...)   # float32 tables and parameters
+    """
+    previous = set_default_dtype(dtype)
+    try:
+        yield
+    finally:
+        _STATE.default = previous

@@ -14,6 +14,21 @@ import numpy as np
 from repro.autograd.tensor import Tensor
 
 
+def _primary_output(result) -> Tensor:
+    """Reduce a callable's return value to the tensor under test.
+
+    Fused ops such as ``fused_masked_attention`` return
+    ``(output, weights)`` tuples; gradcheck differentiates the first
+    element, matching how the model consumes them (the auxiliary
+    weights are detached diagnostics).
+    """
+    if isinstance(result, tuple):
+        result = result[0]
+    if not isinstance(result, Tensor):
+        raise TypeError(f"gradcheck target returned {type(result).__name__}")
+    return result
+
+
 def numerical_gradient(
     fn: Callable[..., Tensor],
     inputs: Sequence[Tensor],
@@ -28,9 +43,9 @@ def numerical_gradient(
     for position in range(flat.size):
         original = flat[position]
         flat[position] = original + epsilon
-        upper = float(fn(*inputs).data.sum())
+        upper = float(_primary_output(fn(*inputs)).data.sum())
         flat[position] = original - epsilon
-        lower = float(fn(*inputs).data.sum())
+        lower = float(_primary_output(fn(*inputs)).data.sum())
         flat[position] = original
         grad_flat[position] = (upper - lower) / (2.0 * epsilon)
     return grad
@@ -45,12 +60,14 @@ def gradcheck(
 ) -> bool:
     """Verify analytic gradients of ``fn`` against finite differences.
 
+    ``fn`` may return a Tensor or a tuple whose first element is the
+    Tensor to differentiate (the fused attention ops do the latter).
     Raises ``AssertionError`` with a diagnostic message on mismatch so
     test failures point at the offending input.
     """
     for tensor in inputs:
         tensor.zero_grad()
-    output = fn(*inputs)
+    output = _primary_output(fn(*inputs))
     output.sum().backward()
     for position, tensor in enumerate(inputs):
         if not tensor.requires_grad:

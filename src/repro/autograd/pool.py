@@ -1,0 +1,103 @@
+"""Backward scratch-buffer pool: per-(shape, dtype) reusable arenas.
+
+PR 4's Adam fast path showed the pattern: a training loop executes the
+same graph every step, so every backward closure allocates the exact
+same set of temporary arrays thousands of times.  This module extends
+that buffer reuse to the backward pass itself.  A closure *leases*
+scratch arrays for the duration of one backward call and the arena gets
+them back when the closure exits, so step N+1's backward reuses step
+N's allocations instead of hitting the allocator.
+
+Safety argument: a leased buffer never escapes its closure with
+lingering ownership.  Gradients are handed to ``Tensor._accumulate``,
+which copies on first arrival (``grad.copy()``) and adds in place
+afterwards (``+=``) — it never stores a reference to the incoming
+array.  Buffers are therefore free for reuse the moment the closure
+returns.
+
+The arena is thread-local (online serve+train threads must not share
+buffers) and bounded: at most ``MAX_PER_KEY`` arrays are retained per
+(shape, dtype) so pathological shape churn cannot hoard memory.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from typing import Callable, Dict, Iterator, List, Tuple
+
+import numpy as np
+
+#: Retention cap per (shape, dtype) key.  Attention backward needs a
+#: handful of same-shaped temporaries alive at once; beyond that the
+#: closure falls back to fresh allocation.
+MAX_PER_KEY = 8
+
+
+class _Arena(threading.local):
+    def __init__(self) -> None:
+        self.enabled = True
+        self.buffers: Dict[Tuple[Tuple[int, ...], str], List[np.ndarray]] = {}
+        self.hits = 0
+        self.misses = 0
+
+
+_ARENA = _Arena()
+
+
+def set_scratch_pool(enabled: bool) -> bool:
+    """Globally enable/disable reuse (this thread); returns previous."""
+    previous = _ARENA.enabled
+    _ARENA.enabled = bool(enabled)
+    return previous
+
+
+def clear_scratch_pool() -> None:
+    """Drop every retained buffer and reset the hit/miss counters."""
+    _ARENA.buffers.clear()
+    _ARENA.hits = 0
+    _ARENA.misses = 0
+
+
+def scratch_pool_stats() -> Dict[str, int]:
+    """Reuse counters: ``hits`` (buffer served from the arena),
+    ``misses`` (fresh allocation), ``retained`` (arrays parked)."""
+    return {
+        "hits": _ARENA.hits,
+        "misses": _ARENA.misses,
+        "retained": sum(len(stack) for stack in _ARENA.buffers.values()),
+    }
+
+
+@contextlib.contextmanager
+def scratch_lease() -> Iterator[Callable[[Tuple[int, ...], np.dtype], np.ndarray]]:
+    """Lease scratch arrays for one backward closure.
+
+    Yields a ``take(shape, dtype)`` function returning an *uninitialized*
+    array (contents are garbage; callers must write with ``out=`` before
+    reading).  Every taken array returns to the arena when the block
+    exits, whatever happens inside.
+    """
+    arena = _ARENA
+    taken: List[Tuple[Tuple[Tuple[int, ...], str], np.ndarray]] = []
+
+    def take(shape: Tuple[int, ...], dtype: np.dtype) -> np.ndarray:
+        key = (tuple(shape), np.dtype(dtype).str)
+        stack = arena.buffers.get(key) if arena.enabled else None
+        if stack:
+            buffer = stack.pop()
+            arena.hits += 1
+        else:
+            buffer = np.empty(key[0], dtype=dtype)
+            arena.misses += 1
+        taken.append((key, buffer))
+        return buffer
+
+    try:
+        yield take
+    finally:
+        if arena.enabled:
+            for key, buffer in taken:
+                stack = arena.buffers.setdefault(key, [])
+                if len(stack) < MAX_PER_KEY:
+                    stack.append(buffer)

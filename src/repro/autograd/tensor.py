@@ -19,11 +19,10 @@ from typing import Any, Callable, Iterable, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.autograd.context import is_grad_enabled, sparse_grads_enabled
+from repro.autograd.dtype import default_dtype
 from repro.autograd.sparse import RowSparseGrad
 
 ArrayLike = Union["Tensor", np.ndarray, float, int, Sequence[Any]]
-
-_DEFAULT_DTYPE = np.float64
 
 
 def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
@@ -53,11 +52,21 @@ class Tensor:
         self,
         data: ArrayLike,
         requires_grad: bool = False,
-        dtype: Any = _DEFAULT_DTYPE,
+        dtype: Any = None,
     ) -> None:
         if isinstance(data, Tensor):
             data = data.data
-        self.data = np.asarray(data, dtype=dtype)
+        if dtype is None:
+            # Floating inputs keep their precision (a float32 model's
+            # activations must not silently widen); everything else is
+            # cast to the policy default (float64 unless opted down via
+            # repro.autograd.dtype).
+            array = np.asarray(data)
+            if array.dtype.kind != "f":
+                array = array.astype(default_dtype())
+            self.data = array
+        else:
+            self.data = np.asarray(data, dtype=dtype)
         self.requires_grad = bool(requires_grad)
         #: ``None`` | dense ndarray | :class:`RowSparseGrad` (leaf gathers).
         self.grad: Optional[Union[np.ndarray, RowSparseGrad]] = None
@@ -91,11 +100,11 @@ class Tensor:
 
     @staticmethod
     def zeros(*shape: int, requires_grad: bool = False) -> "Tensor":
-        return Tensor(np.zeros(shape, dtype=_DEFAULT_DTYPE), requires_grad)
+        return Tensor(np.zeros(shape, dtype=default_dtype()), requires_grad)
 
     @staticmethod
     def ones(*shape: int, requires_grad: bool = False) -> "Tensor":
-        return Tensor(np.ones(shape, dtype=_DEFAULT_DTYPE), requires_grad)
+        return Tensor(np.ones(shape, dtype=default_dtype()), requires_grad)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -468,6 +477,23 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
                 self._accumulate(grad.reshape(original))
+
+        return Tensor._from_op(data, (self,), backward)
+
+    def broadcast_to(self, shape: Tuple[int, ...]) -> "Tensor":
+        """Broadcast to ``shape`` (a view, no copy); gradient sum-reduces.
+
+        This is the proper expand op: the adjoint of broadcasting is
+        summation over the broadcast axes (the same
+        :func:`_unbroadcast` every binary op uses), without the
+        zero-filled tile-by-add workaround it replaces.
+        """
+        shape = tuple(shape)
+        data = np.broadcast_to(self.data, shape)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad, self.shape))
 
         return Tensor._from_op(data, (self,), backward)
 

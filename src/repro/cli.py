@@ -64,6 +64,7 @@ def _command_train(args: argparse.Namespace) -> int:
         num_attention_layers=args.layers,
         blend_weight=args.blend_weight,
         top_h=args.top_h,
+        dtype=args.dtype,
     )
     training = TrainingConfig(
         user_epochs=args.user_epochs,
@@ -71,6 +72,7 @@ def _command_train(args: argparse.Namespace) -> int:
         learning_rate=args.lr,
         seed=args.seed,
         sparse_grads=not args.dense_grads,
+        fused_ops=not args.no_fused_ops,
     )
     monitor = None
     if args.grad_health != "off":
@@ -410,6 +412,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="force the dense reference gradient path (row-sparse "
         "embedding gradients are on by default and bit-identical; "
         "see docs/performance.md)",
+    )
+    train.add_argument(
+        "--dtype",
+        choices=("float64", "float32"),
+        default="float64",
+        help="floating dtype of the model's tables and activations "
+        "(float64 is the bit-exact reference; float32 halves memory "
+        "traffic, see docs/performance.md)",
+    )
+    train.add_argument(
+        "--no-fused-ops",
+        action="store_true",
+        help="force the op-by-op attention/MLP graphs (fused ops are on "
+        "by default and bit-identical in float64)",
     )
     train.add_argument(
         "--checkpoint-dir",

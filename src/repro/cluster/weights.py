@@ -253,6 +253,9 @@ def write_model_store(model, directory: PathLike) -> SharedWeightStore:
         "config": json.dumps(dataclasses.asdict(model.config)),
         "num_users": model.num_users,
         "num_items": model.num_items,
+        # Redundant with the config JSON and per-array manifest dtypes,
+        # but directly inspectable by ops tooling without parsing either.
+        "dtype": model.config.dtype,
     }
     return SharedWeightStore.create(directory, arrays, meta=meta)
 

@@ -55,6 +55,11 @@ class GroupSAConfig:
     #: Name of the closeness function for the social mask
     #: ('direct' | 'common-neighbours' | 'pagerank' | 'full').
     closeness: str = "direct"
+    #: Floating dtype of the model's parameter tables and activations
+    #: ('float64' | 'float32').  float64 is the reference precision —
+    #: fused and unfused graphs are bit-identical there; float32 halves
+    #: the memory traffic for throughput-oriented runs.
+    dtype: str = "float64"
     seed: int = 2020
 
     def __post_init__(self) -> None:
@@ -66,6 +71,8 @@ class GroupSAConfig:
             raise ValueError("blend_weight (w^u) must be in [0, 1]")
         if self.top_h <= 0:
             raise ValueError("top_h must be positive")
+        if self.dtype not in ("float32", "float64"):
+            raise ValueError("dtype must be 'float32' or 'float64'")
 
     @property
     def uses_user_modeling(self) -> bool:

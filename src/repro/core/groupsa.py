@@ -19,7 +19,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.autograd import no_grad
+from repro.autograd import dtype_policy, no_grad
 from repro.autograd.tensor import Tensor
 from repro.core.config import GroupSAConfig
 from repro.core.prediction import PredictionTower
@@ -59,28 +59,38 @@ class GroupSA(Module):
         self.num_users = num_users
         self.num_items = num_items
 
-        # Shared embeddings bridging the user-item and group-item spaces.
-        self.user_embedding = Embedding(num_users, config.embedding_dim, rng=generator)
-        self.item_embedding = Embedding(num_items, config.embedding_dim, rng=generator)
+        # All parameter tables are created under the configured dtype
+        # policy; a given seed yields the same weights (up to the final
+        # cast) regardless of the dtype chosen.
+        with dtype_policy(config.dtype):
+            # Shared embeddings bridging the user-item and group-item spaces.
+            self.user_embedding = Embedding(
+                num_users, config.embedding_dim, rng=generator
+            )
+            self.item_embedding = Embedding(
+                num_items, config.embedding_dim, rng=generator
+            )
 
-        self.voting = VotingNetwork(config, rng=generator)
-        self.aggregation = GroupAggregation(config, rng=generator)
-        self.group_tower = PredictionTower(
-            config.embedding_dim,
-            config.prediction_hidden,
-            dropout=config.dropout,
-            rng=generator,
-        )
-        self.user_tower = PredictionTower(
-            config.embedding_dim,
-            config.prediction_hidden,
-            dropout=config.dropout,
-            rng=generator,
-        )
+            self.voting = VotingNetwork(config, rng=generator)
+            self.aggregation = GroupAggregation(config, rng=generator)
+            self.group_tower = PredictionTower(
+                config.embedding_dim,
+                config.prediction_hidden,
+                dropout=config.dropout,
+                rng=generator,
+            )
+            self.user_tower = PredictionTower(
+                config.embedding_dim,
+                config.prediction_hidden,
+                dropout=config.dropout,
+                rng=generator,
+            )
 
-        self.user_modeling: Optional[UserModeling] = None
-        if config.uses_user_modeling:
-            self.user_modeling = UserModeling(num_users, num_items, config, rng=generator)
+            self.user_modeling: Optional[UserModeling] = None
+            if config.uses_user_modeling:
+                self.user_modeling = UserModeling(
+                    num_users, num_items, config, rng=generator
+                )
         self._top_neighbours = top_neighbours
 
     # ------------------------------------------------------------------

@@ -49,7 +49,7 @@ class PredictionTower(Module):
         """Score each row pair; returns shape (B,)."""
         x = concatenate([left, right, left * right], axis=-1)
         for layer in self.hidden_layers:
-            x = layer(x).relu()
+            x = layer.forward_relu(x)
             if self.dropout is not None:
                 x = self.dropout(x)
         return self.scorer(x).reshape(-1)

@@ -87,7 +87,7 @@ class UserModeling(Module):
         aggregated, __ = self.item_attention(
             query=user_embeddings, candidates=candidates, mask=mask
         )
-        return self.item_transform(aggregated).relu()
+        return self.item_transform.forward_relu(aggregated)
 
     def social_space_factor(
         self, user_embeddings: Tensor, user_ids: np.ndarray, tables: TopNeighbours
@@ -99,7 +99,7 @@ class UserModeling(Module):
         aggregated, __ = self.social_attention(
             query=user_embeddings, candidates=candidates, mask=mask
         )
-        return self.social_transform(aggregated).relu()
+        return self.social_transform.forward_relu(aggregated)
 
     def forward(
         self,

@@ -15,6 +15,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.autograd.tensor import Tensor
+from repro.nn import init
 from repro.nn import (
     Dropout,
     LayerNorm,
@@ -59,7 +60,7 @@ class VotingLayer(Module):
         """Return (next member representations, attention weights)."""
         attended, weights = self.attention(x, bias=bias)
         x = self.attention_norm(x + self.dropout(attended))
-        transformed = self.ffn_contract(self.ffn_expand(x).relu())
+        transformed = self.ffn_contract(self.ffn_expand.forward_relu(x))
         x = self.ffn_norm(x + self.dropout(transformed))
         return x, weights
 
@@ -86,8 +87,9 @@ class VotingNetwork(Module):
         # geometry learned in stage 1 and learns the voting correction
         # on top.  Without this, the LayerNorm sub-layers re-scale the
         # member representations and the sparse group-item data cannot
-        # recover the taste signal.
-        self.gate = Parameter(np.zeros(1))
+        # recover the taste signal.  Built through init.zeros so the
+        # gate follows the model's dtype policy.
+        self.gate = Parameter(init.zeros((1,)))
 
     def forward(
         self,
@@ -140,7 +142,7 @@ class GroupAggregation(Module):
         # Same ReZero trick as the voting stack: the Eq. (7) output
         # transform starts as the identity over the aggregated member
         # representation.
-        self.gate = Parameter(np.zeros(1))
+        self.gate = Parameter(init.zeros((1,)))
 
     def forward(
         self,
@@ -154,5 +156,5 @@ class GroupAggregation(Module):
             candidates=member_representations,
             mask=member_mask,
         )
-        transformed = self.output(aggregated).relu()
+        transformed = self.output.forward_relu(aggregated)
         return aggregated + transformed * self.gate, weights

@@ -18,6 +18,8 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.autograd.context import fused_ops_enabled
+from repro.autograd.fused import fused_masked_attention, fused_pairwise_logits
 from repro.autograd.tensor import Tensor, concatenate
 from repro.nn.linear import Linear
 from repro.nn.module import Module
@@ -55,8 +57,17 @@ class PairwiseAttention(Module):
     def logits(self, query: Tensor, candidates: Tensor) -> Tensor:
         """Unnormalized attention logits of shape (B, H)."""
         batch, count, __ = candidates.shape
+        if fused_ops_enabled():
+            return fused_pairwise_logits(
+                query,
+                candidates,
+                self.score_hidden.weight,
+                self.score_hidden.bias,
+                self.score_out.weight,
+                self.score_out.bias,
+            )
         expanded = query.reshape(batch, 1, query.shape[-1])
-        tiled = expanded + Tensor(np.zeros((batch, count, query.shape[-1])))
+        tiled = expanded.broadcast_to((batch, count, query.shape[-1]))
         joint = concatenate([tiled, candidates], axis=-1)
         hidden = self.score_hidden(joint).relu()
         return self.score_out(hidden).reshape(batch, count)
@@ -78,7 +89,7 @@ class PairwiseAttention(Module):
         if mask is not None:
             mask = np.asarray(mask, dtype=bool)
             bias = np.where(mask, 0.0, MASK_VALUE)
-            scores = scores + Tensor(bias)
+            scores = scores + Tensor(bias, dtype=scores.data.dtype)
             row_valid = mask.any(axis=1)
         weights = scores.softmax(axis=-1)
         if values is None:
@@ -153,7 +164,19 @@ class ScaledDotProductSelfAttention(Module):
         queries = self.query_proj(x)
         keys = self.key_proj(x)
         values = self.value_proj(x)
+        fused = fused_ops_enabled()
         if self.num_heads == 1:
+            if fused:
+                bias_array = (
+                    None if bias is None
+                    else np.asarray(bias, dtype=queries.data.dtype)
+                )
+                mixed, weights = fused_masked_attention(
+                    queries, keys, values,
+                    bias=bias_array,
+                    scale=math.sqrt(self.key_features),
+                )
+                return self.output_proj(mixed), weights
             scores = (queries @ keys.transpose(-1, -2)) / math.sqrt(self.key_features)
             if bias is not None:
                 scores = scores + Tensor(np.asarray(bias, dtype=scores.data.dtype))
@@ -164,16 +187,30 @@ class ScaledDotProductSelfAttention(Module):
         queries = self._split_heads(queries, self.head_key_features)
         keys = self._split_heads(keys, self.head_key_features)
         values = self._split_heads(values, self.head_value_features)
-        scores = (queries @ keys.transpose(-1, -2)) / math.sqrt(self.head_key_features)
-        if bias is not None:
-            bias_array = np.asarray(bias, dtype=scores.data.dtype)
-            if bias_array.ndim == 2:
-                bias_array = bias_array[None, None]
-            else:
-                bias_array = bias_array[:, None]
-            scores = scores + Tensor(bias_array)
-        weights = scores.softmax(axis=-1)  # (B, H, L, L)
-        mixed = weights @ values  # (B, H, L, dv)
+        if fused:
+            bias_array = None
+            if bias is not None:
+                bias_array = np.asarray(bias, dtype=queries.data.dtype)
+                if bias_array.ndim == 2:
+                    bias_array = bias_array[None, None]
+                else:
+                    bias_array = bias_array[:, None]
+            mixed, weights = fused_masked_attention(
+                queries, keys, values,
+                bias=bias_array,
+                scale=math.sqrt(self.head_key_features),
+            )
+        else:
+            scores = (queries @ keys.transpose(-1, -2)) / math.sqrt(self.head_key_features)
+            if bias is not None:
+                bias_array = np.asarray(bias, dtype=scores.data.dtype)
+                if bias_array.ndim == 2:
+                    bias_array = bias_array[None, None]
+                else:
+                    bias_array = bias_array[:, None]
+                scores = scores + Tensor(bias_array)
+            weights = scores.softmax(axis=-1)  # (B, H, L, L)
+            mixed = weights @ values  # (B, H, L, dv)
         merged = mixed.permute(0, 2, 1, 3).reshape(
             batch, length, self.num_heads * self.head_value_features
         )

@@ -8,25 +8,34 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.autograd.dtype import default_dtype
+
 
 def glorot_uniform(
     shape: tuple[int, ...], rng: np.random.Generator
 ) -> np.ndarray:
-    """Glorot/Xavier uniform initialization [35]."""
+    """Glorot/Xavier uniform initialization [35].
+
+    The RNG always draws in float64 so a given seed produces the same
+    weights under every dtype policy; the cast to the active default
+    dtype happens afterwards.
+    """
     fan_in, fan_out = _fans(shape)
     limit = np.sqrt(6.0 / (fan_in + fan_out))
-    return rng.uniform(-limit, limit, size=shape)
+    draw = rng.uniform(-limit, limit, size=shape)
+    return draw.astype(default_dtype(), copy=False)
 
 
 def gaussian(
     shape: tuple[int, ...], rng: np.random.Generator, std: float = 0.1
 ) -> np.ndarray:
     """Zero-mean Gaussian initialization with the paper's std of 0.1."""
-    return rng.normal(0.0, std, size=shape)
+    draw = rng.normal(0.0, std, size=shape)
+    return draw.astype(default_dtype(), copy=False)
 
 
 def zeros(shape: tuple[int, ...]) -> np.ndarray:
-    return np.zeros(shape)
+    return np.zeros(shape, dtype=default_dtype())
 
 
 def _fans(shape: tuple[int, ...]) -> tuple[int, int]:

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.autograd.context import fused_ops_enabled
+from repro.autograd.fused import fused_linear_relu
 from repro.autograd.tensor import Tensor
 from repro.nn import init
 from repro.nn.module import Module, Parameter
@@ -43,3 +45,14 @@ class Linear(Module):
         if self.bias is not None:
             out = out + self.bias
         return out
+
+    def forward_relu(self, x: Tensor) -> Tensor:
+        """``relu(self(x))``, fused into one graph node when enabled.
+
+        The fused op records a single backward closure instead of the
+        matmul/add/relu chain; in float64 the result (forward and
+        gradients) is bit-identical to ``self(x).relu()``.
+        """
+        if fused_ops_enabled():
+            return fused_linear_relu(x, self.weight, self.bias)
+        return self(x).relu()

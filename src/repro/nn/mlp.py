@@ -54,12 +54,14 @@ class MLP(Module):
 
     def forward(self, x: Tensor) -> Tensor:
         last = len(self.layers) - 1
+        relu_output = isinstance(self.output_activation, ReLU)
         for position, layer in enumerate(self.layers):
-            x = layer(x)
             if position < last:
-                x = self.hidden_activation(x)
+                x = layer.forward_relu(x)
                 if self.dropout is not None:
                     x = self.dropout(x)
+            elif relu_output:
+                x = layer.forward_relu(x)
             else:
-                x = self.output_activation(x)
+                x = self.output_activation(layer(x))
         return x

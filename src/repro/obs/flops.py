@@ -53,6 +53,41 @@ def matmul_flops(a_shape: Tuple[int, ...], out_shape: Tuple[int, ...]) -> int:
     return 2 * k * out_elements
 
 
+def _elements(shape: Optional[Tuple[int, ...]]) -> int:
+    if shape is None:
+        return 0
+    return int(np.prod(shape)) if shape else 1
+
+
+def _fused_flops(
+    name: str,
+    operand_shapes: Tuple[Tuple[int, ...], ...],
+    out_shape: Tuple[int, ...],
+) -> Optional[int]:
+    """Forward FLOPs of the fused ops, from their operand shapes."""
+    if name == "linear_relu" and len(operand_shapes) >= 2:
+        # matmul + bias add + relu mask/multiply.
+        return matmul_flops(operand_shapes[0], out_shape) + 3 * _elements(out_shape)
+    if name == "masked_attention" and len(operand_shapes) >= 3:
+        q_shape, k_shape, v_shape = operand_shapes[:3]
+        scores_shape = (*out_shape[:-1], k_shape[-2])
+        scores = matmul_flops(q_shape, scores_shape)
+        # scale + bias + stable softmax (max/sub/exp/sum/div).
+        softmax = 7 * _elements(scores_shape)
+        mix = matmul_flops(scores_shape, out_shape)
+        return scores + softmax + mix
+    if name == "pairwise_logits" and len(operand_shapes) >= 6:
+        __, candidates, w1, __, w2, __ = operand_shapes[:6]
+        batch, count = candidates[0], candidates[1]
+        hidden_shape = (batch, count, w1[-1])
+        joint_shape = (batch, count, w1[0])
+        hidden = matmul_flops(joint_shape, hidden_shape) + 3 * _elements(hidden_shape)
+        score_shape = (batch, count, w2[-1])
+        score = matmul_flops(hidden_shape, score_shape) + _elements(score_shape)
+        return hidden + score
+    return None
+
+
 def estimate_flops(
     name: str,
     operand_shapes: Tuple[Tuple[int, ...], ...],
@@ -69,6 +104,9 @@ def estimate_flops(
         if not operand_shapes:
             return 0
         return matmul_flops(operand_shapes[0], out_shape)
+    fused = _fused_flops(name, operand_shapes, out_shape)
+    if fused is not None:
+        return fused
     cost = _ELEMENTWISE_COST.get(name)
     if cost is None:
         return 0
@@ -76,9 +114,52 @@ def estimate_flops(
     # every output element.  Use whichever is larger so both read
     # naturally (sum over an (N,) input is N FLOPs, broadcast add over
     # an (N, M) output is N*M).
-    out_elements = int(np.prod(out_shape)) if out_shape else 1
+    out_elements = _elements(out_shape)
     in_elements = max(
-        (int(np.prod(shape)) if shape else 1 for shape in operand_shapes),
+        (_elements(shape) for shape in operand_shapes),
+        default=out_elements,
+    )
+    return cost * max(out_elements, in_elements)
+
+
+def estimate_backward_flops(
+    name: str,
+    operand_shapes: Tuple[Tuple[int, ...], ...],
+    out_shape: Optional[Tuple[int, ...]],
+) -> int:
+    """Estimated FLOPs of one op's *backward* closure.
+
+    The estimates mirror the closures in ``repro.autograd``: a matmul
+    backward runs two matmuls of the forward size (``dA = g B^T`` and
+    ``dB = A^T g``), a gather backward is one scatter-add per gradient
+    element, fused ops roughly double their forward cost, and pure
+    data-movement ops (reshape/transpose/slice) remain free.
+    """
+    if out_shape is None:
+        return 0
+    out_elements = _elements(out_shape)
+    if name == "matmul":
+        if not operand_shapes:
+            return 0
+        return 2 * matmul_flops(operand_shapes[0], out_shape)
+    fused = _fused_flops(name, operand_shapes, out_shape)
+    if fused is not None:
+        return 2 * fused
+    if name == "gather":
+        # Scatter-add of the incoming gradient into the source rows.
+        return out_elements
+    if name in ("broadcast_to", "sum", "mean", "max", "concatenate", "stack"):
+        # Reduce/route one gradient value per forward input element.
+        in_elements = max(
+            (_elements(shape) for shape in operand_shapes),
+            default=out_elements,
+        )
+        return max(out_elements, in_elements)
+    cost = _ELEMENTWISE_COST.get(name)
+    if cost is None:
+        return 0
+    in_elements = max(
+        (_elements(shape) for shape in operand_shapes),
         default=out_elements,
     )
     return cost * max(out_elements, in_elements)

@@ -38,7 +38,7 @@ from contextlib import contextmanager
 
 from repro.autograd.tensor import Tensor
 from repro.nn.module import Module
-from repro.obs.flops import estimate_flops
+from repro.obs.flops import estimate_backward_flops, estimate_flops
 
 #: ``Tensor`` instance methods to instrument, mapped to profiler op
 #: names.  ``mean``/``var``/``log_sigmoid`` are deliberately absent:
@@ -67,14 +67,19 @@ _METHOD_OPS: Dict[str, str] = {
     "__getitem__": "gather",
     "softmax": "softmax",
     "log_softmax": "log_softmax",
+    "broadcast_to": "broadcast_to",
 }
 
 #: ``Tensor`` staticmethods (the class-attribute implementations behind
-#: the module-level ``concatenate``/``stack``/``where`` functions).
+#: the module-level ``concatenate``/``stack``/``where`` functions and
+#: the fused kernels in ``repro.autograd.fused``).
 _STATIC_OPS: Dict[str, str] = {
     "_concatenate": "concatenate",
     "_stack": "stack",
     "_where": "where",
+    "_fused_linear_relu": "linear_relu",
+    "_fused_masked_attention": "masked_attention",
+    "_fused_pairwise_logits": "pairwise_logits",
 }
 
 #: Default cap on retained per-call events (aggregated stats stay exact
@@ -293,11 +298,17 @@ class OpProfiler:
                 self._frames[-1][0] += duration
         bytes_in = sum(t.data.nbytes for t in operands)
         shapes = tuple(t.shape for t in operands)
-        if isinstance(out, Tensor):
-            bytes_out = out.data.nbytes
-            flops = estimate_flops(name, shapes, out.shape)
-            if self.record_backward and out._backward is not None:
-                out._backward = self._wrap_backward(name, scope, out._backward)
+        # Fused attention ops return (output, weights); the first
+        # element carries the graph node and is what we account for.
+        primary = out[0] if isinstance(out, tuple) and out else out
+        if isinstance(primary, Tensor):
+            bytes_out = primary.data.nbytes
+            flops = estimate_flops(name, shapes, primary.shape)
+            if self.record_backward and primary._backward is not None:
+                primary._backward = self._wrap_backward(
+                    name, scope, primary._backward, shapes,
+                    bytes_in, bytes_out, primary.shape,
+                )
         else:  # pragma: no cover - every instrumented op returns a Tensor
             bytes_out = 0
             flops = 0
@@ -337,9 +348,22 @@ class OpProfiler:
         return wrapper
 
     def _wrap_backward(
-        self, name: str, scope: str, fn: Callable[[Any], None]
+        self,
+        name: str,
+        scope: str,
+        fn: Callable[[Any], None],
+        operand_shapes: Tuple[Tuple[int, ...], ...] = (),
+        fwd_bytes_in: int = 0,
+        fwd_bytes_out: int = 0,
+        out_shape: Optional[Tuple[int, ...]] = None,
     ) -> Callable[[Any], None]:
         profiler = self
+        # The closure reads the incoming gradient (the forward's output
+        # size) plus the saved operands, and writes one gradient per
+        # operand — estimated once here from the forward shapes.
+        bwd_flops = estimate_backward_flops(name, operand_shapes, out_shape)
+        bwd_bytes_in = fwd_bytes_out + fwd_bytes_in
+        bwd_bytes_out = fwd_bytes_in
 
         def timed_backward(grad: Any) -> None:
             if not profiler._active:
@@ -357,7 +381,8 @@ class OpProfiler:
                 if profiler._frames:
                     profiler._frames[-1][0] += duration
                 profiler._record(name, "backward", scope, start, duration,
-                                 duration - frame[0], 0, 0, 0)
+                                 duration - frame[0], bwd_bytes_in,
+                                 bwd_bytes_out, bwd_flops)
 
         return timed_backward
 

@@ -189,7 +189,10 @@ def save_checkpoint(
 
 
 def load_checkpoint(
-    path: PathLike, model: Optional[GroupSA] = None
+    path: PathLike,
+    model: Optional[GroupSA] = None,
+    *,
+    dtype: Optional[str] = None,
 ) -> Tuple[GroupSA, Optional[TrainingState]]:
     """Load a checkpoint; returns ``(model, training_state)``.
 
@@ -197,11 +200,19 @@ def load_checkpoint(
     resume path) instead of constructing a fresh one from the stored
     config.  ``training_state`` is ``None`` for weight-only checkpoints
     (including every v1 archive).
+
+    ``dtype`` overrides the stored config's dtype policy, so a float64
+    reference checkpoint can be served as a float32 model (or a float32
+    run promoted back to float64).  With or without the override, the
+    stored arrays are explicitly cast to each parameter's dtype —
+    checkpoints written before the dtype field existed load unchanged.
     """
     path = _normalize_path(path)
     with np.load(path, allow_pickle=False) as archive:
         _check_version(archive)
         config = _decode_config(str(archive["__config__"]))
+        if dtype is not None:
+            config = config.variant(dtype=dtype)
         num_users = int(archive["__num_users__"])
         num_items = int(archive["__num_items__"])
         if model is None:
@@ -211,10 +222,19 @@ def load_checkpoint(
                 f"checkpoint holds a {num_users}x{num_items} world but the "
                 f"model is {model.num_users}x{model.num_items}"
             )
+        parameters = dict(model.named_parameters())
         state = {
             name[len("param/") :]: archive[name]
             for name in archive.files
             if name.startswith("param/")
+        }
+        state = {
+            name: (
+                array.astype(parameters[name].data.dtype, copy=False)
+                if name in parameters
+                else array
+            )
+            for name, array in state.items()
         }
         model.load_state_dict(state)
         if "tables/items" in archive.files:
@@ -249,10 +269,14 @@ def save_model(model: GroupSA, path: PathLike) -> None:
     save_checkpoint(model, path)
 
 
-def load_model(path: PathLike) -> GroupSA:
+def load_model(path: PathLike, *, dtype: Optional[str] = None) -> GroupSA:
     """Reconstruct a GroupSA model from a checkpoint written by
-    :func:`save_model` or :func:`save_checkpoint` (v1 or v2)."""
-    model, __ = load_checkpoint(path)
+    :func:`save_model` or :func:`save_checkpoint` (v1 or v2).
+
+    ``dtype`` optionally overrides the stored dtype policy (see
+    :func:`load_checkpoint`).
+    """
+    model, __ = load_checkpoint(path, dtype=dtype)
     return model
 
 

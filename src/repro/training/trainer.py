@@ -10,6 +10,7 @@ from typing import Any, Dict, Optional
 
 import numpy as np
 
+from repro.autograd.context import fused_ops as fused_ops_context
 from repro.autograd.context import sparse_grads as sparse_grads_context
 from repro.core.groupsa import GroupSA
 from repro.data.loaders import GroupBatcher
@@ -57,6 +58,11 @@ class TrainingConfig:
     #: with the batch instead of the embedding tables; disable to force
     #: the reference dense path.
     sparse_grads: bool = True
+    #: Run the attention blocks and MLP hidden layers through the fused
+    #: autograd ops (one graph node + one backward closure per block).
+    #: In float64 the fused graphs are bit-identical to the op-by-op
+    #: reference; disable to force the unfused path.
+    fused_ops: bool = True
 
     def build_optimizer(self, model: GroupSA) -> Optimizer:
         if self.optimizer == "adam":
@@ -196,7 +202,9 @@ class GroupSATrainer:
         total_loss = 0.0
         total_accuracy = 0.0
         batches = 0
-        with sparse_grads_context(self.config.sparse_grads):
+        with sparse_grads_context(self.config.sparse_grads), fused_ops_context(
+            self.config.fused_ops
+        ):
             for entities, positives, negatives in bpr_triple_batches(
                 edges,
                 sampler,

@@ -1,0 +1,369 @@
+"""Fused ops: gradcheck, bit-identity vs the unfused graphs, scratch pool.
+
+The fused kernels promise two things (see ``repro/autograd/fused.py``):
+correct analytic gradients (checked against central finite differences
+here, including masked and fully-masked rows and multi-head layouts),
+and — in float64 — results *bit-identical* to the op-by-op graphs they
+replace, asserted by running the same seeded modules under both modes.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.autograd import (
+    Tensor,
+    clear_scratch_pool,
+    dtype_policy,
+    fused_linear_relu,
+    fused_masked_attention,
+    fused_ops,
+    fused_ops_enabled,
+    fused_pairwise_logits,
+    gradcheck,
+    scratch_pool_stats,
+    set_scratch_pool,
+)
+from repro.nn import (
+    MASK_VALUE,
+    Linear,
+    PairwiseAttention,
+    ScaledDotProductSelfAttention,
+    social_bias_matrix,
+)
+
+
+class TestFusedLinearReluGradients:
+    def test_gradcheck_with_bias(self, rng):
+        x = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+        w = Tensor(rng.normal(size=(3, 5)), requires_grad=True)
+        b = Tensor(rng.normal(size=(5,)), requires_grad=True)
+        assert gradcheck(fused_linear_relu, (x, w, b))
+
+    def test_gradcheck_without_bias(self, rng):
+        x = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+        w = Tensor(rng.normal(size=(3, 5)), requires_grad=True)
+        assert gradcheck(lambda x, w: fused_linear_relu(x, w, None), (x, w))
+
+    def test_gradcheck_batched_3d(self, rng):
+        x = Tensor(rng.normal(size=(2, 4, 3)), requires_grad=True)
+        w = Tensor(rng.normal(size=(3, 5)), requires_grad=True)
+        b = Tensor(rng.normal(size=(5,)), requires_grad=True)
+        assert gradcheck(fused_linear_relu, (x, w, b))
+
+    def test_matches_unfused_module(self, rng):
+        layer = Linear(3, 5, rng=np.random.default_rng(0))
+        x_data = rng.normal(size=(2, 4, 3))
+
+        def run(enabled):
+            layer.zero_grad()
+            x = Tensor(x_data.copy(), requires_grad=True)
+            with fused_ops(enabled):
+                out = layer.forward_relu(x)
+            (out * out).sum().backward()
+            return out.data, x.grad, layer.weight.grad.copy(), layer.bias.grad.copy()
+
+        fused = run(True)
+        unfused = run(False)
+        for got, want in zip(fused, unfused):
+            np.testing.assert_array_equal(got, want)
+
+
+class TestFusedMaskedAttentionGradients:
+    def test_gradcheck_unmasked(self, rng):
+        q = Tensor(rng.normal(size=(2, 3, 4)), requires_grad=True)
+        k = Tensor(rng.normal(size=(2, 3, 4)), requires_grad=True)
+        v = Tensor(rng.normal(size=(2, 3, 4)), requires_grad=True)
+        assert gradcheck(
+            lambda q, k, v: fused_masked_attention(q, k, v, scale=2.0), (q, k, v)
+        )
+
+    def test_gradcheck_masked_rows(self, rng):
+        q = Tensor(rng.normal(size=(1, 3, 4)), requires_grad=True)
+        k = Tensor(rng.normal(size=(1, 3, 4)), requires_grad=True)
+        v = Tensor(rng.normal(size=(1, 3, 4)), requires_grad=True)
+        bias = np.zeros((1, 3, 3))
+        bias[0, :, 2] = MASK_VALUE  # nobody attends the third position
+
+        def fn(q, k, v):
+            return fused_masked_attention(q, k, v, bias=bias, scale=2.0)
+
+        assert gradcheck(fn, (q, k, v))
+        out, weights = fn(q, k, v)
+        assert np.all(weights.data[0, :, 2] < 1e-9)
+
+    def test_gradcheck_fully_masked_row(self, rng):
+        # An entire query row of MASK_VALUE (a padded member): the
+        # stable softmax must stay finite and differentiable.  Finite
+        # differences on q/k are hopeless here — float64 resolves
+        # ~1e-7 at magnitude 1e9, swamping the 1e-6 step — so the
+        # numeric check covers v (whose gradient only sees the
+        # well-conditioned post-softmax weights) and q/k are asserted
+        # bit-identical to the unfused reference graph instead.
+        q = Tensor(rng.normal(size=(1, 3, 4)), requires_grad=True)
+        k = Tensor(rng.normal(size=(1, 3, 4)), requires_grad=True)
+        v = Tensor(rng.normal(size=(1, 3, 4)), requires_grad=True)
+        bias = np.zeros((1, 3, 3))
+        bias[0, 1, :] = MASK_VALUE
+
+        def fn(q, k, v):
+            return fused_masked_attention(q, k, v, bias=bias, scale=2.0)
+
+        out, weights = fn(q, k, v)
+        assert np.isfinite(out.data).all()
+        np.testing.assert_allclose(weights.data[0, 1].sum(), 1.0)
+        assert gradcheck(
+            lambda v: fused_masked_attention(
+                Tensor(q.data), Tensor(k.data), v, bias=bias, scale=2.0
+            ),
+            (v,),
+        )
+
+        for tensor in (q, k, v):
+            tensor.zero_grad()
+        fused_out, __ = fn(q, k, v)
+        fused_out.sum().backward()
+        fused_grads = (q.grad.copy(), k.grad.copy(), v.grad.copy())
+        assert all(np.isfinite(g).all() for g in fused_grads)
+
+        for tensor in (q, k, v):
+            tensor.zero_grad()
+        with fused_ops(False):
+            scores = (q @ k.transpose(-1, -2)) / 2.0
+            scores = scores + Tensor(bias)
+            reference = scores.softmax(axis=-1) @ v
+        reference.sum().backward()
+        for fused_grad, unfused_grad in zip(fused_grads, (q.grad, k.grad, v.grad)):
+            np.testing.assert_array_equal(fused_grad, unfused_grad)
+
+    def test_gradcheck_multi_head(self, rng):
+        # 4-D (batch, heads, length, dim) layout with a per-batch bias
+        # broadcast over heads.
+        q = Tensor(rng.normal(size=(2, 2, 3, 2)), requires_grad=True)
+        k = Tensor(rng.normal(size=(2, 2, 3, 2)), requires_grad=True)
+        v = Tensor(rng.normal(size=(2, 2, 3, 2)), requires_grad=True)
+        bias = np.zeros((2, 1, 3, 3))
+        bias[0, 0, :, 1] = MASK_VALUE
+
+        def fn(q, k, v):
+            return fused_masked_attention(q, k, v, bias=bias, scale=math.sqrt(2.0))
+
+        assert gradcheck(fn, (q, k, v))
+
+    def test_weights_are_detached(self, rng):
+        q = Tensor(rng.normal(size=(1, 2, 3)), requires_grad=True)
+        k = Tensor(rng.normal(size=(1, 2, 3)), requires_grad=True)
+        v = Tensor(rng.normal(size=(1, 2, 3)), requires_grad=True)
+        __, weights = fused_masked_attention(q, k, v)
+        assert not weights.requires_grad
+        assert weights._backward is None
+
+
+class TestFusedPairwiseLogitsGradients:
+    def _params(self, rng, dim_q=3, dim_c=3, hidden=4):
+        return (
+            Tensor(rng.normal(size=(dim_q + dim_c, hidden)), requires_grad=True),
+            Tensor(rng.normal(size=(hidden,)), requires_grad=True),
+            Tensor(rng.normal(size=(hidden, 1)), requires_grad=True),
+            Tensor(rng.normal(size=(1,)), requires_grad=True),
+        )
+
+    def test_gradcheck(self, rng):
+        query = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+        candidates = Tensor(rng.normal(size=(2, 4, 3)), requires_grad=True)
+        w1, b1, w2, b2 = self._params(rng)
+        assert gradcheck(
+            fused_pairwise_logits, (query, candidates, w1, b1, w2, b2)
+        )
+
+    def test_single_candidate(self, rng):
+        query = Tensor(rng.normal(size=(3, 2)), requires_grad=True)
+        candidates = Tensor(rng.normal(size=(3, 1, 2)), requires_grad=True)
+        w1, b1, w2, b2 = self._params(rng, dim_q=2, dim_c=2)
+        out = fused_pairwise_logits(query, candidates, w1, b1, w2, b2)
+        assert out.shape == (3, 1)
+        assert gradcheck(
+            fused_pairwise_logits, (query, candidates, w1, b1, w2, b2)
+        )
+
+
+class TestModuleBitIdentity:
+    """Seeded modules run fused and unfused must agree to the last bit."""
+
+    def _grads(self, module):
+        return {
+            name: parameter.grad.copy()
+            for name, parameter in module.named_parameters()
+            if parameter.grad is not None
+        }
+
+    def test_self_attention_single_head(self, rng):
+        attention = ScaledDotProductSelfAttention(
+            6, key_features=4, value_features=4, rng=np.random.default_rng(3)
+        )
+        x_data = rng.normal(size=(2, 3, 6))
+        adjacency = rng.integers(0, 2, size=(2, 3, 3)).astype(bool)
+        mask = np.array([[True, True, False], [True, True, True]])
+        bias = social_bias_matrix(adjacency, member_mask=mask)
+
+        def run(enabled):
+            attention.zero_grad()
+            x = Tensor(x_data.copy(), requires_grad=True)
+            with fused_ops(enabled):
+                out, weights = attention(x, bias=bias)
+            (out * out).sum().backward()
+            return out.data, weights.data, x.grad, self._grads(attention)
+
+        out_f, w_f, gx_f, grads_f = run(True)
+        out_u, w_u, gx_u, grads_u = run(False)
+        np.testing.assert_array_equal(out_f, out_u)
+        np.testing.assert_array_equal(w_f, w_u)
+        np.testing.assert_array_equal(gx_f, gx_u)
+        assert grads_f.keys() == grads_u.keys()
+        for name in grads_u:
+            np.testing.assert_array_equal(grads_f[name], grads_u[name])
+
+    def test_self_attention_multi_head(self, rng):
+        attention = ScaledDotProductSelfAttention(
+            6, key_features=4, value_features=4, num_heads=2,
+            rng=np.random.default_rng(4),
+        )
+        x_data = rng.normal(size=(2, 3, 6))
+        bias = social_bias_matrix(np.ones((2, 3, 3), dtype=bool))
+
+        def run(enabled):
+            attention.zero_grad()
+            x = Tensor(x_data.copy(), requires_grad=True)
+            with fused_ops(enabled):
+                out, weights = attention(x, bias=bias)
+            (out * out).sum().backward()
+            return out.data, weights.data, x.grad, self._grads(attention)
+
+        out_f, w_f, gx_f, grads_f = run(True)
+        out_u, w_u, gx_u, grads_u = run(False)
+        np.testing.assert_array_equal(out_f, out_u)
+        np.testing.assert_array_equal(w_f, w_u)
+        np.testing.assert_array_equal(gx_f, gx_u)
+        for name in grads_u:
+            np.testing.assert_array_equal(grads_f[name], grads_u[name])
+
+    def test_pairwise_attention(self, rng):
+        attention = PairwiseAttention(3, 3, hidden_features=4, rng=np.random.default_rng(5))
+        query_data = rng.normal(size=(2, 3))
+        candidate_data = rng.normal(size=(2, 4, 3))
+        mask = np.array([[True, True, False, False], [True, True, True, True]])
+
+        def run(enabled):
+            attention.zero_grad()
+            query = Tensor(query_data.copy(), requires_grad=True)
+            candidates = Tensor(candidate_data.copy(), requires_grad=True)
+            with fused_ops(enabled):
+                aggregated, weights = attention(query, candidates, mask=mask)
+            (aggregated * aggregated).sum().backward()
+            return (
+                aggregated.data, weights.data, query.grad, candidates.grad,
+                self._grads(attention),
+            )
+
+        fused = run(True)
+        unfused = run(False)
+        for got, want in zip(fused[:4], unfused[:4]):
+            np.testing.assert_array_equal(got, want)
+        for name in unfused[4]:
+            np.testing.assert_array_equal(fused[4][name], unfused[4][name])
+
+
+class TestBroadcastTo:
+    def test_forward_is_view_semantics(self, rng):
+        x = Tensor(rng.normal(size=(2, 1, 3)))
+        out = x.broadcast_to((2, 4, 3))
+        np.testing.assert_array_equal(out.data, np.broadcast_to(x.data, (2, 4, 3)))
+
+    def test_gradient_sum_reduces(self, rng):
+        x = Tensor(rng.normal(size=(2, 1, 3)), requires_grad=True)
+        out = x.broadcast_to((2, 4, 3))
+        out.sum().backward()
+        np.testing.assert_allclose(x.grad, np.full((2, 1, 3), 4.0))
+
+    def test_gradcheck(self, rng):
+        x = Tensor(rng.normal(size=(3, 1)), requires_grad=True)
+        assert gradcheck(lambda x: x.broadcast_to((3, 5)) * 2.0, (x,))
+
+
+class TestScratchPool:
+    def test_backward_reuses_buffers(self, rng):
+        clear_scratch_pool()
+        q = Tensor(rng.normal(size=(2, 3, 4)), requires_grad=True)
+        k = Tensor(rng.normal(size=(2, 3, 4)), requires_grad=True)
+        v = Tensor(rng.normal(size=(2, 3, 4)), requires_grad=True)
+        out, __ = fused_masked_attention(q, k, v, scale=2.0)
+        out.sum().backward()
+        first = scratch_pool_stats()
+        assert first["misses"] > 0
+        assert first["retained"] > 0
+
+        for tensor in (q, k, v):
+            tensor.zero_grad()
+        out, __ = fused_masked_attention(q, k, v, scale=2.0)
+        out.sum().backward()
+        second = scratch_pool_stats()
+        assert second["hits"] >= first["misses"]
+        clear_scratch_pool()
+
+    def test_reuse_does_not_change_gradients(self, rng):
+        clear_scratch_pool()
+        q_data = rng.normal(size=(2, 3, 4))
+
+        def run():
+            q = Tensor(q_data.copy(), requires_grad=True)
+            out, __ = fused_masked_attention(q, q, q, scale=2.0)
+            (out * out).sum().backward()
+            return q.grad
+
+        first = run()
+        second = run()  # backward now served from pooled buffers
+        assert scratch_pool_stats()["hits"] > 0
+        np.testing.assert_array_equal(first, second)
+        clear_scratch_pool()
+
+    def test_disable_pool(self, rng):
+        clear_scratch_pool()
+        previous = set_scratch_pool(False)
+        try:
+            x = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+            w = Tensor(rng.normal(size=(4, 2)), requires_grad=True)
+            fused_linear_relu(x, w, None).sum().backward()
+            assert scratch_pool_stats()["retained"] == 0
+        finally:
+            set_scratch_pool(previous)
+            clear_scratch_pool()
+
+
+class TestDtypePolicy:
+    def test_fused_ops_preserve_float32(self, rng):
+        with dtype_policy("float32"):
+            x = Tensor(rng.normal(size=(4, 3)).astype(np.float32), requires_grad=True)
+            w = Tensor(rng.normal(size=(3, 5)).astype(np.float32), requires_grad=True)
+            out = fused_linear_relu(x, w, None)
+            assert out.data.dtype == np.float32
+            out.sum().backward()
+            assert x.grad.dtype == np.float32
+            assert w.grad.dtype == np.float32
+
+    def test_attention_module_stays_float32(self, rng):
+        with dtype_policy("float32"):
+            attention = ScaledDotProductSelfAttention(
+                6, key_features=4, value_features=4, rng=np.random.default_rng(1)
+            )
+            bias = social_bias_matrix(np.ones((1, 3, 3), dtype=bool))
+            x = Tensor(rng.normal(size=(1, 3, 6)).astype(np.float32), requires_grad=True)
+            out, weights = attention(x, bias=bias)
+        assert out.data.dtype == np.float32
+        assert weights.data.dtype == np.float32
+
+    def test_context_switch_flag(self):
+        assert fused_ops_enabled()
+        with fused_ops(False):
+            assert not fused_ops_enabled()
+        assert fused_ops_enabled()

@@ -22,6 +22,12 @@ class TestConfig:
             GroupSAConfig(num_attention_layers=-1)
         with pytest.raises(ValueError):
             GroupSAConfig(top_h=0)
+        with pytest.raises(ValueError):
+            GroupSAConfig(dtype="float16")
+
+    def test_dtype_defaults_to_float64(self):
+        assert GroupSAConfig().dtype == "float64"
+        assert GroupSAConfig(dtype="float32").dtype == "float32"
 
     def test_variant_copies(self):
         base = GroupSAConfig()

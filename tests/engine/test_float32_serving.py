@@ -1,0 +1,137 @@
+"""Serving correctness with float32 model tables (the dtype policy).
+
+The engine promotes scores to float64 at its boundaries
+(``topk_indices``, ``IVFIndex``, ``ScoreCache`` all coerce), so a
+float32 model must serve through every path — blocked score cache, IVF
+ANN retrieval, cross-shard Top-K merge, shared-memory weight store —
+with the same ordering contracts as a float64 one.
+"""
+
+import dataclasses
+
+import numpy as np
+
+from repro.cluster import SharedWeightStore, attach_shared_model, write_model_store
+from repro.cluster.merge import merge_topk
+from repro.engine.ann import IVFIndex
+from repro.engine.score_cache import ScoreCache
+from repro.engine.topk import topk_indices
+from repro.training import train_groupsa
+from tests.conftest import TINY_MODEL_CONFIG, TINY_TRAINING
+
+FLOAT32_CONFIG = dataclasses.replace(TINY_MODEL_CONFIG, dtype="float32")
+
+
+def _float32_model(tiny_split):
+    model, __, __h = train_groupsa(tiny_split, FLOAT32_CONFIG, TINY_TRAINING)
+    return model
+
+
+class TestScoreCacheFloat32:
+    def test_blocked_scores_match_direct(self, tiny_split):
+        model = _float32_model(tiny_split)
+        cache = ScoreCache(
+            model.score_user_items,
+            num_users=model.num_users,
+            num_items=model.num_items,
+            block_rows=16,
+        )
+        users = np.array([0, 3, 17, 41])
+        cached = cache.scores_for_users(users)
+        for row, user in enumerate(users):
+            direct = model.score_user_items(
+                np.full(model.num_items, user), np.arange(model.num_items)
+            )
+            np.testing.assert_allclose(cached[row], direct, rtol=1e-6, atol=1e-6)
+
+    def test_cached_rows_are_float64(self, tiny_split):
+        # The cache is the engine's float64 boundary: a float32 scorer
+        # must not leak narrow rows into ranking kernels.
+        model = _float32_model(tiny_split)
+        cache = ScoreCache(
+            model.score_user_items,
+            num_users=model.num_users,
+            num_items=model.num_items,
+        )
+        assert cache.scores_for_user(5).dtype == np.float64
+
+
+class TestIVFIndexFloat32:
+    def test_full_probe_recall_is_exact(self, tiny_split):
+        model = _float32_model(tiny_split)
+        table = model.item_embedding.weight.data
+        assert table.dtype == np.float32
+        index = IVFIndex(table, nlist=8, seed=3)
+        query = np.asarray(model.user_embedding.weight.data[7])
+        exact = topk_indices(table.astype(np.float64) @ query.astype(np.float64), 10)
+        positions, __ = index.search(query, k=10, nprobe=index.nlist)
+        np.testing.assert_array_equal(np.sort(positions), np.sort(exact))
+
+    def test_partial_probe_recall_reasonable(self, tiny_split):
+        model = _float32_model(tiny_split)
+        table = model.item_embedding.weight.data
+        index = IVFIndex(table, nlist=8, nprobe=4, seed=3)
+        hits = 0
+        queries = model.user_embedding.weight.data[:20]
+        for query in queries:
+            exact = set(
+                topk_indices(table.astype(np.float64) @ query.astype(np.float64), 5)
+            )
+            approx, __ = index.search(np.asarray(query), k=5)
+            hits += len(exact & set(approx.tolist()))
+        recall = hits / (len(queries) * 5)
+        assert recall >= 0.6, recall
+
+
+class TestMergeTopkFloat32:
+    def test_tie_break_ascending_id_with_float32_scores(self):
+        # float32 inputs coerce to float64 inside merge_topk; equal
+        # scores must still resolve by ascending global id.
+        scores = np.array([1.0, 0.5, 1.0], dtype=np.float32)
+        part_a = (np.array([10, 4]), scores[:2])
+        part_b = (np.array([2]), scores[2:])
+        ids, merged_scores = merge_topk([part_a, part_b], k=3)
+        np.testing.assert_array_equal(ids, [2, 10, 4])
+        assert merged_scores.dtype == np.float64
+
+    def test_merge_matches_global_topk(self, rng):
+        scores = rng.normal(size=40).astype(np.float32)
+        global_ids = np.arange(40)
+        shard_a, shard_b = global_ids[:20], global_ids[20:]
+        parts = [
+            (shard[topk_indices(scores[shard], 5)],
+             scores[shard][topk_indices(scores[shard], 5)])
+            for shard in (shard_a, shard_b)
+        ]
+        ids, __ = merge_topk(parts, k=5)
+        expected = topk_indices(scores.astype(np.float64), 5)
+        np.testing.assert_array_equal(ids, expected)
+
+
+class TestSharedWeightStoreFloat32:
+    def test_round_trip_preserves_float32_tables(self, tiny_split, tmp_path):
+        model = _float32_model(tiny_split)
+        store = write_model_store(model, tmp_path / "store")
+        assert store.meta["dtype"] == "float32"
+
+        shared = attach_shared_model(tmp_path / "store")
+        assert shared.config.dtype == "float32"
+        for name, parameter in shared.named_parameters():
+            assert parameter.data.dtype == np.float32, name
+
+        reference = model.state_dict()
+        for name, weights in shared.state_dict().items():
+            np.testing.assert_array_equal(weights, reference[name])
+
+    def test_attached_float32_model_serves(self, tiny_split, tmp_path):
+        model = _float32_model(tiny_split)
+        write_model_store(model, tmp_path / "store")
+        shared = attach_shared_model(tmp_path / "store")
+        users = np.array([1, 2, 3])
+        items = np.array([4, 5, 6])
+        np.testing.assert_allclose(
+            shared.score_user_items(users, items),
+            model.score_user_items(users, items),
+            rtol=1e-6,
+            atol=1e-6,
+        )

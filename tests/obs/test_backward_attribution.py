@@ -1,0 +1,87 @@
+"""Backward closures must report FLOPs and bytes, not zeros.
+
+The profiler wraps each op's backward closure at creation time; before
+the fused-ops work those records carried ``bytes_in = bytes_out =
+flops = 0``, which made backward-dominated training profiles look like
+pure overhead.  These tests pin the estimates to nonzero values wired
+from the forward shapes, for both the op-by-op graphs and the fused
+kernels.
+"""
+
+import numpy as np
+
+from repro.autograd import Tensor, fused_ops
+from repro.obs import OpProfiler
+from repro.obs.flops import estimate_backward_flops, estimate_flops
+
+
+def _backward_rows(profiler):
+    return [row for row in profiler.stats() if row.cat == "backward"]
+
+
+class TestBackwardEstimates:
+    def test_matmul_backward_is_twice_forward(self):
+        shapes = ((4, 8), (8, 3))
+        forward = estimate_flops("matmul", shapes, (4, 3))
+        backward = estimate_backward_flops("matmul", shapes, (4, 3))
+        assert forward > 0
+        assert backward == 2 * forward
+
+    def test_fused_backward_is_twice_forward(self):
+        shapes = ((2, 3, 4), (2, 3, 4), (2, 3, 4))
+        forward = estimate_flops("masked_attention", shapes, (2, 3, 4))
+        backward = estimate_backward_flops("masked_attention", shapes, (2, 3, 4))
+        assert forward > 0
+        assert backward == 2 * forward
+
+    def test_gather_backward_scatter_adds(self):
+        assert estimate_backward_flops("gather", ((100, 8),), (5, 8)) == 40
+
+    def test_data_movement_stays_free(self):
+        assert estimate_backward_flops("reshape", ((4, 3),), (12,)) == 0
+
+
+class TestProfiledBackwardRecords:
+    def test_unfused_backward_rows_nonzero(self, rng):
+        x = Tensor(rng.normal(size=(8, 6)), requires_grad=True)
+        w = Tensor(rng.normal(size=(6, 4)), requires_grad=True)
+        with OpProfiler() as profiler, fused_ops(False):
+            ((x @ w).relu().sum()).backward()
+        rows = {row.name: row for row in _backward_rows(profiler)}
+        assert rows, "no backward rows recorded"
+        for name in ("matmul", "relu", "sum"):
+            assert rows[name].flops > 0, name
+            assert rows[name].bytes_in > 0, name
+            assert rows[name].bytes_out > 0, name
+
+    def test_fused_backward_rows_nonzero(self, rng):
+        q = Tensor(rng.normal(size=(2, 3, 4)), requires_grad=True)
+        k = Tensor(rng.normal(size=(2, 3, 4)), requires_grad=True)
+        v = Tensor(rng.normal(size=(2, 3, 4)), requires_grad=True)
+        with OpProfiler() as profiler:
+            out, __ = Tensor._fused_masked_attention(q, k, v, None, 2.0)
+            out.sum().backward()
+        rows = {row.name: row for row in _backward_rows(profiler)}
+        attention = rows["masked_attention"]
+        assert attention.flops > 0
+        assert attention.bytes_in > 0
+        assert attention.bytes_out > 0
+
+    def test_fused_forward_rows_recorded(self, rng):
+        # The tuple-returning fused op must still produce a forward
+        # record attributed to its primary output.
+        q = Tensor(rng.normal(size=(2, 3, 4)), requires_grad=True)
+        with OpProfiler() as profiler:
+            out, weights = Tensor._fused_masked_attention(q, q, q, None, 2.0)
+        forward = {row.name: row for row in profiler.stats() if row.cat == "op"}
+        assert forward["masked_attention"].flops > 0
+        assert forward["masked_attention"].bytes_out == out.data.nbytes
+        assert not weights.requires_grad
+
+    def test_backward_flops_flow_into_events(self, rng):
+        x = Tensor(rng.normal(size=(4, 4)), requires_grad=True)
+        with OpProfiler() as profiler:
+            (x @ x).sum().backward()
+        backward_events = [e for e in profiler.events if e.cat == "backward"]
+        assert backward_events
+        assert any(event.flops > 0 for event in backward_events)
