@@ -1,0 +1,82 @@
+"""Cluster tracing overhead guard.
+
+Not a paper artifact — guards the ISSUE 10 protocol contract: with no
+tracer installed, score requests cross the worker pipes as exactly the
+pre-tracing 5-tuples (zero pickled overhead), and enabling tracing
+costs only the one appended context/payload element.  The two
+benchmarks make the traced-vs-untraced request latency delta visible
+in the benchmark report.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterConfig, ShardRouter
+from repro.cluster.router import _WorkerHandle
+from repro.core import GroupSA, GroupSAConfig
+from repro.data import split_interactions, yelp_like
+from repro.graphs import tfidf_top_neighbours
+from repro.obs.spans import Tracer
+
+
+@pytest.fixture(scope="module")
+def router():
+    world = yelp_like(scale=0.01)
+    split = split_interactions(world.dataset, rng=0)
+    train = split.train
+    config = GroupSAConfig(embedding_dim=16)
+    model = GroupSA(train.num_users, train.num_items, config)
+    model.set_top_neighbours(tfidf_top_neighbours(train, config.top_h))
+    router = ShardRouter.launch(
+        model, train, config=ClusterConfig(num_workers=2, num_shards=2)
+    )
+    yield router
+    router.close()
+
+
+@pytest.fixture
+def sent_messages(monkeypatch):
+    captured = []
+    original = _WorkerHandle.send
+
+    def spy(self, message):
+        captured.append(message)
+        return original(self, message)
+
+    monkeypatch.setattr(_WorkerHandle, "send", spy)
+    return captured
+
+
+def test_bench_cluster_topk_tracing_off(benchmark, router, sent_messages):
+    users = np.random.default_rng(0).integers(0, router.num_users, size=64)
+    counter = iter(range(10**9))
+
+    def request():
+        return router.topk_user(int(users[next(counter) % users.size]), k=10)
+
+    benchmark(request)
+    scores = [m for m in sent_messages if m[0] == "score"]
+    assert scores, "no score messages captured"
+    # The wire contract: untraced requests are the exact legacy tuple.
+    for message in scores:
+        assert len(message) == 5
+        assert pickle.dumps(message) == pickle.dumps(tuple(message[:5]))
+
+
+def test_bench_cluster_topk_tracing_on(benchmark, router, sent_messages):
+    users = np.random.default_rng(1).integers(0, router.num_users, size=64)
+    counter = iter(range(10**9))
+    with Tracer(sample_rate=1.0):
+
+        def request():
+            return router.topk_user(int(users[next(counter) % users.size]), k=10)
+
+        benchmark(request)
+    scores = [m for m in sent_messages if m[0] == "score"]
+    assert scores, "no score messages captured"
+    # Traced requests append exactly one element: the span context.
+    for message in scores:
+        assert len(message) == 6
+        assert set(message[5]) == {"trace_id", "span_id", "sent_ts"}

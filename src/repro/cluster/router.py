@@ -50,6 +50,7 @@ from repro.cluster.weights import (
 )
 from repro.cluster.worker import WorkerSpec, worker_main
 from repro.obs.metrics_registry import MetricsRegistry
+from repro.obs.spans import adopt_remote_spans, span, trace_context
 
 TopK = Tuple[np.ndarray, np.ndarray]  # (global item ids, scores), best first
 VersionedTopK = Tuple[np.ndarray, np.ndarray, int]  # + min version served
@@ -506,12 +507,19 @@ class ShardRouter:
                     f"model_version must increase: {version} <= {self._version}"
                 )
             start = time.perf_counter()
-            store_dir = versioned_store_dir(self._workdir, version)
-            write_model_store(model, store_dir)
-            self._gc.register(version, store_dir)
-            for handle in self._handles:
-                self._swap_worker(handle, store_dir, version)
-                self._gc.confirm(handle.spec.worker_id, version)
+            with span("cluster.swap", version=int(version)):
+                store_dir = versioned_store_dir(self._workdir, version)
+                with span("cluster.swap.store_write", version=int(version)):
+                    write_model_store(model, store_dir)
+                self._gc.register(version, store_dir)
+                for handle in self._handles:
+                    with span(
+                        "cluster.swap.worker",
+                        worker=handle.spec.worker_id,
+                        version=int(version),
+                    ):
+                        self._swap_worker(handle, store_dir, version)
+                    self._gc.confirm(handle.spec.worker_id, version)
             self._version = version
             self.registry.counter("router.swaps").inc()
             self.registry.histogram("router.swap").observe(
@@ -567,8 +575,20 @@ class ShardRouter:
     def _scatter(self, kind: str, payload, k: int) -> VersionedTopK:
         if self._closed:
             raise ClusterError("router is closed")
+        # ``span`` is a shared no-op when tracing is off, and
+        # ``trace_context()`` is then None, so the untraced path sends
+        # the exact pre-tracing 5-tuple over the pipe.
+        with span(
+            "router.scatter", kind=kind, workers=len(self._handles)
+        ) as scatter_span:
+            return self._scatter_gather(kind, payload, k, scatter_span)
+
+    def _scatter_gather(self, kind: str, payload, k: int, scatter_span) -> VersionedTopK:
         req_id = next(self._ids)
+        context = trace_context()
         message = ("score", req_id, kind, payload, int(k))
+        if context is not None:
+            message = message + (context,)
         start = time.perf_counter()
         deadline = start + self.config.request_timeout_s
         # Phase 1: fan the request out so workers compute concurrently;
@@ -615,9 +635,12 @@ class ShardRouter:
                     f"worker {handle.spec.worker_id} failed a {kind} "
                     f"request: {reply[2]}: {reply[3]}"
                 )
+            if scatter_span is not None and len(reply) > 5:
+                adopt_remote_spans(scatter_span, reply[5])
             parts.append((reply[2], reply[3]))
             versions.append(int(reply[4]) if len(reply) > 4 else 0)
-        merged = merge_topk(parts, k)
+        with span("router.merge", parts=len(parts)):
+            merged = merge_topk(parts, k)
         self.registry.counter(f"router.requests.{kind}").inc()
         self.registry.histogram("router.request").observe(
             time.perf_counter() - start

@@ -25,6 +25,7 @@ snapshots the router merges fleet-wide.
 Wire protocol (parent → worker, tuples)::
 
     ("score", req_id, kind, payload, k)   kind in {user, group, adhoc}
+    ("score", req_id, kind, payload, k, trace_ctx)   traced variant
     ("swap", req_id, store_dir, model_version)
     ("metrics", req_id)
     ("ping", req_id)
@@ -33,10 +34,22 @@ Wire protocol (parent → worker, tuples)::
 and worker → parent::
 
     ("ok", req_id, global_item_ids, scores, model_version)
+    ("ok", req_id, global_item_ids, scores, model_version, spans)
     ("swapped", req_id, worker_id, model_version)
     ("error", req_id, exception_type_name, message)
     ("metrics", req_id, registry_state)
     ("pong", req_id, worker_id)
+
+Distributed tracing rides the two extended arities: when the router's
+request runs under an installed :class:`~repro.obs.spans.Tracer`, the
+score message carries a sixth element — the parent trace context
+(trace id, span id, wall-clock send timestamp) — and the reply carries
+the worker-side child spans (queue wait, per-shard candidate
+generation / forward / Top-K kernel, merge contribution) serialized by
+a :class:`~repro.obs.spans.RemoteSpanRecorder`.  With tracing off both
+sides send exactly the pre-tracing 5-tuples, so the disabled path
+pickles byte-identical messages (guarded by
+``benchmarks/test_bench_cluster_trace.py``).
 
 The ``swap`` op re-attaches the worker to a new versioned weight-store
 directory and rebuilds its scorers (including per-shard IVF indexes)
@@ -49,6 +62,7 @@ restart against the new store.
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
@@ -63,6 +77,7 @@ from repro.data.loaders import GroupBatch, GroupBatcher
 from repro.engine.ann import IVFIndex, default_nlist
 from repro.engine.topk import exclusion_mask, topk_indices
 from repro.obs.metrics_registry import MetricsRegistry
+from repro.obs.spans import RemoteSpanRecorder
 
 TopK = Tuple[np.ndarray, np.ndarray]  # (global item ids, scores), best first
 
@@ -141,6 +156,9 @@ class ShardScorer:
         self._friend_sets = dataset.friend_set()
         self._batcher = GroupBatcher(dataset)
         self.ann_candidates = int(ann_candidates)
+        #: Per-request remote-span recorder; set for the duration of one
+        #: traced ``score()`` call (workers serve requests one at a time).
+        self._recorder: Optional[RemoteSpanRecorder] = None
         self.ann_index: Optional[IVFIndex] = None
         if retrieval == "ann" and self.owned.size > 0:
             # nlist is clamped to the slice: a small shard cannot host
@@ -153,17 +171,31 @@ class ShardScorer:
                 seed=ann_seed,
             )
 
-    def score(self, kind: str, payload, k: int) -> TopK:
+    def score(
+        self, kind: str, payload, k: int, recorder: Optional[RemoteSpanRecorder] = None
+    ) -> TopK:
         """Local Top-K (global ids) for one scatter request."""
-        if kind == "user":
-            return self._score_user(int(payload), k)
-        if kind == "group":
-            return self._score_group(int(payload), k)
-        if kind == "adhoc":
-            return self._score_adhoc(tuple(int(m) for m in payload), k)
-        raise ValueError(f"unknown request kind '{kind}'")
+        self._recorder = recorder
+        try:
+            if kind == "user":
+                return self._score_user(int(payload), k)
+            if kind == "group":
+                return self._score_group(int(payload), k)
+            if kind == "adhoc":
+                return self._score_adhoc(tuple(int(m) for m in payload), k)
+            raise ValueError(f"unknown request kind '{kind}'")
+        finally:
+            self._recorder = None
 
     # -- per-kind scoring ------------------------------------------------
+
+    def _phase(self, name: str, **attrs):
+        """Span context for one scoring phase; no-op when untraced."""
+        recorder = self._recorder
+        if recorder is None:
+            return nullcontext()
+        attrs.setdefault("shard", self.shard)
+        return recorder.span(name, **attrs)
 
     def _local_mask(self, exclude) -> Optional[np.ndarray]:
         """This shard's slice of the global exclusion mask."""
@@ -193,15 +225,21 @@ class ShardScorer:
             )
             if candidates.size == 0:
                 return np.empty(0, dtype=np.int64), np.empty(0)
-            scores = self.model.score_user_items(
-                np.full(candidates.size, user, dtype=np.int64), candidates
-            )
-            chosen = topk_indices(scores, k)
+            with self._phase("shard.forward", candidates=int(candidates.size)):
+                scores = self.model.score_user_items(
+                    np.full(candidates.size, user, dtype=np.int64), candidates
+                )
+            with self._phase("shard.topk"):
+                chosen = topk_indices(scores, k)
             return candidates[chosen], scores[chosen]
-        scores = self.model.score_user_items(
-            np.full(self.owned.size, user, dtype=np.int64), self.owned
-        )
-        chosen = topk_indices(scores, k, self._local_mask(self._user_items[user]))
+        with self._phase("shard.forward", candidates=int(self.owned.size)):
+            scores = self.model.score_user_items(
+                np.full(self.owned.size, user, dtype=np.int64), self.owned
+            )
+        with self._phase("shard.topk"):
+            chosen = topk_indices(
+                scores, k, self._local_mask(self._user_items[user])
+            )
         return self.owned[chosen], scores[chosen]
 
     def _score_group(self, group: int, k: int) -> TopK:
@@ -211,11 +249,15 @@ class ShardScorer:
         candidates = self._candidates(self._group_items[group], query, k)
         if candidates.size == 0:
             return np.empty(0, dtype=np.int64), np.empty(0)
-        scores = self.model.score_group_items(
-            self._batcher.batch(np.full(candidates.size, group, dtype=np.int64)),
-            candidates,
-        )
-        chosen = topk_indices(scores, k)
+        with self._phase("shard.forward", candidates=int(candidates.size)):
+            scores = self.model.score_group_items(
+                self._batcher.batch(
+                    np.full(candidates.size, group, dtype=np.int64)
+                ),
+                candidates,
+            )
+        with self._phase("shard.topk"):
+            chosen = topk_indices(scores, k)
         return candidates[chosen], scores[chosen]
 
     def _score_adhoc(self, members: Tuple[int, ...], k: int) -> TopK:
@@ -233,8 +275,10 @@ class ShardScorer:
             mask=np.repeat(single.mask, candidates.size, axis=0),
             adjacency=np.repeat(single.adjacency, candidates.size, axis=0),
         )
-        scores = self.model.score_group_items(repeated, candidates)
-        chosen = topk_indices(scores, k)
+        with self._phase("shard.forward", candidates=int(candidates.size)):
+            scores = self.model.score_group_items(repeated, candidates)
+        with self._phase("shard.topk"):
+            chosen = topk_indices(scores, k)
         return candidates[chosen], scores[chosen]
 
     def _candidates(
@@ -247,15 +291,16 @@ class ShardScorer:
         — ascending local positions over an ascending ``owned`` array
         yield ascending global ids, preserving the rerank tie contract.
         """
-        mask = self._local_mask(exclude)
-        if self.ann_index is not None and query is not None:
-            local = self.ann_index.candidates(
-                query, self.ann_candidates, exclude_mask=mask, min_results=k
-            )
-            return self.owned[local]
-        if mask is None:
-            return self.owned
-        return self.owned[~mask]
+        with self._phase("shard.candidates", ann=self.ann_index is not None):
+            mask = self._local_mask(exclude)
+            if self.ann_index is not None and query is not None:
+                local = self.ann_index.candidates(
+                    query, self.ann_candidates, exclude_mask=mask, min_results=k
+                )
+                return self.owned[local]
+            if mask is None:
+                return self.owned
+            return self.owned[~mask]
 
 
 def _build_scorers(spec: WorkerSpec, store_dir: str, dataset) -> list:
@@ -330,18 +375,57 @@ def worker_main(conn, spec: WorkerSpec) -> None:
                 conn.send(("swapped", req_id, spec.worker_id, model_version))
                 continue
             if op == "score":
-                __, req_id, kind, payload, k = message
+                if len(message) > 5:
+                    __, req_id, kind, payload, k, trace = message
+                    recorder = RemoteSpanRecorder()
+                    received = time.time()
+                    sent = float(trace.get("sent_ts", received))
+                    recorder.record(
+                        "worker.queue_wait",
+                        sent,
+                        max(0.0, received - sent),
+                        worker=spec.worker_id,
+                        proc=f"worker-{spec.worker_id}",
+                    )
+                else:
+                    __, req_id, kind, payload, k = message
+                    recorder = None
                 start = time.perf_counter()
                 try:
-                    parts = [scorer.score(kind, payload, int(k)) for scorer in scorers]
-                    items, scores = merge_topk(parts, int(k))
+                    if recorder is not None:
+                        with recorder.span(
+                            "worker.score",
+                            worker=spec.worker_id,
+                            kind=str(kind),
+                            proc=f"worker-{spec.worker_id}",
+                        ):
+                            parts = []
+                            for scorer in scorers:
+                                with recorder.span("shard.score", shard=scorer.shard):
+                                    parts.append(
+                                        scorer.score(
+                                            kind, payload, int(k), recorder=recorder
+                                        )
+                                    )
+                            with recorder.span("worker.merge", parts=len(parts)):
+                                items, scores = merge_topk(parts, int(k))
+                    else:
+                        parts = [
+                            scorer.score(kind, payload, int(k)) for scorer in scorers
+                        ]
+                        items, scores = merge_topk(parts, int(k))
                 except BaseException as error:
                     registry.counter("shard.errors").inc()
                     conn.send(("error", req_id, type(error).__name__, str(error)))
                     continue
                 latency.observe(time.perf_counter() - start)
                 registry.counter(f"shard.requests.{kind}").inc()
-                conn.send(("ok", req_id, items, scores, model_version))
+                if recorder is not None:
+                    conn.send(
+                        ("ok", req_id, items, scores, model_version, recorder.payload())
+                    )
+                else:
+                    conn.send(("ok", req_id, items, scores, model_version))
                 continue
             conn.send(("error", message[1] if len(message) > 1 else -1,
                        "ValueError", f"unknown op '{op}'"))

@@ -22,11 +22,34 @@ Cross-cutting measurement for the training stack, mirroring what
   exposition (the storage behind the engine's ``Telemetry``);
 - :func:`make_report` — the unified JSON report envelope shared by
   profiles, run metrics and the serving telemetry snapshot
-  (:func:`make_serving_report` bundles the whole serving surface).
+  (:func:`make_serving_report` bundles the whole serving surface);
+- :class:`RemoteSpanRecorder` / :func:`adopt_remote_spans` — the
+  cross-process tracing bridge: workers record spans tracer-free, the
+  router stitches them into the live trace (see docs/observability.md,
+  "Distributed tracing");
+- :class:`TimeSeriesStore` — bounded ring-buffer series scraped from
+  metric registries, the substrate SLOs and drift detectors query;
+- :class:`SLOMonitor` / :class:`SLOSpec` — declarative objectives with
+  multi-window burn-rate evaluation and transition-based alerts;
+- :class:`ScoreDistributionDetector` (PSI) /
+  :class:`RateDegradationDetector` / :class:`GradientTrendDetector` —
+  streaming drift and degradation watches over an :class:`AlertLog`;
+- :func:`build_ops_report` / :func:`run_ops_session` — the unified
+  fleet ops report (metrics + SLO + alerts + traces + online health)
+  as JSON and a self-contained HTML dashboard.
 
-CLI entry points: ``repro profile``, ``repro train --metrics-out`` and
-``repro serve-bench --trace-out/--metrics-out/--slow-ms``.
+CLI entry points: ``repro profile``, ``repro train --metrics-out``,
+``repro serve-bench --trace-out/--metrics-out/--slow-ms``,
+``repro online-bench --metrics-out`` and ``repro obs-report``.
 """
+
+from repro.obs.alerts import ALERT_SCHEMA, AlertEvent, AlertLog
+from repro.obs.drift import (
+    GradientTrendDetector,
+    RateDegradationDetector,
+    ScoreDistributionDetector,
+    psi,
+)
 
 from repro.obs.grad_health import (
     GradientHealthError,
@@ -46,6 +69,14 @@ from repro.obs.profiler import (
     attach_scopes,
     get_active_profiler,
 )
+from repro.obs.ops_report import (
+    OPS_REPORT_KIND,
+    build_ops_report,
+    render_ops_html,
+    trace_summaries,
+    write_ops_report,
+)
+from repro.obs.ops_session import OpsSessionConfig, run_ops_session
 from repro.obs.report import (
     REPORT_SCHEMA,
     is_report,
@@ -53,16 +84,27 @@ from repro.obs.report import (
     make_serving_report,
     write_report,
 )
-from repro.obs.run_metrics import RECORD_SCHEMA, RunMetrics, rss_high_water_mb
+from repro.obs.run_metrics import (
+    RECORD_SCHEMA,
+    JsonlWriter,
+    RunMetrics,
+    rss_high_water_mb,
+)
+from repro.obs.slo import SLOMonitor, SLOSpec, SLOStatus
 from repro.obs.spans import (
+    REMOTE_SPAN_SCHEMA,
     SPAN_SCHEMA,
+    RemoteSpanRecorder,
     Span,
     Tracer,
+    adopt_remote_spans,
     current_span,
     get_active_tracer,
     span,
+    trace_context,
     tracing_enabled,
 )
+from repro.obs.timeseries import HISTOGRAM_KEYS, TimeSeriesStore
 from repro.obs.trace import (
     chrome_trace_events,
     format_top_table,
@@ -98,12 +140,36 @@ __all__ = [
     "MetricsRegistry",
     "merge_histograms",
     "SPAN_SCHEMA",
+    "REMOTE_SPAN_SCHEMA",
     "Span",
     "Tracer",
+    "RemoteSpanRecorder",
+    "adopt_remote_spans",
+    "trace_context",
     "span",
     "current_span",
     "get_active_tracer",
     "tracing_enabled",
     "span_chrome_events",
     "write_span_chrome_trace",
+    "ALERT_SCHEMA",
+    "AlertEvent",
+    "AlertLog",
+    "TimeSeriesStore",
+    "HISTOGRAM_KEYS",
+    "SLOSpec",
+    "SLOStatus",
+    "SLOMonitor",
+    "psi",
+    "ScoreDistributionDetector",
+    "RateDegradationDetector",
+    "GradientTrendDetector",
+    "JsonlWriter",
+    "OPS_REPORT_KIND",
+    "build_ops_report",
+    "render_ops_html",
+    "trace_summaries",
+    "write_ops_report",
+    "OpsSessionConfig",
+    "run_ops_session",
 ]

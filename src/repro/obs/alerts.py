@@ -1,0 +1,154 @@
+"""Structured alert events and a thread-safe alert log.
+
+Every monitoring component that detects a condition worth a human's
+attention — an SLO burning through its error budget, a drifting score
+distribution, a degrading cache hit-rate — emits an
+:class:`AlertEvent` into a shared :class:`AlertLog`.  Events are plain
+data (``repro.obs/alert/v1``), so they serialize into the unified ops
+report and can be asserted on exactly in tests.
+
+Alerting is **transition-based**: detectors emit one event when a
+condition starts (``*_breach`` / ``drift`` / ``degradation``) and one
+when it clears (``*_recovered``), never one event per evaluation tick
+— a monitor polled every second does not page every second.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+#: Schema tag on every serialized alert event.
+ALERT_SCHEMA = "repro.obs/alert/v1"
+
+#: Severity levels, in increasing order of urgency.
+SEVERITIES = ("info", "warn", "page")
+
+
+@dataclass(frozen=True)
+class AlertEvent:
+    """One detected condition transition.
+
+    ``kind`` names the condition class (``slo_breach``,
+    ``slo_recovered``, ``drift``, ``drift_recovered``, ``degradation``,
+    ``degradation_recovered``, ...); ``source`` names the spec or
+    detector that raised it, so ``(kind, source)`` identifies exactly
+    which alert fired.
+    """
+
+    kind: str
+    source: str
+    severity: str
+    message: str
+    ts: float
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(
+                f"unknown severity '{self.severity}' (choose from {SEVERITIES})"
+            )
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": ALERT_SCHEMA,
+            "kind": self.kind,
+            "source": self.source,
+            "severity": self.severity,
+            "message": self.message,
+            "ts": self.ts,
+            "details": self.details,
+        }
+
+
+class AlertLog:
+    """Append-only, thread-safe collection of :class:`AlertEvent`.
+
+    Bounded at ``max_events`` (oldest dropped first) so a misbehaving
+    detector cannot grow memory without bound.  When ``jsonl_path`` is
+    set every event is additionally appended to that file and flushed,
+    so alerts survive the process.
+    """
+
+    def __init__(
+        self, max_events: int = 10_000, jsonl_path: Optional[str] = None
+    ) -> None:
+        if max_events < 1:
+            raise ValueError(f"max_events must be >= 1, got {max_events}")
+        self.max_events = max_events
+        self.jsonl_path = jsonl_path
+        self._lock = threading.Lock()
+        self._events: List[AlertEvent] = []
+        self._dropped = 0
+        self._handle = None
+
+    def emit(
+        self,
+        kind: str,
+        source: str,
+        severity: str,
+        message: str,
+        ts: Optional[float] = None,
+        **details: Any,
+    ) -> AlertEvent:
+        event = AlertEvent(
+            kind=kind,
+            source=source,
+            severity=severity,
+            message=message,
+            ts=time.time() if ts is None else float(ts),
+            details=details,
+        )
+        with self._lock:
+            self._events.append(event)
+            while len(self._events) > self.max_events:
+                self._events.pop(0)
+                self._dropped += 1
+            if self.jsonl_path is not None:
+                if self._handle is None:
+                    self._handle = open(self.jsonl_path, "a", encoding="utf-8")
+                self._handle.write(json.dumps(event.as_dict()) + "\n")
+                self._handle.flush()
+        return event
+
+    def events(
+        self, kind: Optional[str] = None, source: Optional[str] = None
+    ) -> List[AlertEvent]:
+        with self._lock:
+            events = list(self._events)
+        if kind is not None:
+            events = [event for event in events if event.kind == kind]
+        if source is not None:
+            events = [event for event in events if event.source == source]
+        return events
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+    def payload(self) -> Dict[str, Any]:
+        """JSON-friendly summary plus the retained events."""
+        with self._lock:
+            events = list(self._events)
+            dropped = self._dropped
+        by_kind: Dict[str, int] = {}
+        by_severity: Dict[str, int] = {}
+        for event in events:
+            by_kind[event.kind] = by_kind.get(event.kind, 0) + 1
+            by_severity[event.severity] = by_severity.get(event.severity, 0) + 1
+        return {
+            "total": len(events),
+            "dropped": dropped,
+            "by_kind": by_kind,
+            "by_severity": by_severity,
+            "events": [event.as_dict() for event in events],
+        }

@@ -1,0 +1,313 @@
+"""Streaming drift and degradation detectors.
+
+Three monitors for "the system still works, but the *behavior* moved":
+
+- :class:`ScoreDistributionDetector` — population stability index
+  (PSI) of recently served recommendation scores against a frozen
+  reference window.  GroupSA's latent-voting scores shift as the
+  online trainer ingests a drifting stream; PSI above ~0.25 is the
+  classic "distribution moved, retrain/investigate" boundary.
+- :class:`RateDegradationDetector` — a windowed mean floor over any
+  ratio series (ScoreCache hit-rate, ANN recall proxy): alerts when
+  the trailing mean sinks below the floor.
+- :class:`GradientTrendDetector` — half-over-half growth of a
+  training-health series (gradient norm, online loss): alerts when
+  the recent half of the window grew by ``growth_ratio`` over the
+  older half, the smooth-explosion case a NaN check cannot see.
+
+All detectors are transition-based against a shared
+:class:`~repro.obs.alerts.AlertLog` (one event when the condition
+starts, one when it clears) and return a JSON-ready status dict from
+every ``evaluate`` call so the ops report can embed the latest state.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Any, Deque, Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.obs.alerts import AlertLog
+from repro.obs.timeseries import TimeSeriesStore
+
+
+def psi(
+    reference: np.ndarray, current: np.ndarray, bins: int = 10
+) -> float:
+    """Population stability index of ``current`` against ``reference``.
+
+    Bin edges are equal-frequency quantiles of the reference sample, so
+    each reference bin holds ~1/bins of its mass; PSI is then
+    ``sum((c - r) * ln(c / r))`` over the binned fractions, with both
+    sides floored at a small epsilon so empty bins stay finite.
+    0 = identical; common rules of thumb: < 0.1 stable, 0.1-0.25
+    moderate shift, > 0.25 major shift.
+    """
+    reference = np.asarray(reference, dtype=np.float64).ravel()
+    current = np.asarray(current, dtype=np.float64).ravel()
+    if reference.size == 0 or current.size == 0:
+        raise ValueError("psi needs non-empty reference and current samples")
+    if bins < 2:
+        raise ValueError(f"bins must be >= 2, got {bins}")
+    quantiles = np.linspace(0.0, 1.0, bins + 1)[1:-1]
+    edges = np.quantile(reference, quantiles)
+    ref_counts = np.bincount(np.searchsorted(edges, reference), minlength=bins)
+    cur_counts = np.bincount(np.searchsorted(edges, current), minlength=bins)
+    epsilon = 1e-6
+    ref_frac = np.maximum(ref_counts / reference.size, epsilon)
+    cur_frac = np.maximum(cur_counts / current.size, epsilon)
+    return float(np.sum((cur_frac - ref_frac) * np.log(cur_frac / ref_frac)))
+
+
+class ScoreDistributionDetector:
+    """PSI of a rolling score window against a frozen reference.
+
+    Feed it the top-K scores of served requests via :meth:`observe`;
+    :meth:`set_reference` freezes the healthy baseline (typically the
+    first window after deploy).  :meth:`evaluate` computes PSI of the
+    current rolling window and raises a ``drift`` alert on the upward
+    threshold crossing.
+    """
+
+    def __init__(
+        self,
+        name: str = "score-drift",
+        threshold: float = 0.25,
+        bins: int = 10,
+        window: int = 2048,
+        min_samples: int = 50,
+        severity: str = "warn",
+    ) -> None:
+        if threshold <= 0:
+            raise ValueError(f"threshold must be positive, got {threshold}")
+        self.name = name
+        self.threshold = float(threshold)
+        self.bins = int(bins)
+        self.min_samples = int(min_samples)
+        self.severity = severity
+        self._reference: Optional[np.ndarray] = None
+        self._current: Deque[float] = deque(maxlen=int(window))
+        self._drifted = False
+
+    @property
+    def has_reference(self) -> bool:
+        return self._reference is not None
+
+    def set_reference(self, values: Sequence[float]) -> None:
+        reference = np.asarray(values, dtype=np.float64).ravel()
+        if reference.size < self.min_samples:
+            raise ValueError(
+                f"reference needs >= {self.min_samples} samples, "
+                f"got {reference.size}"
+            )
+        self._reference = reference
+
+    def observe(self, values: Sequence[float]) -> None:
+        """Add served scores to the rolling current window.
+
+        Before a reference is frozen, observations accumulate toward
+        :meth:`freeze_reference_if_ready` instead of toward drift.
+        """
+        self._current.extend(float(value) for value in np.ravel(values))
+
+    def freeze_reference_if_ready(self) -> bool:
+        """Adopt the buffered window as reference once it is big enough;
+        clears the buffer so reference and current never overlap."""
+        if self._reference is not None:
+            return True
+        if len(self._current) < self.min_samples:
+            return False
+        self.set_reference(list(self._current))
+        self._current.clear()
+        return True
+
+    def evaluate(
+        self, alerts: Optional[AlertLog] = None, now: Optional[float] = None
+    ) -> Dict[str, Any]:
+        now = time.time() if now is None else float(now)
+        status: Dict[str, Any] = {
+            "name": self.name,
+            "threshold": self.threshold,
+            "reference_samples": (
+                0 if self._reference is None else int(self._reference.size)
+            ),
+            "current_samples": len(self._current),
+            "psi": None,
+            "drifted": self._drifted,
+        }
+        if self._reference is None or len(self._current) < self.min_samples:
+            return status
+        value = psi(self._reference, np.asarray(self._current), bins=self.bins)
+        drifted = value >= self.threshold
+        status["psi"] = value
+        status["drifted"] = drifted
+        if alerts is not None:
+            if drifted and not self._drifted:
+                alerts.emit(
+                    "drift",
+                    self.name,
+                    self.severity,
+                    f"score distribution drifted: PSI {value:.3f} >= "
+                    f"{self.threshold}",
+                    ts=now,
+                    psi=value,
+                    threshold=self.threshold,
+                )
+            elif self._drifted and not drifted:
+                alerts.emit(
+                    "drift_recovered",
+                    self.name,
+                    "info",
+                    f"score distribution back in range: PSI {value:.3f}",
+                    ts=now,
+                    psi=value,
+                )
+        self._drifted = drifted
+        return status
+
+
+class RateDegradationDetector:
+    """Windowed-mean floor over a ratio series (hit-rate, recall proxy)."""
+
+    def __init__(
+        self,
+        name: str,
+        series: str,
+        floor: float,
+        window: float = 120.0,
+        min_samples: int = 3,
+        severity: str = "warn",
+    ) -> None:
+        self.name = name
+        self.series = series
+        self.floor = float(floor)
+        self.window = float(window)
+        self.min_samples = int(min_samples)
+        self.severity = severity
+        self._degraded = False
+
+    def evaluate(
+        self,
+        store: TimeSeriesStore,
+        alerts: Optional[AlertLog] = None,
+        now: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        now = time.time() if now is None else float(now)
+        points = store.window(self.series, self.window, now)
+        mean = (
+            float(np.mean([value for __, value in points])) if points else None
+        )
+        degraded = (
+            len(points) >= self.min_samples
+            and mean is not None
+            and mean < self.floor
+        )
+        if alerts is not None:
+            if degraded and not self._degraded:
+                alerts.emit(
+                    "degradation",
+                    self.name,
+                    self.severity,
+                    f"{self.series} degraded: windowed mean {mean:.3f} < "
+                    f"floor {self.floor}",
+                    ts=now,
+                    series=self.series,
+                    mean=mean,
+                    floor=self.floor,
+                )
+            elif self._degraded and not degraded:
+                alerts.emit(
+                    "degradation_recovered",
+                    self.name,
+                    "info",
+                    f"{self.series} recovered",
+                    ts=now,
+                    series=self.series,
+                    mean=mean,
+                )
+        self._degraded = degraded
+        return {
+            "name": self.name,
+            "series": self.series,
+            "floor": self.floor,
+            "mean": mean,
+            "samples": len(points),
+            "degraded": degraded,
+        }
+
+
+class GradientTrendDetector:
+    """Half-over-half growth watch on a training-health series."""
+
+    def __init__(
+        self,
+        name: str = "grad-trend",
+        series: str = "online.grad_norm",
+        window: float = 300.0,
+        growth_ratio: float = 2.0,
+        min_samples: int = 6,
+        severity: str = "warn",
+    ) -> None:
+        if growth_ratio <= 1.0:
+            raise ValueError(
+                f"growth_ratio must be > 1, got {growth_ratio}"
+            )
+        self.name = name
+        self.series = series
+        self.window = float(window)
+        self.growth_ratio = float(growth_ratio)
+        self.min_samples = int(min_samples)
+        self.severity = severity
+        self._trending = False
+
+    def evaluate(
+        self,
+        store: TimeSeriesStore,
+        alerts: Optional[AlertLog] = None,
+        now: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        now = time.time() if now is None else float(now)
+        points = store.window(self.series, self.window, now)
+        ratio = None
+        trending = False
+        if len(points) >= self.min_samples:
+            values = np.asarray([value for __, value in points])
+            half = values.size // 2
+            older = float(np.mean(values[:half]))
+            recent = float(np.mean(values[half:]))
+            if older > 0:
+                ratio = recent / older
+                trending = ratio >= self.growth_ratio
+        if alerts is not None:
+            if trending and not self._trending:
+                alerts.emit(
+                    "trend",
+                    self.name,
+                    self.severity,
+                    f"{self.series} growing: recent/older mean ratio "
+                    f"{ratio:.2f} >= {self.growth_ratio}",
+                    ts=now,
+                    series=self.series,
+                    ratio=ratio,
+                )
+            elif self._trending and not trending:
+                alerts.emit(
+                    "trend_recovered",
+                    self.name,
+                    "info",
+                    f"{self.series} growth subsided",
+                    ts=now,
+                    series=self.series,
+                    ratio=ratio,
+                )
+        self._trending = trending
+        return {
+            "name": self.name,
+            "series": self.series,
+            "growth_ratio": self.growth_ratio,
+            "ratio": ratio,
+            "samples": len(points),
+            "trending": trending,
+        }

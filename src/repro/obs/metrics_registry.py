@@ -477,9 +477,13 @@ class MetricsRegistry:
             lines.append(f"# TYPE {metric} histogram")
             cumulative = 0
             for upper_bound, count in histogram.nonzero_buckets():
+                if math.isinf(upper_bound):
+                    # The trailing +Inf line below covers the overflow
+                    # bucket; emitting it here too would duplicate the
+                    # series (invalid Prometheus text format).
+                    continue
                 cumulative += count
-                bound = "+Inf" if math.isinf(upper_bound) else repr(upper_bound)
-                lines.append(f'{metric}_bucket{{le="{bound}"}} {cumulative}')
+                lines.append(f'{metric}_bucket{{le="{repr(upper_bound)}"}} {cumulative}')
             lines.append(f'{metric}_bucket{{le="+Inf"}} {histogram.count}')
             lines.append(f"{metric}_sum {histogram.sum}")
             lines.append(f"{metric}_count {histogram.count}")

@@ -1,0 +1,355 @@
+"""The unified ops report: one artifact for "how is the fleet doing".
+
+:func:`build_ops_report` aggregates every observability surface this
+repo grows — fleet-merged :class:`~repro.obs.metrics_registry.
+MetricsRegistry` metrics, :class:`~repro.obs.timeseries.TimeSeriesStore`
+series, :class:`~repro.obs.slo.SLOMonitor` burn-rate status,
+:class:`~repro.obs.alerts.AlertLog` events, drift-detector statuses,
+recent stitched traces from a :class:`~repro.obs.spans.Tracer`, and
+online-training health — into a single ``repro.obs/v1`` envelope
+(``kind="ops"``).  :func:`render_ops_html` turns the same report into a
+self-contained HTML dashboard (inline CSS, inline SVG sparklines, no
+external assets) so the artifact opens anywhere a browser does — CI
+artifact tabs included.
+
+Produced by the ``repro obs-report`` CLI, which drives a short
+self-contained ops session (:mod:`repro.obs.ops_session`) and writes
+both forms.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+from typing import Any, Dict, List, Optional
+
+from repro.obs.report import make_report
+
+#: ``kind`` of the unified ops envelope.
+OPS_REPORT_KIND = "ops"
+
+
+def trace_summaries(tracer, limit: int = 10) -> List[Dict[str, Any]]:
+    """Most-recent kept traces, one summary row per trace.
+
+    The root span (``parent_id is None``) names the trace; worker
+    attribution comes from the distinct thread names across the trace's
+    spans, which for stitched cluster traces includes the remote
+    ``worker-<id>`` pseudo-threads.
+    """
+    rows = []
+    for trace_id, spans in tracer.traces().items():
+        roots = [item for item in spans if item.parent_id is None]
+        root = roots[0] if roots else spans[0]
+        rows.append(
+            {
+                "trace_id": trace_id,
+                "root": root.name,
+                "ts": root.start_wall,
+                "duration_ms": root.duration * 1000.0,
+                "spans": len(spans),
+                "status": root.status,
+                "sampled": root.attrs.get("sampled"),
+                "threads": sorted({item.thread for item in spans}),
+            }
+        )
+    rows.sort(key=lambda row: row["ts"], reverse=True)
+    return rows[:limit]
+
+
+def build_ops_report(
+    registry=None,
+    store=None,
+    monitor=None,
+    alerts=None,
+    tracer=None,
+    drift_statuses: Optional[List[Dict[str, Any]]] = None,
+    online: Optional[Dict[str, Any]] = None,
+    meta: Optional[Dict[str, Any]] = None,
+    series_last: int = 64,
+    trace_limit: int = 10,
+) -> Dict[str, Any]:
+    """Aggregate every present source into one ``kind="ops"`` report.
+
+    Omitted sources leave their section out, so the report degrades
+    gracefully from "full fleet + online + tracing" down to "just
+    metrics".  ``monitor.payload()`` re-evaluates the SLOs, so the
+    report always reflects the state of the store at build time.
+    """
+    data: Dict[str, Any] = {}
+    if registry is not None:
+        data["fleet_metrics"] = {
+            "metrics": registry.payload(),
+            "exposition": registry.exposition(),
+        }
+    if store is not None:
+        data["timeseries"] = store.payload(last=series_last)
+    if monitor is not None:
+        data["slo"] = monitor.payload()
+    if alerts is not None:
+        data["alerts"] = alerts.payload()
+    if drift_statuses is not None:
+        data["drift"] = list(drift_statuses)
+    if tracer is not None:
+        data["traces"] = {
+            "summary": tracer.summary(),
+            "recent": trace_summaries(tracer, limit=trace_limit),
+        }
+    if online is not None:
+        data["online"] = dict(online)
+    return make_report(OPS_REPORT_KIND, data, meta=meta)
+
+
+# -- HTML rendering ------------------------------------------------------
+
+_CSS = """
+body { font-family: -apple-system, 'Segoe UI', Roboto, sans-serif;
+       margin: 2rem auto; max-width: 70rem; color: #1a202c; }
+h1 { font-size: 1.5rem; } h2 { font-size: 1.1rem; margin-top: 2rem;
+     border-bottom: 1px solid #e2e8f0; padding-bottom: 0.3rem; }
+table { border-collapse: collapse; width: 100%; font-size: 0.85rem; }
+th, td { text-align: left; padding: 0.3rem 0.6rem;
+         border-bottom: 1px solid #edf2f7; }
+th { background: #f7fafc; }
+.cards { display: flex; flex-wrap: wrap; gap: 0.8rem; margin: 1rem 0; }
+.card { border: 1px solid #e2e8f0; border-radius: 8px;
+        padding: 0.7rem 1rem; min-width: 9rem; }
+.card .value { font-size: 1.4rem; font-weight: 600; }
+.card .label { font-size: 0.75rem; color: #718096;
+               text-transform: uppercase; letter-spacing: 0.04em; }
+.ok { color: #2f855a; } .warn { color: #b7791f; } .page { color: #c53030; }
+.info { color: #2b6cb0; }
+.spark { vertical-align: middle; }
+code { background: #f7fafc; padding: 0 0.25rem; border-radius: 3px; }
+.muted { color: #718096; }
+"""
+
+
+def _sparkline(points: List[List[float]], width: int = 120, height: int = 24) -> str:
+    """Inline SVG polyline of a series' values (no axes, dashboard-style)."""
+    values = [value for __, value in points]
+    if len(values) < 2:
+        return '<span class="muted">–</span>'
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    step = width / (len(values) - 1)
+    coords = " ".join(
+        f"{i * step:.1f},{height - 2 - (value - lo) / span * (height - 4):.1f}"
+        for i, value in enumerate(values)
+    )
+    return (
+        f'<svg class="spark" width="{width}" height="{height}">'
+        f'<polyline points="{coords}" fill="none" stroke="#3182ce" '
+        'stroke-width="1.5"/></svg>'
+    )
+
+
+def _fmt(value: Any) -> str:
+    if value is None:
+        return "–"
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return html.escape(str(value))
+
+
+def _card(label: str, value: Any, css: str = "") -> str:
+    return (
+        f'<div class="card"><div class="value {css}">{_fmt(value)}</div>'
+        f'<div class="label">{html.escape(label)}</div></div>'
+    )
+
+
+def _alerts_section(alerts: Dict[str, Any]) -> List[str]:
+    parts = ["<h2>Alerts</h2>"]
+    events = alerts.get("events", [])
+    if not events:
+        parts.append('<p class="ok">No alerts raised.</p>')
+        return parts
+    parts.append(
+        "<table><tr><th>Severity</th><th>Kind</th><th>Source</th>"
+        "<th>Message</th></tr>"
+    )
+    for event in events:
+        severity = event.get("severity", "info")
+        parts.append(
+            f'<tr><td class="{html.escape(severity)}">{_fmt(severity)}</td>'
+            f"<td>{_fmt(event.get('kind'))}</td>"
+            f"<td>{_fmt(event.get('source'))}</td>"
+            f"<td>{_fmt(event.get('message'))}</td></tr>"
+        )
+    parts.append("</table>")
+    return parts
+
+
+def _slo_section(slo: Dict[str, Any]) -> List[str]:
+    parts = ["<h2>SLOs</h2>", "<table><tr><th>Name</th><th>Series</th>"
+             "<th>Objective</th><th>Burn rates</th><th>Latest</th>"
+             "<th>State</th></tr>"]
+    for status in slo.get("status", []):
+        burns = ", ".join(
+            f"{window}s: {_fmt(rate)}"
+            for window, rate in status.get("burn_rates", {}).items()
+        )
+        burning = status.get("burning")
+        state = (
+            '<span class="page">BURNING</span>'
+            if burning
+            else '<span class="ok">ok</span>'
+        )
+        parts.append(
+            f"<tr><td>{_fmt(status.get('name'))}</td>"
+            f"<td><code>{_fmt(status.get('series'))}</code></td>"
+            f"<td>{_fmt(status.get('direction'))} {_fmt(status.get('threshold'))}"
+            f" (budget {_fmt(status.get('budget'))})</td>"
+            f"<td>{burns}</td><td>{_fmt(status.get('latest'))}</td>"
+            f"<td>{state}</td></tr>"
+        )
+    parts.append("</table>")
+    return parts
+
+
+def _drift_section(statuses: List[Dict[str, Any]]) -> List[str]:
+    parts = ["<h2>Drift detectors</h2>", "<table><tr><th>Name</th>"
+             "<th>Signal</th><th>Samples</th><th>State</th></tr>"]
+    for status in statuses:
+        flagged = (
+            status.get("drifted") or status.get("degraded")
+            or status.get("trending")
+        )
+        if "psi" in status:
+            signal = f"PSI {_fmt(status.get('psi'))}"
+        elif "mean" in status:
+            signal = f"mean {_fmt(status.get('mean'))}"
+        else:
+            signal = f"ratio {_fmt(status.get('ratio'))}"
+        state = (
+            '<span class="warn">FLAGGED</span>'
+            if flagged
+            else '<span class="ok">ok</span>'
+        )
+        samples = status.get("current_samples", status.get("samples"))
+        parts.append(
+            f"<tr><td>{_fmt(status.get('name'))}</td><td>{signal}</td>"
+            f"<td>{_fmt(samples)}</td><td>{state}</td></tr>"
+        )
+    parts.append("</table>")
+    return parts
+
+
+def _traces_section(traces: Dict[str, Any]) -> List[str]:
+    summary = traces.get("summary", {})
+    parts = ["<h2>Recent traces</h2>"]
+    latency = summary.get("root_latency_ms", {})
+    parts.append(
+        f'<p class="muted">{_fmt(summary.get("traces_started"))} started, '
+        f'{_fmt(summary.get("traces_kept"))} kept; root p99 '
+        f"{_fmt(latency.get('p99_ms'))} ms</p>"
+    )
+    rows = traces.get("recent", [])
+    if rows:
+        parts.append(
+            "<table><tr><th>Trace</th><th>Root</th><th>Duration (ms)</th>"
+            "<th>Spans</th><th>Threads</th><th>Status</th></tr>"
+        )
+        for row in rows:
+            css = "ok" if row.get("status") == "ok" else "page"
+            parts.append(
+                f"<tr><td><code>{_fmt(row.get('trace_id'))}</code></td>"
+                f"<td>{_fmt(row.get('root'))}</td>"
+                f"<td>{_fmt(row.get('duration_ms'))}</td>"
+                f"<td>{_fmt(row.get('spans'))}</td>"
+                f"<td>{_fmt(', '.join(row.get('threads', [])))}</td>"
+                f'<td class="{css}">{_fmt(row.get("status"))}</td></tr>'
+            )
+        parts.append("</table>")
+    return parts
+
+
+def _timeseries_section(timeseries: Dict[str, Any], limit: int = 24) -> List[str]:
+    series = timeseries.get("series", {})
+    parts = ["<h2>Time series</h2>", "<table><tr><th>Series</th>"
+             "<th>Trend</th><th>Latest</th><th>Points</th></tr>"]
+    for name, points in list(series.items())[:limit]:
+        latest = points[-1][1] if points else None
+        parts.append(
+            f"<tr><td><code>{_fmt(name)}</code></td>"
+            f"<td>{_sparkline(points)}</td><td>{_fmt(latest)}</td>"
+            f"<td>{len(points)}</td></tr>"
+        )
+    parts.append("</table>")
+    if len(series) > limit:
+        parts.append(
+            f'<p class="muted">… plus {len(series) - limit} more series '
+            "in the JSON report.</p>"
+        )
+    return parts
+
+
+def _online_section(online: Dict[str, Any]) -> List[str]:
+    parts = ["<h2>Online training</h2>", "<table>"]
+    for key, value in online.items():
+        parts.append(f"<tr><th>{_fmt(key)}</th><td>{_fmt(value)}</td></tr>")
+    parts.append("</table>")
+    return parts
+
+
+def render_ops_html(report: Dict[str, Any]) -> str:
+    """Self-contained HTML dashboard for a ``kind="ops"`` report."""
+    data = report.get("data", {})
+    meta = report.get("meta", {})
+    alerts = data.get("alerts", {})
+    slo = data.get("slo", {})
+    by_severity = alerts.get("by_severity", {})
+    cards = [
+        _card("SLOs burning", slo.get("burning", 0),
+              "page" if slo.get("burning") else "ok"),
+        _card("Alerts", alerts.get("total", 0),
+              "warn" if alerts.get("total") else "ok"),
+        _card("Pages", by_severity.get("page", 0),
+              "page" if by_severity.get("page") else "ok"),
+    ]
+    traces = data.get("traces", {})
+    if traces:
+        cards.append(
+            _card("Traces kept", traces.get("summary", {}).get("traces_kept", 0))
+        )
+    online = data.get("online", {})
+    if online:
+        cards.append(_card("Model version", online.get("model_version")))
+    parts = [
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>",
+        "<title>repro ops report</title>",
+        f"<style>{_CSS}</style></head><body>",
+        "<h1>repro ops report</h1>",
+        f'<p class="muted">{_fmt(json.dumps(meta, sort_keys=True))}</p>',
+        f'<div class="cards">{"".join(cards)}</div>',
+    ]
+    if "alerts" in data:
+        parts.extend(_alerts_section(data["alerts"]))
+    if "slo" in data:
+        parts.extend(_slo_section(data["slo"]))
+    if "drift" in data:
+        parts.extend(_drift_section(data["drift"]))
+    if "traces" in data:
+        parts.extend(_traces_section(data["traces"]))
+    if "online" in data:
+        parts.extend(_online_section(data["online"]))
+    if "timeseries" in data:
+        parts.extend(_timeseries_section(data["timeseries"]))
+    parts.append("</body></html>")
+    return "".join(parts)
+
+
+def write_ops_report(
+    report: Dict[str, Any],
+    json_path: Optional[str] = None,
+    html_path: Optional[str] = None,
+) -> None:
+    """Write the JSON envelope and/or the HTML dashboard."""
+    from repro.obs.report import write_report
+
+    if json_path is not None:
+        write_report(report, json_path)
+    if html_path is not None:
+        with open(html_path, "w", encoding="utf-8") as handle:
+            handle.write(render_ops_html(report))

@@ -1,0 +1,308 @@
+"""A self-contained ops session: serve, stream, swap, watch, report.
+
+:func:`run_ops_session` drives the full observability surface against a
+real model in one short deterministic pass, producing the unified ops
+report (:mod:`repro.obs.ops_report`).  The phases:
+
+1. **Warm serving** — requests through a
+   :class:`~repro.serving.RecommendationService` (direct, engine or
+   cluster mode) under a head-sampling tracer; per-request latency
+   feeds the SLO time series and the served top-K scores accumulate
+   toward the score-drift reference, which is frozen at the end of the
+   phase.
+2. **Online streaming + hot-swap** — a drifting event stream
+   (:func:`~repro.online.events.generate_events` with the ``drift``
+   knob) replays through an :class:`~repro.online.trainer.OnlineTrainer`
+   (per-batch JSONL metrics on), the final snapshot is hot-swapped into
+   the service, and the early-vs-late item distributions of the stream
+   feed an event-drift detector.
+3. **Post-swap serving** — the same request mix against the swapped
+   model; ``inject_latency_s`` (an *additive constant on the recorded
+   latency sample*, not a sleep — deterministic and fast) simulates a
+   latency incident for the SLO monitor.
+4. **Report** — fleet-merged metrics, SLO burn status, alerts, drift
+   statuses, recent stitched traces and online-training health in one
+   ``repro.obs/v1`` envelope.
+
+Two failure injections make the acceptance criteria testable end to
+end: ``inject_latency_s > 0`` must raise exactly one ``slo_breach``
+and ``drift >~ 0.9`` with enough events must raise an event-drift
+alert; with both off, the session reports a quiet fleet.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro.obs.alerts import AlertLog
+from repro.obs.drift import (
+    GradientTrendDetector,
+    ScoreDistributionDetector,
+)
+from repro.obs.metrics_registry import MetricsRegistry
+from repro.obs.ops_report import build_ops_report
+from repro.obs.slo import SLOMonitor, SLOSpec
+from repro.obs.spans import Tracer
+from repro.obs.timeseries import TimeSeriesStore
+
+#: Series name every served request's wall latency lands under.
+REQUEST_SERIES = "ops.request.latency_s"
+
+MODES = ("direct", "engine", "cluster")
+
+
+@dataclass
+class OpsSessionConfig:
+    """Knobs for one ops session (all deterministic given ``seed``)."""
+
+    mode: str = "engine"
+    num_warm: int = 40
+    num_requests: int = 60
+    k: int = 10
+    num_events: int = 400
+    batch_size: int = 32
+    drift: float = 0.0
+    inject_latency_s: float = 0.0
+    latency_slo_s: float = 0.25
+    slo_budget: float = 0.25
+    seed: int = 0
+    num_workers: int = 2
+    num_shards: int = 2
+    trace_sample_rate: float = 0.25
+    event_drift_psi: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.mode not in MODES:
+            raise ValueError(
+                f"unknown mode '{self.mode}' (choose from {MODES})"
+            )
+        if self.num_warm < 1 or self.num_requests < 1:
+            raise ValueError("num_warm and num_requests must be >= 1")
+
+
+def _item_time_feature(events) -> list:
+    """Each event's item mapped to that item's mean timestamp over the
+    whole stream.
+
+    A drift-sensitive continuous feature for small streams: under a
+    drifting generator an item's occurrences cluster in time, so early
+    and late halves of the stream see clearly different feature
+    distributions (PSI well above 1); under a stationary generator the
+    per-item value does not depend on *when* an event happened, so the
+    halves agree.  Raw item ids don't work here — quantile-binned PSI
+    over a few hundred draws from ~50 discrete ids is mostly sampling
+    noise.
+    """
+    sums: Dict[int, list] = {}
+    for event in events:
+        entry = sums.setdefault(event.item, [0.0, 0])
+        entry[0] += event.ts
+        entry[1] += 1
+    means = {item: total / count for item, (total, count) in sums.items()}
+    return [means[event.item] for event in events]
+
+
+def _build_service(serving_model, dataset, version, config, workdir):
+    from repro.serving import RecommendationService
+
+    if config.mode == "cluster":
+        from repro.cluster import ClusterConfig, ShardRouter
+
+        router = ShardRouter.launch(
+            serving_model,
+            dataset,
+            config=ClusterConfig(
+                num_workers=config.num_workers, num_shards=config.num_shards
+            ),
+            workdir=Path(workdir) / "cluster",
+        )
+        return RecommendationService(
+            model=serving_model, dataset=dataset, router=router,
+            model_version=version,
+        )
+    service = RecommendationService(
+        model=serving_model, dataset=dataset, model_version=version
+    )
+    if config.mode == "engine":
+        service.enable_engine()
+    return service
+
+
+def run_ops_session(
+    model,
+    dataset,
+    workdir,
+    config: Optional[OpsSessionConfig] = None,
+) -> Dict[str, Any]:
+    """Run the phases above; return the ``kind="ops"`` report dict.
+
+    ``model`` is the *trainer's* copy — serving always runs on a fresh
+    model loaded from the first published snapshot, exactly like the
+    online-swap bench, so streaming updates only reach the serving path
+    through whole-version swaps.
+    """
+    from repro.online.events import (
+        EventLogReader,
+        generate_events,
+        write_event_log,
+    )
+    from repro.online.snapshots import SnapshotPublisher
+    from repro.online.trainer import OnlineTrainer, OnlineTrainerConfig
+    from repro.persistence import load_checkpoint
+
+    config = config or OpsSessionConfig()
+    workdir = Path(workdir)
+    workdir.mkdir(parents=True, exist_ok=True)
+    rng = np.random.default_rng(config.seed)
+
+    trainer_registry = MetricsRegistry()
+    publisher = SnapshotPublisher(workdir / "snapshots", keep_last=3)
+    batch_metrics_path = workdir / "online_batches.jsonl"
+    trainer = OnlineTrainer(
+        model,
+        dataset,
+        publisher,
+        config=OnlineTrainerConfig(batch_size=config.batch_size),
+        registry=trainer_registry,
+        metrics_path=str(batch_metrics_path),
+    )
+    initial = trainer.publish()
+    serving_model, __ = load_checkpoint(initial.path)
+    service = _build_service(
+        serving_model, dataset, initial.version, config, workdir
+    )
+
+    store = TimeSeriesStore()
+    alerts = AlertLog(jsonl_path=str(workdir / "alerts.jsonl"))
+    monitor = SLOMonitor(
+        store,
+        [
+            SLOSpec(
+                name="request-latency",
+                series=REQUEST_SERIES,
+                threshold=config.latency_slo_s,
+                direction="above",
+                budget=config.slo_budget,
+                windows=(30.0, 120.0),
+                min_samples=5,
+                description="served request wall latency stays under the SLO",
+            )
+        ],
+        alerts=alerts,
+    )
+    score_drift = ScoreDistributionDetector(
+        name="score-drift", min_samples=min(50, config.num_warm * config.k)
+    )
+    event_drift = ScoreDistributionDetector(
+        name="event-drift",
+        threshold=config.event_drift_psi,
+        min_samples=min(50, config.num_events // 2),
+    )
+    grad_trend = GradientTrendDetector(
+        series="online.loss.user", window=3600.0
+    )
+
+    users = rng.integers(
+        0, dataset.num_users, size=max(config.num_warm, config.num_requests)
+    )
+
+    def scrape() -> None:
+        store.sample_registry(service.fleet_metrics(), prefix="fleet.")
+        store.sample_registry(trainer_registry)
+        snapshot = service.telemetry_snapshot()
+        if snapshot:
+            for name, value in snapshot.get("rates", {}).items():
+                store.record("fleet." + name, float(value))
+
+    def serve(count: int, inject_s: float = 0.0) -> None:
+        for index in range(count):
+            started = time.perf_counter()
+            response = service.recommend_for_user(
+                int(users[index % users.size]), k=config.k
+            )
+            latency = time.perf_counter() - started + inject_s
+            store.record(REQUEST_SERIES, latency)
+            if response.scores:
+                score_drift.observe(response.scores)
+        scrape()
+
+    tracer = Tracer(
+        sample_rate=config.trace_sample_rate,
+        jsonl_path=str(workdir / "spans.jsonl"),
+        seed=config.seed,
+    )
+    try:
+        with tracer:
+            # Phase 1: warm serving freezes the healthy score baseline.
+            serve(config.num_warm)
+            score_drift.freeze_reference_if_ready()
+            monitor.evaluate()
+            score_drift.evaluate(alerts)
+
+            # Phase 2: drifting stream -> online training -> hot swap.
+            events = generate_events(
+                dataset, config.num_events, drift=config.drift, rng=rng
+            )
+            log_path = workdir / "events.jsonl"
+            write_event_log(log_path, events)
+            half = len(events) // 2
+            feature = _item_time_feature(events)
+            event_drift.set_reference(feature[:half])
+            event_drift.observe(feature[half:])
+            consume_stats = trainer.consume(EventLogReader(log_path))
+            swapped = publisher.latest
+            assert swapped is not None  # consume always publishes finally
+            new_model, __meta = load_checkpoint(swapped.path)
+            service.apply_model(new_model, version=swapped.version)
+            store.record("online.swap.version", float(swapped.version))
+            scrape()
+            event_drift.evaluate(alerts)
+            grad_trend.evaluate(store, alerts)
+
+            # Phase 3: post-swap serving, optionally under an injected
+            # latency incident.
+            serve(config.num_requests, inject_s=config.inject_latency_s)
+            monitor.evaluate()
+            score_status = score_drift.evaluate(alerts)
+            event_status = event_drift.evaluate(alerts)
+            trend_status = grad_trend.evaluate(store, alerts)
+
+        # Phase 4: the unified report, outside the tracer so the span
+        # summary is final.
+        replay_gauge = trainer_registry.gauges().get("online.replay_lag_bytes")
+        online = {
+            "model_version": trainer.model_version,
+            "steps": trainer.steps,
+            "events_ingested": consume_stats["events"],
+            "replay_lag_bytes": (
+                0 if replay_gauge is None else int(replay_gauge.value)
+            ),
+            "swapped_version": swapped.version,
+            "batch_metrics_path": str(batch_metrics_path),
+        }
+        return build_ops_report(
+            registry=service.fleet_metrics(),
+            store=store,
+            monitor=monitor,
+            alerts=alerts,
+            tracer=tracer,
+            drift_statuses=[score_status, event_status, trend_status],
+            online=online,
+            meta={
+                "mode": config.mode,
+                "seed": config.seed,
+                "drift": config.drift,
+                "inject_latency_s": config.inject_latency_s,
+                "requests": config.num_warm + config.num_requests,
+                "events": config.num_events,
+            },
+        )
+    finally:
+        service.close()
+        trainer.close()
+        alerts.close()

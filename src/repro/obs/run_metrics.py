@@ -39,6 +39,37 @@ except ImportError:  # pragma: no cover - non-POSIX platforms
 RECORD_SCHEMA = "repro.obs/run-metrics/v1"
 
 
+class JsonlWriter:
+    """One-JSON-object-per-line writer, opened lazily, flushed per record.
+
+    The shared sink behind :class:`RunMetrics` and the online trainer's
+    per-replay-batch metrics: a killed process keeps every record that
+    was handed to :meth:`write`.
+    """
+
+    def __init__(self, path: str, mode: str = "w") -> None:
+        self.path = path
+        self._mode = mode
+        self._handle: Optional[IO[str]] = None
+
+    def write(self, record: Dict[str, Any]) -> None:
+        if self._handle is None:
+            self._handle = open(self.path, self._mode, encoding="utf-8")
+        self._handle.write(json.dumps(record) + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "JsonlWriter":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
 def rss_high_water_mb() -> Optional[float]:
     """Peak resident set size of this process in MiB (None if unknown)."""
     if resource is None:  # pragma: no cover - non-POSIX platforms
@@ -87,7 +118,7 @@ class RunMetrics:
         self.track_update_ratio = track_update_ratio
         self.grad_monitor = grad_monitor
         self.records: List[Dict[str, Any]] = []
-        self._handle: Optional[IO[str]] = None
+        self._writer: Optional[JsonlWriter] = None if path is None else JsonlWriter(path)
         self._trainer: Any = None
         self._groups: Dict[str, List[Tuple[str, Any]]] = {}
         self._previous: Dict[str, np.ndarray] = {}
@@ -167,11 +198,8 @@ class RunMetrics:
             "wall_time_s": time.perf_counter() - self._started,
         }
         self.records.append(record)
-        if self.path is not None:
-            if self._handle is None:
-                self._handle = open(self.path, "w", encoding="utf-8")
-            self._handle.write(json.dumps(record) + "\n")
-            self._handle.flush()
+        if self._writer is not None:
+            self._writer.write(record)
         if self.chain is not None:
             self.chain(log)
 
@@ -180,9 +208,8 @@ class RunMetrics:
     # ------------------------------------------------------------------
 
     def close(self) -> None:
-        if self._handle is not None:
-            self._handle.close()
-            self._handle = None
+        if self._writer is not None:
+            self._writer.close()
 
     def __enter__(self) -> "RunMetrics":
         return self

@@ -1,0 +1,203 @@
+"""Declarative SLOs with multi-window burn-rate evaluation.
+
+An :class:`SLOSpec` states an objective over one time series — "p99
+request latency stays under 50ms", "error rate stays under 1%", "cache
+hit-rate stays above 60%" — plus an **error budget**: the fraction of
+samples allowed to breach the target before the objective is
+considered violated.
+
+Evaluation follows the SRE multi-window burn-rate pattern: for each
+configured window, the *burn rate* is the observed breach fraction
+divided by the budget (1.0 = burning the budget exactly as fast as
+allowed).  An alert fires only when **every** window burns at or above
+``burn_threshold`` — the short window proves the problem is happening
+*now*, the long window proves it is not a blip — and clears with a
+recovery event once any window drops back under.  Alerts are
+transition-based through the shared :class:`~repro.obs.alerts.AlertLog`,
+so a monitor evaluated in a tight loop raises exactly one breach event
+per incident.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.alerts import SEVERITIES, AlertLog
+from repro.obs.timeseries import TimeSeriesStore
+
+DIRECTIONS = ("above", "below")
+
+
+@dataclass(frozen=True)
+class SLOSpec:
+    """One service-level objective over a stored time series.
+
+    Attributes
+    ----------
+    name:
+        Alert source identifier, unique within a monitor.
+    series:
+        :class:`~repro.obs.timeseries.TimeSeriesStore` series to watch
+        (e.g. ``"router.request.p99"``, ``"engine.hit_rate"``).
+    threshold:
+        Target boundary for one sample.
+    direction:
+        ``"above"``: a sample breaches when value > threshold (latency,
+        error rate).  ``"below"``: breaches when value < threshold
+        (hit-rate floors, throughput floors).
+    budget:
+        Allowed breaching fraction per window, in (0, 1].
+    windows:
+        Trailing evaluation windows in seconds, shortest first.
+    burn_threshold:
+        Minimum burn rate that must hold in *every* window to alert.
+    min_samples:
+        Windows with fewer points than this are treated as not burning
+        (no data is not an outage).
+    severity:
+        Alert severity (``info`` / ``warn`` / ``page``).
+    """
+
+    name: str
+    series: str
+    threshold: float
+    direction: str = "above"
+    budget: float = 0.1
+    windows: Tuple[float, ...] = (30.0, 120.0)
+    burn_threshold: float = 1.0
+    min_samples: int = 3
+    severity: str = "page"
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.direction not in DIRECTIONS:
+            raise ValueError(
+                f"unknown direction '{self.direction}' (choose from {DIRECTIONS})"
+            )
+        if not 0.0 < self.budget <= 1.0:
+            raise ValueError(f"budget must be in (0, 1], got {self.budget}")
+        if not self.windows:
+            raise ValueError("windows must be non-empty")
+        if self.severity not in SEVERITIES:
+            raise ValueError(
+                f"unknown severity '{self.severity}' (choose from {SEVERITIES})"
+            )
+        if self.min_samples < 1:
+            raise ValueError(f"min_samples must be >= 1, got {self.min_samples}")
+
+    def breaches(self, value: float) -> bool:
+        if self.direction == "above":
+            return value > self.threshold
+        return value < self.threshold
+
+
+@dataclass
+class SLOStatus:
+    """One evaluation result for one spec (JSON-ready via ``as_dict``)."""
+
+    spec: SLOSpec
+    burning: bool
+    burn_rates: Dict[float, Optional[float]]
+    latest: Optional[float]
+    samples: int
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.spec.name,
+            "series": self.spec.series,
+            "threshold": self.spec.threshold,
+            "direction": self.spec.direction,
+            "budget": self.spec.budget,
+            "burn_threshold": self.spec.burn_threshold,
+            "severity": self.spec.severity,
+            "burning": self.burning,
+            "burn_rates": {
+                str(window): rate for window, rate in self.burn_rates.items()
+            },
+            "latest": self.latest,
+            "samples": self.samples,
+        }
+
+
+@dataclass
+class SLOMonitor:
+    """Evaluate a set of :class:`SLOSpec` against a series store."""
+
+    store: TimeSeriesStore
+    specs: Sequence[SLOSpec]
+    alerts: AlertLog = field(default_factory=AlertLog)
+
+    def __post_init__(self) -> None:
+        names = [spec.name for spec in self.specs]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate SLO spec names in {names}")
+        self._burning: Dict[str, bool] = {name: False for name in names}
+
+    def evaluate(self, now: Optional[float] = None) -> List[SLOStatus]:
+        """One evaluation pass; emits transition alerts as a side effect."""
+        now = time.time() if now is None else float(now)
+        statuses = []
+        for spec in self.specs:
+            status = self._evaluate_spec(spec, now)
+            statuses.append(status)
+            was_burning = self._burning[spec.name]
+            if status.burning and not was_burning:
+                self.alerts.emit(
+                    "slo_breach",
+                    spec.name,
+                    spec.severity,
+                    f"SLO '{spec.name}' burning: {spec.series} "
+                    f"{spec.direction} {spec.threshold} beyond budget "
+                    f"{spec.budget} in all windows {list(spec.windows)}",
+                    ts=now,
+                    series=spec.series,
+                    latest=status.latest,
+                    burn_rates=status.as_dict()["burn_rates"],
+                )
+            elif was_burning and not status.burning:
+                self.alerts.emit(
+                    "slo_recovered",
+                    spec.name,
+                    "info",
+                    f"SLO '{spec.name}' recovered",
+                    ts=now,
+                    series=spec.series,
+                    latest=status.latest,
+                )
+            self._burning[spec.name] = status.burning
+        return statuses
+
+    def _evaluate_spec(self, spec: SLOSpec, now: float) -> SLOStatus:
+        burn_rates: Dict[float, Optional[float]] = {}
+        burning = True
+        samples = 0
+        for window in spec.windows:
+            points = self.store.window(spec.series, window, now)
+            samples = max(samples, len(points))
+            if len(points) < spec.min_samples:
+                burn_rates[window] = None
+                burning = False
+                continue
+            breaching = sum(1 for __, value in points if spec.breaches(value))
+            rate = (breaching / len(points)) / spec.budget
+            burn_rates[window] = rate
+            if rate < spec.burn_threshold:
+                burning = False
+        return SLOStatus(
+            spec=spec,
+            burning=burning,
+            burn_rates=burn_rates,
+            latest=self.store.latest(spec.series),
+            samples=samples,
+        )
+
+    def payload(self, now: Optional[float] = None) -> Dict[str, Any]:
+        """Evaluate and return a JSON-friendly status block."""
+        statuses = self.evaluate(now)
+        return {
+            "specs": len(statuses),
+            "burning": sum(1 for status in statuses if status.burning),
+            "status": [status.as_dict() for status in statuses],
+        }

@@ -46,6 +46,9 @@ from repro.obs.metrics_registry import Histogram
 #: One JSON object per span line in the JSONL log.
 SPAN_SCHEMA = "repro.obs/span/v1"
 
+#: One remote-span payload entry travelling worker → router over a pipe.
+REMOTE_SPAN_SCHEMA = "repro.obs/remote-span/v1"
+
 #: The installed tracer; ``None`` is the module-level "disabled" flag
 #: every hot-path helper checks first.
 _ACTIVE: Optional["Tracer"] = None
@@ -191,6 +194,139 @@ def record_span(
     if tracer is None or parent is None:
         return
     tracer._record_completed(name, parent, start, duration, attrs)
+
+
+class RemoteSpanRecorder:
+    """Collects spans inside a worker *process* for later stitching.
+
+    A shard worker has no :class:`Tracer` — tracing is driven entirely
+    by the request: when a scatter message carries trace context, the
+    worker builds one of these, wraps its phases in
+    :meth:`span` / :meth:`record`, and ships :meth:`payload` back with
+    the reply.  The router turns the payload into real spans of the
+    caller's trace via :func:`adopt_remote_spans`.
+
+    Parent linkage uses small integer ids local to this recorder (the
+    entry's list index); a single-threaded stack tracks the current
+    parent, which matches the worker loop's strictly nested execution.
+    Timestamps are ``time.time()`` wall clock — the only clock that is
+    comparable across processes on one machine — plus durations from
+    ``perf_counter``.
+    """
+
+    __slots__ = ("_entries", "_stack")
+
+    def __init__(self) -> None:
+        self._entries: List[Dict[str, Any]] = []
+        self._stack: List[int] = []
+
+    def span(self, name: str, **attrs: Any) -> "_RemoteSpanContext":
+        return _RemoteSpanContext(self, name, attrs)
+
+    def record(
+        self, name: str, start_wall: float, duration: float, **attrs: Any
+    ) -> None:
+        """Record an already-finished phase (e.g. pipe/queue wait whose
+        start was stamped by the sending process)."""
+        self._entries.append(
+            {
+                "id": len(self._entries),
+                "parent": self._stack[-1] if self._stack else None,
+                "name": name,
+                "ts": float(start_wall),
+                "dur": float(duration),
+                "attrs": attrs,
+            }
+        )
+
+    def _enter(self, name: str, attrs: Dict[str, Any]) -> int:
+        index = len(self._entries)
+        self._entries.append(
+            {
+                "id": index,
+                "parent": self._stack[-1] if self._stack else None,
+                "name": name,
+                "ts": time.time(),
+                "dur": 0.0,
+                "attrs": attrs,
+            }
+        )
+        self._stack.append(index)
+        return index
+
+    def _exit(self, index: int, duration: float, exc: Optional[BaseException]) -> None:
+        self._stack.pop()
+        entry = self._entries[index]
+        entry["dur"] = duration
+        if exc is not None:
+            entry["attrs"] = {
+                **entry["attrs"],
+                "status": "error",
+                "error": f"{type(exc).__name__}: {exc}",
+            }
+
+    def payload(self) -> List[Dict[str, Any]]:
+        """The picklable span list a reply carries back to the router."""
+        return self._entries
+
+
+class _RemoteSpanContext:
+    __slots__ = ("_recorder", "_name", "_attrs", "_index", "_start")
+
+    def __init__(
+        self, recorder: RemoteSpanRecorder, name: str, attrs: Dict[str, Any]
+    ) -> None:
+        self._recorder = recorder
+        self._name = name
+        self._attrs = attrs
+
+    def __enter__(self) -> "_RemoteSpanContext":
+        self._index = self._recorder._enter(self._name, self._attrs)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._recorder._exit(
+            self._index, time.perf_counter() - self._start, exc
+        )
+        return False
+
+    def set_attr(self, key: str, value: Any) -> None:
+        self._recorder._entries[self._index]["attrs"][key] = value
+
+
+def trace_context() -> Optional[Dict[str, Any]]:
+    """Wire-format trace context for a cross-process hop, or ``None``.
+
+    ``None`` whenever tracing is off or no span is open — callers must
+    then send the *unextended* message, so the disabled path pickles
+    exactly the same bytes it did before tracing existed.
+    """
+    if _ACTIVE is None:
+        return None
+    parent = _current_span.get()
+    if parent is None:
+        return None
+    return {
+        "trace_id": parent.trace_id,
+        "span_id": parent.span_id,
+        "sent_ts": time.time(),
+    }
+
+
+def adopt_remote_spans(
+    parent: Optional[Span], payload: Optional[List[Dict[str, Any]]]
+) -> None:
+    """Stitch a worker's :meth:`RemoteSpanRecorder.payload` into the
+    caller's trace, re-parenting payload roots onto ``parent``.
+
+    No-op when tracing is off, there is no parent, or the payload is
+    empty — replies from an untraced request simply carry no payload.
+    """
+    tracer = _ACTIVE
+    if tracer is None or parent is None or not payload:
+        return
+    tracer._adopt(parent, payload)
 
 
 class _SpanContext:
@@ -387,6 +523,43 @@ class Tracer:
         completed.start = start
         completed.duration = duration
         self._store(completed)
+
+    def _adopt(self, parent: Span, payload: List[Dict[str, Any]]) -> None:
+        """Materialize remote span entries as spans of ``parent``'s trace.
+
+        Remote ids are remapped to fresh span ids (two workers may both
+        number their spans 0..n); wall-clock starts are projected onto
+        this process's ``perf_counter`` timeline so Chrome export and
+        start-ordering keep working.  Recorders emit parents before
+        children, so one forward pass resolves the id map.
+        """
+        now_perf = time.perf_counter()
+        now_wall = time.time()
+        id_map: Dict[int, str] = {}
+        for entry in payload:
+            attrs = dict(entry.get("attrs") or {})
+            status = attrs.pop("status", "ok")
+            error = attrs.pop("error", None)
+            remote_parent = entry.get("parent")
+            adopted = Span(
+                trace_id=parent.trace_id,
+                span_id=self._new_id(),
+                parent_id=(
+                    id_map[remote_parent]
+                    if remote_parent is not None and remote_parent in id_map
+                    else parent.span_id
+                ),
+                name=entry["name"],
+                attrs=attrs,
+            )
+            adopted.start_wall = float(entry["ts"])
+            adopted.start = now_perf - (now_wall - float(entry["ts"]))
+            adopted.duration = float(entry["dur"])
+            adopted.status = status
+            adopted.error = error
+            adopted.thread = str(attrs.get("proc", adopted.thread))
+            id_map[int(entry["id"])] = adopted.span_id
+            self._store(adopted)
 
     def _store(self, stored: Span) -> None:
         with self._lock:

@@ -1,0 +1,159 @@
+"""Bounded in-memory time series over metric snapshots.
+
+:class:`TimeSeriesStore` is the bridge between the instantaneous
+metrics world (:class:`~repro.obs.metrics_registry.MetricsRegistry`:
+"what is the p99 *right now*") and the windowed questions SLOs and
+drift detectors ask ("what fraction of the last 5 minutes breached the
+target", "is the hit-rate trending down").  Each named series is a
+ring buffer of ``(timestamp, value)`` points; :meth:`sample_registry`
+scrapes a registry into one point per instrument — gauges and counters
+by value, histograms fanned out into ``.count``/``.mean``/``.p50``/
+``.p99``/``.max`` sub-series — so one periodic call builds the whole
+series set the monitors consume.
+
+Memory is strictly bounded: ``max_samples`` points per series,
+``max_series`` series; everything older falls off the ring.  All
+methods are thread-safe (sampling happens on whatever thread runs the
+monitor loop while request threads keep writing the registry).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from repro.obs.metrics_registry import MetricsRegistry
+
+#: Histogram summary keys fanned out as ``<name>.<key>`` sub-series.
+HISTOGRAM_KEYS = ("count", "mean", "p50", "p99", "max")
+
+Point = Tuple[float, float]
+
+
+class TimeSeriesStore:
+    """Named ring buffers of timestamped samples."""
+
+    def __init__(self, max_samples: int = 1024, max_series: int = 512) -> None:
+        if max_samples < 2:
+            raise ValueError(f"max_samples must be >= 2, got {max_samples}")
+        if max_series < 1:
+            raise ValueError(f"max_series must be >= 1, got {max_series}")
+        self.max_samples = max_samples
+        self.max_series = max_series
+        self._lock = threading.Lock()
+        self._series: Dict[str, Deque[Point]] = {}
+        self._dropped_series = 0
+
+    # -- writing ---------------------------------------------------------
+
+    def record(self, name: str, value: float, ts: Optional[float] = None) -> None:
+        """Append one point; NaN values are dropped, not stored."""
+        value = float(value)
+        if math.isnan(value):
+            return
+        ts = time.time() if ts is None else float(ts)
+        with self._lock:
+            series = self._series.get(name)
+            if series is None:
+                if len(self._series) >= self.max_series:
+                    self._dropped_series += 1
+                    return
+                series = self._series[name] = deque(maxlen=self.max_samples)
+            series.append((ts, value))
+
+    def sample_registry(
+        self,
+        registry: MetricsRegistry,
+        ts: Optional[float] = None,
+        prefix: str = "",
+    ) -> int:
+        """Scrape every instrument of ``registry`` as one point each.
+
+        Returns the number of points recorded.  ``prefix`` namespaces
+        the series (e.g. ``"fleet."``) so several registries can feed
+        one store without collisions.
+        """
+        ts = time.time() if ts is None else float(ts)
+        points = 0
+        for name, counter in registry.counters().items():
+            self.record(prefix + name, float(counter.value), ts)
+            points += 1
+        for name, gauge in registry.gauges().items():
+            self.record(prefix + name, float(gauge.value), ts)
+            points += 1
+        for name, histogram in registry.histograms().items():
+            summary = histogram.summary()
+            for key in HISTOGRAM_KEYS:
+                self.record(f"{prefix}{name}.{key}", float(summary[key]), ts)
+                points += 1
+        return points
+
+    # -- reading ---------------------------------------------------------
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._series)
+
+    def points(self, name: str) -> List[Point]:
+        with self._lock:
+            series = self._series.get(name)
+            return [] if series is None else list(series)
+
+    def latest(self, name: str) -> Optional[float]:
+        with self._lock:
+            series = self._series.get(name)
+            return None if not series else series[-1][1]
+
+    def window(
+        self, name: str, seconds: float, now: Optional[float] = None
+    ) -> List[Point]:
+        """Points of ``name`` within the trailing ``seconds``."""
+        now = time.time() if now is None else float(now)
+        cutoff = now - float(seconds)
+        return [(ts, value) for ts, value in self.points(name) if ts >= cutoff]
+
+    def delta(
+        self, name: str, seconds: float, now: Optional[float] = None
+    ) -> Optional[float]:
+        """last - first over the trailing window (None under 2 points).
+
+        The windowed increase of a cumulative counter series; may be
+        negative if the underlying process restarted its counters.
+        """
+        points = self.window(name, seconds, now)
+        if len(points) < 2:
+            return None
+        return points[-1][1] - points[0][1]
+
+    def rate(
+        self, name: str, seconds: float, now: Optional[float] = None
+    ) -> Optional[float]:
+        """Windowed increase per second (None under 2 distinct times)."""
+        points = self.window(name, seconds, now)
+        if len(points) < 2:
+            return None
+        elapsed = points[-1][0] - points[0][0]
+        if elapsed <= 0:
+            return None
+        return (points[-1][1] - points[0][1]) / elapsed
+
+    # -- export ----------------------------------------------------------
+
+    def payload(self, last: Optional[int] = None) -> Dict[str, Any]:
+        """JSON-friendly dump: every series' (up to ``last``) points."""
+        with self._lock:
+            series = {name: list(points) for name, points in self._series.items()}
+            dropped = self._dropped_series
+        if last is not None:
+            series = {name: points[-last:] for name, points in series.items()}
+        return {
+            "max_samples": self.max_samples,
+            "dropped_series": dropped,
+            "series": {
+                name: [[ts, value] for ts, value in points]
+                for name, points in sorted(series.items())
+            },
+        }

@@ -141,6 +141,7 @@ def run_online_swap_bench(
     publish_interval_s: float = 0.25,
     deadline_s: float = 120.0,
     engine_config: Optional[EngineConfig] = None,
+    metrics_path: Optional[str] = None,
 ) -> dict:
     """Measure serving p99 with and without continuous hot-swaps.
 
@@ -164,6 +165,7 @@ def run_online_swap_bench(
         publisher,
         config=OnlineTrainerConfig(batch_size=batch_size, keep_last=keep_last),
         registry=registry,
+        metrics_path=metrics_path,
     )
     initial = trainer.publish()
 
@@ -261,6 +263,7 @@ def run_online_swap_bench(
         staleness = swapper.staleness_seconds
     finally:
         service.close()
+        trainer.close()
 
     swap_summary = registry.histogram("swap.apply").summary()
     baseline_p99 = baseline["p99_ms"]
@@ -292,4 +295,5 @@ def run_online_swap_bench(
         "staleness_seconds": staleness,
         "online_steps": trainer.steps,
         "events_ingested": trainer.events_ingested,
+        "batch_metrics_path": metrics_path,
     }

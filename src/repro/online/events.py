@@ -187,6 +187,19 @@ class EventLogReader:
             raise ValueError(f"offset must be >= 0, got {offset}")
         self._offset = int(offset)
 
+    def lag_bytes(self) -> int:
+        """Bytes appended to the log beyond the current offset.
+
+        The streaming analogue of consumer lag: 0 means the reader is
+        caught up with the producer.  Never negative (a truncated or
+        missing log reads as fully caught up).
+        """
+        try:
+            size = os.stat(self.path).st_size
+        except OSError:
+            return 0
+        return max(0, size - self._offset)
+
     def read_batch(self, max_events: int) -> List[InteractionEvent]:
         """Up to ``max_events`` complete events from the current offset."""
         if max_events < 1:

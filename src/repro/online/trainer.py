@@ -46,12 +46,16 @@ from repro.data.dataset import GroupRecommendationDataset
 from repro.data.loaders import GroupBatcher
 from repro.data.splits import DataSplit
 from repro.obs.metrics_registry import MetricsRegistry
+from repro.obs.run_metrics import JsonlWriter
 from repro.obs.spans import span
 from repro.online.events import EventLogReader, InteractionEvent
 from repro.online.snapshots import SnapshotInfo, SnapshotPublisher
 from repro.training.trainer import GroupSATrainer, TrainingConfig
 
 _SCHEDULE_KEY = "online"
+
+#: Schema tag on every per-replay-batch JSONL metrics record.
+BATCH_SCHEMA = "repro.obs/online-batch/v1"
 
 
 @dataclass
@@ -91,6 +95,7 @@ class OnlineTrainer:
         config: Optional[OnlineTrainerConfig] = None,
         training: Optional[TrainingConfig] = None,
         registry: Optional[MetricsRegistry] = None,
+        metrics_path: Optional[str] = None,
     ) -> None:
         self.config = config or OnlineTrainerConfig()
         if self.config.batch_size < 1:
@@ -122,6 +127,10 @@ class OnlineTrainer:
         self.model_version = 0
         self._step_latency = self.registry.histogram("online.step")
         self._publish_latency = self.registry.histogram("online.publish")
+        #: Per-replay-batch JSONL sink (``repro.obs/online-batch/v1``);
+        #: ``None`` disables the stream.
+        self._batch_writer = None if metrics_path is None else JsonlWriter(metrics_path)
+        self._replay_lag_bytes = 0
 
     # -- introspection ---------------------------------------------------
 
@@ -205,11 +214,30 @@ class OnlineTrainer:
         with span("online.step", kind=kind, rows=int(entities.size)):
             with sparse_grads_context(self.trainer.config.sparse_grads):
                 loss, accuracy = step(entities, positives, negatives)
-        self._step_latency.observe(time.perf_counter() - started)
+        duration = time.perf_counter() - started
+        self._step_latency.observe(duration)
         self._steps[kind] += 1
         self.registry.counter(f"online.steps.{kind}").inc()
         self.registry.gauge(f"online.loss.{kind}").set(float(loss))
         self.registry.gauge(f"online.accuracy.{kind}").set(float(accuracy))
+        if self._batch_writer is not None:
+            self._batch_writer.write(
+                {
+                    "schema": BATCH_SCHEMA,
+                    "kind": kind,
+                    "step": self.steps,
+                    "offset": int(self._offset),
+                    "loss": float(loss),
+                    "accuracy": float(accuracy),
+                    "events": int(edges.shape[0]),
+                    "events_per_s": (
+                        edges.shape[0] / duration if duration > 0 else None
+                    ),
+                    "duration_s": duration,
+                    "replay_lag_bytes": int(self._replay_lag_bytes),
+                    "ts": time.time(),
+                }
+            )
 
     # -- publishing ------------------------------------------------------
 
@@ -273,6 +301,10 @@ class OnlineTrainer:
             # ingest, and ingest() only ever moves the event into a
             # buffer or the weights -- both captured by publish().
             self._offset = reader.offset
+            self._replay_lag_bytes = reader.lag_bytes()
+            self.registry.gauge("online.replay_lag_bytes").set(
+                float(self._replay_lag_bytes)
+            )
             self.ingest(batch[0])
             consumed += 1
             if self.steps - steps_at_publish >= self.config.publish_every_steps:
@@ -287,6 +319,11 @@ class OnlineTrainer:
             "offset": self._offset,
             "model_version": self.model_version,
         }
+
+    def close(self) -> None:
+        """Flush and close the per-batch metrics stream, if any."""
+        if self._batch_writer is not None:
+            self._batch_writer.close()
 
     # -- resume ----------------------------------------------------------
 

@@ -200,6 +200,24 @@ class RecommendationService:
         """The engine's telemetry snapshot (None in direct mode)."""
         return self.engine.telemetry_snapshot() if self.engine is not None else None
 
+    def fleet_metrics(self):
+        """One merged :class:`~repro.obs.metrics_registry.MetricsRegistry`
+        covering whichever execution tiers are live.
+
+        Cluster mode folds in every reachable worker's registry (exact
+        histogram merge); engine mode contributes the telemetry
+        registry; direct mode yields an empty registry.  This is the
+        scrape point the ops report and SLO time series sample.
+        """
+        from repro.obs.metrics_registry import MetricsRegistry
+
+        merged = MetricsRegistry()
+        if self.router is not None:
+            merged.merge(self.router.metrics())
+        if self.engine is not None:
+            merged.merge(self.engine.telemetry.registry)
+        return merged
+
     # ------------------------------------------------------------------
 
     def recommend_for_user(self, user: int, k: int = 10) -> Recommendation:

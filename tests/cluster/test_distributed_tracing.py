@@ -1,0 +1,163 @@
+"""Cross-process distributed tracing through the shard cluster.
+
+Acceptance contract (ISSUE 10): one cluster-mode request produces a
+*single* stitched trace containing the router's spans *and* every
+worker's remote-recorded child spans (queue wait, per-shard phases,
+merge contribution), exportable to Chrome trace format — and with
+tracing off the pipe protocol carries exactly the pre-tracing tuples
+(no extra pickled fields).
+"""
+
+import json
+
+import pytest
+
+from repro.cluster import ClusterConfig, ShardRouter
+from repro.cluster.router import _WorkerHandle
+from repro.obs.spans import Tracer
+from repro.obs.trace import write_span_chrome_trace
+from repro.serving import RecommendationService
+
+
+@pytest.fixture(scope="module")
+def router(trained_tiny_model, tiny_split):
+    model, __, __h = trained_tiny_model
+    router = ShardRouter.launch(
+        model,
+        tiny_split.train,
+        config=ClusterConfig(num_workers=2, num_shards=3),
+    )
+    yield router
+    router.close()
+
+
+@pytest.fixture(scope="module")
+def service(trained_tiny_model, tiny_split, router):
+    model, __, __h = trained_tiny_model
+    return RecommendationService(
+        model=model, dataset=tiny_split.train, router=router
+    )
+
+
+def _by_name(spans):
+    grouped = {}
+    for item in spans:
+        grouped.setdefault(item.name, []).append(item)
+    return grouped
+
+
+class TestStitchedTrace:
+    def test_one_request_one_trace_with_router_and_worker_spans(self, service):
+        with Tracer(sample_rate=1.0) as tracer:
+            rec = service.recommend_for_user(3, k=5)
+        traces = tracer.traces()
+        assert rec.trace_id is not None
+        assert list(traces) == [rec.trace_id]
+        names = _by_name(traces[rec.trace_id])
+        # Router-side spans.
+        assert "service.recommend_for_user" in names
+        assert "router.scatter" in names
+        assert "router.merge" in names
+        # Worker-side spans: one queue-wait + one score per worker.
+        assert len(names["worker.queue_wait"]) == 2
+        assert len(names["worker.score"]) == 2
+        # 3 shards across 2 workers; each shard scores + merges.
+        assert len(names["shard.score"]) == 3
+        assert len(names["shard.forward"]) == 3
+        assert len(names["shard.topk"]) == 3
+        assert len(names["worker.merge"]) == 2
+
+    def test_remote_parentage_is_stitched_under_scatter(self, service):
+        with Tracer(sample_rate=1.0) as tracer:
+            service.recommend_for_group(1, k=4)
+        spans = tracer.finished_spans()
+        by_id = {item.span_id: item for item in spans}
+        scatter = [item for item in spans if item.name == "router.scatter"]
+        assert len(scatter) == 1
+        for item in spans:
+            if item.name in ("worker.queue_wait", "worker.score"):
+                assert item.parent_id == scatter[0].span_id
+            if item.name in ("shard.score", "worker.merge"):
+                assert by_id[item.parent_id].name == "worker.score"
+            if item.name in ("shard.forward", "shard.topk"):
+                assert by_id[item.parent_id].name == "shard.score"
+            if item.name == "shard.candidates":
+                assert by_id[item.parent_id].name == "shard.score"
+
+    def test_worker_spans_carry_worker_identity(self, service):
+        with Tracer(sample_rate=1.0) as tracer:
+            service.recommend_for_members([1, 4, 7], k=3)
+        workers = {
+            item.attrs["worker"]
+            for item in tracer.finished_spans()
+            if item.name == "worker.score"
+        }
+        assert workers == {0, 1}
+        threads = {
+            item.thread
+            for item in tracer.finished_spans()
+            if item.name == "worker.score"
+        }
+        assert threads == {"worker-0", "worker-1"}
+
+    def test_chrome_export_includes_remote_spans(self, service, tmp_path):
+        with Tracer(sample_rate=1.0) as tracer:
+            service.recommend_for_user(5, k=4)
+        out = tmp_path / "trace.json"
+        write_span_chrome_trace(tracer.finished_spans(), out)
+        events = json.loads(out.read_text())["traceEvents"]
+        names = {event["name"] for event in events}
+        assert {"router.scatter", "worker.score", "shard.forward"} <= names
+
+
+class TestWireFormat:
+    def _spy(self, monkeypatch):
+        captured = []
+        original = _WorkerHandle.send
+
+        def send(handle, message):
+            if message[0] == "score":
+                captured.append(message)
+            return original(handle, message)
+
+        monkeypatch.setattr(_WorkerHandle, "send", send)
+        return captured
+
+    def test_untraced_messages_are_exact_five_tuples(self, router, monkeypatch):
+        captured = self._spy(monkeypatch)
+        router.topk_user(0, k=3)
+        assert len(captured) == 2
+        assert all(len(message) == 5 for message in captured)
+
+    def test_traced_messages_append_one_context_element(self, router, monkeypatch):
+        captured = self._spy(monkeypatch)
+        with Tracer(sample_rate=1.0):
+            router.topk_user(0, k=3)
+        assert len(captured) == 2
+        for message in captured:
+            assert len(message) == 6
+            assert set(message[5]) == {"trace_id", "span_id", "sent_ts"}
+
+    def test_reply_arity_matches_request_arity(self, router):
+        import time
+
+        handle = router._handles[0]
+        req_id = next(router._ids)
+        generation = handle.send(("score", req_id, "user", 0, 3))
+        reply = handle.recv(req_id, generation, time.monotonic() + 30.0)
+        assert reply[0] == "ok" and len(reply) == 5
+
+        req_id = next(router._ids)
+        context = {"trace_id": "t" * 16, "span_id": "s" * 16, "sent_ts": time.time()}
+        generation = handle.send(("score", req_id, "user", 0, 3, context))
+        reply = handle.recv(req_id, generation, time.monotonic() + 30.0)
+        assert reply[0] == "ok" and len(reply) == 6
+        names = [entry["name"] for entry in reply[5]]
+        assert names[0] == "worker.queue_wait"
+        assert "worker.score" in names and "worker.merge" in names
+
+    def test_tracing_off_lists_unchanged(self, service, router):
+        baseline = router.topk_user(2, k=6)[0].tolist()
+        with Tracer(sample_rate=1.0):
+            traced = router.topk_user(2, k=6)[0].tolist()
+        assert traced == baseline

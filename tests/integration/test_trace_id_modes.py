@@ -1,0 +1,81 @@
+"""Recommendation.trace_id across all three serving modes.
+
+The response-to-trace correlation contract: whichever execution tier
+serves the request (direct scorer, batching engine, shard cluster), the
+returned ``trace_id`` names the request's span tree in the installed
+tracer — and stays ``None`` when tracing is off, so responses never
+carry dangling ids.
+"""
+
+import pytest
+
+from repro.obs.spans import Tracer
+from repro.serving import RecommendationService
+
+
+@pytest.fixture(scope="module")
+def cluster_router(trained_tiny_model, tiny_split):
+    from repro.cluster import ClusterConfig, ShardRouter
+
+    model, __, __h = trained_tiny_model
+    router = ShardRouter.launch(
+        model,
+        tiny_split.train,
+        config=ClusterConfig(num_workers=2, num_shards=2),
+    )
+    yield router
+    router.close()
+
+
+@pytest.fixture
+def make_service(trained_tiny_model, tiny_split, cluster_router):
+    services = []
+
+    def build(mode):
+        model, __, __h = trained_tiny_model
+        if mode == "cluster":
+            service = RecommendationService(
+                model=model, dataset=tiny_split.train, router=cluster_router
+            )
+        else:
+            service = RecommendationService(
+                model=model, dataset=tiny_split.train
+            )
+            if mode == "engine":
+                service.enable_engine()
+                services.append(service)
+        assert service._mode() == mode
+        return service
+
+    yield build
+    for service in services:
+        service.engine.close()
+        service.engine = None
+
+
+MODES = ("direct", "engine", "cluster")
+
+
+@pytest.mark.parametrize("mode", MODES)
+class TestTraceIdPerMode:
+    def test_response_trace_id_names_the_kept_trace(self, make_service, mode):
+        service = make_service(mode)
+        with Tracer(sample_rate=1.0) as tracer:
+            user_rec = service.recommend_for_user(1, k=5)
+            group_rec = service.recommend_for_group(0, k=5)
+        assert user_rec.trace_id is not None
+        assert group_rec.trace_id is not None
+        assert user_rec.trace_id != group_rec.trace_id
+        traces = tracer.traces()
+        assert set(traces) == {user_rec.trace_id, group_rec.trace_id}
+        root_names = {
+            spans[0].name for spans in traces.values()
+        }
+        assert root_names == {
+            "service.recommend_for_user", "service.recommend_for_group",
+        }
+
+    def test_tracing_off_leaves_trace_id_none(self, make_service, mode):
+        service = make_service(mode)
+        rec = service.recommend_for_user(2, k=5)
+        assert rec.trace_id is None

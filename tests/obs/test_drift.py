@@ -1,0 +1,170 @@
+"""Drift detectors: PSI math, transitions, degradation and trend."""
+
+import numpy as np
+import pytest
+
+from repro.obs.alerts import AlertLog
+from repro.obs.drift import (
+    GradientTrendDetector,
+    RateDegradationDetector,
+    ScoreDistributionDetector,
+    psi,
+)
+from repro.obs.timeseries import TimeSeriesStore
+
+
+class TestPsi:
+    def test_identical_distributions_near_zero(self):
+        rng = np.random.default_rng(0)
+        sample = rng.normal(size=4000)
+        assert psi(sample[:2000], sample[2000:]) < 0.02
+
+    def test_shifted_distribution_large(self):
+        rng = np.random.default_rng(1)
+        reference = rng.normal(0.0, 1.0, size=2000)
+        shifted = rng.normal(2.0, 1.0, size=2000)
+        assert psi(reference, shifted) > 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            psi(np.array([]), np.array([1.0]))
+        with pytest.raises(ValueError):
+            psi(np.array([1.0]), np.array([1.0]), bins=1)
+
+
+class TestScoreDistributionDetector:
+    def test_no_reference_no_alert(self):
+        detector = ScoreDistributionDetector(min_samples=10)
+        alerts = AlertLog()
+        detector.observe(np.zeros(5))
+        status = detector.evaluate(alerts)
+        assert status["psi"] is None
+        assert alerts.events() == []
+
+    def test_freeze_reference_if_ready(self):
+        detector = ScoreDistributionDetector(min_samples=10)
+        detector.observe(np.arange(5))
+        assert not detector.freeze_reference_if_ready()
+        detector.observe(np.arange(10))
+        assert detector.freeze_reference_if_ready()
+        assert detector.has_reference
+        # Buffer cleared: reference and current never overlap.
+        assert detector.evaluate()["current_samples"] == 0
+
+    def test_drift_transition_fires_once_then_recovers(self):
+        rng = np.random.default_rng(2)
+        detector = ScoreDistributionDetector(
+            min_samples=100, window=400, threshold=0.25
+        )
+        alerts = AlertLog()
+        detector.set_reference(rng.normal(0.0, 1.0, size=1000))
+        # Stable scores: no drift.
+        detector.observe(rng.normal(0.0, 1.0, size=400))
+        assert not detector.evaluate(alerts)["drifted"]
+        # Shifted scores flood the rolling window: drift, exactly once.
+        detector.observe(rng.normal(3.0, 1.0, size=400))
+        for __ in range(4):
+            status = detector.evaluate(alerts)
+        assert status["drifted"]
+        drift_events = alerts.events(kind="drift")
+        assert len(drift_events) == 1
+        assert drift_events[0].details["psi"] >= 0.25
+        # Scores return to baseline: one recovery event.
+        detector.observe(rng.normal(0.0, 1.0, size=400))
+        detector.evaluate(alerts)
+        assert len(alerts.events(kind="drift_recovered")) == 1
+
+
+class TestRateDegradationDetector:
+    def _store(self, values, now=100.0):
+        store = TimeSeriesStore()
+        for i, value in enumerate(values):
+            store.record("hit_rate", value, ts=now - len(values) + 1 + i)
+        return store
+
+    def test_healthy_rate_silent(self):
+        detector = RateDegradationDetector("cache", "hit_rate", floor=0.5)
+        alerts = AlertLog()
+        status = detector.evaluate(self._store([0.9] * 10), alerts, now=100.0)
+        assert not status["degraded"]
+        assert alerts.events() == []
+
+    def test_degradation_fires_once_and_recovers(self):
+        detector = RateDegradationDetector("cache", "hit_rate", floor=0.5)
+        alerts = AlertLog()
+        store = self._store([0.2] * 10)
+        for __ in range(3):
+            detector.evaluate(store, alerts, now=100.0)
+        assert len(alerts.events(kind="degradation")) == 1
+        healthy = self._store([0.9] * 10, now=300.0)
+        detector.evaluate(healthy, alerts, now=300.0)
+        assert len(alerts.events(kind="degradation_recovered")) == 1
+
+    def test_too_few_samples_silent(self):
+        detector = RateDegradationDetector(
+            "cache", "hit_rate", floor=0.5, min_samples=5
+        )
+        alerts = AlertLog()
+        status = detector.evaluate(self._store([0.1] * 2), alerts, now=100.0)
+        assert not status["degraded"]
+        assert alerts.events() == []
+
+
+class TestGradientTrendDetector:
+    def _store(self, values, now=100.0):
+        store = TimeSeriesStore()
+        for i, value in enumerate(values):
+            store.record("grad", value, ts=now - len(values) + 1 + i)
+        return store
+
+    def test_flat_series_silent(self):
+        detector = GradientTrendDetector(series="grad", growth_ratio=2.0)
+        alerts = AlertLog()
+        status = detector.evaluate(self._store([1.0] * 12), alerts, now=100.0)
+        assert not status["trending"]
+        assert status["ratio"] == pytest.approx(1.0)
+
+    def test_explosive_growth_alerts_once(self):
+        detector = GradientTrendDetector(series="grad", growth_ratio=2.0)
+        alerts = AlertLog()
+        store = self._store([1.0] * 6 + [10.0] * 6)
+        for __ in range(3):
+            status = detector.evaluate(store, alerts, now=100.0)
+        assert status["trending"]
+        assert len(alerts.events(kind="trend")) == 1
+
+    def test_zero_baseline_does_not_divide(self):
+        detector = GradientTrendDetector(series="grad", growth_ratio=2.0)
+        status = detector.evaluate(
+            self._store([0.0] * 6 + [5.0] * 6), AlertLog(), now=100.0
+        )
+        assert status["ratio"] is None
+        assert not status["trending"]
+
+
+class TestAlertLog:
+    def test_bounded_and_filterable(self):
+        alerts = AlertLog(max_events=3)
+        for i in range(5):
+            alerts.emit("drift", f"s{i}", "warn", "m", ts=float(i))
+        assert len(alerts) == 3
+        payload = alerts.payload()
+        assert payload["dropped"] == 2
+        assert payload["by_kind"] == {"drift": 3}
+        assert [e.source for e in alerts.events(source="s4")] == ["s4"]
+
+    def test_jsonl_stream(self, tmp_path):
+        import json
+
+        path = tmp_path / "alerts.jsonl"
+        alerts = AlertLog(jsonl_path=str(path))
+        alerts.emit("slo_breach", "p99", "page", "burning", ts=1.0, latest=0.2)
+        alerts.close()
+        (line,) = path.read_text().splitlines()
+        record = json.loads(line)
+        assert record["schema"] == "repro.obs/alert/v1"
+        assert record["details"]["latest"] == 0.2
+
+    def test_rejects_unknown_severity(self):
+        with pytest.raises(ValueError):
+            AlertLog().emit("drift", "s", "catastrophic", "m")

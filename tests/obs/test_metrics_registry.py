@@ -164,6 +164,23 @@ class TestExport:
         ]
         assert counts == sorted(counts)
 
+    def test_exposition_overflow_bucket_emits_single_inf_line(self):
+        # Regression: a sample above ``hi`` lands in the overflow
+        # (+Inf) bucket; the loop used to emit it *and* the trailing
+        # unconditional +Inf line — two series with the same label set,
+        # invalid Prometheus text format.
+        registry = MetricsRegistry()
+        histogram = registry.histogram("slow", lo=1e-3, hi=1.0)
+        histogram.observe(0.5)
+        histogram.observe(50.0)  # overflow
+        text = registry.exposition()
+        inf_lines = [
+            line
+            for line in text.splitlines()
+            if line.startswith('repro_slow_bucket{le="+Inf"}')
+        ]
+        assert inf_lines == ['repro_slow_bucket{le="+Inf"} 2']
+
     def test_histogram_state_round_trip(self):
         original = Histogram("lat")
         rng = np.random.default_rng(3)

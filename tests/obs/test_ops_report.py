@@ -1,0 +1,217 @@
+"""Unified ops report + ops session: induced incidents raise exactly
+the expected alerts and land in the report artifact (ISSUE 10
+acceptance: injected latency -> one SLO breach; generator drift ->
+one event-drift alert; quiet run -> neither)."""
+
+import json
+
+import pytest
+
+from repro.obs.alerts import AlertLog
+from repro.obs.metrics_registry import MetricsRegistry
+from repro.obs.ops_report import (
+    build_ops_report,
+    render_ops_html,
+    trace_summaries,
+    write_ops_report,
+)
+from repro.obs.ops_session import OpsSessionConfig, run_ops_session
+from repro.obs.report import is_report
+from repro.obs.slo import SLOMonitor, SLOSpec
+from repro.obs.spans import Tracer, span
+from repro.obs.timeseries import TimeSeriesStore
+from repro.training.two_stage import build_model
+
+from tests.conftest import TINY_MODEL_CONFIG
+
+SESSION = dict(
+    mode="engine",
+    num_warm=10,
+    num_requests=12,
+    k=5,
+    num_events=400,
+    batch_size=64,
+    seed=3,
+)
+
+
+def run_session(tiny_split, tmp_path, **overrides):
+    model, __ = build_model(tiny_split, TINY_MODEL_CONFIG)
+    config = OpsSessionConfig(**{**SESSION, **overrides})
+    return run_ops_session(model, tiny_split.train, tmp_path, config)
+
+
+@pytest.fixture(scope="module")
+def incident_report(tiny_split, tmp_path_factory):
+    """One session with BOTH failure injections on."""
+    return run_session(
+        tiny_split,
+        tmp_path_factory.mktemp("ops-incident"),
+        inject_latency_s=1.0,
+        drift=0.95,
+    )
+
+
+@pytest.fixture(scope="module")
+def quiet_report(tiny_split, tmp_path_factory):
+    return run_session(tiny_split, tmp_path_factory.mktemp("ops-quiet"))
+
+
+class TestBuildReport:
+    def test_sections_follow_present_sources(self):
+        registry = MetricsRegistry()
+        registry.counter("requests").inc(3)
+        report = build_ops_report(registry=registry)
+        assert is_report(report)
+        assert report["kind"] == "ops"
+        assert set(report["data"]) == {"fleet_metrics"}
+        assert "repro_requests_total 3" in (
+            report["data"]["fleet_metrics"]["exposition"]
+        )
+
+    def test_full_report_round_trips_json(self, tmp_path):
+        store = TimeSeriesStore()
+        for i in range(6):
+            store.record("s", float(i), ts=float(i))
+        monitor = SLOMonitor(
+            store,
+            [SLOSpec(name="slo", series="s", threshold=10.0, min_samples=2)],
+        )
+        alerts = AlertLog()
+        alerts.emit("drift", "d", "warn", "moved", ts=1.0)
+        with Tracer(sample_rate=1.0) as tracer:
+            with span("root", kind="test"):
+                with span("child"):
+                    pass
+        report = build_ops_report(
+            store=store,
+            monitor=monitor,
+            alerts=alerts,
+            tracer=tracer,
+            drift_statuses=[{"name": "d", "psi": 0.5, "drifted": True}],
+            online={"model_version": 7},
+            meta={"mode": "unit"},
+        )
+        parsed = json.loads(json.dumps(report))
+        assert set(parsed["data"]) == {
+            "timeseries", "slo", "alerts", "drift", "traces", "online",
+        }
+        assert parsed["data"]["slo"]["specs"] == 1
+        assert parsed["data"]["alerts"]["total"] == 1
+        assert parsed["data"]["traces"]["recent"][0]["root"] == "root"
+        path = tmp_path / "ops.json"
+        write_ops_report(report, json_path=str(path))
+        assert is_report(json.loads(path.read_text()))
+
+    def test_trace_summaries_newest_first_with_span_counts(self):
+        with Tracer(sample_rate=1.0) as tracer:
+            for name in ("first", "second"):
+                with span(name):
+                    with span("inner"):
+                        pass
+        rows = trace_summaries(tracer, limit=1)
+        assert len(rows) == 1
+        assert rows[0]["root"] == "second"
+        assert rows[0]["spans"] == 2
+        assert rows[0]["status"] == "ok"
+
+
+class TestHtml:
+    def test_dashboard_is_self_contained(self, incident_report, tmp_path):
+        html_text = render_ops_html(incident_report)
+        assert html_text.startswith("<!DOCTYPE html>")
+        for marker in (
+            "<style>", "SLOs", "Alerts", "Drift detectors",
+            "Recent traces", "Online training", "<svg",
+        ):
+            assert marker in html_text
+        # No external fetches: a CI artifact tab must render it as-is.
+        assert "http://" not in html_text and "https://" not in html_text
+        assert "<script" not in html_text
+        path = tmp_path / "ops.html"
+        write_ops_report(incident_report, html_path=str(path))
+        assert path.read_text() == html_text
+
+    def test_escapes_untrusted_strings(self):
+        alerts = AlertLog()
+        alerts.emit("drift", "<img src=x>", "warn", "<script>alert(1)</script>")
+        html_text = render_ops_html(build_ops_report(alerts=alerts))
+        assert "<script>alert" not in html_text
+        assert "&lt;script&gt;" in html_text
+
+
+class TestInducedIncidents:
+    def test_injected_latency_raises_exactly_one_slo_breach(
+        self, incident_report
+    ):
+        events = incident_report["data"]["alerts"]["events"]
+        breaches = [e for e in events if e["kind"] == "slo_breach"]
+        assert len(breaches) == 1
+        assert breaches[0]["source"] == "request-latency"
+        assert breaches[0]["severity"] == "page"
+        slo = incident_report["data"]["slo"]
+        assert slo["burning"] == 1
+        (status,) = slo["status"]
+        for rate in status["burn_rates"].values():
+            assert rate >= 1.0
+
+    def test_generator_drift_raises_exactly_one_event_drift_alert(
+        self, incident_report
+    ):
+        events = incident_report["data"]["alerts"]["events"]
+        drifts = [
+            e for e in events
+            if e["kind"] == "drift" and e["source"] == "event-drift"
+        ]
+        assert len(drifts) == 1
+        assert drifts[0]["details"]["psi"] >= 0.25
+        by_name = {s["name"]: s for s in incident_report["data"]["drift"]}
+        assert by_name["event-drift"]["drifted"]
+
+    def test_quiet_session_raises_neither(self, quiet_report):
+        events = quiet_report["data"]["alerts"]["events"]
+        assert [e for e in events if e["kind"] == "slo_breach"] == []
+        assert [
+            e for e in events
+            if e["kind"] == "drift" and e["source"] == "event-drift"
+        ] == []
+        assert quiet_report["data"]["slo"]["burning"] == 0
+        by_name = {s["name"]: s for s in quiet_report["data"]["drift"]}
+        assert not by_name["event-drift"]["drifted"]
+
+
+class TestSessionReportContents:
+    def test_online_health_section(self, quiet_report):
+        online = quiet_report["data"]["online"]
+        assert online["steps"] >= 1
+        assert online["events_ingested"] == SESSION["num_events"]
+        assert online["model_version"] >= 1
+        assert online["swapped_version"] == online["model_version"]
+        assert online["replay_lag_bytes"] == 0  # log fully drained
+        # The per-batch JSONL stream exists and carries its schema.
+        records = [
+            json.loads(line)
+            for line in open(online["batch_metrics_path"], encoding="utf-8")
+        ]
+        assert len(records) == online["steps"]
+        assert all(r["schema"] == "repro.obs/online-batch/v1" for r in records)
+
+    def test_fleet_metrics_and_traces_present(self, quiet_report):
+        data = quiet_report["data"]
+        exposition = data["fleet_metrics"]["exposition"]
+        assert "repro_" in exposition
+        # Every request starts a trace; online publish/step and the
+        # hot-swap add a handful of non-request root spans on top.
+        assert data["traces"]["summary"]["traces_started"] >= (
+            SESSION["num_warm"] + SESSION["num_requests"]
+        )
+        series = data["timeseries"]["series"]
+        assert "ops.request.latency_s" in series
+        assert any(name.startswith("fleet.") for name in series)
+        assert "online.swap.version" in series
+
+    def test_meta_records_the_injections(self, incident_report):
+        meta = incident_report["meta"]
+        assert meta["mode"] == "engine"
+        assert meta["inject_latency_s"] == 1.0
+        assert meta["drift"] == 0.95

@@ -1,0 +1,141 @@
+"""SLO specs, multi-window burn rates, transition-based alerting."""
+
+import pytest
+
+from repro.obs.alerts import AlertLog
+from repro.obs.slo import SLOMonitor, SLOSpec
+from repro.obs.timeseries import TimeSeriesStore
+
+
+def latency_spec(**overrides):
+    defaults = dict(
+        name="p99-latency",
+        series="request.p99",
+        threshold=0.05,
+        direction="above",
+        budget=0.2,
+        windows=(10.0, 40.0),
+        min_samples=2,
+    )
+    defaults.update(overrides)
+    return SLOSpec(**defaults)
+
+
+class TestSpecValidation:
+    def test_rejects_bad_direction_budget_severity(self):
+        with pytest.raises(ValueError):
+            latency_spec(direction="sideways")
+        with pytest.raises(ValueError):
+            latency_spec(budget=0.0)
+        with pytest.raises(ValueError):
+            latency_spec(severity="panic")
+        with pytest.raises(ValueError):
+            latency_spec(windows=())
+
+    def test_breach_directions(self):
+        assert latency_spec().breaches(0.06)
+        assert not latency_spec().breaches(0.05)
+        floor = latency_spec(direction="below", threshold=0.5)
+        assert floor.breaches(0.4)
+        assert not floor.breaches(0.5)
+
+    def test_monitor_rejects_duplicate_names(self):
+        with pytest.raises(ValueError):
+            SLOMonitor(TimeSeriesStore(), [latency_spec(), latency_spec()])
+
+
+class TestBurnRates:
+    def _store(self, values, now=100.0):
+        store = TimeSeriesStore()
+        for i, value in enumerate(values):
+            store.record("request.p99", value, ts=now - len(values) + 1 + i)
+        return store
+
+    def test_healthy_series_not_burning(self):
+        store = self._store([0.01] * 20)
+        monitor = SLOMonitor(store, [latency_spec()])
+        (status,) = monitor.evaluate(now=100.0)
+        assert not status.burning
+        assert monitor.alerts.events() == []
+
+    def test_sustained_breach_burns_all_windows(self):
+        store = self._store([0.2] * 20)
+        monitor = SLOMonitor(store, [latency_spec()])
+        (status,) = monitor.evaluate(now=100.0)
+        assert status.burning
+        # breach fraction 1.0 over budget 0.2 => burn rate 5 everywhere.
+        assert status.burn_rates[10.0] == pytest.approx(5.0)
+        assert status.burn_rates[40.0] == pytest.approx(5.0)
+
+    def test_short_blip_does_not_burn_long_window(self):
+        # 38 healthy samples then 2 slow ones: the short window burns,
+        # the long window stays inside budget -> no alert.
+        store = self._store([0.01] * 38 + [0.2] * 2)
+        monitor = SLOMonitor(store, [latency_spec()])
+        (status,) = monitor.evaluate(now=100.0)
+        # 11 points land in the trailing-10s window (inclusive cutoff).
+        assert status.burn_rates[10.0] == pytest.approx((2 / 11) / 0.2)
+        assert status.burn_rates[40.0] < 1.0
+        assert not status.burning
+        assert monitor.alerts.events() == []
+
+    def test_empty_window_is_not_burning(self):
+        monitor = SLOMonitor(TimeSeriesStore(), [latency_spec()])
+        (status,) = monitor.evaluate(now=100.0)
+        assert not status.burning
+        assert status.burn_rates == {10.0: None, 40.0: None}
+
+
+class TestTransitions:
+    def test_exactly_one_breach_and_one_recovery_event(self):
+        store = TimeSeriesStore()
+        alerts = AlertLog()
+        monitor = SLOMonitor(store, [latency_spec()], alerts=alerts)
+        for i in range(20):
+            store.record("request.p99", 0.2, ts=50.0 + i)
+        # Repeated evaluation of a sustained breach: one event only.
+        for __ in range(5):
+            monitor.evaluate(now=70.0)
+        breaches = alerts.events(kind="slo_breach")
+        assert len(breaches) == 1
+        assert breaches[0].source == "p99-latency"
+        assert breaches[0].severity == "page"
+        # Recovery: healthy samples wash the windows out.
+        for i in range(60):
+            store.record("request.p99", 0.01, ts=71.0 + i)
+        for __ in range(3):
+            monitor.evaluate(now=131.0)
+        assert len(alerts.events(kind="slo_recovered")) == 1
+        assert len(alerts.events(kind="slo_breach")) == 1
+
+    def test_hit_rate_floor_direction_below(self):
+        store = TimeSeriesStore()
+        alerts = AlertLog()
+        spec = SLOSpec(
+            name="cache-floor",
+            series="hit_rate",
+            threshold=0.5,
+            direction="below",
+            budget=0.3,
+            windows=(10.0,),
+            min_samples=2,
+            severity="warn",
+        )
+        monitor = SLOMonitor(store, [spec], alerts=alerts)
+        for i in range(10):
+            store.record("hit_rate", 0.1, ts=90.0 + i)
+        (status,) = monitor.evaluate(now=100.0)
+        assert status.burning
+        assert alerts.events(kind="slo_breach")[0].severity == "warn"
+
+    def test_payload_json_ready(self):
+        import json
+
+        store = TimeSeriesStore()
+        for i in range(10):
+            store.record("request.p99", 0.2, ts=90.0 + i)
+        monitor = SLOMonitor(store, [latency_spec()])
+        payload = json.loads(json.dumps(monitor.payload(now=100.0)))
+        assert payload["specs"] == 1
+        assert payload["burning"] == 1
+        assert payload["status"][0]["name"] == "p99-latency"

@@ -1,0 +1,117 @@
+"""TimeSeriesStore: ring bounds, registry scraping, window queries."""
+
+import threading
+
+from repro.obs.metrics_registry import MetricsRegistry
+from repro.obs.timeseries import TimeSeriesStore
+
+
+class TestRecording:
+    def test_ring_buffer_bounds_samples(self):
+        store = TimeSeriesStore(max_samples=4)
+        for i in range(10):
+            store.record("s", float(i), ts=float(i))
+        assert store.points("s") == [(6.0, 6.0), (7.0, 7.0), (8.0, 8.0), (9.0, 9.0)]
+
+    def test_series_cap(self):
+        store = TimeSeriesStore(max_series=2)
+        store.record("a", 1.0)
+        store.record("b", 1.0)
+        store.record("c", 1.0)  # over cap: dropped, existing unaffected
+        assert store.names() == ["a", "b"]
+        assert store.payload()["dropped_series"] == 1
+
+    def test_nan_dropped(self):
+        store = TimeSeriesStore()
+        store.record("s", float("nan"))
+        assert store.points("s") == []
+
+    def test_latest(self):
+        store = TimeSeriesStore()
+        assert store.latest("missing") is None
+        store.record("s", 3.0, ts=1.0)
+        store.record("s", 7.0, ts=2.0)
+        assert store.latest("s") == 7.0
+
+
+class TestRegistrySampling:
+    def test_counters_gauges_histograms_fan_out(self):
+        registry = MetricsRegistry()
+        registry.counter("requests").inc(5)
+        registry.gauge("version").set(3.0)
+        registry.histogram("latency").observe(0.01)
+        registry.histogram("latency").observe(0.03)
+        store = TimeSeriesStore()
+        points = store.sample_registry(registry, ts=100.0)
+        assert points == 2 + 5  # counter + gauge + five histogram keys
+        assert store.latest("requests") == 5.0
+        assert store.latest("version") == 3.0
+        assert store.latest("latency.count") == 2.0
+        assert store.latest("latency.p99") is not None
+        assert store.latest("latency.mean") is not None
+
+    def test_prefix_namespacing(self):
+        registry = MetricsRegistry()
+        registry.gauge("g").set(1.0)
+        store = TimeSeriesStore()
+        store.sample_registry(registry, prefix="fleet.")
+        assert store.names() == ["fleet.g"]
+
+
+class TestWindows:
+    def _filled(self):
+        store = TimeSeriesStore()
+        for i in range(10):
+            store.record("c", float(i * 2), ts=100.0 + i)  # counter-ish
+        return store
+
+    def test_window_trims_by_time(self):
+        store = self._filled()
+        assert len(store.window("c", 4.0, now=109.0)) == 5
+        assert len(store.window("c", 100.0, now=109.0)) == 10
+        assert store.window("missing", 10.0, now=109.0) == []
+
+    def test_delta_and_rate(self):
+        store = self._filled()
+        assert store.delta("c", 100.0, now=109.0) == 18.0
+        assert store.rate("c", 100.0, now=109.0) == 2.0
+        assert store.delta("c", 0.5, now=109.0) is None  # one point
+
+    def test_payload_round_trips_json(self):
+        import json
+
+        store = self._filled()
+        payload = json.loads(json.dumps(store.payload(last=3)))
+        assert len(payload["series"]["c"]) == 3
+
+
+class TestThreadSafety:
+    def test_concurrent_writers_and_readers(self):
+        store = TimeSeriesStore(max_samples=64)
+        stop = threading.Event()
+        errors = []
+
+        def write(name):
+            i = 0
+            while not stop.is_set():
+                store.record(name, float(i))
+                i += 1
+
+        def read():
+            while not stop.is_set():
+                try:
+                    store.payload()
+                    store.window("w0", 10.0)
+                except Exception as error:  # pragma: no cover
+                    errors.append(error)
+
+        threads = [
+            threading.Thread(target=write, args=(f"w{i}",)) for i in range(3)
+        ] + [threading.Thread(target=read)]
+        for thread in threads:
+            thread.start()
+        stop.wait(0.2)
+        stop.set()
+        for thread in threads:
+            thread.join()
+        assert errors == []
